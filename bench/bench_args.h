@@ -1,0 +1,28 @@
+// Tiny argument helpers shared by the figure harnesses.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace eden::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+inline long int_arg(int argc, char** argv, const char* name,
+                    long default_value) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtol(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return default_value;
+}
+
+}  // namespace eden::bench

@@ -1,0 +1,139 @@
+// Microbenchmarks of the EAL toolchain: interpreter dispatch, the
+// paper's action functions interpreted vs their native twins, the
+// tail-call-optimization ablation, compile and serialize costs.
+#include <benchmark/benchmark.h>
+
+#include "core/enclave_schema.h"
+#include "functions/scheduling.h"
+#include "functions/wcmp.h"
+#include "lang/compiler.h"
+#include "lang/interpreter.h"
+
+namespace {
+
+using namespace eden;
+
+struct ProgramFixture {
+  lang::StateSchema schema;
+  lang::CompiledProgram program;
+  lang::StateBlock packet, message, global;
+  lang::Interpreter interp;
+
+  ProgramFixture(const functions::NetworkFunction& fn,
+                 bool tco = true)
+      : schema(core::make_enclave_schema(fn.global_fields())) {
+    lang::CompileOptions options;
+    options.tail_call_optimization = tco;
+    program = lang::compile_source(fn.source(), schema, options, fn.name());
+    packet = lang::StateBlock::from_schema(schema, lang::Scope::packet);
+    message = lang::StateBlock::from_schema(schema, lang::Scope::message);
+    global = lang::StateBlock::from_schema(schema, lang::Scope::global);
+  }
+};
+
+void BM_Interpret_ArithmeticLoop(benchmark::State& state) {
+  // Pure dispatch cost: a counted loop of arithmetic, no state access.
+  lang::StateSchema schema;
+  const auto program = lang::compile_source(R"(fun(p) ->
+      let i = 0 in
+      let acc = 0 in
+      (while i < 100 do acc <- acc + i * 3 - 1; i <- i + 1 done; acc))",
+                                            schema);
+  lang::Interpreter interp;
+  for (auto _ : state) {
+    auto r = interp.execute(program, nullptr, nullptr, nullptr);
+    benchmark::DoNotOptimize(r.value);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);  // loop iterations
+}
+BENCHMARK(BM_Interpret_ArithmeticLoop);
+
+void BM_Pias_Interpreted(benchmark::State& state) {
+  functions::PiasFunction pias;
+  ProgramFixture fx(pias);
+  fx.global.arrays[0].stride = 2;
+  fx.global.arrays[0].data = {10240, 7, 1048576, 5};
+  fx.packet.scalars[core::PacketSlot::size] = 1514;
+  fx.message.scalars[core::MessageSlot::priority] = 1;
+  for (auto _ : state) {
+    fx.message.scalars[core::MessageSlot::size] = 0;
+    auto r = fx.interp.execute(fx.program, &fx.packet, &fx.message,
+                               &fx.global);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_Pias_Interpreted);
+
+void BM_Pias_Interpreted_NoTCO(benchmark::State& state) {
+  functions::PiasFunction pias;
+  ProgramFixture fx(pias, /*tco=*/false);
+  fx.global.arrays[0].stride = 2;
+  fx.global.arrays[0].data = {10240, 7, 1048576, 5};
+  fx.packet.scalars[core::PacketSlot::size] = 1514;
+  fx.message.scalars[core::MessageSlot::priority] = 1;
+  // Large message so the threshold search recurses deeper.
+  for (auto _ : state) {
+    fx.message.scalars[core::MessageSlot::size] = 500000;
+    auto r = fx.interp.execute(fx.program, &fx.packet, &fx.message,
+                               &fx.global);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_Pias_Interpreted_NoTCO);
+
+void BM_Pias_NativeTwin(benchmark::State& state) {
+  functions::PiasFunction pias;
+  ProgramFixture fx(pias);
+  fx.global.arrays[0].stride = 2;
+  fx.global.arrays[0].data = {10240, 7, 1048576, 5};
+  fx.packet.scalars[core::PacketSlot::size] = 1514;
+  fx.message.scalars[core::MessageSlot::priority] = 1;
+  auto native = pias.native();
+  util::Rng rng(7);
+  core::NativeCtx ctx{rng, 0};
+  for (auto _ : state) {
+    fx.message.scalars[core::MessageSlot::size] = 0;
+    auto status = native(fx.packet, &fx.message, &fx.global, ctx);
+    benchmark::DoNotOptimize(status);
+  }
+}
+BENCHMARK(BM_Pias_NativeTwin);
+
+void BM_Wcmp_Interpreted(benchmark::State& state) {
+  functions::WcmpFunction wcmp;
+  ProgramFixture fx(wcmp);
+  fx.global.arrays[0].stride = 3;
+  fx.global.arrays[0].data = {2, 11, 909, 2, 12, 91};  // dst,label,weight
+  fx.packet.scalars[core::PacketSlot::dst] = 2;
+  for (auto _ : state) {
+    auto r = fx.interp.execute(fx.program, &fx.packet, &fx.message,
+                               &fx.global);
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_Wcmp_Interpreted);
+
+void BM_Compile_Pias(benchmark::State& state) {
+  functions::PiasFunction pias;
+  const auto schema = core::make_enclave_schema(pias.global_fields());
+  for (auto _ : state) {
+    auto program = lang::compile_source(pias.source(), schema);
+    benchmark::DoNotOptimize(program.code.size());
+  }
+}
+BENCHMARK(BM_Compile_Pias);
+
+void BM_Serialize_RoundTrip(benchmark::State& state) {
+  functions::PiasFunction pias;
+  const auto schema = core::make_enclave_schema(pias.global_fields());
+  const auto program = lang::compile_source(pias.source(), schema);
+  for (auto _ : state) {
+    auto copy = lang::CompiledProgram::deserialize(program.serialize());
+    benchmark::DoNotOptimize(copy.code.size());
+  }
+}
+BENCHMARK(BM_Serialize_RoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

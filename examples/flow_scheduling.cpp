@@ -1,0 +1,73 @@
+// Flow scheduling demo (case study 1, scaled down): watch PIAS demote a
+// growing flow through the priority bands, then compare completion
+// times of a small flow with and without scheduling while an elephant
+// flow congests the link.
+//
+// Build & run:  ./build/examples/flow_scheduling
+#include <cstdio>
+
+#include "experiments/fig9_scheduling.h"
+#include "experiments/testbed.h"
+#include "functions/scheduling.h"
+
+using namespace eden;
+constexpr std::uint64_t kGbps = 1000ULL * 1000 * 1000;
+
+// Part 1: demotion trace — feed one message through the PIAS action and
+// print the priority the enclave assigns as the message grows.
+static void demotion_trace() {
+  core::ClassRegistry registry;
+  core::Enclave enclave("demo", registry);
+  const functions::PiasFunction pias;
+  const core::ActionId action = pias.install(enclave, false);
+  const std::int64_t limits[] = {10 * 1024, 1024 * 1024};
+  const std::int64_t prios[] = {7, 5};
+  functions::push_priority_thresholds(enclave, action, limits, prios);
+  const core::TableId table = enclave.create_table("t");
+  enclave.add_rule(table, core::ClassPattern("*"), action);
+
+  std::printf("PIAS demotion for one growing message "
+              "(thresholds: 10KB, 1MB):\n");
+  netsim::Packet packet;
+  packet.size_bytes = 64 * 1024;  // 64KB chunks
+  packet.meta.msg_id = 1;
+  std::uint8_t last = 255;
+  for (int chunk = 1; chunk <= 20; ++chunk) {
+    enclave.process(packet);
+    if (packet.priority != last) {
+      std::printf("  after %4d KB -> priority %d\n", chunk * 64,
+                  packet.priority);
+      last = packet.priority;
+    }
+  }
+  std::printf("\n");
+}
+
+// Part 2: a small flow racing an elephant, baseline vs PIAS.
+static void race(experiments::SchedulingScheme scheme) {
+  experiments::Fig9Config cfg;
+  cfg.scheme = scheme;
+  cfg.variant = scheme == experiments::SchedulingScheme::baseline
+                    ? experiments::SchedulingVariant::native
+                    : experiments::SchedulingVariant::eden;
+  cfg.duration = 300 * netsim::kMillisecond;
+  cfg.warmup = 100 * netsim::kMillisecond;
+  const experiments::Fig9Result r = run_fig9(cfg);
+  std::printf("  %-8s: small flows avg %7.1f us (p95 %8.1f us), "
+              "intermediate avg %8.1f us\n",
+              to_string(scheme).c_str(), r.small_fct_us.mean(),
+              r.small_fct_us.p95(), r.intermediate_fct_us.mean());
+}
+
+int main() {
+  demotion_trace();
+  std::printf("Small flows racing background elephants (10G link, ~70%% "
+              "load):\n");
+  race(experiments::SchedulingScheme::baseline);
+  race(experiments::SchedulingScheme::pias);
+  race(experiments::SchedulingScheme::sff);
+  std::printf("\nPIAS needs no application changes (the enclave classifies "
+              "flows);\nSFF uses the flow size the application provided via "
+              "its stage.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Application-aware load balancing for a memcached-style service — the
+// running example of the paper's introduction.
+//
+// A client talks to three replicas. The memcached *stage* classifies
+// each request as GET or PUT and exposes the key; the enclave's
+// replica_select action routes GETs by key hash to the replica owning
+// the key (mcrouter-style), while PUTs fan out to the primary. No
+// application change beyond the stage's classification calls.
+//
+// Build & run:  ./build/examples/memcached_lb
+#include <cstdio>
+#include <map>
+
+#include "apps/memcached_stage.h"
+#include "experiments/testbed.h"
+#include "functions/misc.h"
+
+int main() {
+  using namespace eden;
+  constexpr std::uint64_t kGbps = 1000ULL * 1000 * 1000;
+  constexpr std::uint16_t kPort = 11211;
+
+  // Client + 3 replicas behind one switch.
+  experiments::Testbed bed;
+  auto& client = bed.add_host("client");
+  netsim::HostNode* replicas[3];
+  for (int i = 0; i < 3; ++i) {
+    replicas[i] = &bed.add_host("replica" + std::to_string(i));
+  }
+  auto& tor = bed.add_switch("tor");
+  bed.connect(client, tor, 10 * kGbps, 2 * netsim::kMicrosecond);
+  for (auto* r : replicas) {
+    bed.connect(*r, tor, 10 * kGbps, 2 * netsim::kMicrosecond);
+  }
+  bed.routing().install_all_paths();
+  bed.routing().install_dest_routes();
+  bed.finalize();
+
+  experiments::TestHost& client_host = *bed.host_by_name("client");
+
+  // The memcached stage: controller programs GET/PUT classification
+  // (Figure 6's rule-set r1).
+  apps::MemcachedStage stage(bed.registry());
+  bed.controller().register_stage(stage);
+  stage.create_rule("r1",
+                    {core::FieldPattern::exact("GET"),
+                     core::FieldPattern::any()},
+                    "GET", core::kMetaAll);
+  stage.create_rule("r1",
+                    {core::FieldPattern::exact("PUT"),
+                     core::FieldPattern::any()},
+                    "PUT", core::kMetaAll);
+  const core::StageInfo info = stage.get_stage_info();
+  std::printf("stage '%s' classifies on:", info.name.c_str());
+  for (const auto& f : info.classifier_fields) std::printf(" %s", f.c_str());
+  std::printf("\n\n");
+
+  // replica_select routes GETs by key hash; a label per replica.
+  const functions::ReplicaSelectFunction replica_select;
+  const core::ActionId action =
+      replica_select.install(*client_host.enclave, false);
+  std::vector<std::int64_t> labels;
+  for (auto* r : replicas) {
+    const auto& paths =
+        bed.routing().paths(client.id(), r->id());
+    labels.push_back(paths.front().label);
+  }
+  client_host.enclave->set_global_array(action, "replica_labels", labels);
+  const core::TableId table = client_host.enclave->create_table("lb");
+  // Only GETs are key-routed (PUTs would go to the primary).
+  client_host.enclave->add_rule(table,
+                                core::ClassPattern("memcached.r1.GET"),
+                                action);
+
+  // Replicas accept request flows.
+  std::map<std::string, std::uint64_t> hits;  // replica -> requests
+  for (auto* r : replicas) {
+    experiments::TestHost& host = *bed.host_by_name(r->name());
+    host.stack->listen(kPort, [&hits, name = r->name()](
+                                  transport::TcpReceiver& receiver,
+                                  const hoststack::FlowInfo& fi) {
+      receiver.expect(static_cast<std::uint64_t>(fi.meta.msg_size));
+      ++hits[name];
+    });
+  }
+
+  // NOTE: labels route to a *host*, so the packet's dst is rewritten by
+  // the path; for this demo every replica listens on the same port and
+  // the label decides where a GET lands. The client addresses replica0
+  // (the "virtual IP") and the enclave spreads by key.
+  const char* keys[] = {"user:17",  "cart:3",   "user:99", "item:4711",
+                        "session:8", "user:17", "cart:3",  "news:1",
+                        "item:42",   "user:23"};
+  for (const char* key : keys) {
+    const core::MessageAttrs attrs = apps::MemcachedStage::get_attrs(key);
+    const netsim::PacketMeta base =
+        apps::MemcachedStage::request_meta(true, key, 2048);
+    client_host.stack->send_message(stage, attrs, base, replicas[0]->id(),
+                                    kPort, 2048);
+  }
+  bed.run_for(200 * netsim::kMillisecond);
+
+  std::printf("GET routing by key hash (10 requests):\n");
+  for (const auto& [name, count] : hits) {
+    std::printf("  %-9s %llu request(s)\n", name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\nsame key always lands on the same replica; different keys"
+              "\nspread across the pool — application-level load balancing\n"
+              "with an unmodified transport underneath.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Stateful firewall demo: port knocking (Table 1).
+//
+// The protected service on port 2222 drops everything until the source
+// has "knocked" ports 1001, 1002, 1003 in order. Knock progress lives
+// in enclave message state keyed per source. A knocker gets through; a
+// stranger (and a wrong-order knocker in strict mode) does not.
+//
+// Build & run:  ./build/examples/port_knocking
+#include <cstdio>
+
+#include "core/enclave.h"
+#include "functions/firewall.h"
+
+using namespace eden;
+
+namespace {
+
+// Sends one raw packet from `src` to `port` through the enclave and
+// reports whether the firewall let it pass.
+bool probe(core::Enclave& enclave, std::uint32_t src, std::uint16_t port) {
+  netsim::Packet packet;
+  packet.src = src;
+  packet.dst = 99;
+  packet.dst_port = port;
+  packet.size_bytes = 100;
+  packet.meta.msg_id = src;  // knock state is tracked per source
+  return enclave.process(packet);
+}
+
+}  // namespace
+
+int main() {
+  core::ClassRegistry registry;
+  core::Enclave enclave("firewall", registry);
+
+  const functions::PortKnockFunction knock;
+  const core::ActionId action = knock.install(enclave, false);
+  const std::int64_t sequence[] = {1001, 1002, 1003};
+  functions::push_knock_config(enclave, action, sequence, /*open_port=*/2222,
+                               /*strict=*/false);
+  const core::TableId table = enclave.create_table("fw");
+  enclave.add_rule(table, core::ClassPattern("*"), action);
+
+  std::printf("knock sequence: 1001 -> 1002 -> 1003, protected port 2222\n\n");
+
+  const std::uint32_t knocker = 1, stranger = 2;
+
+  std::printf("stranger tries port 2222 directly:     %s\n",
+              probe(enclave, stranger, 2222) ? "PASSED (bug!)" : "dropped");
+
+  std::printf("knocker sends the sequence:            ");
+  for (const std::int64_t port : sequence) {
+    probe(enclave, knocker, static_cast<std::uint16_t>(port));
+    std::printf("%lld ", static_cast<long long>(port));
+  }
+  std::printf("\n");
+  std::printf("knocker tries port 2222:               %s\n",
+              probe(enclave, knocker, 2222) ? "passed" : "DROPPED (bug!)");
+  std::printf("stranger tries port 2222 again:        %s\n",
+              probe(enclave, stranger, 2222) ? "PASSED (bug!)" : "dropped");
+
+  // Partial knocks do not open the port.
+  const std::uint32_t half_knocker = 3;
+  probe(enclave, half_knocker, 1001);
+  probe(enclave, half_knocker, 1002);
+  std::printf("half-knocker (2 of 3) tries port 2222: %s\n",
+              probe(enclave, half_knocker, 2222) ? "PASSED (bug!)"
+                                                 : "dropped");
+
+  std::printf(
+      "\nthe whole policy is ~15 lines of EAL running in the enclave;\n"
+      "per-source progress lives in message state (msg.state0).\n");
+  return 0;
+}

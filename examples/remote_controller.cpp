@@ -1,0 +1,82 @@
+// The controller programming a remote enclave over the wire protocol.
+//
+// In production the controller and enclaves live on different machines;
+// this example separates them by the actual wire encoding: every API
+// call is serialized into a command frame, "sent" across a channel, and
+// applied by the enclave-side agent — including shipping the compiled
+// action-function bytecode.
+//
+// Build & run:  ./build/examples/remote_controller
+#include <cstdio>
+
+#include "core/controller.h"
+#include "core/wire.h"
+#include "functions/scheduling.h"
+
+int main() {
+  using namespace eden;
+  using core::wire::RemoteEnclave;
+  using core::wire::Status;
+
+  // The "remote host": an enclave plus the agent loop. The transport
+  // counts frames so we can show what actually crossed the wire.
+  core::ClassRegistry registry;
+  core::Enclave enclave("remote-host.enclave", registry);
+  std::size_t frames = 0, bytes = 0;
+  RemoteEnclave remote([&](std::vector<std::uint8_t> frame) {
+    ++frames;
+    bytes += frame.size();
+    return encode_response(core::wire::apply(enclave, frame));
+  });
+
+  // The "controller side": compile PIAS locally, then program the
+  // remote enclave entirely through command frames.
+  core::Controller controller(registry);
+  const functions::PiasFunction pias;
+  const lang::CompiledProgram program = pias.compile();
+  std::printf("compiled '%s': %zu instructions, %zu bytes of bytecode\n",
+              pias.name(), program.code.size(), program.serialize().size());
+
+  const auto fields = pias.global_fields();
+  core::wire::Response r = remote.install_action("pias", program, fields);
+  std::printf("install_action     -> %s (action id %llu)\n",
+              r.status == Status::ok ? "ok" : r.error.c_str(),
+              static_cast<unsigned long long>(r.value));
+
+  r = remote.create_table("sched");
+  const auto table = static_cast<core::TableId>(r.value);
+  std::printf("create_table       -> ok (table id %u)\n", table);
+
+  r = remote.add_rule(table, "*", "pias");
+  std::printf("add_rule '*'       -> %s\n",
+              r.status == Status::ok ? "ok" : r.error.c_str());
+
+  const std::int64_t thresholds[] = {10 * 1024, 7, 1024 * 1024, 5};
+  r = remote.set_global_array("pias", "priorities", thresholds);
+  std::printf("set_global_array   -> %s\n",
+              r.status == Status::ok ? "ok" : r.error.c_str());
+
+  // Data path on the remote host: a message growing through the bands.
+  std::printf("\nremote enclave now enforcing PIAS (4KB chunks):\n");
+  netsim::Packet packet;
+  packet.size_bytes = 4 * 1024;
+  packet.meta.msg_id = 1;
+  int last_priority = -1;
+  for (int chunk = 1; chunk <= 300; ++chunk) {
+    enclave.process(packet);
+    if (packet.priority != last_priority) {
+      std::printf("  after %4d KB -> priority %d\n", chunk * 4,
+                  packet.priority);
+      last_priority = packet.priority;
+    }
+  }
+
+  // Errors travel back too.
+  r = remote.set_global_scalar("pias", "bogus_field", 1);
+  std::printf("\nbad request over the wire -> status %d (\"%s\")\n",
+              static_cast<int>(r.status), r.error.c_str());
+
+  std::printf("\ntotal controller traffic: %zu frames, %zu bytes\n", frames,
+              bytes);
+  return 0;
+}

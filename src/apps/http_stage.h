@@ -1,0 +1,28 @@
+// An Eden-compliant HTTP library stage: classifies on <msg_type, url>
+// and emits {msg_id, msg_type, url, msg_size} (Table 2, second row).
+#pragma once
+
+#include <string_view>
+
+#include "core/stage.h"
+
+namespace eden::apps {
+
+inline constexpr std::int64_t kHttpRequest = 1;
+inline constexpr std::int64_t kHttpResponse = 2;
+
+class HttpStage : public core::Stage {
+ public:
+  explicit HttpStage(core::ClassRegistry& registry)
+      : Stage("http", {"msg_type", "url"},
+              {"msg_id", "msg_type", "url", "msg_size"}, registry) {}
+
+  static core::MessageAttrs request_attrs(std::string_view url) {
+    return {"REQ", std::string(url)};
+  }
+  static core::MessageAttrs response_attrs(std::string_view url) {
+    return {"RESP", std::string(url)};
+  }
+};
+
+}  // namespace eden::apps

@@ -1,0 +1,24 @@
+#include "apps/memcached_stage.h"
+
+namespace eden::apps {
+
+std::int64_t MemcachedStage::key_hash(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::int64_t>(h >> 1);  // keep it non-negative
+}
+
+netsim::PacketMeta MemcachedStage::request_meta(bool is_get,
+                                                std::string_view key,
+                                                std::int64_t size) {
+  netsim::PacketMeta meta;
+  meta.msg_type = is_get ? kMemcachedGet : kMemcachedPut;
+  meta.key_hash = key_hash(key);
+  meta.msg_size = size;
+  return meta;
+}
+
+}  // namespace eden::apps

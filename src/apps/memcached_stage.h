@@ -1,0 +1,38 @@
+// An Eden-compliant memcached client library (the running example of
+// Sections 1-3): classifies messages on <msg_type, key> and emits
+// {msg_id, msg_type, key, msg_size} metadata (Table 2, first row).
+#pragma once
+
+#include <string_view>
+
+#include "core/stage.h"
+
+namespace eden::apps {
+
+// msg_type values used by the stage.
+inline constexpr std::int64_t kMemcachedGet = 1;
+inline constexpr std::int64_t kMemcachedPut = 2;
+
+class MemcachedStage : public core::Stage {
+ public:
+  explicit MemcachedStage(core::ClassRegistry& registry)
+      : Stage("memcached", {"msg_type", "key"},
+              {"msg_id", "msg_type", "key", "msg_size"}, registry) {}
+
+  // Builds the classification attributes for a GET/PUT on `key`.
+  static core::MessageAttrs get_attrs(std::string_view key) {
+    return {"GET", std::string(key)};
+  }
+  static core::MessageAttrs put_attrs(std::string_view key) {
+    return {"PUT", std::string(key)};
+  }
+
+  // Metadata skeleton for a request: type + key hash + operation size.
+  static netsim::PacketMeta request_meta(bool is_get, std::string_view key,
+                                         std::int64_t size);
+
+  // Stable non-negative key hash, shared with the replica_select action.
+  static std::int64_t key_hash(std::string_view key);
+};
+
+}  // namespace eden::apps

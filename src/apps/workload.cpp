@@ -1,0 +1,109 @@
+#include "apps/workload.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace eden::apps {
+
+FlowSizeDistribution::FlowSizeDistribution(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("flow size distribution needs points");
+  }
+  double prev = 0.0;
+  for (const Point& p : points_) {
+    if (p.cdf <= prev || p.cdf > 1.0) {
+      throw std::invalid_argument(
+          "flow size CDF must be strictly increasing and end at 1.0");
+    }
+    prev = p.cdf;
+  }
+  if (points_.back().cdf != 1.0) {
+    throw std::invalid_argument("flow size CDF must end at 1.0");
+  }
+}
+
+FlowSizeDistribution FlowSizeDistribution::web_search() {
+  // Approximation of the DCTCP web-search workload as used by PIAS:
+  // sizes in KB at the given cumulative probabilities.
+  return FlowSizeDistribution({
+      {0.15, 6 * 1024},
+      {0.20, 13 * 1024},
+      {0.30, 19 * 1024},
+      {0.40, 33 * 1024},
+      {0.53, 53 * 1024},
+      {0.60, 133 * 1024},
+      {0.70, 667 * 1024},
+      {0.80, 1467 * 1024},
+      {0.90, 2107 * 1024},
+      {0.95, 6667 * 1024},
+      {0.98, 20000 * 1024},
+      {1.00, 30000 * 1024},
+  });
+}
+
+FlowSizeDistribution FlowSizeDistribution::data_mining() {
+  return FlowSizeDistribution({
+      {0.50, 1 * 1024},
+      {0.60, 2 * 1024},
+      {0.70, 3 * 1024},
+      {0.80, 7 * 1024},
+      {0.90, 267 * 1024},
+      {0.95, 2107 * 1024},
+      {0.98, 66667 * 1024},
+      {1.00, 666667 * 1024},
+  });
+}
+
+FlowSizeDistribution FlowSizeDistribution::fixed(std::uint64_t size) {
+  return FlowSizeDistribution({{1.0, size}});
+}
+
+std::uint64_t FlowSizeDistribution::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  double prev_cdf = 0.0;
+  std::uint64_t prev_size = 0;
+  for (const Point& p : points_) {
+    if (u <= p.cdf) {
+      // Linear interpolation within the segment.
+      const double frac = (u - prev_cdf) / (p.cdf - prev_cdf);
+      const double size =
+          static_cast<double>(prev_size) +
+          frac * (static_cast<double>(p.size) - static_cast<double>(prev_size));
+      return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(size));
+    }
+    prev_cdf = p.cdf;
+    prev_size = p.size;
+  }
+  return points_.back().size;
+}
+
+double FlowSizeDistribution::mean() const {
+  double mean = 0.0;
+  double prev_cdf = 0.0;
+  std::uint64_t prev_size = 0;
+  for (const Point& p : points_) {
+    // Each linear segment contributes its midpoint mass.
+    mean += (p.cdf - prev_cdf) *
+            (static_cast<double>(prev_size) + static_cast<double>(p.size)) /
+            2.0;
+    prev_cdf = p.cdf;
+    prev_size = p.size;
+  }
+  return mean;
+}
+
+PoissonArrivals::PoissonArrivals(double load, std::uint64_t link_bps,
+                                 double mean_flow_bytes) {
+  if (load <= 0.0 || mean_flow_bytes <= 0.0 || link_bps == 0) {
+    throw std::invalid_argument("invalid Poisson arrival parameters");
+  }
+  rate_per_sec_ =
+      load * static_cast<double>(link_bps) / 8.0 / mean_flow_bytes;
+}
+
+std::int64_t PoissonArrivals::next_gap(util::Rng& rng) const {
+  return static_cast<std::int64_t>(rng.exponential(1e9 / rate_per_sec_));
+}
+
+}  // namespace eden::apps

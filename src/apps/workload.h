@@ -1,0 +1,66 @@
+// Workload generation for the evaluation harnesses.
+//
+// Case study 1 uses "a realistic request-response workload, with
+// responses reflecting the flow size distribution found in search
+// applications" (Section 5.1, citing DCTCP [2] and PIAS [8]): mostly
+// small flows, a heavy tail, high flow churn. FlowSizeDistribution
+// encodes that CDF; PoissonArrivals turns a target load into arrival
+// times.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace eden::apps {
+
+// Piecewise-linear inverse-CDF sampler over flow sizes in bytes.
+class FlowSizeDistribution {
+ public:
+  struct Point {
+    double cdf;          // cumulative probability in (0, 1]
+    std::uint64_t size;  // flow size in bytes
+  };
+
+  // Points must be strictly increasing in cdf, ending at 1.0. Throws
+  // std::invalid_argument otherwise.
+  explicit FlowSizeDistribution(std::vector<Point> points);
+
+  // The web-search distribution of DCTCP/PIAS: ~50% of flows under
+  // 100KB (dominated by small request/response traffic) with a tail of
+  // multi-MB background flows that carry most of the bytes.
+  static FlowSizeDistribution web_search();
+  // Data-mining style: even more extreme small/large split.
+  static FlowSizeDistribution data_mining();
+  // Degenerate distribution (all flows the same size) for tests.
+  static FlowSizeDistribution fixed(std::uint64_t size);
+
+  std::uint64_t sample(util::Rng& rng) const;
+  double mean() const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+// Poisson arrival process hitting a target utilization of a link.
+class PoissonArrivals {
+ public:
+  // load in (0, 1]: fraction of link_bps consumed on average by flows of
+  // the given mean size (payload bytes; header overhead is ignored, as
+  // in the papers this emulates).
+  PoissonArrivals(double load, std::uint64_t link_bps,
+                  double mean_flow_bytes);
+
+  // Nanoseconds until the next arrival.
+  std::int64_t next_gap(util::Rng& rng) const;
+  double rate_per_sec() const { return rate_per_sec_; }
+
+ private:
+  double rate_per_sec_;
+};
+
+}  // namespace eden::apps

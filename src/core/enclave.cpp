@@ -1,0 +1,480 @@
+#include "core/enclave.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace eden::core {
+
+namespace {
+
+std::atomic<std::uint64_t> g_enclave_instance_counter{1};
+
+// Per-thread execution resources for one enclave instance: the
+// interpreter (operand stack, heap, rng) plus a scratch packet-scope
+// state block. Reused across packets so the steady-state data path does
+// not allocate.
+struct ThreadState {
+  lang::Interpreter interp;
+  lang::StateBlock packet_block;
+  lang::StateBlock message_block;       // scratch copy; committed on success
+  lang::StateBlock message_checkpoint;  // last good state within a batch
+  util::Rng rng;
+
+  ThreadState(const EnclaveConfig& config, const lang::StateSchema& schema)
+      : interp(config.exec_limits, config.rng_seed),
+        packet_block(
+            lang::StateBlock::from_schema(schema, lang::Scope::packet)),
+        rng(config.rng_seed ^ 0x517cc1b727220a95ULL) {}
+};
+
+std::uint64_t flow_hash(const netsim::Packet& p) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 31;
+  };
+  mix(p.src);
+  mix(p.dst);
+  mix(p.src_port);
+  mix(p.dst_port);
+  mix(static_cast<std::uint64_t>(p.protocol));
+  return h;
+}
+
+// Direction-insensitive connection hash: both (a -> b) and (b -> a)
+// packets of one connection map to the same value.
+std::uint64_t symmetric_flow_hash(const netsim::Packet& p) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 31;
+  };
+  const std::uint64_t ep_a =
+      (static_cast<std::uint64_t>(p.src) << 16) | p.src_port;
+  const std::uint64_t ep_b =
+      (static_cast<std::uint64_t>(p.dst) << 16) | p.dst_port;
+  mix(ep_a < ep_b ? ep_a : ep_b);
+  mix(ep_a < ep_b ? ep_b : ep_a);
+  mix(static_cast<std::uint64_t>(p.protocol));
+  return h;
+}
+
+}  // namespace
+
+// Keyed by a unique instance id (not `this`) so a recycled address never
+// aliases another enclave's thread state.
+struct EnclaveThreadRegistry {
+  static ThreadState& get(std::uint64_t instance_id,
+                          const EnclaveConfig& config,
+                          const lang::StateSchema& schema) {
+    static thread_local std::unordered_map<std::uint64_t,
+                                           std::unique_ptr<ThreadState>>
+        map;
+    auto& slot = map[instance_id];
+    if (!slot) slot = std::make_unique<ThreadState>(config, schema);
+    return *slot;
+  }
+};
+
+Enclave::Enclave(std::string name, ClassRegistry& registry,
+                 EnclaveConfig config)
+    : name_(std::move(name)),
+      registry_(registry),
+      config_(config),
+      base_schema_(make_enclave_schema()),
+      instance_id_(g_enclave_instance_counter.fetch_add(1)) {}
+
+Enclave::~Enclave() = default;
+
+ActionId Enclave::install_action(const std::string& name,
+                                 lang::CompiledProgram program,
+                                 std::vector<lang::FieldDef> global_fields) {
+  auto entry = std::make_unique<ActionEntry>();
+  entry->id = static_cast<ActionId>(actions_.size());
+  entry->name = name;
+  entry->native = false;
+  entry->mode = program.concurrency;
+  entry->touches_message =
+      program.usage.touches_scope(lang::Scope::message);
+  entry->program = std::move(program);
+  entry->schema = make_enclave_schema(std::move(global_fields));
+  entry->global_state =
+      lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
+  const ActionId id = entry->id;
+  actions_.push_back(std::move(entry));
+  return id;
+}
+
+ActionId Enclave::install_native_action(
+    const std::string& name, NativeActionFn fn, lang::ConcurrencyMode mode,
+    bool touches_message, std::vector<lang::FieldDef> global_fields) {
+  auto entry = std::make_unique<ActionEntry>();
+  entry->id = static_cast<ActionId>(actions_.size());
+  entry->name = name;
+  entry->native = true;
+  entry->native_fn = std::move(fn);
+  entry->mode = mode;
+  entry->touches_message = touches_message;
+  entry->schema = make_enclave_schema(std::move(global_fields));
+  entry->global_state =
+      lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
+  const ActionId id = entry->id;
+  actions_.push_back(std::move(entry));
+  return id;
+}
+
+void Enclave::remove_action(ActionId id) {
+  if (id >= actions_.size() || actions_[id] == nullptr) return;
+  // Remove any rules pointing at the action, then drop it.
+  for (Table& table : tables_) {
+    std::erase_if(table.rules,
+                  [id](const MatchRule& r) { return r.action == id; });
+  }
+  actions_[id] = nullptr;
+}
+
+std::optional<ActionId> Enclave::find_action(const std::string& name) const {
+  for (const auto& entry : actions_) {
+    if (entry != nullptr && entry->name == name) return entry->id;
+  }
+  return std::nullopt;
+}
+
+TableId Enclave::create_table(const std::string& name) {
+  tables_.push_back(Table{next_table_id_++, name, {}});
+  return tables_.back().id;
+}
+
+void Enclave::delete_table(TableId table) {
+  std::erase_if(tables_, [table](const Table& t) { return t.id == table; });
+}
+
+Enclave::Table* Enclave::find_table(TableId id) {
+  for (Table& t : tables_) {
+    if (t.id == id) return &t;
+  }
+  return nullptr;
+}
+
+MatchRuleId Enclave::add_rule(TableId table, ClassPattern pattern,
+                              ActionId action) {
+  Table* t = find_table(table);
+  if (t == nullptr) throw std::invalid_argument("no such table");
+  if (action >= actions_.size() || actions_[action] == nullptr) {
+    throw std::invalid_argument("no such action");
+  }
+  const MatchRuleId id = next_rule_id_++;
+  t->rules.push_back(MatchRule{id, std::move(pattern), action});
+  return id;
+}
+
+bool Enclave::remove_rule(TableId table, MatchRuleId rule) {
+  Table* t = find_table(table);
+  if (t == nullptr) return false;
+  const auto before = t->rules.size();
+  std::erase_if(t->rules,
+                [rule](const MatchRule& r) { return r.id == rule; });
+  return t->rules.size() != before;
+}
+
+std::size_t Enclave::rule_count(TableId table) const {
+  for (const Table& t : tables_) {
+    if (t.id == table) return t.rules.size();
+  }
+  return 0;
+}
+
+void Enclave::set_global_scalar(ActionId id, const std::string& field,
+                                std::int64_t value) {
+  ActionEntry& entry = checked_action(id);
+  const auto slot = entry.schema.find(lang::Scope::global, field);
+  if (!slot || slot->kind != lang::FieldKind::scalar) {
+    throw std::invalid_argument("no global scalar '" + field + "'");
+  }
+  std::unique_lock lock(entry.global_mutex);
+  entry.global_state.scalars[slot->slot] = value;
+}
+
+void Enclave::set_global_array(ActionId id, const std::string& field,
+                               std::vector<std::int64_t> data) {
+  ActionEntry& entry = checked_action(id);
+  const auto slot = entry.schema.find(lang::Scope::global, field);
+  if (!slot || slot->kind == lang::FieldKind::scalar) {
+    throw std::invalid_argument("no global array '" + field + "'");
+  }
+  if (data.size() % slot->stride != 0) {
+    throw std::invalid_argument("array data for '" + field +
+                                "' is not a whole number of records");
+  }
+  std::unique_lock lock(entry.global_mutex);
+  entry.global_state.arrays[slot->slot].stride = slot->stride;
+  entry.global_state.arrays[slot->slot].data = std::move(data);
+}
+
+std::int64_t Enclave::read_global_scalar(ActionId id,
+                                         const std::string& field) const {
+  const ActionEntry& entry = checked_action(id);
+  const auto slot = entry.schema.find(lang::Scope::global, field);
+  if (!slot || slot->kind != lang::FieldKind::scalar) {
+    throw std::invalid_argument("no global scalar '" + field + "'");
+  }
+  std::shared_lock lock(entry.global_mutex);
+  return entry.global_state.scalars[slot->slot];
+}
+
+Enclave::ActionEntry& Enclave::checked_action(ActionId id) {
+  if (id >= actions_.size() || actions_[id] == nullptr) {
+    throw std::invalid_argument("no such action");
+  }
+  return *actions_[id];
+}
+
+const Enclave::ActionEntry& Enclave::checked_action(ActionId id) const {
+  if (id >= actions_.size() || actions_[id] == nullptr) {
+    throw std::invalid_argument("no such action");
+  }
+  return *actions_[id];
+}
+
+std::int64_t Enclave::message_key(const netsim::Packet& p) {
+  if (p.meta.msg_id != 0) return p.meta.msg_id;
+  // Flow-granularity fallback: high bit set so flow keys never collide
+  // with stage-assigned message ids (positive counters).
+  return static_cast<std::int64_t>(flow_hash(p) | 0x8000000000000000ULL);
+}
+
+std::int64_t Enclave::symmetric_message_key(const netsim::Packet& p) {
+  if (p.meta.msg_id != 0) return p.meta.msg_id;
+  return static_cast<std::int64_t>(symmetric_flow_hash(p) |
+                                   0x8000000000000000ULL);
+}
+
+std::shared_ptr<Enclave::MessageEntry> Enclave::message_entry(
+    ActionEntry& entry, const netsim::Packet& p) {
+  const std::int64_t key = message_key(p);
+  {
+    std::shared_lock lock(entry.messages_mutex);
+    const auto it = entry.messages.find(key);
+    if (it != entry.messages.end()) return it->second;
+  }
+  std::unique_lock lock(entry.messages_mutex);
+  auto& slot = entry.messages[key];
+  if (slot == nullptr) {
+    slot = std::make_shared<MessageEntry>();
+    slot->block =
+        lang::StateBlock::from_schema(entry.schema, lang::Scope::message);
+    init_message_state(p, slot->block);
+    entry.creation_order.push_back(key);
+    ++stats_.message_entries_created;
+    // Insertion-order eviction keeps the store bounded; shared_ptr keeps
+    // an evicted entry alive until any in-flight execution finishes.
+    while (entry.messages.size() > config_.max_messages_per_action &&
+           !entry.creation_order.empty()) {
+      entry.messages.erase(entry.creation_order.front());
+      entry.creation_order.pop_front();
+      ++stats_.message_entries_evicted;
+    }
+  }
+  return slot;
+}
+
+void Enclave::classify_flow(netsim::Packet& packet) const {
+  // Enclave-stage classification (Table 2, last row): five-tuple rules
+  // assign a class and a flow-granularity message id.
+  for (const FlowClassifierRule& rule : flow_rules_) {
+    if (rule.matches(packet)) {
+      packet.classes.add(rule.class_id);
+      if (packet.meta.msg_id == 0) {
+        packet.meta.msg_id = rule.symmetric ? symmetric_message_key(packet)
+                                            : message_key(packet);
+      }
+      break;
+    }
+  }
+}
+
+const Enclave::MatchRule* Enclave::match_in_table(
+    Table& table, const netsim::Packet& packet) const {
+  for (const MatchRule& rule : table.rules) {
+    if (rule.pattern.match_any()) return &rule;
+    for (std::size_t i = 0; i < packet.classes.size(); ++i) {
+      if (rule.pattern.matches(packet.classes[i], registry_)) return &rule;
+    }
+  }
+  return nullptr;
+}
+
+bool Enclave::process(netsim::Packet& packet) {
+  ++stats_.packets;
+  classify_flow(packet);
+
+  for (Table& table : tables_) {
+    const MatchRule* hit = match_in_table(table, packet);
+    if (hit == nullptr) continue;
+    ActionEntry* entry = actions_[hit->action].get();
+    if (entry == nullptr) continue;
+    ++stats_.matched;
+    run_action(*entry, packet);
+    if (packet.drop_mark) {
+      ++stats_.dropped_by_action;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
+  // Multiple tables compose per packet; keep that path simple.
+  if (tables_.size() > 1) {
+    std::size_t kept = 0;
+    for (const netsim::PacketPtr& p : batch) {
+      if (process(*p)) ++kept;
+    }
+    return kept;
+  }
+
+  stats_.packets += batch.size();
+  Table* table = tables_.empty() ? nullptr : &tables_.front();
+
+  // Pre-process: classify, match, and split by (action, message) so the
+  // lock and state copy are taken once per message rather than once per
+  // packet. Order within each message is preserved.
+  std::map<std::pair<ActionEntry*, std::int64_t>,
+           std::vector<netsim::Packet*>>
+      groups;
+  for (const netsim::PacketPtr& p : batch) {
+    classify_flow(*p);
+    if (table == nullptr) continue;
+    const MatchRule* hit = match_in_table(*table, *p);
+    if (hit == nullptr) continue;
+    ActionEntry* entry = actions_[hit->action].get();
+    if (entry == nullptr) continue;
+    ++stats_.matched;
+    const std::int64_t key =
+        entry->touches_message ? message_key(*p) : 0;
+    groups[{entry, key}].push_back(p.get());
+  }
+  for (auto& [key, packets] : groups) {
+    run_action_batch(*key.first, packets);
+  }
+
+  std::size_t kept = 0;
+  for (const netsim::PacketPtr& p : batch) {
+    if (p->drop_mark) {
+      ++stats_.dropped_by_action;
+    } else {
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+void Enclave::run_action(ActionEntry& entry, netsim::Packet& packet) {
+  netsim::Packet* one = &packet;
+  run_action_batch(entry, std::span<netsim::Packet* const>(&one, 1));
+}
+
+// Executes the action for every packet of one message (all packets in
+// `packets` share the message key, or the action does not touch message
+// state). Locking and the message-state copy happen once for the whole
+// group; each packet still commits or rolls back independently.
+void Enclave::run_action_batch(ActionEntry& entry,
+                               std::span<netsim::Packet* const> packets) {
+  if (packets.empty()) return;
+  ThreadState& ts =
+      EnclaveThreadRegistry::get(instance_id_, config_, base_schema_);
+
+  std::shared_ptr<MessageEntry> msg_entry;
+  if (entry.touches_message) msg_entry = message_entry(entry, *packets[0]);
+
+  // Concurrency model of Section 3.4.4: writable global state fully
+  // serializes; writable message state serializes per message; otherwise
+  // executions proceed in parallel. Readers always take the global lock
+  // shared so controller updates stay atomic with respect to a run.
+  std::shared_lock<std::shared_mutex> global_shared;
+  std::unique_lock<std::shared_mutex> global_unique;
+  std::unique_lock<std::mutex> msg_lock;
+  if (entry.mode == lang::ConcurrencyMode::serialized) {
+    global_unique = std::unique_lock(entry.global_mutex);
+  } else {
+    global_shared = std::shared_lock(entry.global_mutex);
+    if (entry.mode == lang::ConcurrencyMode::per_message &&
+        msg_entry != nullptr) {
+      msg_lock = std::unique_lock(msg_entry->mutex);
+    }
+  }
+
+  // The function runs against a consistent *copy* of the message state
+  // (Section 3.4.4); the authoritative entry is updated only from
+  // successful executions, so a faulty action never leaves partial
+  // message-state writes behind.
+  lang::StateBlock* msg_block = nullptr;
+  const bool writes_message =
+      entry.native ? entry.touches_message
+                   : entry.program.usage.writes_scope(lang::Scope::message);
+  if (msg_entry != nullptr) {
+    ts.message_block = msg_entry->block;
+    msg_block = &ts.message_block;
+    if (writes_message) ts.message_checkpoint = ts.message_block;
+  }
+
+  if (!entry.native) ts.interp.set_clock(clock_fn_, clock_ctx_);
+  bool msg_dirty = false;
+
+  for (netsim::Packet* packet : packets) {
+    load_packet_state(*packet, ts.packet_block);
+
+    lang::ExecStatus status;
+    if (entry.native) {
+      NativeCtx ctx{ts.rng,
+                    clock_fn_ != nullptr ? clock_fn_(clock_ctx_) : 0};
+      status = entry.native_fn(ts.packet_block, msg_block,
+                               &entry.global_state, ctx);
+    } else {
+      const lang::ExecResult result = ts.interp.execute(
+          entry.program, &ts.packet_block, msg_block, &entry.global_state);
+      status = result.status;
+      entry.stats.steps += result.steps;
+    }
+
+    ++entry.stats.executions;
+    if (status != lang::ExecStatus::ok) {
+      // A faulty execution terminates without touching the packet or
+      // the message state (Section 3.4.3): rewind to the last good
+      // checkpoint so the next packet of the batch starts clean.
+      ++entry.stats.errors;
+      if (msg_entry != nullptr && writes_message) {
+        ts.message_block = ts.message_checkpoint;
+      }
+      continue;
+    }
+    store_packet_state(ts.packet_block, *packet);
+    if (msg_entry != nullptr && writes_message) {
+      ts.message_checkpoint = ts.message_block;
+      msg_dirty = true;
+    }
+  }
+
+  if (msg_entry != nullptr && msg_dirty) {
+    msg_entry->block = ts.message_block;
+  }
+}
+
+ActionStats Enclave::action_stats(ActionId id) const {
+  const ActionEntry& entry = checked_action(id);
+  return entry.stats;
+}
+
+std::optional<std::int64_t> Enclave::peek_message_state(
+    ActionId id, std::int64_t msg_key, std::uint16_t slot) const {
+  const ActionEntry& entry = checked_action(id);
+  std::shared_lock lock(entry.messages_mutex);
+  const auto it = entry.messages.find(msg_key);
+  if (it == entry.messages.end()) return std::nullopt;
+  if (slot >= it->second->block.scalars.size()) return std::nullopt;
+  return it->second->block.scalars[slot];
+}
+
+}  // namespace eden::core

@@ -1,0 +1,274 @@
+// The Eden enclave (Section 3.4): the programmable data plane that sits
+// in the end-host stack.
+//
+// An enclave holds
+//  * match-action tables whose rules match on *class names* (not packet
+//    headers) and whose action part is a real program;
+//  * installed actions: bytecode executed by the interpreter, or native
+//    C++ twins used as the paper's "native" baseline;
+//  * the runtime state machinery: per-action global state, per-message
+//    state keyed by the packet's message identifier, marshalling between
+//    packets and state blocks, and the concurrency model derived from
+//    the access annotations (Section 3.4.4);
+//  * its own packet-granularity classification (last row of Table 2):
+//    five-tuple rules that let the enclave classify traffic of
+//    unmodified applications into flow-level messages.
+//
+// process() is the data path: thread-compatible, lock-free for
+// `parallel` actions, per-message locked for `per_message`, fully locked
+// for `serialized` — exactly the model of Section 3.4.4.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/class_name.h"
+#include "core/enclave_schema.h"
+#include "lang/interpreter.h"
+#include "util/rng.h"
+
+namespace eden::core {
+
+using ActionId = std::uint32_t;
+using TableId = std::uint32_t;
+using MatchRuleId = std::uint64_t;
+inline constexpr ActionId kInvalidAction = 0xffffffffu;
+
+// Context handed to native twin actions so they can mirror builtins.
+struct NativeCtx {
+  util::Rng& rng;
+  std::int64_t now_ns;
+};
+
+// A native action operates on the same state blocks as interpreted
+// bytecode, so both variants share marshalling and state management and
+// the native-vs-Eden comparison isolates pure interpretation cost.
+using NativeActionFn = std::function<lang::ExecStatus(
+    lang::StateBlock& packet, lang::StateBlock* message,
+    lang::StateBlock* global, NativeCtx& ctx)>;
+
+struct ActionStats {
+  std::uint64_t executions = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t steps = 0;  // interpreted instructions (bytecode only)
+};
+
+struct EnclaveStats {
+  std::uint64_t packets = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t dropped_by_action = 0;
+  std::uint64_t message_entries_created = 0;
+  std::uint64_t message_entries_evicted = 0;
+};
+
+struct EnclaveConfig {
+  // Bound on per-action message-state entries (LRU eviction beyond it).
+  std::size_t max_messages_per_action = 65536;
+  lang::ExecLimits exec_limits;
+  std::uint64_t rng_seed = 42;
+
+  // The OS-resident enclave: ample resources, no cycle cap — the paper
+  // deliberately leaves the budget to the administrator (Section 6).
+  static EnclaveConfig os_default() { return EnclaveConfig{}; }
+
+  // A programmable-NIC enclave: the same bytecode but a hard per-packet
+  // instruction budget and tighter memory, reflecting firmware limits.
+  static EnclaveConfig nic_default() {
+    EnclaveConfig config;
+    config.max_messages_per_action = 8192;
+    config.exec_limits.max_steps = 4096;
+    config.exec_limits.max_operand_stack = 64;
+    config.exec_limits.max_locals = 256;
+    config.exec_limits.max_call_depth = 16;
+    return config;
+  }
+};
+
+// Five-tuple classification rule for the enclave's own stage. Value -1
+// means wildcard.
+struct FlowClassifierRule {
+  std::int64_t src = -1;
+  std::int64_t dst = -1;
+  std::int64_t src_port = -1;
+  std::int64_t dst_port = -1;
+  std::int64_t proto = -1;
+  ClassId class_id = kInvalidClass;
+  // Direction-symmetric message keys: both directions of a connection
+  // map to the same message (required by stateful functions such as
+  // connection tracking).
+  bool symmetric = false;
+
+  bool matches(const netsim::Packet& p) const {
+    return (src < 0 || p.src == static_cast<netsim::HostId>(src)) &&
+           (dst < 0 || p.dst == static_cast<netsim::HostId>(dst)) &&
+           (src_port < 0 || p.src_port == src_port) &&
+           (dst_port < 0 || p.dst_port == dst_port) &&
+           (proto < 0 || static_cast<std::int64_t>(p.protocol) == proto);
+  }
+};
+
+class Enclave {
+ public:
+  Enclave(std::string name, ClassRegistry& registry,
+          EnclaveConfig config = {});
+  ~Enclave();
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  // --- Enclave API (controller side) ------------------------------------
+
+  // Installs a compiled action. `global_fields` must be the fields the
+  // program was compiled against (they size the global state block).
+  ActionId install_action(const std::string& name,
+                          lang::CompiledProgram program,
+                          std::vector<lang::FieldDef> global_fields = {});
+
+  // Installs a native twin. `touches_message` tells the runtime whether
+  // to materialize message state for it; `global_fields` sizes its
+  // global state block (same layout the interpreted twin compiles
+  // against).
+  ActionId install_native_action(const std::string& name, NativeActionFn fn,
+                                 lang::ConcurrencyMode mode,
+                                 bool touches_message,
+                                 std::vector<lang::FieldDef> global_fields = {});
+
+  void remove_action(ActionId id);
+  std::optional<ActionId> find_action(const std::string& name) const;
+
+  // Tables are evaluated in creation order; within a table the first
+  // matching rule fires.
+  TableId create_table(const std::string& name);
+  void delete_table(TableId table);
+  MatchRuleId add_rule(TableId table, ClassPattern pattern, ActionId action);
+  bool remove_rule(TableId table, MatchRuleId rule);
+  std::size_t rule_count(TableId table) const;
+
+  // Global state of an action, addressed by schema field name. Writes
+  // take the action's global lock, so they are safe against the data
+  // path mid-run.
+  void set_global_scalar(ActionId id, const std::string& field,
+                         std::int64_t value);
+  void set_global_array(ActionId id, const std::string& field,
+                        std::vector<std::int64_t> data);
+  std::int64_t read_global_scalar(ActionId id, const std::string& field) const;
+
+  // Enclave-stage classification (five-tuple rules).
+  void add_flow_rule(FlowClassifierRule rule) {
+    flow_rules_.push_back(rule);
+  }
+  void clear_flow_rules() { flow_rules_.clear(); }
+
+  // Clock source for the clock() builtin and native ctx (the simulator
+  // injects virtual time).
+  void set_clock(lang::ClockFn fn, void* ctx) {
+    clock_fn_ = fn;
+    clock_ctx_ = ctx;
+  }
+
+  // --- Data path ---------------------------------------------------------
+
+  // Runs the packet through flow classification and every table. Returns
+  // false if an action asked for the packet to be dropped.
+  bool process(netsim::Packet& packet);
+
+  // Batched execution (Section 6): the enclave pre-processes the batch,
+  // splits it by message, and runs each message's packets under a single
+  // lock acquisition and state copy. Semantically identical to calling
+  // process() per packet (packet order inside each message is
+  // preserved; a faulty execution still rolls back only its own
+  // packet). Falls back to per-packet processing when more than one
+  // table is installed. Sets drop_mark on dropped packets and returns
+  // the number of surviving packets.
+  std::size_t process_batch(std::span<netsim::PacketPtr> batch);
+
+  // --- Introspection -------------------------------------------------------
+
+  const EnclaveStats& stats() const { return stats_; }
+  ActionStats action_stats(ActionId id) const;
+  const std::string& name() const { return name_; }
+  ClassRegistry& registry() { return registry_; }
+  const lang::StateSchema& base_schema() const { return base_schema_; }
+
+  // Peeks at a message-state scalar (tests / debugging).
+  std::optional<std::int64_t> peek_message_state(ActionId id,
+                                                 std::int64_t msg_key,
+                                                 std::uint16_t slot) const;
+
+ private:
+  struct MessageEntry {
+    lang::StateBlock block;
+    std::mutex mutex;
+  };
+
+  struct ActionEntry {
+    ActionId id = kInvalidAction;
+    std::string name;
+    bool native = false;
+    lang::CompiledProgram program;
+    NativeActionFn native_fn;
+    lang::ConcurrencyMode mode = lang::ConcurrencyMode::parallel;
+    bool touches_message = false;
+    lang::StateSchema schema;  // base + action-specific global fields
+    lang::StateBlock global_state;
+    mutable std::shared_mutex global_mutex;
+    // Message store, bounded by insertion-order eviction.
+    mutable std::shared_mutex messages_mutex;
+    std::unordered_map<std::int64_t, std::shared_ptr<MessageEntry>> messages;
+    std::deque<std::int64_t> creation_order;
+    ActionStats stats;
+  };
+
+  struct MatchRule {
+    MatchRuleId id;
+    ClassPattern pattern;
+    ActionId action;
+  };
+
+  struct Table {
+    TableId id;
+    std::string name;
+    std::vector<MatchRule> rules;
+  };
+
+  void run_action(ActionEntry& entry, netsim::Packet& packet);
+  void run_action_batch(ActionEntry& entry,
+                        std::span<netsim::Packet* const> packets);
+  const MatchRule* match_in_table(Table& table,
+                                  const netsim::Packet& packet) const;
+  void classify_flow(netsim::Packet& packet) const;
+  std::shared_ptr<MessageEntry> message_entry(ActionEntry& entry,
+                                              const netsim::Packet& p);
+  static std::int64_t message_key(const netsim::Packet& p);
+  static std::int64_t symmetric_message_key(const netsim::Packet& p);
+  Table* find_table(TableId id);
+  ActionEntry& checked_action(ActionId id);
+  const ActionEntry& checked_action(ActionId id) const;
+
+  std::string name_;
+  ClassRegistry& registry_;
+  EnclaveConfig config_;
+  lang::StateSchema base_schema_;
+  std::uint64_t instance_id_;
+  lang::ClockFn clock_fn_ = nullptr;
+  void* clock_ctx_ = nullptr;
+
+  std::vector<std::unique_ptr<ActionEntry>> actions_;
+  std::vector<Table> tables_;
+  std::vector<FlowClassifierRule> flow_rules_;
+  MatchRuleId next_rule_id_ = 1;
+  TableId next_table_id_ = 0;
+
+  EnclaveStats stats_;
+};
+
+}  // namespace eden::core

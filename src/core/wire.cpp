@@ -1,0 +1,518 @@
+#include "core/wire.h"
+
+#include "lang/source_loc.h"
+#include "util/bytes.h"
+
+namespace eden::core::wire {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4e444557;  // "WEDN"
+
+ByteWriter header(Command cmd) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(cmd));
+  return w;
+}
+
+void write_field_def(ByteWriter& w, const lang::FieldDef& f) {
+  w.str(f.name);
+  w.u8(static_cast<std::uint8_t>(f.access));
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.u32(static_cast<std::uint32_t>(f.record_fields.size()));
+  for (const auto& rf : f.record_fields) w.str(rf);
+  w.str(f.header_map);
+  w.i64(f.default_value);
+}
+
+lang::FieldDef read_field_def(ByteReader& r) {
+  lang::FieldDef f;
+  f.name = r.str();
+  const std::uint8_t access = r.u8();
+  const std::uint8_t kind = r.u8();
+  if (access > 1 || kind > 2) {
+    throw util::ByteStreamError("invalid field definition");
+  }
+  f.access = static_cast<lang::Access>(access);
+  f.kind = static_cast<lang::FieldKind>(kind);
+  const std::uint32_t nrec = r.u32();
+  for (std::uint32_t i = 0; i < nrec; ++i) f.record_fields.push_back(r.str());
+  f.header_map = r.str();
+  f.default_value = r.i64();
+  return f;
+}
+
+}  // namespace
+
+// --- Encoders ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_install_action(
+    const std::string& name, const lang::CompiledProgram& program,
+    std::span<const lang::FieldDef> global_fields) {
+  ByteWriter w = header(Command::install_action);
+  w.str(name);
+  w.bytes(program.serialize());
+  w.u32(static_cast<std::uint32_t>(global_fields.size()));
+  for (const auto& f : global_fields) write_field_def(w, f);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_remove_action(const std::string& name) {
+  ByteWriter w = header(Command::remove_action);
+  w.str(name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_create_table(const std::string& name) {
+  ByteWriter w = header(Command::create_table);
+  w.str(name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_delete_table(TableId table) {
+  ByteWriter w = header(Command::delete_table);
+  w.u32(table);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_add_rule(TableId table,
+                                          const std::string& pattern,
+                                          const std::string& action_name) {
+  ByteWriter w = header(Command::add_rule);
+  w.u32(table);
+  w.str(pattern);
+  w.str(action_name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_remove_rule(TableId table,
+                                             MatchRuleId rule) {
+  ByteWriter w = header(Command::remove_rule);
+  w.u32(table);
+  w.u64(rule);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_set_global_scalar(
+    const std::string& action_name, const std::string& field,
+    std::int64_t value) {
+  ByteWriter w = header(Command::set_global_scalar);
+  w.str(action_name);
+  w.str(field);
+  w.i64(value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_set_global_array(
+    const std::string& action_name, const std::string& field,
+    std::span<const std::int64_t> data) {
+  ByteWriter w = header(Command::set_global_array);
+  w.str(action_name);
+  w.str(field);
+  w.u32(static_cast<std::uint32_t>(data.size()));
+  for (const std::int64_t v : data) w.i64(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_add_flow_rule(const FlowClassifierRule& rule,
+                                               const std::string& class_name) {
+  ByteWriter w = header(Command::add_flow_rule);
+  w.i64(rule.src);
+  w.i64(rule.dst);
+  w.i64(rule.src_port);
+  w.i64(rule.dst_port);
+  w.i64(rule.proto);
+  w.str(class_name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_clear_flow_rules() {
+  return header(Command::clear_flow_rules).take();
+}
+
+std::vector<std::uint8_t> encode_read_global_scalar(
+    const std::string& action_name, const std::string& field) {
+  ByteWriter w = header(Command::read_global_scalar);
+  w.str(action_name);
+  w.str(field);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_get_stage_info() {
+  return header(Command::get_stage_info).take();
+}
+
+std::vector<std::uint8_t> encode_create_stage_rule(
+    const std::string& rule_set, const Classifier& classifier,
+    const std::string& class_name, MetaFieldMask meta_mask) {
+  ByteWriter w = header(Command::create_stage_rule);
+  w.str(rule_set);
+  w.u32(static_cast<std::uint32_t>(classifier.size()));
+  for (const FieldPattern& p : classifier) {
+    w.u8(p.wildcard ? 1 : 0);
+    w.str(p.value);
+  }
+  w.str(class_name);
+  w.u32(meta_mask);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_remove_stage_rule(const std::string& rule_set,
+                                                   RuleId rule) {
+  ByteWriter w = header(Command::remove_stage_rule);
+  w.str(rule_set);
+  w.u64(rule);
+  return w.take();
+}
+
+// --- Responses ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(response.status));
+  w.u64(response.value);
+  w.str(response.error);
+  w.bytes(response.payload);
+  return w.take();
+}
+
+Response decode_response(std::span<const std::uint8_t> frame) {
+  try {
+    ByteReader r(frame);
+    Response resp;
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(Status::rejected)) {
+      throw util::ByteStreamError("invalid status");
+    }
+    resp.status = static_cast<Status>(status);
+    resp.value = r.u64();
+    resp.error = r.str();
+    resp.payload = r.bytes();
+    return resp;
+  } catch (const util::ByteStreamError& e) {
+    Response resp;
+    resp.status = Status::bad_request;
+    resp.error = e.what();
+    return resp;
+  }
+}
+
+std::optional<StageInfo> decode_stage_info(
+    std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r(payload);
+    StageInfo info;
+    info.name = r.str();
+    const std::uint32_t nclassify = r.u32();
+    for (std::uint32_t i = 0; i < nclassify; ++i) {
+      info.classifier_fields.push_back(r.str());
+    }
+    const std::uint32_t nmeta = r.u32();
+    for (std::uint32_t i = 0; i < nmeta; ++i) {
+      info.meta_fields.push_back(r.str());
+    }
+    return info;
+  } catch (const util::ByteStreamError&) {
+    return std::nullopt;
+  }
+}
+
+// --- Agent ------------------------------------------------------------------
+
+namespace {
+
+Response fail(Status status, std::string error) {
+  Response r;
+  r.status = status;
+  r.error = std::move(error);
+  return r;
+}
+
+Response ok(std::uint64_t value = 0) {
+  Response r;
+  r.value = value;
+  return r;
+}
+
+Response apply_checked(Enclave& enclave,
+                       std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u32() != kMagic) return fail(Status::bad_request, "bad magic");
+  const std::uint8_t raw_cmd = r.u8();
+  if (raw_cmd < 1 ||
+      raw_cmd > static_cast<std::uint8_t>(Command::read_global_scalar)) {
+    return fail(Status::bad_request, "unknown command");
+  }
+  const auto cmd = static_cast<Command>(raw_cmd);
+
+  auto resolve_action = [&](const std::string& name)
+      -> std::optional<ActionId> { return enclave.find_action(name); };
+
+  switch (cmd) {
+    case Command::install_action: {
+      const std::string name = r.str();
+      const std::vector<std::uint8_t> bytecode = r.bytes();
+      const std::uint32_t nfields = r.u32();
+      std::vector<lang::FieldDef> fields;
+      fields.reserve(nfields);
+      for (std::uint32_t i = 0; i < nfields; ++i) {
+        fields.push_back(read_field_def(r));
+      }
+      lang::CompiledProgram program;
+      try {
+        program = lang::CompiledProgram::deserialize(bytecode);
+      } catch (const lang::LangError& e) {
+        return fail(Status::rejected, e.what());
+      }
+      return ok(enclave.install_action(name, std::move(program),
+                                       std::move(fields)));
+    }
+    case Command::remove_action: {
+      const auto id = resolve_action(r.str());
+      if (!id) return fail(Status::unknown_action, "no such action");
+      enclave.remove_action(*id);
+      return ok();
+    }
+    case Command::create_table:
+      return ok(enclave.create_table(r.str()));
+    case Command::delete_table:
+      enclave.delete_table(r.u32());
+      return ok();
+    case Command::add_rule: {
+      const TableId table = r.u32();
+      const std::string pattern = r.str();
+      const auto id = resolve_action(r.str());
+      if (!id) return fail(Status::unknown_action, "no such action");
+      try {
+        return ok(enclave.add_rule(table, ClassPattern(pattern), *id));
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::unknown_table, e.what());
+      }
+    }
+    case Command::remove_rule: {
+      const TableId table = r.u32();
+      const MatchRuleId rule = r.u64();
+      return enclave.remove_rule(table, rule)
+                 ? ok()
+                 : fail(Status::unknown_table, "no such rule");
+    }
+    case Command::set_global_scalar: {
+      const auto id = resolve_action(r.str());
+      const std::string field = r.str();
+      const std::int64_t value = r.i64();
+      if (!id) return fail(Status::unknown_action, "no such action");
+      try {
+        enclave.set_global_scalar(*id, field, value);
+        return ok();
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+    }
+    case Command::set_global_array: {
+      const auto id = resolve_action(r.str());
+      const std::string field = r.str();
+      const std::uint32_t n = r.u32();
+      std::vector<std::int64_t> data;
+      data.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) data.push_back(r.i64());
+      if (!id) return fail(Status::unknown_action, "no such action");
+      try {
+        enclave.set_global_array(*id, field, std::move(data));
+        return ok();
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+    }
+    case Command::add_flow_rule: {
+      FlowClassifierRule rule;
+      rule.src = r.i64();
+      rule.dst = r.i64();
+      rule.src_port = r.i64();
+      rule.dst_port = r.i64();
+      rule.proto = r.i64();
+      const std::string class_name = r.str();
+      try {
+        rule.class_id = enclave.registry().intern(class_name);
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+      enclave.add_flow_rule(rule);
+      return ok(rule.class_id);
+    }
+    case Command::clear_flow_rules:
+      enclave.clear_flow_rules();
+      return ok();
+    case Command::read_global_scalar: {
+      const auto id = resolve_action(r.str());
+      const std::string field = r.str();
+      if (!id) return fail(Status::unknown_action, "no such action");
+      try {
+        return ok(static_cast<std::uint64_t>(
+            enclave.read_global_scalar(*id, field)));
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+    }
+  }
+  return fail(Status::bad_request, "unhandled command");
+}
+
+}  // namespace
+
+Response apply(Enclave& enclave, std::span<const std::uint8_t> frame) {
+  try {
+    return apply_checked(enclave, frame);
+  } catch (const util::ByteStreamError& e) {
+    return fail(Status::bad_request, e.what());
+  } catch (const std::invalid_argument& e) {
+    return fail(Status::rejected, e.what());
+  }
+}
+
+namespace {
+
+Response apply_stage_checked(Stage& stage,
+                             std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u32() != kMagic) return fail(Status::bad_request, "bad magic");
+  const std::uint8_t raw_cmd = r.u8();
+  const auto cmd = static_cast<Command>(raw_cmd);
+  switch (cmd) {
+    case Command::get_stage_info: {
+      const StageInfo info = stage.get_stage_info();
+      ByteWriter w;
+      w.str(info.name);
+      w.u32(static_cast<std::uint32_t>(info.classifier_fields.size()));
+      for (const auto& f : info.classifier_fields) w.str(f);
+      w.u32(static_cast<std::uint32_t>(info.meta_fields.size()));
+      for (const auto& f : info.meta_fields) w.str(f);
+      Response resp = ok();
+      resp.payload = w.take();
+      return resp;
+    }
+    case Command::create_stage_rule: {
+      const std::string rule_set = r.str();
+      const std::uint32_t npatterns = r.u32();
+      Classifier classifier;
+      classifier.reserve(npatterns);
+      for (std::uint32_t i = 0; i < npatterns; ++i) {
+        FieldPattern p;
+        p.wildcard = r.u8() != 0;
+        p.value = r.str();
+        classifier.push_back(std::move(p));
+      }
+      const std::string class_name = r.str();
+      const MetaFieldMask mask = r.u32();
+      try {
+        return ok(stage.create_rule(rule_set, std::move(classifier),
+                                    class_name, mask));
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+    }
+    case Command::remove_stage_rule: {
+      const std::string rule_set = r.str();
+      const RuleId rule = r.u64();
+      return stage.remove_rule(rule_set, rule)
+                 ? ok()
+                 : fail(Status::rejected, "no such rule");
+    }
+    default:
+      return fail(Status::bad_request, "not a stage command");
+  }
+}
+
+}  // namespace
+
+Response apply_stage(Stage& stage, std::span<const std::uint8_t> frame) {
+  try {
+    return apply_stage_checked(stage, frame);
+  } catch (const util::ByteStreamError& e) {
+    return fail(Status::bad_request, e.what());
+  } catch (const std::invalid_argument& e) {
+    return fail(Status::rejected, e.what());
+  }
+}
+
+// --- RemoteEnclave -------------------------------------------------------------
+
+Response RemoteEnclave::roundtrip(std::vector<std::uint8_t> frame) {
+  return decode_response(transport_(std::move(frame)));
+}
+
+Response RemoteEnclave::install_action(
+    const std::string& name, const lang::CompiledProgram& program,
+    std::span<const lang::FieldDef> global_fields) {
+  return roundtrip(encode_install_action(name, program, global_fields));
+}
+Response RemoteEnclave::remove_action(const std::string& name) {
+  return roundtrip(encode_remove_action(name));
+}
+Response RemoteEnclave::create_table(const std::string& name) {
+  return roundtrip(encode_create_table(name));
+}
+Response RemoteEnclave::delete_table(TableId table) {
+  return roundtrip(encode_delete_table(table));
+}
+Response RemoteEnclave::add_rule(TableId table, const std::string& pattern,
+                                 const std::string& action_name) {
+  return roundtrip(encode_add_rule(table, pattern, action_name));
+}
+Response RemoteEnclave::remove_rule(TableId table, MatchRuleId rule) {
+  return roundtrip(encode_remove_rule(table, rule));
+}
+Response RemoteEnclave::set_global_scalar(const std::string& action_name,
+                                          const std::string& field,
+                                          std::int64_t value) {
+  return roundtrip(encode_set_global_scalar(action_name, field, value));
+}
+Response RemoteEnclave::set_global_array(const std::string& action_name,
+                                         const std::string& field,
+                                         std::span<const std::int64_t> data) {
+  return roundtrip(encode_set_global_array(action_name, field, data));
+}
+Response RemoteEnclave::add_flow_rule(const FlowClassifierRule& rule,
+                                      const std::string& class_name) {
+  return roundtrip(encode_add_flow_rule(rule, class_name));
+}
+Response RemoteEnclave::read_global_scalar(const std::string& action_name,
+                                           const std::string& field) {
+  return roundtrip(encode_read_global_scalar(action_name, field));
+}
+
+std::optional<StageInfo> RemoteStage::get_stage_info() {
+  const Response r = decode_response(transport_(encode_get_stage_info()));
+  if (r.status != Status::ok) return std::nullopt;
+  return decode_stage_info(r.payload);
+}
+
+Response RemoteStage::create_rule(const std::string& rule_set,
+                                  const Classifier& classifier,
+                                  const std::string& class_name,
+                                  MetaFieldMask meta_mask) {
+  return decode_response(transport_(
+      encode_create_stage_rule(rule_set, classifier, class_name, meta_mask)));
+}
+
+Response RemoteStage::remove_rule(const std::string& rule_set, RuleId rule) {
+  return decode_response(transport_(encode_remove_stage_rule(rule_set, rule)));
+}
+
+RemoteEnclave::Transport loopback_transport(Enclave& enclave) {
+  return [&enclave](std::vector<std::uint8_t> frame) {
+    // Qualified: ADL on std::vector would otherwise drag in std::apply.
+    return encode_response(eden::core::wire::apply(enclave, frame));
+  };
+}
+
+RemoteStage::Transport loopback_stage_transport(Stage& stage) {
+  return [&stage](std::vector<std::uint8_t> frame) {
+    return encode_response(eden::core::wire::apply_stage(stage, frame));
+  };
+}
+
+}  // namespace eden::core::wire

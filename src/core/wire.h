@@ -1,0 +1,170 @@
+// The controller <-> enclave wire protocol.
+//
+// The paper's controller is logically centralized and programs enclaves
+// remotely through the enclave API (Section 3.4.5). This module gives
+// that API a concrete wire form: each API call encodes to a compact
+// binary command, the enclave-side agent applies decoded commands to a
+// local Enclave, and a RemoteEnclave client mirrors the Enclave API over
+// any byte transport (in tests and examples, a simple in-process
+// channel).
+//
+// Commands carry the action-function bytecode exactly as
+// CompiledProgram::serialize() emits it, so the same artifact the
+// compiler produces is what crosses the wire to OS and NIC enclaves.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/enclave.h"
+#include "core/stage.h"
+
+namespace eden::core::wire {
+
+enum class Command : std::uint8_t {
+  install_action = 1,
+  remove_action,
+  create_table,
+  delete_table,
+  add_rule,
+  remove_rule,
+  set_global_scalar,
+  set_global_array,
+  add_flow_rule,
+  clear_flow_rules,
+  read_global_scalar,
+  // Stage API (Table 3).
+  get_stage_info,
+  create_stage_rule,
+  remove_stage_rule,
+};
+
+enum class Status : std::uint8_t {
+  ok = 0,
+  bad_request,     // malformed frame
+  unknown_action,  // named action not installed
+  unknown_table,
+  rejected,        // enclave-side validation failed (bad field, ...)
+};
+
+struct Response {
+  Status status = Status::ok;
+  std::uint64_t value = 0;  // ids / read results
+  std::string error;        // human-readable detail on failure
+  std::vector<std::uint8_t> payload;  // structured results (stage info)
+};
+
+// --- Command encoders (controller side) --------------------------------
+
+std::vector<std::uint8_t> encode_install_action(
+    const std::string& name, const lang::CompiledProgram& program,
+    std::span<const lang::FieldDef> global_fields);
+std::vector<std::uint8_t> encode_remove_action(const std::string& name);
+std::vector<std::uint8_t> encode_create_table(const std::string& name);
+std::vector<std::uint8_t> encode_delete_table(TableId table);
+std::vector<std::uint8_t> encode_add_rule(TableId table,
+                                          const std::string& pattern,
+                                          const std::string& action_name);
+std::vector<std::uint8_t> encode_remove_rule(TableId table, MatchRuleId rule);
+std::vector<std::uint8_t> encode_set_global_scalar(
+    const std::string& action_name, const std::string& field,
+    std::int64_t value);
+std::vector<std::uint8_t> encode_set_global_array(
+    const std::string& action_name, const std::string& field,
+    std::span<const std::int64_t> data);
+std::vector<std::uint8_t> encode_add_flow_rule(const FlowClassifierRule& rule,
+                                               const std::string& class_name);
+std::vector<std::uint8_t> encode_clear_flow_rules();
+std::vector<std::uint8_t> encode_read_global_scalar(
+    const std::string& action_name, const std::string& field);
+
+// Stage API command encoders (Table 3: S0 get_stage_info,
+// S1 create_rule, S2 remove_rule).
+std::vector<std::uint8_t> encode_get_stage_info();
+std::vector<std::uint8_t> encode_create_stage_rule(
+    const std::string& rule_set, const Classifier& classifier,
+    const std::string& class_name, MetaFieldMask meta_mask);
+std::vector<std::uint8_t> encode_remove_stage_rule(const std::string& rule_set,
+                                                   RuleId rule);
+
+// --- Agents ------------------------------------------------------------------
+
+// Decodes one command frame and applies it to `enclave`. Never throws:
+// malformed frames and failed validations come back as a Response.
+Response apply(Enclave& enclave, std::span<const std::uint8_t> frame);
+
+// Stage-side agent: applies stage commands to an application's stage.
+Response apply_stage(Stage& stage, std::span<const std::uint8_t> frame);
+
+std::vector<std::uint8_t> encode_response(const Response& response);
+Response decode_response(std::span<const std::uint8_t> frame);
+
+// Decodes the payload of a get_stage_info response.
+std::optional<StageInfo> decode_stage_info(
+    std::span<const std::uint8_t> payload);
+
+// --- Controller-side client ---------------------------------------------
+
+// Mirrors the Enclave API over a request/response byte transport.
+class RemoteEnclave {
+ public:
+  // The transport sends one command frame and returns the response
+  // frame (e.g. wire over TCP; in tests, a direct call to apply()).
+  using Transport =
+      std::function<std::vector<std::uint8_t>(std::vector<std::uint8_t>)>;
+
+  explicit RemoteEnclave(Transport transport)
+      : transport_(std::move(transport)) {}
+
+  Response install_action(const std::string& name,
+                          const lang::CompiledProgram& program,
+                          std::span<const lang::FieldDef> global_fields);
+  Response remove_action(const std::string& name);
+  Response create_table(const std::string& name);
+  Response delete_table(TableId table);
+  Response add_rule(TableId table, const std::string& pattern,
+                    const std::string& action_name);
+  Response remove_rule(TableId table, MatchRuleId rule);
+  Response set_global_scalar(const std::string& action_name,
+                             const std::string& field, std::int64_t value);
+  Response set_global_array(const std::string& action_name,
+                            const std::string& field,
+                            std::span<const std::int64_t> data);
+  Response add_flow_rule(const FlowClassifierRule& rule,
+                         const std::string& class_name);
+  Response read_global_scalar(const std::string& action_name,
+                              const std::string& field);
+
+ private:
+  Response roundtrip(std::vector<std::uint8_t> frame);
+  Transport transport_;
+};
+
+// Controller-side client for a remote stage (the Table 3 API).
+class RemoteStage {
+ public:
+  using Transport = RemoteEnclave::Transport;
+
+  explicit RemoteStage(Transport transport)
+      : transport_(std::move(transport)) {}
+
+  // S0: returns nullopt if the remote side failed.
+  std::optional<StageInfo> get_stage_info();
+  // S1: returns the rule id in Response::value.
+  Response create_rule(const std::string& rule_set,
+                       const Classifier& classifier,
+                       const std::string& class_name,
+                       MetaFieldMask meta_mask = kMetaIdAndSize);
+  // S2.
+  Response remove_rule(const std::string& rule_set, RuleId rule);
+
+ private:
+  Transport transport_;
+};
+
+// Convenience: transports bound directly to local components (tests,
+// single-process deployments).
+RemoteEnclave::Transport loopback_transport(Enclave& enclave);
+RemoteStage::Transport loopback_stage_transport(Stage& stage);
+
+}  // namespace eden::core::wire

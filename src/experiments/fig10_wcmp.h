@@ -1,0 +1,50 @@
+// Case study 2 (Figure 10): per-packet ECMP vs WCMP over the asymmetric
+// topology of Figure 1, with the path choice made by an action function
+// running in the sender's (NIC) enclave.
+//
+// Topology: H1 and H2 attached at 20 Gbps (the testbed's dual-port
+// 10GbE NICs), two disjoint switch paths between them of 10 Gbps and
+// 1 Gbps. The controller enumerates the paths, installs labels and
+// pushes weighted path tables: equal weights model ECMP; capacity-
+// proportional weights (10:1) model WCMP. Per-packet spraying across
+// paths of different depth reorders TCP segments, so throughput lands
+// below the 11 Gbps min-cut — the effect the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/sim_time.h"
+
+namespace eden::experiments {
+
+enum class LoadBalanceScheme { ecmp, wcmp };
+enum class DataPlaneVariant { native, eden };
+
+struct Fig10Config {
+  LoadBalanceScheme scheme = LoadBalanceScheme::wcmp;
+  DataPlaneVariant variant = DataPlaneVariant::eden;
+  bool message_level = false;  // ablation: message-level WCMP (no reorder)
+  int num_flows = 4;           // long-running TCP flows
+  netsim::SimTime duration = netsim::kSecond;
+  netsim::SimTime warmup = 100 * netsim::kMillisecond;
+  std::uint64_t rng_seed = 1;
+  // Per-packet enclave processing latency, modelling a slower NIC-
+  // resident interpreter (ablation; 0 = instantaneous).
+  netsim::SimTime enclave_delay = 0;
+};
+
+struct Fig10Result {
+  double throughput_mbps = 0.0;     // aggregate goodput at the receiver
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t ooo_segments = 0;   // receiver out-of-order arrivals
+  std::uint64_t interpreted_packets = 0;  // enclave action executions
+};
+
+Fig10Result run_fig10(const Fig10Config& config);
+
+std::string to_string(LoadBalanceScheme scheme);
+std::string to_string(DataPlaneVariant variant);
+
+}  // namespace eden::experiments

@@ -1,0 +1,117 @@
+#include "experiments/fig11_pulsar.h"
+
+#include "experiments/testbed.h"
+#include "functions/pulsar.h"
+#include "storage/storage.h"
+
+namespace eden::experiments {
+
+std::string to_string(PulsarMode mode) {
+  switch (mode) {
+    case PulsarMode::isolated: return "isolated";
+    case PulsarMode::simultaneous: return "simultaneous";
+    case PulsarMode::rate_controlled: return "rate-controlled";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::uint64_t kGbps = 1000ULL * 1000 * 1000;
+
+void enable_pulsar(experiments::TestHost& client, std::int64_t tenant,
+                   const Fig11Config& config) {
+  const functions::PulsarFunction pulsar;
+  const core::ActionId action =
+      pulsar.install(*client.enclave, config.use_native);
+  const int queue = client.stack->nic().create_queue(
+      config.tenant_rate_bps, 128 * 1024);
+  const std::pair<std::int64_t, std::int64_t> map[] = {{tenant, queue}};
+  functions::push_queue_map(*client.enclave, action, map);
+  const core::TableId table = client.enclave->create_table("qos");
+  client.enclave->add_rule(table, core::ClassPattern("storage.ops.*"), action);
+}
+
+}  // namespace
+
+Fig11Result run_fig11(const Fig11Config& config) {
+  Fig11Result result;
+
+  // `isolated` runs each tenant alone (two separate simulations).
+  const bool run_reads = config.mode != PulsarMode::isolated;
+  (void)run_reads;
+
+  auto run_once = [&config](bool with_reads,
+                            bool with_writes) -> Fig11Result {
+    Testbed bed;
+    auto& reader = bed.add_host("reader");
+    auto& writer = bed.add_host("writer");
+    auto& server = bed.add_host("server");
+    auto& sw = bed.add_switch("tor");
+
+    const netsim::SimTime delay = 5 * netsim::kMicrosecond;
+    bed.connect(reader, sw, 10 * kGbps, delay);
+    bed.connect(writer, sw, 10 * kGbps, delay);
+    bed.connect(server, sw, 1 * kGbps, delay);  // the paper's 1 Gbps link
+    bed.routing().install_dest_routes();
+
+    core::EnclaveConfig ec;
+    ec.rng_seed = config.rng_seed;
+    bed.finalize(ec);
+
+    TestHost& reader_host = *bed.host_by_name("reader");
+    TestHost& writer_host = *bed.host_by_name("writer");
+    TestHost& server_host = *bed.host_by_name("server");
+
+    if (config.mode == PulsarMode::rate_controlled) {
+      enable_pulsar(reader_host, /*tenant=*/1, config);
+      enable_pulsar(writer_host, /*tenant=*/2, config);
+    }
+
+    storage::StorageServer storage_server(bed.network(), *server_host.stack);
+
+    storage::StorageClientConfig read_cfg;
+    read_cfg.tenant = 1;
+    read_cfg.kind = storage::kIoRead;
+    read_cfg.io_bytes = config.io_bytes;
+    read_cfg.window = config.read_window;
+    read_cfg.server = server.id();
+    storage::StorageClient read_client(bed.network(), *reader_host.stack,
+                                       read_cfg);
+
+    storage::StorageClientConfig write_cfg;
+    write_cfg.tenant = 2;
+    write_cfg.kind = storage::kIoWrite;
+    write_cfg.io_bytes = config.io_bytes;
+    write_cfg.window = config.write_window;
+    write_cfg.server = server.id();
+    storage::StorageClient write_client(bed.network(), *writer_host.stack,
+                                        write_cfg);
+
+    if (with_reads) read_client.start();
+    if (with_writes) write_client.start();
+
+    bed.run_for(config.warmup + config.duration);
+    const netsim::SimTime from = config.warmup;
+    const netsim::SimTime to = config.warmup + config.duration;
+
+    Fig11Result r;
+    r.read_mbps = read_client.throughput_mbps(from, to);
+    r.write_mbps = write_client.throughput_mbps(from, to);
+    r.rejected_requests = storage_server.rejected();
+    return r;
+  };
+
+  if (config.mode == PulsarMode::isolated) {
+    const Fig11Result reads = run_once(true, false);
+    const Fig11Result writes = run_once(false, true);
+    result.read_mbps = reads.read_mbps;
+    result.write_mbps = writes.write_mbps;
+    result.rejected_requests = reads.rejected_requests +
+                               writes.rejected_requests;
+  } else {
+    result = run_once(true, true);
+  }
+  return result;
+}
+
+}  // namespace eden::experiments

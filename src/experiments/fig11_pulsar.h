@@ -1,0 +1,44 @@
+// Case study 3 (Figure 11): Pulsar-style datacenter QoS.
+//
+// Two tenants issue 64KB IOs against a storage server behind a 1 Gbps
+// link — one tenant READs, the other WRITEs. READ requests are tiny on
+// the forward path, so the READ tenant floods the server's shared
+// request queue and starves WRITEs ("simultaneous"). Pulsar's action
+// function charges READ requests their *operation* size at the client
+// enclave's rate-limited queues, restoring the tenants' guarantees
+// ("rate-controlled").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/sim_time.h"
+
+namespace eden::experiments {
+
+enum class PulsarMode { isolated, simultaneous, rate_controlled };
+
+struct Fig11Config {
+  PulsarMode mode = PulsarMode::simultaneous;
+  bool use_native = false;          // native twin instead of bytecode
+  std::int64_t io_bytes = 64 * 1024;
+  int read_window = 64;             // READs are cheap to keep outstanding
+  int write_window = 16;
+  // Per-tenant bandwidth guarantee for the rate-controlled mode.
+  std::uint64_t tenant_rate_bps = 480 * 1000 * 1000ULL;
+  netsim::SimTime duration = 2 * netsim::kSecond;
+  netsim::SimTime warmup = 250 * netsim::kMillisecond;
+  std::uint64_t rng_seed = 1;
+};
+
+struct Fig11Result {
+  double read_mbps = 0.0;
+  double write_mbps = 0.0;
+  std::uint64_t rejected_requests = 0;
+};
+
+Fig11Result run_fig11(const Fig11Config& config);
+
+std::string to_string(PulsarMode mode);
+
+}  // namespace eden::experiments

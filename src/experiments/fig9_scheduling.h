@@ -1,0 +1,55 @@
+// Case study 1 (Figure 9): flow completion times under PIAS and SFF
+// scheduling, native vs Eden.
+//
+// One worker answers requests with response flows drawn from the
+// web-search size distribution at ~70% load of the client's 10 Gbps
+// link, while background sources keep bulk flows running. Three
+// priority bands as in the paper: small (<10KB, highest), intermediate
+// (10KB-1MB), background. Reported: average and 95th-percentile FCT of
+// small and intermediate flows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsim/sim_time.h"
+#include "util/stats.h"
+
+namespace eden::experiments {
+
+enum class SchedulingScheme { baseline, pias, sff };
+enum class SchedulingVariant { native, eden, eden_ignore_output };
+
+enum class WorkloadKind { web_search, data_mining };
+
+struct Fig9Config {
+  SchedulingScheme scheme = SchedulingScheme::baseline;
+  SchedulingVariant variant = SchedulingVariant::eden;
+  WorkloadKind workload = WorkloadKind::web_search;
+  double load = 0.7;                  // of the client's access link
+  int background_sources = 2;
+  netsim::SimTime duration = 2 * netsim::kSecond;
+  netsim::SimTime warmup = 200 * netsim::kMillisecond;
+  std::uint64_t rng_seed = 1;
+  std::int64_t small_limit = 10 * 1024;        // bytes
+  std::int64_t intermediate_limit = 1024 * 1024;
+  // Per-priority-queue switch buffer. The testbed's Arista 7050 shares a
+  // deep dynamic buffer across ports; a few hundred KB per class is the
+  // comparable static setting.
+  std::uint32_t queue_bytes = 512 * 1024;
+};
+
+struct Fig9Result {
+  util::Percentiles small_fct_us;         // flows < small_limit
+  util::Percentiles intermediate_fct_us;  // [small_limit, intermediate_limit)
+  std::uint64_t completed_flows = 0;
+  double background_mbps = 0.0;  // background goodput during measurement
+  std::uint64_t interpreter_errors = 0;
+};
+
+Fig9Result run_fig9(const Fig9Config& config);
+
+std::string to_string(SchedulingScheme scheme);
+std::string to_string(SchedulingVariant variant);
+
+}  // namespace eden::experiments

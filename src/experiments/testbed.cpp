@@ -1,0 +1,26 @@
+#include "experiments/testbed.h"
+
+namespace eden::experiments {
+
+void Testbed::finalize(core::EnclaveConfig enclave_config) {
+  for (netsim::HostNode* node : network_.hosts()) {
+    TestHost th;
+    th.node = node;
+    th.enclave = std::make_unique<core::Enclave>(node->name() + ".enclave",
+                                                 registry_, enclave_config);
+    th.stack = std::make_unique<hoststack::HostStack>(network_, *node,
+                                                      *th.enclave,
+                                                      stack_config_);
+    controller_.register_enclave(*th.enclave);
+    hosts_.push_back(std::move(th));
+  }
+}
+
+TestHost* Testbed::host_by_name(const std::string& name) {
+  for (TestHost& th : hosts_) {
+    if (th.node->name() == name) return &th;
+  }
+  return nullptr;
+}
+
+}  // namespace eden::experiments

@@ -1,0 +1,66 @@
+// Shared experiment scaffolding: assembles hosts with enclaves + stacks
+// on a topology, mirroring the paper's two testbeds (Section 4.3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/controller.h"
+#include "hoststack/host_stack.h"
+#include "netsim/routing.h"
+
+namespace eden::experiments {
+
+// One simulated end host: node + enclave + Eden host stack.
+struct TestHost {
+  netsim::HostNode* node = nullptr;
+  std::unique_ptr<core::Enclave> enclave;
+  std::unique_ptr<hoststack::HostStack> stack;
+};
+
+// A network of Eden hosts with one class registry and controller.
+class Testbed {
+ public:
+  explicit Testbed(hoststack::HostStackConfig stack_config = {})
+      : stack_config_(std::move(stack_config)), controller_(registry_) {}
+
+  // Adds a host (node only); call finalize() after wiring the topology
+  // to create enclaves and stacks.
+  netsim::HostNode& add_host(const std::string& name) {
+    return network_.add_host(name);
+  }
+  netsim::SwitchNode& add_switch(const std::string& name) {
+    return network_.add_switch(name);
+  }
+  void connect(netsim::Node& a, netsim::Node& b, std::uint64_t rate_bps,
+               netsim::SimTime delay, netsim::QueueConfig qc = {}) {
+    network_.connect(a, b, rate_bps, delay, qc);
+  }
+
+  // Creates an enclave + stack per host and registers them with the
+  // controller. Must run after all connect() calls.
+  void finalize(core::EnclaveConfig enclave_config = {});
+
+  netsim::Network& network() { return network_; }
+  core::Controller& controller() { return controller_; }
+  core::ClassRegistry& registry() { return registry_; }
+  netsim::Routing& routing() { return routing_; }
+
+  TestHost& host(std::size_t i) { return hosts_[i]; }
+  TestHost* host_by_name(const std::string& name);
+  std::size_t host_count() const { return hosts_.size(); }
+
+  void run_for(netsim::SimTime duration) {
+    network_.scheduler().run_until(network_.now() + duration);
+  }
+
+ private:
+  hoststack::HostStackConfig stack_config_;
+  netsim::Network network_;
+  core::ClassRegistry registry_;
+  core::Controller controller_;
+  netsim::Routing routing_{network_};
+  std::vector<TestHost> hosts_;
+};
+
+}  // namespace eden::experiments

@@ -1,0 +1,50 @@
+// Stateful firewall: port knocking (Table 1, cf. OpenState [13]).
+//
+// A source must hit the secret knock ports in order before the protected
+// port opens for it. Knock progress lives in message state; the harness
+// keys messages by source (the stage sets msg_id to the source id), so
+// progress survives across the knocker's flows.
+#pragma once
+
+#include <span>
+
+#include "functions/function.h"
+
+namespace eden::functions {
+
+class PortKnockFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "port_knock"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+// Installs the knock sequence, the protected port and strict mode
+// (strict = a wrong knock resets progress).
+void push_knock_config(core::Enclave& enclave, core::ActionId action,
+                       std::span<const std::int64_t> knock_sequence,
+                       std::int64_t open_port, bool strict);
+
+// Stateful connection-tracking firewall: inbound packets pass only on
+// connections this host initiated, or on explicitly opened ports.
+// Requires the message key to be direction-symmetric (install the
+// enclave flow-classifier rule with `symmetric = true`), so the
+// outbound packet that establishes the connection and the inbound
+// replies share message state.
+class ConntrackFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "conntrack"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+// Installs the protected host id and the publicly open ports.
+void push_conntrack_config(core::Enclave& enclave, core::ActionId action,
+                           std::int64_t self_host,
+                           std::span<const std::int64_t> open_ports);
+
+}  // namespace eden::functions

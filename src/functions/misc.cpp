@@ -1,0 +1,141 @@
+#include "functions/misc.h"
+
+#include "core/enclave_schema.h"
+
+namespace eden::functions {
+
+using core::PacketSlot;
+using lang::Access;
+using lang::ExecStatus;
+using lang::StateBlock;
+
+// --- QJump ---------------------------------------------------------------
+
+const char* QjumpFunction::source() const {
+  return R"(
+// QJump-style enforcement: the application's latency level becomes the
+// 802.1q priority, and each level's traffic goes through that level's
+// rate-limited queue.
+fun(packet : Packet, msg : Message, global : Global) ->
+  let level =
+    (if packet.app_priority < 0 then 0
+     elif packet.app_priority > 7 then 7
+     else packet.app_priority) in
+  packet.priority <- level;
+  packet.queue <- global.level_queues[level]
+)";
+}
+
+std::vector<lang::FieldDef> QjumpFunction::global_fields() const {
+  lang::FieldDef f;
+  f.name = "level_queues";
+  f.access = Access::read_only;
+  f.kind = lang::FieldKind::array;
+  return {f};
+}
+
+core::NativeActionFn QjumpFunction::native() const {
+  return [](StateBlock& pkt, StateBlock*, StateBlock* global,
+            core::NativeCtx&) {
+    if (global == nullptr || global->arrays.empty()) {
+      return ExecStatus::bad_state_slot;
+    }
+    std::int64_t level = pkt.scalars[PacketSlot::app_priority];
+    level = level < 0 ? 0 : (level > 7 ? 7 : level);
+    const auto& queues = global->arrays[0].data;
+    if (static_cast<std::size_t>(level) >= queues.size()) {
+      return ExecStatus::out_of_bounds;
+    }
+    pkt.scalars[PacketSlot::priority] = level;
+    pkt.scalars[PacketSlot::queue] = queues[static_cast<std::size_t>(level)];
+    return ExecStatus::ok;
+  };
+}
+
+Table1Info QjumpFunction::table1() const {
+  return Table1Info{"Flow scheduling", "QJump [28]", false, true, true,
+                    false, true};
+}
+
+// --- Replica selection ------------------------------------------------------
+
+const char* ReplicaSelectFunction::source() const {
+  return R"(
+// mcrouter-style replica selection: requests for a key follow the path
+// label of the replica owning that key's hash slot.
+fun(packet : Packet, msg : Message, global : Global) ->
+  let labels = global.replica_labels in
+  let n = len(labels) in
+  (if n > 0 then packet.path <- labels[abs(packet.key_hash) % n] else 0)
+)";
+}
+
+std::vector<lang::FieldDef> ReplicaSelectFunction::global_fields() const {
+  lang::FieldDef f;
+  f.name = "replica_labels";
+  f.access = Access::read_only;
+  f.kind = lang::FieldKind::array;
+  return {f};
+}
+
+core::NativeActionFn ReplicaSelectFunction::native() const {
+  return [](StateBlock& pkt, StateBlock*, StateBlock* global,
+            core::NativeCtx&) {
+    if (global == nullptr || global->arrays.empty()) {
+      return ExecStatus::bad_state_slot;
+    }
+    const auto& labels = global->arrays[0].data;
+    if (labels.empty()) return ExecStatus::ok;
+    std::int64_t key = pkt.scalars[PacketSlot::key_hash];
+    if (key < 0) key = -key;
+    pkt.scalars[PacketSlot::path] =
+        labels[static_cast<std::size_t>(key) % labels.size()];
+    return ExecStatus::ok;
+  };
+}
+
+Table1Info ReplicaSelectFunction::table1() const {
+  return Table1Info{"Replica Selection", "mcrouter [40]", true, true, true,
+                    false, true};
+}
+
+// --- Counters -----------------------------------------------------------------
+
+const char* CounterFunction::source() const {
+  return R"(
+// Global packet/byte counters. Writing global state forces serialized
+// execution (Section 3.4.4) - the ablation benchmark measures the cost.
+fun(packet : Packet, msg : Message, global : Global) ->
+  global.packets <- global.packets + 1;
+  global.bytes <- global.bytes + packet.size
+)";
+}
+
+std::vector<lang::FieldDef> CounterFunction::global_fields() const {
+  lang::FieldDef packets;
+  packets.name = "packets";
+  packets.access = Access::read_write;
+  lang::FieldDef bytes;
+  bytes.name = "bytes";
+  bytes.access = Access::read_write;
+  return {packets, bytes};
+}
+
+core::NativeActionFn CounterFunction::native() const {
+  return [](StateBlock& pkt, StateBlock*, StateBlock* global,
+            core::NativeCtx&) {
+    if (global == nullptr || global->scalars.size() < 2) {
+      return ExecStatus::bad_state_slot;
+    }
+    global->scalars[0] += 1;
+    global->scalars[1] += pkt.scalars[PacketSlot::size];
+    return ExecStatus::ok;
+  };
+}
+
+Table1Info CounterFunction::table1() const {
+  return Table1Info{"Monitoring", "flow counters", true, true, false, false,
+                    true};
+}
+
+}  // namespace eden::functions

@@ -1,0 +1,42 @@
+// Smaller library functions rounding out Table 1:
+//  * QjumpFunction        — QJump-style class-to-priority mapping plus a
+//                           per-level rate-limited NIC queue.
+//  * ReplicaSelectFunction— mcrouter-style key-based routing: pick the
+//                           path label of the replica that owns the key.
+//  * CounterFunction      — global packet/byte counters (read-write
+//                           global state => fully serialized; used by the
+//                           concurrency ablation).
+#pragma once
+
+#include "functions/function.h"
+
+namespace eden::functions {
+
+class QjumpFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "qjump"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+class ReplicaSelectFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "replica_select"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+class CounterFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "counter"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+}  // namespace eden::functions

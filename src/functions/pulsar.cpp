@@ -1,0 +1,85 @@
+#include "functions/pulsar.h"
+
+#include "core/enclave_schema.h"
+
+namespace eden::functions {
+
+using core::PacketSlot;
+using lang::Access;
+using lang::ExecStatus;
+using lang::StateBlock;
+
+namespace {
+constexpr int kTenant = 0, kQueue = 1, kStride = 2;
+}  // namespace
+
+const char* PulsarFunction::source() const {
+  return R"(
+// Pulsar rate control (Figure 3): queue by tenant; charge READs by the
+// operation size (msg_type 1 = READ), everything else by packet size.
+fun(packet : Packet, msg : Message, global : Global) ->
+  let queues = global.queue_map in
+  let n = len(queues) in
+  let rec find(i) =
+    if i >= n then 0 - 1
+    elif queues[i].tenant = packet.tenant then queues[i].queue
+    else find(i + 1)
+  in
+  packet.queue <- find(0);
+  packet.charge <-
+    (if packet.msg_type = 1 then packet.msg_size else packet.size)
+)";
+}
+
+std::vector<lang::FieldDef> PulsarFunction::global_fields() const {
+  lang::FieldDef f;
+  f.name = "queue_map";
+  f.access = Access::read_only;
+  f.kind = lang::FieldKind::record_array;
+  f.record_fields = {"tenant", "queue"};
+  return {f};
+}
+
+core::NativeActionFn PulsarFunction::native() const {
+  return [](StateBlock& pkt, StateBlock*, StateBlock* global,
+            core::NativeCtx&) {
+    if (global == nullptr || global->arrays.empty()) {
+      return ExecStatus::bad_state_slot;
+    }
+    const lang::ArrayValue& queues = global->arrays[0];
+    const std::int64_t tenant = pkt.scalars[PacketSlot::tenant];
+    std::int64_t queue = -1;
+    const std::size_t n = queues.data.size() / kStride;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (queues.data[i * kStride + kTenant] == tenant) {
+        queue = queues.data[i * kStride + kQueue];
+        break;
+      }
+    }
+    pkt.scalars[PacketSlot::queue] = queue;
+    pkt.scalars[PacketSlot::charge] =
+        pkt.scalars[PacketSlot::msg_type] == kIoRead
+            ? pkt.scalars[PacketSlot::msg_size]
+            : pkt.scalars[PacketSlot::size];
+    return ExecStatus::ok;
+  };
+}
+
+Table1Info PulsarFunction::table1() const {
+  return Table1Info{"Datacenter QoS", "Pulsar [6]", true, true, true, false,
+                    true};
+}
+
+void push_queue_map(core::Enclave& enclave, core::ActionId action,
+                    std::span<const std::pair<std::int64_t, std::int64_t>>
+                        tenant_queue_pairs) {
+  std::vector<std::int64_t> flat;
+  flat.reserve(tenant_queue_pairs.size() * 2);
+  for (const auto& [tenant, queue] : tenant_queue_pairs) {
+    flat.push_back(tenant);
+    flat.push_back(queue);
+  }
+  enclave.set_global_array(action, "queue_map", std::move(flat));
+}
+
+}  // namespace eden::functions

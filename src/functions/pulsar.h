@@ -1,0 +1,33 @@
+// Pulsar's rate-control function (case study 3, Figure 3).
+//
+// Steers each tenant's traffic to that tenant's rate-limited NIC queue
+// and charges READ requests their *operation* size instead of their
+// packet size, so a guarantee spanning storage holds even though READ
+// requests are tiny on the forward path.
+#pragma once
+
+#include <span>
+
+#include "functions/function.h"
+
+namespace eden::functions {
+
+// Message types stamped by the storage stage.
+inline constexpr std::int64_t kIoRead = 1;
+inline constexpr std::int64_t kIoWrite = 2;
+
+class PulsarFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "pulsar"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+// Installs the tenant -> NIC queue map.
+void push_queue_map(core::Enclave& enclave, core::ActionId action,
+                    std::span<const std::pair<std::int64_t, std::int64_t>>
+                        tenant_queue_pairs);
+
+}  // namespace eden::functions

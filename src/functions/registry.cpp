@@ -1,0 +1,60 @@
+#include "functions/registry.h"
+
+#include "functions/firewall.h"
+#include "functions/misc.h"
+#include "functions/pulsar.h"
+#include "functions/scheduling.h"
+#include "functions/wcmp.h"
+
+namespace eden::functions {
+
+const std::vector<std::unique_ptr<NetworkFunction>>& all_functions() {
+  static const auto* functions = [] {
+    auto* v = new std::vector<std::unique_ptr<NetworkFunction>>();
+    v->push_back(std::make_unique<WcmpFunction>());
+    v->push_back(std::make_unique<MessageWcmpFunction>());
+    v->push_back(std::make_unique<VipLbFunction>());
+    v->push_back(std::make_unique<ReplicaSelectFunction>());
+    v->push_back(std::make_unique<PulsarFunction>());
+    v->push_back(std::make_unique<PiasFunction>());
+    v->push_back(std::make_unique<SffFunction>());
+    v->push_back(std::make_unique<QjumpFunction>());
+    v->push_back(std::make_unique<PortKnockFunction>());
+    v->push_back(std::make_unique<ConntrackFunction>());
+    v->push_back(std::make_unique<CounterFunction>());
+    return v;
+  }();
+  return *functions;
+}
+
+std::vector<Table1Row> table1_rows() {
+  std::vector<Table1Row> rows;
+  for (const auto& fn : all_functions()) {
+    const Table1Info info = fn->table1();
+    rows.push_back(Table1Row{info.category, info.example,
+                             info.data_plane_state, info.data_plane_compute,
+                             info.app_semantics, info.network_support,
+                             info.eden_out_of_box, true});
+  }
+  // Taxonomy-only rows from Table 1: functions needing switch support
+  // beyond priorities + labels (Eden does not claim them out of the box).
+  rows.push_back(Table1Row{"Load Balancing", "Conga [1] / Duet [26]", true,
+                           true, true, true, false, false});
+  rows.push_back(Table1Row{"Replica Selection", "SINBAD [17]", true, true,
+                           true, false, true, false});
+  rows.push_back(Table1Row{"Datacenter QoS", "Storage QoS [61, 58]", true,
+                           true, true, false, true, false});
+  rows.push_back(Table1Row{"Datacenter QoS", "Network QoS [9, 51, 38, 33]",
+                           true, true, true, false, true, false});
+  rows.push_back(Table1Row{"Congestion control",
+                           "Explicit rate control (D3 [64], PDQ [30])", true,
+                           true, true, true, false, false});
+  rows.push_back(Table1Row{"Congestion control",
+                           "Centralized congestion control [48, 27]", true,
+                           true, true, true, false, false});
+  rows.push_back(Table1Row{"Stateful firewall", "IDS (e.g. Snort [19])",
+                           true, true, true, false, false, false});
+  return rows;
+}
+
+}  // namespace eden::functions

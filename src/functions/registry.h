@@ -1,0 +1,31 @@
+// Registry of implemented network functions plus the non-implemented
+// rows of Table 1 (functions that need network support beyond commodity
+// features, which Eden deliberately does not provide).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "functions/function.h"
+
+namespace eden::functions {
+
+// All functions implemented in this library, in Table 1 order.
+const std::vector<std::unique_ptr<NetworkFunction>>& all_functions();
+
+// Rows of Table 1 that are taxonomy-only (need network support; not
+// implementable out of the box at end hosts).
+struct Table1Row {
+  std::string category;
+  std::string example;
+  bool data_plane_state;
+  bool data_plane_compute;
+  bool app_semantics;
+  bool network_support;
+  bool eden_out_of_box;
+  bool implemented;  // true if backed by a NetworkFunction here
+};
+
+std::vector<Table1Row> table1_rows();
+
+}  // namespace eden::functions

@@ -1,0 +1,142 @@
+#include "functions/scheduling.h"
+
+#include <stdexcept>
+
+#include "core/enclave_schema.h"
+
+namespace eden::functions {
+
+using core::MessageSlot;
+using core::PacketSlot;
+using lang::Access;
+using lang::ExecStatus;
+using lang::StateBlock;
+
+namespace {
+
+constexpr int kLimit = 0, kPriority = 1, kStride = 2;
+
+std::int64_t threshold_priority(const lang::ArrayValue& priorities,
+                                std::int64_t size) {
+  const std::size_t n = priorities.data.size() / kStride;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (size <= priorities.data[i * kStride + kLimit]) {
+      return priorities.data[i * kStride + kPriority];
+    }
+  }
+  return 0;
+}
+
+lang::FieldDef priorities_field() {
+  lang::FieldDef f;
+  f.name = "priorities";
+  f.access = Access::read_only;
+  f.kind = lang::FieldKind::record_array;
+  f.record_fields = {"limit", "priority"};
+  return f;
+}
+
+}  // namespace
+
+const char* PiasFunction::source() const {
+  return R"(
+// PIAS (Figure 7): demote a message's priority as its size grows.
+fun(packet : Packet, msg : Message, global : Global) ->
+  let msg_size = msg.size + packet.size in
+  msg.size <- msg_size;
+  let priorities = global.priorities in
+  let rec search(index) =
+    if index >= priorities.length then 0
+    elif msg_size <= priorities.[index].limit then priorities.[index].priority
+    else search(index + 1)
+  in
+  packet.priority <-
+    (let desired = msg.priority in
+     if desired < 1 then desired else search(0))
+)";
+}
+
+std::vector<lang::FieldDef> PiasFunction::global_fields() const {
+  return {priorities_field()};
+}
+
+core::NativeActionFn PiasFunction::native() const {
+  return [](StateBlock& pkt, StateBlock* msg, StateBlock* global,
+            core::NativeCtx&) {
+    if (global == nullptr || global->arrays.empty() || msg == nullptr) {
+      return ExecStatus::bad_state_slot;
+    }
+    const std::int64_t msg_size =
+        msg->scalars[MessageSlot::size] + pkt.scalars[PacketSlot::size];
+    msg->scalars[MessageSlot::size] = msg_size;
+    const std::int64_t desired = msg->scalars[MessageSlot::priority];
+    pkt.scalars[PacketSlot::priority] =
+        desired < 1 ? desired
+                    : threshold_priority(global->arrays[0], msg_size);
+    return ExecStatus::ok;
+  };
+}
+
+Table1Info PiasFunction::table1() const {
+  return Table1Info{"Flow scheduling", "PIAS [8]", true, true, false, false,
+                    true};
+}
+
+const char* SffFunction::source() const {
+  return R"(
+// Shortest flow first: the application supplies the flow size, so the
+// priority is decided at flow start and never changes.
+fun(packet : Packet, msg : Message, global : Global) ->
+  let priorities = global.priorities in
+  let rec search(index) =
+    if index >= priorities.length then 0
+    elif packet.flow_size <= priorities.[index].limit then
+      priorities.[index].priority
+    else search(index + 1)
+  in
+  packet.priority <-
+    (if packet.app_priority < 1 then packet.app_priority else search(0))
+)";
+}
+
+std::vector<lang::FieldDef> SffFunction::global_fields() const {
+  return {priorities_field()};
+}
+
+core::NativeActionFn SffFunction::native() const {
+  return [](StateBlock& pkt, StateBlock*, StateBlock* global,
+            core::NativeCtx&) {
+    if (global == nullptr || global->arrays.empty()) {
+      return ExecStatus::bad_state_slot;
+    }
+    const std::int64_t desired = pkt.scalars[PacketSlot::app_priority];
+    pkt.scalars[PacketSlot::priority] =
+        desired < 1
+            ? desired
+            : threshold_priority(global->arrays[0],
+                                 pkt.scalars[PacketSlot::flow_size]);
+    return ExecStatus::ok;
+  };
+}
+
+Table1Info SffFunction::table1() const {
+  return Table1Info{"Flow scheduling", "SFF (app-informed)", false, true,
+                    true, false, true};
+}
+
+void push_priority_thresholds(core::Enclave& enclave, core::ActionId action,
+                              std::span<const std::int64_t> limits,
+                              std::span<const std::int64_t> priorities) {
+  if (limits.size() != priorities.size()) {
+    throw std::invalid_argument("limits and priorities must align");
+  }
+  std::vector<std::int64_t> flat;
+  flat.reserve(limits.size() * 2);
+  for (std::size_t i = 0; i < limits.size(); ++i) {
+    flat.push_back(limits[i]);
+    flat.push_back(priorities[i]);
+  }
+  enclave.set_global_array(action, "priorities", std::move(flat));
+}
+
+}  // namespace eden::functions

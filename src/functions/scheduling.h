@@ -1,0 +1,50 @@
+// Flow-scheduling functions (case study 1).
+//
+// PiasFunction — the paper's Figure 7: track each message's bytes in
+// message state and demote its priority through controller-installed
+// thresholds as it grows (PIAS [8], application-agnostic).
+//
+// SffFunction — shortest-flow-first: the application provides the flow
+// size up front (packet.flow_size metadata), so the priority is fixed at
+// flow start; no message state needed. This is the "application
+// information increases accuracy" variant of Section 5.1.
+//
+// Both use the global `priorities` table of {limit, priority} records,
+// ordered by ascending limit; sizes beyond the last limit fall to
+// priority 0 (background). A message/flow whose app_priority is < 1 has
+// pinned itself to that (background) priority.
+#pragma once
+
+#include <span>
+
+#include "functions/function.h"
+
+namespace eden::functions {
+
+class PiasFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "pias"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+class SffFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "sff"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+// Installs a {limit, priority} threshold table. `limits` ascending;
+// priorities descend from `levels-1`... 1, with overflow to 0.
+// E.g. limits {10KB, 1MB} -> <=10KB: prio 7 ... using explicit
+// priority values passed in `priorities` (same length as limits).
+void push_priority_thresholds(core::Enclave& enclave, core::ActionId action,
+                              std::span<const std::int64_t> limits,
+                              std::span<const std::int64_t> priorities);
+
+}  // namespace eden::functions

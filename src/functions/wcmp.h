@@ -1,0 +1,67 @@
+// Weighted-cost multipath load balancing (case study 2, Figure 2).
+//
+// The controller computes per-destination weighted path sets from the
+// topology (Controller::weighted_paths) and pushes them into the
+// function's global `paths` table as {dst, label, weight} records with
+// weights summing to core::kWeightScale per destination.
+//
+// WcmpFunction picks a label per *packet* (the paper's per-packet WCMP,
+// which reorders TCP); MessageWcmpFunction caches the choice in message
+// state so all packets of one message ride the same path ("message-level
+// load balancing", Section 2.1.1).
+#pragma once
+
+#include "functions/function.h"
+#include "netsim/routing.h"
+
+namespace eden::functions {
+
+class WcmpFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "wcmp"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+class MessageWcmpFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "message_wcmp"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+// Ananta-style VIP load balancing at the sender: connections addressed
+// to the virtual IP are pinned to one of the backend path labels, with
+// per-connection affinity kept in message state (the flow is the
+// message).
+class VipLbFunction : public NetworkFunction {
+ public:
+  const char* name() const override { return "vip_lb"; }
+  const char* source() const override;
+  std::vector<lang::FieldDef> global_fields() const override;
+  core::NativeActionFn native() const override;
+  Table1Info table1() const override;
+};
+
+// Installs the virtual IP (a host id here) and the backends' path labels.
+void push_vip_config(core::Enclave& enclave, core::ActionId action,
+                     std::int64_t vip,
+                     std::span<const std::int64_t> backend_labels);
+
+// Flattens the controller's weighted paths for `dst` pairs into the
+// {dst, label, weight} records the functions consume.
+std::vector<std::int64_t> flatten_path_table(
+    const std::vector<std::pair<netsim::HostId,
+                                std::vector<core::WeightedPath>>>& by_dst);
+
+// Pushes a path table into an installed wcmp/message_wcmp action.
+void push_path_table(
+    core::Enclave& enclave, core::ActionId action,
+    const std::vector<std::pair<netsim::HostId,
+                                std::vector<core::WeightedPath>>>& by_dst);
+
+}  // namespace eden::functions

@@ -1,0 +1,25 @@
+#include "hoststack/nic.h"
+
+namespace eden::hoststack {
+
+int Nic::create_queue(std::uint64_t rate_bps, std::uint64_t burst_bytes) {
+  queues_.push_back(std::make_unique<TokenBucket>(
+      scheduler_, rate_bps, burst_bytes,
+      [this](netsim::PacketPtr p) { host_.transmit(std::move(p)); }));
+  return static_cast<int>(queues_.size()) - 1;
+}
+
+void Nic::set_queue_rate(int queue, std::uint64_t rate_bps) {
+  queues_.at(static_cast<std::size_t>(queue))->set_rate(rate_bps);
+}
+
+void Nic::send(netsim::PacketPtr packet) {
+  const int queue = packet->rl_queue;
+  if (queue >= 0 && queue < static_cast<int>(queues_.size())) {
+    queues_[static_cast<std::size_t>(queue)]->submit(std::move(packet));
+  } else {
+    host_.transmit(std::move(packet));
+  }
+}
+
+}  // namespace eden::hoststack

@@ -1,0 +1,40 @@
+// The host NIC layer: a set of controller-created rate-limited queues in
+// front of the wire. The enclave steers packets to a queue by writing
+// packet.queue (Pulsar sends each tenant's traffic to that tenant's
+// rate-limited queue); packets with queue -1 bypass the limiters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hoststack/token_bucket.h"
+#include "netsim/host_node.h"
+
+namespace eden::hoststack {
+
+class Nic {
+ public:
+  Nic(netsim::Scheduler& scheduler, netsim::HostNode& host)
+      : scheduler_(scheduler), host_(host) {}
+
+  // Creates a rate-limited queue; returns its id (what action functions
+  // write into packet.queue).
+  int create_queue(std::uint64_t rate_bps, std::uint64_t burst_bytes);
+
+  void set_queue_rate(int queue, std::uint64_t rate_bps);
+
+  // Sends via the selected queue, or straight to the wire.
+  void send(netsim::PacketPtr packet);
+
+  std::size_t queue_backlog(int queue) const {
+    return queues_[static_cast<std::size_t>(queue)]->backlog();
+  }
+  int queue_count() const { return static_cast<int>(queues_.size()); }
+
+ private:
+  netsim::Scheduler& scheduler_;
+  netsim::HostNode& host_;
+  std::vector<std::unique_ptr<TokenBucket>> queues_;
+};
+
+}  // namespace eden::hoststack

@@ -1,0 +1,107 @@
+// Abstract syntax tree for the Eden Action Language.
+//
+// The paper retrieves the AST from F# code quotations; here the parser
+// produces it directly. Nodes are owned through unique_ptr and are
+// immutable after parsing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lang/source_loc.h"
+
+namespace eden::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp : std::uint8_t {
+  add, sub, mul, div, mod,
+  eq, ne, lt, le, gt, ge,
+  logical_and, logical_or,  // short-circuit
+};
+
+enum class UnaryOp : std::uint8_t { neg, logical_not };
+
+// A dotted/indexed path such as:
+//   msg.size
+//   global.priorities[i].limit
+// `root` names a function parameter (bound to a state scope) or a local
+// variable; each element is a field selection or an index expression.
+struct PathElem {
+  std::string field;  // non-empty for ".field"
+  ExprPtr index;      // non-null for "[expr]"
+};
+
+struct Path {
+  std::string root;
+  std::vector<PathElem> elems;
+  SourceLoc loc;
+};
+
+enum class ExprKind : std::uint8_t {
+  int_literal,
+  bool_literal,
+  path_read,   // read of a Path (variable, state field, array element)
+  unary,
+  binary,
+  assign,      // path <- value
+  let,         // let name = value in body
+  let_fun,     // let [rec] f(params) = fbody in body
+  if_else,     // if/then/elif/else (missing else means unit/0)
+  sequence,    // e1; e2; ... ; en  (value of en)
+  call,        // f(args) — local function or builtin
+  while_loop,  // while cond do body done (value 0)
+};
+
+struct Param {
+  std::string name;
+  std::string type_name;  // optional annotation, e.g. "Packet"
+};
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // int_literal / bool_literal
+  std::int64_t int_value = 0;
+
+  // path_read / assign target
+  Path path;
+
+  // unary / binary
+  UnaryOp unary_op = UnaryOp::neg;
+  BinaryOp binary_op = BinaryOp::add;
+
+  // General-purpose children:
+  //   unary:      children[0] = operand
+  //   binary:     children[0], children[1]
+  //   assign:     children[0] = value
+  //   let:        children[0] = bound value, children[1] = body
+  //   let_fun:    children[0] = function body, children[1] = body
+  //   if_else:    children[0] = cond, children[1] = then,
+  //               children[2] = else (may be null)
+  //   sequence:   all children in order
+  //   call:       children = arguments
+  //   while_loop: children[0] = cond, children[1] = body
+  std::vector<ExprPtr> children;
+
+  // let / let_fun / call
+  std::string name;
+  // let_fun
+  std::vector<Param> fun_params;
+  bool is_recursive = false;
+};
+
+// The whole program: fun(params) -> body.
+struct Program {
+  std::vector<Param> params;
+  ExprPtr body;
+};
+
+// Convenience constructors used by the parser and tests.
+ExprPtr make_int(std::int64_t value, SourceLoc loc);
+
+}  // namespace eden::lang

@@ -1,0 +1,648 @@
+#include "lang/ast_eval.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace eden::lang {
+
+namespace {
+
+// Internal trap signal; converted to ExecStatus at the boundary. Using
+// an exception is fine here: ast_eval runs at the controller, never on
+// the data path.
+struct Trap {
+  ExecStatus status;
+};
+
+struct FuncValue;
+
+// A value is an integer, a compile-time array alias, or a function.
+struct Value {
+  enum class Kind { integer, array_ref, function } kind = Kind::integer;
+  std::int64_t i = 0;
+  FieldSlot field;             // array_ref
+  std::string field_name;      // array_ref
+  std::shared_ptr<FuncValue> func;
+};
+
+struct FuncValue {
+  const Expr* definition = nullptr;  // the let_fun node
+  // Names resolved at the definition site that are not value captures.
+  std::map<std::string, Value> imports;
+  // Names whose *values* are read in the caller's scope at each call
+  // site (matching the compiler's by-value capture semantics).
+  std::vector<std::string> captures;
+};
+
+bool is_builtin(std::string_view name) {
+  return name == "len" || name == "rand" || name == "clock" ||
+         name == "min" || name == "max" || name == "abs";
+}
+
+// Free-variable analysis identical to the compiler's.
+void collect_free(const Expr* e, std::set<std::string>& bound,
+                  std::vector<std::string>& order,
+                  std::set<std::string>& seen) {
+  if (e == nullptr) return;
+  auto note = [&](const std::string& name) {
+    if (bound.contains(name) || is_builtin(name)) return;
+    if (seen.insert(name).second) order.push_back(name);
+  };
+  switch (e->kind) {
+    case ExprKind::path_read:
+    case ExprKind::assign:
+      note(e->path.root);
+      for (const auto& elem : e->path.elems) {
+        collect_free(elem.index.get(), bound, order, seen);
+      }
+      for (const auto& child : e->children) {
+        collect_free(child.get(), bound, order, seen);
+      }
+      return;
+    case ExprKind::let: {
+      collect_free(e->children[0].get(), bound, order, seen);
+      const bool was = bound.contains(e->name);
+      bound.insert(e->name);
+      collect_free(e->children[1].get(), bound, order, seen);
+      if (!was) bound.erase(e->name);
+      return;
+    }
+    case ExprKind::let_fun: {
+      std::set<std::string> inner = bound;
+      if (e->is_recursive) inner.insert(e->name);
+      for (const auto& p : e->fun_params) inner.insert(p.name);
+      collect_free(e->children[0].get(), inner, order, seen);
+      const bool was = bound.contains(e->name);
+      bound.insert(e->name);
+      collect_free(e->children[1].get(), bound, order, seen);
+      if (!was) bound.erase(e->name);
+      return;
+    }
+    case ExprKind::call:
+      note(e->name);
+      [[fallthrough]];
+    default:
+      for (const auto& child : e->children) {
+        collect_free(child.get(), bound, order, seen);
+      }
+      return;
+  }
+}
+
+inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(-static_cast<std::uint64_t>(a));
+}
+
+class Evaluator {
+ public:
+  Evaluator(const StateSchema& schema, StateBlock* packet,
+            StateBlock* message, StateBlock* global, util::Rng& rng,
+            std::int64_t clock_ns, const AstEvalOptions& options)
+      : schema_(schema), rng_(rng), clock_ns_(clock_ns), options_(options) {
+    blocks_[0] = packet;
+    blocks_[1] = message;
+    blocks_[2] = global;
+  }
+
+  ExecResult run(const Program& program) {
+    ExecResult result;
+    scopes_.emplace_back();  // root scope: the state parameters
+    for (std::size_t i = 0; i < program.params.size(); ++i) {
+      Value v;
+      v.kind = Value::Kind::array_ref;  // reused to carry the scope tag
+      // State params are modelled as a dedicated kind below; keep a
+      // simple convention: field.scope identifies the scope, slot 0xffff
+      // flags "whole scope".
+      v.field.scope = resolve_param_scope(program.params[i], i);
+      v.field.slot = 0xffff;
+      scopes_.back()[program.params[i].name] = v;
+    }
+    try {
+      result.value = eval(program.body.get());
+      result.status = ExecStatus::ok;
+    } catch (const Trap& trap) {
+      result.status = trap.status;
+    }
+    result.steps = nodes_;
+    result.max_depth = max_depth_;
+    return result;
+  }
+
+ private:
+  using Scope = std::map<std::string, Value>;
+
+  static lang::Scope resolve_param_scope(const Param& p, std::size_t index) {
+    if (!p.type_name.empty()) {
+      std::string t = p.type_name;
+      for (auto& c : t) c = static_cast<char>(std::tolower(c));
+      if (t == "packet") return lang::Scope::packet;
+      if (t == "message" || t == "msg") return lang::Scope::message;
+      if (t == "global") return lang::Scope::global;
+      throw LangError("unknown parameter type '" + p.type_name + "'",
+                      SourceLoc{});
+    }
+    return static_cast<lang::Scope>(index);
+  }
+
+  bool is_state_param(const Value& v) const {
+    return v.kind == Value::Kind::array_ref && v.field.slot == 0xffff;
+  }
+
+  Value* lookup(const std::string& name) {
+    // Search the current function's scopes (from frame base upward),
+    // then its imports, then the root scope.
+    for (std::size_t i = scopes_.size(); i > frame_base_; --i) {
+      auto it = scopes_[i - 1].find(name);
+      if (it != scopes_[i - 1].end()) return &it->second;
+    }
+    if (!import_stack_.empty()) {
+      auto it = import_stack_.back()->find(name);
+      if (it != import_stack_.back()->end()) {
+        // Imports are immutable bindings (array aliases, functions,
+        // state params); handing out a mutable pointer is safe because
+        // assignment to them is rejected during path resolution.
+        return const_cast<Value*>(&it->second);
+      }
+    }
+    auto it = scopes_.front().find(name);
+    if (it != scopes_.front().end()) return &it->second;
+    return nullptr;
+  }
+
+  void count_node() {
+    ++nodes_;
+    if (options_.max_nodes != 0 && nodes_ > options_.max_nodes) {
+      throw Trap{ExecStatus::fuel_exhausted};
+    }
+  }
+
+  StateBlock* block(lang::Scope scope) {
+    StateBlock* b = blocks_[static_cast<int>(scope)];
+    if (b == nullptr) throw Trap{ExecStatus::bad_state_slot};
+    return b;
+  }
+
+  // --- State access helpers ---------------------------------------------
+
+  struct ArrayAt {
+    lang::Scope scope;
+    std::uint16_t slot;
+    std::uint16_t stride;
+    std::string name;
+  };
+
+  // Resolves a path to either a scalar location, an array element (with
+  // evaluated flat index) or an array length. Mirrors the compiler.
+  enum class PathKind { local, state_scalar, array_elem, array_len };
+  struct Resolved {
+    PathKind kind;
+    Value* local = nullptr;
+    lang::Scope scope = lang::Scope::packet;
+    std::uint16_t slot = 0;
+    std::int64_t flat_index = 0;
+  };
+
+  Resolved resolve_path(const Path& path) {
+    Value* root = lookup(path.root);
+    if (root == nullptr) {
+      throw LangError("unbound variable '" + path.root + "'", path.loc);
+    }
+
+    if (root->kind == Value::Kind::integer) {
+      if (!path.elems.empty()) {
+        throw LangError("'" + path.root + "' has no fields", path.loc);
+      }
+      Resolved r;
+      r.kind = PathKind::local;
+      r.local = root;
+      return r;
+    }
+    if (root->kind == Value::Kind::function) {
+      throw LangError("function '" + path.root + "' used as a value",
+                      path.loc);
+    }
+
+    // Array alias or state parameter.
+    ArrayAt arr;
+    std::size_t first_elem = 0;
+    if (is_state_param(*root)) {
+      if (path.elems.empty() || path.elems[0].field.empty()) {
+        throw LangError("state parameter '" + path.root +
+                        "' must be followed by a field",
+                        path.loc);
+      }
+      const std::string& field = path.elems[0].field;
+      const auto slot = schema_.find(root->field.scope, field);
+      if (!slot) {
+        throw LangError("unknown field '" + field + "'", path.loc);
+      }
+      if (slot->kind == FieldKind::scalar) {
+        if (path.elems.size() != 1) {
+          throw LangError("scalar field '" + field + "' has no sub-fields",
+                          path.loc);
+        }
+        Resolved r;
+        r.kind = PathKind::state_scalar;
+        r.scope = slot->scope;
+        r.slot = slot->slot;
+        return r;
+      }
+      arr = ArrayAt{slot->scope, slot->slot, slot->stride, field};
+      first_elem = 1;
+    } else {
+      arr = ArrayAt{root->field.scope, root->field.slot, root->field.stride,
+                    root->field_name};
+    }
+
+    const std::size_t remaining = path.elems.size() - first_elem;
+    if (remaining == 1 && path.elems[first_elem].field == "length") {
+      Resolved r;
+      r.kind = PathKind::array_len;
+      r.scope = arr.scope;
+      r.slot = arr.slot;
+      return r;
+    }
+    if (remaining == 0 || !path.elems[first_elem].index) {
+      throw LangError("array '" + arr.name + "' must be indexed", path.loc);
+    }
+    std::int64_t index = eval(path.elems[first_elem].index.get());
+    if (arr.stride > 1) {
+      if (remaining != 2 || path.elems[first_elem + 1].field.empty()) {
+        throw LangError("record array '" + arr.name +
+                        "' must be accessed as [i].field",
+                        path.loc);
+      }
+      const int offset = schema_.record_field_offset(
+          arr.scope, arr.name, path.elems[first_elem + 1].field);
+      if (offset < 0) {
+        throw LangError("no record field '" +
+                        path.elems[first_elem + 1].field + "'",
+                        path.loc);
+      }
+      index = wrap_add(wrap_mul(index, arr.stride), offset);
+    } else if (remaining != 1) {
+      throw LangError("array '" + arr.name + "' elements are plain values",
+                      path.loc);
+    }
+    Resolved r;
+    r.kind = PathKind::array_elem;
+    r.scope = arr.scope;
+    r.slot = arr.slot;
+    r.flat_index = index;
+    return r;
+  }
+
+  std::int64_t& array_cell(lang::Scope scope, std::uint16_t slot,
+                           std::int64_t flat_index) {
+    StateBlock* b = block(scope);
+    if (slot >= b->arrays.size()) throw Trap{ExecStatus::bad_state_slot};
+    auto& data = b->arrays[slot].data;
+    if (flat_index < 0 ||
+        flat_index >= static_cast<std::int64_t>(data.size())) {
+      throw Trap{ExecStatus::out_of_bounds};
+    }
+    return data[static_cast<std::size_t>(flat_index)];
+  }
+
+  std::int64_t& scalar_cell(lang::Scope scope, std::uint16_t slot) {
+    StateBlock* b = block(scope);
+    if (slot >= b->scalars.size()) throw Trap{ExecStatus::bad_state_slot};
+    return b->scalars[slot];
+  }
+
+  // --- Expression evaluation ----------------------------------------------
+
+  std::int64_t eval(const Expr* e) {
+    count_node();
+    switch (e->kind) {
+      case ExprKind::int_literal:
+      case ExprKind::bool_literal:
+        return e->int_value;
+
+      case ExprKind::path_read: {
+        const Resolved r = resolve_path(e->path);
+        switch (r.kind) {
+          case PathKind::local: return r.local->i;
+          case PathKind::state_scalar: return scalar_cell(r.scope, r.slot);
+          case PathKind::array_elem:
+            return array_cell(r.scope, r.slot, r.flat_index);
+          case PathKind::array_len: {
+            StateBlock* b = block(r.scope);
+            if (r.slot >= b->arrays.size()) {
+              throw Trap{ExecStatus::bad_state_slot};
+            }
+            return b->arrays[r.slot].element_count();
+          }
+        }
+        return 0;
+      }
+
+      case ExprKind::unary: {
+        const std::int64_t v = eval(e->children[0].get());
+        return e->unary_op == UnaryOp::neg ? wrap_neg(v) : (v == 0 ? 1 : 0);
+      }
+
+      case ExprKind::binary:
+        return eval_binary(*e);
+
+      case ExprKind::assign: {
+        const Resolved r = resolve_path(e->path);
+        if (r.kind == PathKind::array_len) {
+          throw LangError("cannot assign to .length", e->loc);
+        }
+        const std::int64_t v = eval(e->children[0].get());
+        switch (r.kind) {
+          case PathKind::local: r.local->i = v; break;
+          case PathKind::state_scalar: scalar_cell(r.scope, r.slot) = v; break;
+          case PathKind::array_elem:
+            array_cell(r.scope, r.slot, r.flat_index) = v;
+            break;
+          case PathKind::array_len: break;
+        }
+        return 0;  // unit
+      }
+
+      case ExprKind::let: {
+        // Array aliases bind statically, everything else by value.
+        if (e->children[0]->kind == ExprKind::path_read) {
+          if (auto alias = try_alias(e->children[0]->path)) {
+            scopes_.emplace_back();
+            scopes_.back()[e->name] = *alias;
+            const std::int64_t v = eval(e->children[1].get());
+            scopes_.pop_back();
+            return v;
+          }
+        }
+        Value bound;
+        bound.kind = Value::Kind::integer;
+        bound.i = eval(e->children[0].get());
+        scopes_.emplace_back();
+        scopes_.back()[e->name] = bound;
+        const std::int64_t v = eval(e->children[1].get());
+        scopes_.pop_back();
+        return v;
+      }
+
+      case ExprKind::let_fun: {
+        Value fn;
+        fn.kind = Value::Kind::function;
+        fn.func = make_func(*e);
+        scopes_.emplace_back();
+        scopes_.back()[e->name] = fn;
+        const std::int64_t v = eval(e->children[1].get());
+        scopes_.pop_back();
+        return v;
+      }
+
+      case ExprKind::if_else: {
+        if (eval(e->children[0].get()) != 0) {
+          return eval(e->children[1].get());
+        }
+        return e->children[2] != nullptr ? eval(e->children[2].get()) : 0;
+      }
+
+      case ExprKind::sequence: {
+        std::int64_t v = 0;
+        for (const auto& child : e->children) v = eval(child.get());
+        return v;
+      }
+
+      case ExprKind::call:
+        return eval_call(*e);
+
+      case ExprKind::while_loop: {
+        while (eval(e->children[0].get()) != 0) {
+          eval(e->children[1].get());
+          count_node();  // one unit per iteration, like the jmp
+        }
+        return 0;
+      }
+    }
+    return 0;
+  }
+
+  std::int64_t eval_binary(const Expr& e) {
+    // Short-circuit first.
+    if (e.binary_op == BinaryOp::logical_and) {
+      if (eval(e.children[0].get()) == 0) return 0;
+      return eval(e.children[1].get()) != 0 ? 1 : 0;
+    }
+    if (e.binary_op == BinaryOp::logical_or) {
+      if (eval(e.children[0].get()) != 0) return 1;
+      return eval(e.children[1].get()) != 0 ? 1 : 0;
+    }
+    const std::int64_t a = eval(e.children[0].get());
+    const std::int64_t b = eval(e.children[1].get());
+    switch (e.binary_op) {
+      case BinaryOp::add: return wrap_add(a, b);
+      case BinaryOp::sub: return wrap_sub(a, b);
+      case BinaryOp::mul: return wrap_mul(a, b);
+      case BinaryOp::div:
+        if (b == 0) throw Trap{ExecStatus::div_by_zero};
+        return b == -1 ? wrap_neg(a) : a / b;
+      case BinaryOp::mod:
+        if (b == 0) throw Trap{ExecStatus::div_by_zero};
+        return b == -1 ? 0 : a % b;
+      case BinaryOp::eq: return a == b;
+      case BinaryOp::ne: return a != b;
+      case BinaryOp::lt: return a < b;
+      case BinaryOp::le: return a <= b;
+      case BinaryOp::gt: return a > b;
+      case BinaryOp::ge: return a >= b;
+      case BinaryOp::logical_and:
+      case BinaryOp::logical_or: break;
+    }
+    return 0;
+  }
+
+  std::optional<Value> try_alias(const Path& path) {
+    if (path.elems.size() != 1 || path.elems[0].field.empty()) {
+      return std::nullopt;
+    }
+    Value* root = lookup(path.root);
+    if (root == nullptr || !is_state_param(*root)) return std::nullopt;
+    const auto slot = schema_.find(root->field.scope, path.elems[0].field);
+    if (!slot || slot->kind == FieldKind::scalar) return std::nullopt;
+    Value v;
+    v.kind = Value::Kind::array_ref;
+    v.field = *slot;
+    v.field_name = path.elems[0].field;
+    return v;
+  }
+
+  std::shared_ptr<FuncValue> make_func(const Expr& def) {
+    auto fn = std::make_shared<FuncValue>();
+    fn->definition = &def;
+    std::set<std::string> bound;
+    if (def.is_recursive) bound.insert(def.name);
+    for (const auto& p : def.fun_params) bound.insert(p.name);
+    std::vector<std::string> order;
+    std::set<std::string> seen;
+    collect_free(def.children[0].get(), bound, order, seen);
+    for (const auto& name : order) {
+      Value* v = lookup(name);
+      if (v == nullptr) {
+        throw LangError("unbound variable '" + name + "' in function '" +
+                        def.name + "'",
+                        def.loc);
+      }
+      if (v->kind == Value::Kind::integer) {
+        fn->captures.push_back(name);
+      } else {
+        fn->imports.emplace(name, *v);
+      }
+    }
+    return fn;
+  }
+
+  std::int64_t eval_call(const Expr& e) {
+    if (is_builtin(e.name)) return eval_builtin(e);
+    Value* target = lookup(e.name);
+    if (target == nullptr || target->kind != Value::Kind::function) {
+      throw LangError("call to unknown function '" + e.name + "'", e.loc);
+    }
+    const std::shared_ptr<FuncValue> fn = target->func;
+    const Expr& def = *fn->definition;
+    if (e.children.size() != def.fun_params.size()) {
+      throw LangError("function '" + e.name + "' arity mismatch", e.loc);
+    }
+
+    // Evaluate arguments and capture values in the caller's scope.
+    Scope frame;
+    for (std::size_t i = 0; i < e.children.size(); ++i) {
+      Value v;
+      v.kind = Value::Kind::integer;
+      v.i = eval(e.children[i].get());
+      frame[def.fun_params[i].name] = v;
+    }
+    for (const auto& cap : fn->captures) {
+      Value* v = lookup(cap);
+      if (v == nullptr || v->kind != Value::Kind::integer) {
+        throw LangError("captured variable '" + cap + "' not visible here",
+                        e.loc);
+      }
+      frame.emplace(cap, *v);
+    }
+    if (def.is_recursive) {
+      Value self;
+      self.kind = Value::Kind::function;
+      self.func = fn;
+      frame.emplace(def.name, self);
+    }
+
+    if (depth_ >= options_.max_call_depth) {
+      throw Trap{ExecStatus::call_depth_exceeded};
+    }
+    ++depth_;
+    if (depth_ > max_depth_) max_depth_ = depth_;
+
+    const std::size_t saved_base = frame_base_;
+    scopes_.push_back(std::move(frame));
+    frame_base_ = scopes_.size() - 1;
+    import_stack_.push_back(&fn->imports);
+
+    const std::int64_t result = eval(def.children[0].get());
+
+    import_stack_.pop_back();
+    scopes_.pop_back();
+    frame_base_ = saved_base;
+    --depth_;
+    return result;
+  }
+
+  std::int64_t eval_builtin(const Expr& e) {
+    auto need = [&](std::size_t n) {
+      if (e.children.size() != n) {
+        throw LangError("builtin '" + e.name + "' arity mismatch", e.loc);
+      }
+    };
+    if (e.name == "len") {
+      need(1);
+      if (e.children[0]->kind != ExprKind::path_read) {
+        throw LangError("len() takes an array field", e.loc);
+      }
+      const Path& path = e.children[0]->path;
+      // Whole-array resolution.
+      if (auto alias = try_alias(path)) {
+        StateBlock* b = block(alias->field.scope);
+        if (alias->field.slot >= b->arrays.size()) {
+          throw Trap{ExecStatus::bad_state_slot};
+        }
+        return b->arrays[alias->field.slot].element_count();
+      }
+      Value* root = lookup(path.root);
+      if (root != nullptr && root->kind == Value::Kind::array_ref &&
+          !is_state_param(*root) && path.elems.empty()) {
+        StateBlock* b = block(root->field.scope);
+        if (root->field.slot >= b->arrays.size()) {
+          throw Trap{ExecStatus::bad_state_slot};
+        }
+        return b->arrays[root->field.slot].element_count();
+      }
+      throw LangError("len() takes an array field", e.loc);
+    }
+    if (e.name == "rand") {
+      need(1);
+      const std::int64_t n = eval(e.children[0].get());
+      if (n <= 0) throw Trap{ExecStatus::bad_rand_bound};
+      return static_cast<std::int64_t>(
+          rng_.below(static_cast<std::uint64_t>(n)));
+    }
+    if (e.name == "clock") {
+      need(0);
+      return clock_ns_;
+    }
+    if (e.name == "min" || e.name == "max") {
+      need(2);
+      const std::int64_t a = eval(e.children[0].get());
+      const std::int64_t b = eval(e.children[1].get());
+      return e.name == "min" ? std::min(a, b) : std::max(a, b);
+    }
+    need(1);  // abs
+    const std::int64_t v = eval(e.children[0].get());
+    return v < 0 ? wrap_neg(v) : v;
+  }
+
+  const StateSchema& schema_;
+  util::Rng& rng_;
+  std::int64_t clock_ns_;
+  AstEvalOptions options_;
+  StateBlock* blocks_[kNumScopes];
+
+  std::vector<Scope> scopes_;
+  std::vector<const std::map<std::string, Value>*> import_stack_;
+  std::size_t frame_base_ = 0;
+  std::uint32_t depth_ = 0;
+  std::uint32_t max_depth_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+}  // namespace
+
+ExecResult ast_eval(const Program& program, const StateSchema& schema,
+                    StateBlock* packet, StateBlock* message,
+                    StateBlock* global, util::Rng& rng,
+                    std::int64_t clock_ns, const AstEvalOptions& options) {
+  Evaluator evaluator(schema, packet, message, global, rng, clock_ns,
+                      options);
+  return evaluator.run(program);
+}
+
+}  // namespace eden::lang

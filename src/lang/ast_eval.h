@@ -1,0 +1,38 @@
+// Reference tree-walking evaluator for EAL.
+//
+// Executes the parsed AST directly against the same state blocks as the
+// bytecode interpreter. It exists for two reasons:
+//  * differential testing — the compiler+interpreter pipeline must agree
+//    with this (much simpler) semantics on every program and input;
+//  * controller-side dry runs — the paper notes that F# programs could
+//    be run and debugged locally without invoking the enclave
+//    (Section 6); this is that facility for EAL.
+//
+// Matches interpreter semantics exactly: 64-bit wrapping arithmetic,
+// div/mod trapping on zero, bounds-checked arrays, by-value captures,
+// assignment evaluating to 0, missing else = 0.
+#pragma once
+
+#include "lang/ast.h"
+#include "lang/interpreter.h"
+#include "lang/state_schema.h"
+#include "util/rng.h"
+
+namespace eden::lang {
+
+struct AstEvalOptions {
+  // Bound on evaluated AST nodes (0 = unlimited), mirroring max_steps.
+  std::uint64_t max_nodes = 0;
+  std::uint32_t max_call_depth = 128;
+};
+
+// Evaluates `program` against the schema-resolved state. Uses `rng` for
+// rand() and `clock_ns` for clock(). Returns the same ExecStatus space
+// as the interpreter (fuel_exhausted for the node bound).
+ExecResult ast_eval(const Program& program, const StateSchema& schema,
+                    StateBlock* packet, StateBlock* message,
+                    StateBlock* global, util::Rng& rng,
+                    std::int64_t clock_ns = 0,
+                    const AstEvalOptions& options = {});
+
+}  // namespace eden::lang

@@ -1,0 +1,145 @@
+#include "lang/bytecode.h"
+
+#include "lang/source_loc.h"
+#include "util/bytes.h"
+
+namespace eden::lang {
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::push: return "push";
+    case Op::pop: return "pop";
+    case Op::dup: return "dup";
+    case Op::load_local: return "load_local";
+    case Op::store_local: return "store_local";
+    case Op::load_state: return "load_state";
+    case Op::store_state: return "store_state";
+    case Op::array_load: return "array_load";
+    case Op::array_store: return "array_store";
+    case Op::array_len: return "array_len";
+    case Op::add: return "add";
+    case Op::sub: return "sub";
+    case Op::mul: return "mul";
+    case Op::div_: return "div";
+    case Op::mod_: return "mod";
+    case Op::neg: return "neg";
+    case Op::cmp_eq: return "cmp_eq";
+    case Op::cmp_ne: return "cmp_ne";
+    case Op::cmp_lt: return "cmp_lt";
+    case Op::cmp_le: return "cmp_le";
+    case Op::cmp_gt: return "cmp_gt";
+    case Op::cmp_ge: return "cmp_ge";
+    case Op::logical_not: return "not";
+    case Op::jmp: return "jmp";
+    case Op::jz: return "jz";
+    case Op::jnz: return "jnz";
+    case Op::call: return "call";
+    case Op::ret: return "ret";
+    case Op::rand_below: return "rand_below";
+    case Op::clock_ns: return "clock_ns";
+    case Op::min2: return "min";
+    case Op::max2: return "max";
+    case Op::abs1: return "abs";
+    case Op::halt: return "halt";
+  }
+  return "?";
+}
+
+std::string_view concurrency_mode_name(ConcurrencyMode mode) {
+  switch (mode) {
+    case ConcurrencyMode::parallel: return "parallel";
+    case ConcurrencyMode::per_message: return "per_message";
+    case ConcurrencyMode::serialized: return "serialized";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43424445;  // "EDBC" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+std::vector<std::uint8_t> CompiledProgram::serialize() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.str(source_name);
+  w.u8(static_cast<std::uint8_t>(concurrency));
+  for (int s = 0; s < kNumScopes; ++s) {
+    w.u64(usage.scalar_read[s]);
+    w.u64(usage.scalar_write[s]);
+    w.u64(usage.array_read[s]);
+    w.u64(usage.array_write[s]);
+  }
+  w.u32(static_cast<std::uint32_t>(functions.size()));
+  for (const auto& f : functions) {
+    w.str(f.name);
+    w.u32(f.addr);
+    w.u32(f.nargs);
+    w.u32(f.nlocals);
+  }
+  w.u32(static_cast<std::uint32_t>(code.size()));
+  for (const auto& instr : code) {
+    w.u8(static_cast<std::uint8_t>(instr.op));
+    w.i32(instr.a);
+    w.i64(instr.imm);
+  }
+  return w.take();
+}
+
+CompiledProgram CompiledProgram::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  try {
+    util::ByteReader r(bytes);
+    if (r.u32() != kMagic) throw LangError("bad bytecode magic", SourceLoc{});
+    if (r.u32() != kVersion) {
+      throw LangError("unsupported bytecode version", SourceLoc{});
+    }
+    CompiledProgram p;
+    p.source_name = r.str();
+    const std::uint8_t mode = r.u8();
+    if (mode > static_cast<std::uint8_t>(ConcurrencyMode::serialized)) {
+      throw LangError("invalid concurrency mode", SourceLoc{});
+    }
+    p.concurrency = static_cast<ConcurrencyMode>(mode);
+    for (int s = 0; s < kNumScopes; ++s) {
+      p.usage.scalar_read[s] = r.u64();
+      p.usage.scalar_write[s] = r.u64();
+      p.usage.array_read[s] = r.u64();
+      p.usage.array_write[s] = r.u64();
+    }
+    const std::uint32_t nfuncs = r.u32();
+    p.functions.reserve(nfuncs);
+    for (std::uint32_t i = 0; i < nfuncs; ++i) {
+      FunctionInfo f;
+      f.name = r.str();
+      f.addr = r.u32();
+      f.nargs = static_cast<std::uint16_t>(r.u32());
+      f.nlocals = static_cast<std::uint16_t>(r.u32());
+      p.functions.push_back(std::move(f));
+    }
+    const std::uint32_t ninstr = r.u32();
+    p.code.reserve(ninstr);
+    for (std::uint32_t i = 0; i < ninstr; ++i) {
+      Instr instr;
+      const std::uint8_t op = r.u8();
+      if (op > static_cast<std::uint8_t>(Op::halt)) {
+        throw LangError("invalid opcode in bytecode stream", SourceLoc{});
+      }
+      instr.op = static_cast<Op>(op);
+      instr.a = r.i32();
+      instr.imm = r.i64();
+      p.code.push_back(instr);
+    }
+    if (!r.exhausted()) {
+      throw LangError("trailing bytes after bytecode stream", SourceLoc{});
+    }
+    return p;
+  } catch (const util::ByteStreamError& e) {
+    throw LangError(e.what(), SourceLoc{});
+  }
+}
+
+}  // namespace eden::lang

@@ -1,0 +1,127 @@
+// Bytecode for the Eden enclave interpreter.
+//
+// The paper compiles action functions to bytecode executed by a
+// stack-based interpreter "similar in spirit to the JVM" (Section 4.1),
+// so the same program can run in the OS enclave and on a programmable
+// NIC. CompiledProgram is that artifact: a flat instruction vector plus a
+// function table, the derived concurrency mode, and the state-usage masks
+// the runtime needs to marshal state in and out. It serializes to a
+// portable byte stream (see serialize/deserialize) to model shipping
+// programs from the controller to heterogeneous enclaves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lang/state_schema.h"
+
+namespace eden::lang {
+
+enum class Op : std::uint8_t {
+  // Stack / constants
+  push,         // push imm
+  pop,          // discard top
+  dup,          // duplicate top
+  // Locals (frame-relative slot in `a`)
+  load_local,
+  store_local,
+  // State scalars (`a` = scope << 16 | slot)
+  load_state,
+  store_state,
+  // State arrays (`a` = scope << 16 | slot)
+  array_load,   // pops flat element index, pushes value
+  array_store,  // pops value then flat element index, stores
+  array_len,    // pushes element count (records count as one element)
+  // Arithmetic (all operate on int64; div/mod trap on zero divisor)
+  add, sub, mul, div_, mod_, neg,
+  // Comparisons / logic (produce 0 or 1)
+  cmp_eq, cmp_ne, cmp_lt, cmp_le, cmp_gt, cmp_ge, logical_not,
+  // Control flow (`a` = absolute instruction index)
+  jmp,
+  jz,           // jump if popped value == 0
+  jnz,
+  // Functions (`a` = function table index)
+  call,
+  ret,          // pops return value, restores caller frame, pushes it
+  // Built-ins
+  rand_below,   // pops n > 0, pushes uniform integer in [0, n)
+  clock_ns,     // pushes the runtime clock in nanoseconds
+  min2, max2, abs1,
+  halt,         // ends the program; result = top of stack (0 if empty)
+};
+
+std::string_view op_name(Op op);
+
+// Fixed-width instruction word. `a` carries slot/target/function operands;
+// `imm` carries push constants. A fixed width costs a little space but
+// keeps decode trivial — the paper makes the same simplicity trade-off.
+struct Instr {
+  Op op = Op::halt;
+  std::int32_t a = 0;
+  std::int64_t imm = 0;
+};
+
+inline constexpr std::int32_t state_operand(Scope scope, std::uint16_t slot) {
+  return (static_cast<std::int32_t>(scope) << 16) | slot;
+}
+inline constexpr Scope operand_scope(std::int32_t a) {
+  return static_cast<Scope>((a >> 16) & 0xff);
+}
+inline constexpr std::uint16_t operand_slot(std::int32_t a) {
+  return static_cast<std::uint16_t>(a & 0xffff);
+}
+
+struct FunctionInfo {
+  std::string name;
+  std::uint32_t addr = 0;    // entry instruction index
+  std::uint16_t nargs = 0;   // explicit args + captured values
+  std::uint16_t nlocals = 0; // total frame size including args
+};
+
+// Concurrency mode derived from the state access annotations
+// (Section 3.4.4): writable global state fully serializes the function;
+// writable message state serializes packets of the same message; a
+// function that only writes packet state can run fully in parallel.
+enum class ConcurrencyMode : std::uint8_t {
+  parallel = 0,
+  per_message = 1,
+  serialized = 2,
+};
+
+std::string_view concurrency_mode_name(ConcurrencyMode mode);
+
+// Which state slots a program touches, as bitmasks (bit i = slot i).
+// The enclave runtime consults these to copy in only what the function
+// reads and to write back only what it may have written.
+struct StateUsage {
+  std::uint64_t scalar_read[kNumScopes] = {0, 0, 0};
+  std::uint64_t scalar_write[kNumScopes] = {0, 0, 0};
+  std::uint64_t array_read[kNumScopes] = {0, 0, 0};
+  std::uint64_t array_write[kNumScopes] = {0, 0, 0};
+
+  bool writes_scope(Scope scope) const {
+    const int s = static_cast<int>(scope);
+    return scalar_write[s] != 0 || array_write[s] != 0;
+  }
+  bool touches_scope(Scope scope) const {
+    const int s = static_cast<int>(scope);
+    return scalar_read[s] != 0 || array_read[s] != 0 || writes_scope(scope);
+  }
+};
+
+struct CompiledProgram {
+  std::vector<Instr> code;
+  std::vector<FunctionInfo> functions;  // functions[0] is the entry point
+  ConcurrencyMode concurrency = ConcurrencyMode::parallel;
+  StateUsage usage;
+  std::string source_name;  // diagnostic label, not semantically meaningful
+
+  // Portable binary encoding (little-endian, "EDBC" magic + version).
+  std::vector<std::uint8_t> serialize() const;
+  // Throws LangError on malformed input.
+  static CompiledProgram deserialize(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace eden::lang

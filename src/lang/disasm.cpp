@@ -1,0 +1,68 @@
+#include "lang/disasm.h"
+
+#include <cstdio>
+
+namespace eden::lang {
+
+std::string disassemble(const CompiledProgram& program) {
+  std::string out;
+  char buf[160];
+
+  out += "; concurrency: ";
+  out += concurrency_mode_name(program.concurrency);
+  out += '\n';
+
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    for (const auto& fn : program.functions) {
+      if (fn.addr == i) {
+        std::snprintf(buf, sizeof buf, "%s(nargs=%u, nlocals=%u):\n",
+                      fn.name.c_str(), fn.nargs, fn.nlocals);
+        out += buf;
+      }
+    }
+    const Instr& instr = program.code[i];
+    switch (instr.op) {
+      case Op::push:
+        std::snprintf(buf, sizeof buf, "%4zu  push         %lld\n", i,
+                      static_cast<long long>(instr.imm));
+        break;
+      case Op::load_local:
+      case Op::store_local:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d]\n", i,
+                      std::string(op_name(instr.op)).c_str(), instr.a);
+        break;
+      case Op::load_state:
+      case Op::store_state:
+      case Op::array_load:
+      case Op::array_store:
+      case Op::array_len:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s %s.%u\n", i,
+                      std::string(op_name(instr.op)).c_str(),
+                      std::string(scope_name(operand_scope(instr.a))).c_str(),
+                      operand_slot(instr.a));
+        break;
+      case Op::jmp:
+      case Op::jz:
+      case Op::jnz:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s -> %d\n", i,
+                      std::string(op_name(instr.op)).c_str(), instr.a);
+        break;
+      case Op::call:
+        std::snprintf(
+            buf, sizeof buf, "%4zu  call         %s\n", i,
+            static_cast<std::size_t>(instr.a) < program.functions.size()
+                ? program.functions[static_cast<std::size_t>(instr.a)]
+                      .name.c_str()
+                : "?");
+        break;
+      default:
+        std::snprintf(buf, sizeof buf, "%4zu  %s\n", i,
+                      std::string(op_name(instr.op)).c_str());
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace eden::lang

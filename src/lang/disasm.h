@@ -1,0 +1,17 @@
+// Bytecode disassembler, for debugging and for golden tests of the
+// compiler's output.
+#pragma once
+
+#include <string>
+
+#include "lang/bytecode.h"
+
+namespace eden::lang {
+
+// One instruction per line:
+//   12  push        5
+//   13  load_state  message.0
+// Function entry points are annotated with the function name.
+std::string disassemble(const CompiledProgram& program);
+
+}  // namespace eden::lang

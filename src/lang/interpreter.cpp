@@ -1,0 +1,420 @@
+#include "lang/interpreter.h"
+
+#include <chrono>
+
+namespace eden::lang {
+
+std::string_view exec_status_name(ExecStatus status) {
+  switch (status) {
+    case ExecStatus::ok: return "ok";
+    case ExecStatus::div_by_zero: return "div_by_zero";
+    case ExecStatus::out_of_bounds: return "out_of_bounds";
+    case ExecStatus::bad_state_slot: return "bad_state_slot";
+    case ExecStatus::stack_overflow: return "stack_overflow";
+    case ExecStatus::stack_underflow: return "stack_underflow";
+    case ExecStatus::local_overflow: return "local_overflow";
+    case ExecStatus::call_depth_exceeded: return "call_depth_exceeded";
+    case ExecStatus::fuel_exhausted: return "fuel_exhausted";
+    case ExecStatus::bad_rand_bound: return "bad_rand_bound";
+    case ExecStatus::invalid_program: return "invalid_program";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t default_clock(void*) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Wrapping arithmetic without signed-overflow UB.
+inline std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_sub(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_mul(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                   static_cast<std::uint64_t>(b));
+}
+inline std::int64_t wrap_neg(std::int64_t a) {
+  return static_cast<std::int64_t>(-static_cast<std::uint64_t>(a));
+}
+
+}  // namespace
+
+Interpreter::Interpreter(ExecLimits limits, std::uint64_t rng_seed)
+    : limits_(limits), rng_(rng_seed) {
+  stack_.resize(limits_.max_operand_stack);
+  locals_.resize(limits_.max_locals);
+  frames_.reserve(limits_.max_call_depth);
+}
+
+ExecResult Interpreter::execute(const CompiledProgram& program,
+                                StateBlock* packet, StateBlock* message,
+                                StateBlock* global) {
+  ExecResult result;
+  if (program.functions.empty() || program.code.empty()) {
+    result.status = ExecStatus::invalid_program;
+    return result;
+  }
+
+  StateBlock* blocks[kNumScopes] = {packet, message, global};
+  const Instr* code = program.code.data();
+  const std::size_t code_size = program.code.size();
+
+  std::uint32_t pc = program.functions[0].addr;
+  std::uint32_t sp = 0;  // operand stack pointer (next free)
+  std::uint32_t locals_size = program.functions[0].nlocals;
+  if (locals_size > limits_.max_locals) {
+    result.status = ExecStatus::local_overflow;
+    return result;
+  }
+  for (std::uint32_t i = 0; i < locals_size; ++i) locals_[i] = 0;
+  frames_.clear();
+
+  result.max_locals = locals_size;
+  const std::uint64_t max_steps = limits_.max_steps;
+
+  auto fail = [&](ExecStatus status) {
+    result.status = status;
+    return result;
+  };
+
+#define EDEN_NEED(n)                                   \
+  do {                                                 \
+    if (sp < (n)) return fail(ExecStatus::stack_underflow); \
+  } while (0)
+
+  for (;;) {
+    if (pc >= code_size) return fail(ExecStatus::invalid_program);
+    if (max_steps != 0 && result.steps >= max_steps) {
+      return fail(ExecStatus::fuel_exhausted);
+    }
+    ++result.steps;
+    const Instr instr = code[pc++];
+
+    switch (instr.op) {
+      case Op::push:
+        if (sp >= limits_.max_operand_stack) {
+          return fail(ExecStatus::stack_overflow);
+        }
+        stack_[sp++] = instr.imm;
+        if (sp > result.max_stack) result.max_stack = sp;
+        break;
+
+      case Op::pop:
+        EDEN_NEED(1);
+        --sp;
+        break;
+
+      case Op::dup:
+        EDEN_NEED(1);
+        if (sp >= limits_.max_operand_stack) {
+          return fail(ExecStatus::stack_overflow);
+        }
+        stack_[sp] = stack_[sp - 1];
+        ++sp;
+        if (sp > result.max_stack) result.max_stack = sp;
+        break;
+
+      case Op::load_local: {
+        const std::uint32_t base =
+            frames_.empty() ? 0 : frames_.back().locals_base;
+        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
+        if (slot >= locals_size) return fail(ExecStatus::invalid_program);
+        if (sp >= limits_.max_operand_stack) {
+          return fail(ExecStatus::stack_overflow);
+        }
+        stack_[sp++] = locals_[slot];
+        if (sp > result.max_stack) result.max_stack = sp;
+        break;
+      }
+
+      case Op::store_local: {
+        EDEN_NEED(1);
+        const std::uint32_t base =
+            frames_.empty() ? 0 : frames_.back().locals_base;
+        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
+        if (slot >= locals_size) return fail(ExecStatus::invalid_program);
+        locals_[slot] = stack_[--sp];
+        break;
+      }
+
+      case Op::load_state: {
+        const auto scope_index =
+            static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
+        if (scope_index >= kNumScopes) {
+          return fail(ExecStatus::invalid_program);
+        }
+        StateBlock* block = blocks[scope_index];
+        const std::uint16_t slot = operand_slot(instr.a);
+        if (block == nullptr || slot >= block->scalars.size()) {
+          return fail(ExecStatus::bad_state_slot);
+        }
+        if (sp >= limits_.max_operand_stack) {
+          return fail(ExecStatus::stack_overflow);
+        }
+        stack_[sp++] = block->scalars[slot];
+        if (sp > result.max_stack) result.max_stack = sp;
+        break;
+      }
+
+      case Op::store_state: {
+        EDEN_NEED(1);
+        const auto scope_index =
+            static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
+        if (scope_index >= kNumScopes) {
+          return fail(ExecStatus::invalid_program);
+        }
+        StateBlock* block = blocks[scope_index];
+        const std::uint16_t slot = operand_slot(instr.a);
+        if (block == nullptr || slot >= block->scalars.size()) {
+          return fail(ExecStatus::bad_state_slot);
+        }
+        block->scalars[slot] = stack_[--sp];
+        break;
+      }
+
+      case Op::array_load: {
+        EDEN_NEED(1);
+        const auto scope_index =
+            static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
+        if (scope_index >= kNumScopes) {
+          return fail(ExecStatus::invalid_program);
+        }
+        StateBlock* block = blocks[scope_index];
+        const std::uint16_t slot = operand_slot(instr.a);
+        if (block == nullptr || slot >= block->arrays.size()) {
+          return fail(ExecStatus::bad_state_slot);
+        }
+        const ArrayValue& arr = block->arrays[slot];
+        const std::int64_t index = stack_[sp - 1];
+        if (index < 0 ||
+            index >= static_cast<std::int64_t>(arr.data.size())) {
+          return fail(ExecStatus::out_of_bounds);
+        }
+        stack_[sp - 1] = arr.data[static_cast<std::size_t>(index)];
+        break;
+      }
+
+      case Op::array_store: {
+        EDEN_NEED(2);
+        const auto scope_index =
+            static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
+        if (scope_index >= kNumScopes) {
+          return fail(ExecStatus::invalid_program);
+        }
+        StateBlock* block = blocks[scope_index];
+        const std::uint16_t slot = operand_slot(instr.a);
+        if (block == nullptr || slot >= block->arrays.size()) {
+          return fail(ExecStatus::bad_state_slot);
+        }
+        ArrayValue& arr = block->arrays[slot];
+        const std::int64_t value = stack_[--sp];
+        const std::int64_t index = stack_[--sp];
+        if (index < 0 ||
+            index >= static_cast<std::int64_t>(arr.data.size())) {
+          return fail(ExecStatus::out_of_bounds);
+        }
+        arr.data[static_cast<std::size_t>(index)] = value;
+        break;
+      }
+
+      case Op::array_len: {
+        const auto scope_index =
+            static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
+        if (scope_index >= kNumScopes) {
+          return fail(ExecStatus::invalid_program);
+        }
+        StateBlock* block = blocks[scope_index];
+        const std::uint16_t slot = operand_slot(instr.a);
+        if (block == nullptr || slot >= block->arrays.size()) {
+          return fail(ExecStatus::bad_state_slot);
+        }
+        if (sp >= limits_.max_operand_stack) {
+          return fail(ExecStatus::stack_overflow);
+        }
+        stack_[sp++] = block->arrays[slot].element_count();
+        if (sp > result.max_stack) result.max_stack = sp;
+        break;
+      }
+
+      case Op::add:
+        EDEN_NEED(2);
+        stack_[sp - 2] = wrap_add(stack_[sp - 2], stack_[sp - 1]);
+        --sp;
+        break;
+      case Op::sub:
+        EDEN_NEED(2);
+        stack_[sp - 2] = wrap_sub(stack_[sp - 2], stack_[sp - 1]);
+        --sp;
+        break;
+      case Op::mul:
+        EDEN_NEED(2);
+        stack_[sp - 2] = wrap_mul(stack_[sp - 2], stack_[sp - 1]);
+        --sp;
+        break;
+      case Op::div_: {
+        EDEN_NEED(2);
+        const std::int64_t b = stack_[sp - 1];
+        const std::int64_t a = stack_[sp - 2];
+        if (b == 0) return fail(ExecStatus::div_by_zero);
+        stack_[sp - 2] = (b == -1) ? wrap_neg(a) : a / b;
+        --sp;
+        break;
+      }
+      case Op::mod_: {
+        EDEN_NEED(2);
+        const std::int64_t b = stack_[sp - 1];
+        const std::int64_t a = stack_[sp - 2];
+        if (b == 0) return fail(ExecStatus::div_by_zero);
+        stack_[sp - 2] = (b == -1) ? 0 : a % b;
+        --sp;
+        break;
+      }
+      case Op::neg:
+        EDEN_NEED(1);
+        stack_[sp - 1] = wrap_neg(stack_[sp - 1]);
+        break;
+
+      case Op::cmp_eq:
+        EDEN_NEED(2);
+        stack_[sp - 2] = stack_[sp - 2] == stack_[sp - 1] ? 1 : 0;
+        --sp;
+        break;
+      case Op::cmp_ne:
+        EDEN_NEED(2);
+        stack_[sp - 2] = stack_[sp - 2] != stack_[sp - 1] ? 1 : 0;
+        --sp;
+        break;
+      case Op::cmp_lt:
+        EDEN_NEED(2);
+        stack_[sp - 2] = stack_[sp - 2] < stack_[sp - 1] ? 1 : 0;
+        --sp;
+        break;
+      case Op::cmp_le:
+        EDEN_NEED(2);
+        stack_[sp - 2] = stack_[sp - 2] <= stack_[sp - 1] ? 1 : 0;
+        --sp;
+        break;
+      case Op::cmp_gt:
+        EDEN_NEED(2);
+        stack_[sp - 2] = stack_[sp - 2] > stack_[sp - 1] ? 1 : 0;
+        --sp;
+        break;
+      case Op::cmp_ge:
+        EDEN_NEED(2);
+        stack_[sp - 2] = stack_[sp - 2] >= stack_[sp - 1] ? 1 : 0;
+        --sp;
+        break;
+      case Op::logical_not:
+        EDEN_NEED(1);
+        stack_[sp - 1] = stack_[sp - 1] == 0 ? 1 : 0;
+        break;
+
+      case Op::jmp:
+        pc = static_cast<std::uint32_t>(instr.a);
+        break;
+      case Op::jz:
+        EDEN_NEED(1);
+        if (stack_[--sp] == 0) pc = static_cast<std::uint32_t>(instr.a);
+        break;
+      case Op::jnz:
+        EDEN_NEED(1);
+        if (stack_[--sp] != 0) pc = static_cast<std::uint32_t>(instr.a);
+        break;
+
+      case Op::call: {
+        const auto findex = static_cast<std::size_t>(instr.a);
+        if (findex >= program.functions.size()) {
+          return fail(ExecStatus::invalid_program);
+        }
+        const FunctionInfo& fn = program.functions[findex];
+        EDEN_NEED(fn.nargs);
+        if (frames_.size() >= limits_.max_call_depth) {
+          return fail(ExecStatus::call_depth_exceeded);
+        }
+        const std::uint32_t base = locals_size;
+        const std::uint32_t new_size = base + fn.nlocals;
+        if (new_size > limits_.max_locals) {
+          return fail(ExecStatus::local_overflow);
+        }
+        for (std::uint32_t i = 0; i < fn.nlocals; ++i) {
+          locals_[base + i] = 0;
+        }
+        sp -= fn.nargs;
+        for (std::uint32_t i = 0; i < fn.nargs; ++i) {
+          locals_[base + i] = stack_[sp + i];
+        }
+        frames_.push_back(Frame{pc, base, locals_size});
+        locals_size = new_size;
+        if (locals_size > result.max_locals) result.max_locals = locals_size;
+        if (frames_.size() > result.max_depth) {
+          result.max_depth = static_cast<std::uint32_t>(frames_.size());
+        }
+        pc = fn.addr;
+        break;
+      }
+
+      case Op::ret: {
+        EDEN_NEED(1);
+        if (frames_.empty()) return fail(ExecStatus::invalid_program);
+        const Frame frame = frames_.back();
+        frames_.pop_back();
+        locals_size = frame.caller_locals_size;
+        pc = frame.return_pc;
+        // Return value stays on top of the operand stack.
+        break;
+      }
+
+      case Op::rand_below: {
+        EDEN_NEED(1);
+        const std::int64_t n = stack_[sp - 1];
+        if (n <= 0) return fail(ExecStatus::bad_rand_bound);
+        stack_[sp - 1] = static_cast<std::int64_t>(
+            rng_.below(static_cast<std::uint64_t>(n)));
+        break;
+      }
+
+      case Op::clock_ns:
+        if (sp >= limits_.max_operand_stack) {
+          return fail(ExecStatus::stack_overflow);
+        }
+        stack_[sp++] = clock_fn_ != nullptr ? clock_fn_(clock_ctx_)
+                                            : default_clock(nullptr);
+        if (sp > result.max_stack) result.max_stack = sp;
+        break;
+
+      case Op::min2:
+        EDEN_NEED(2);
+        stack_[sp - 2] =
+            stack_[sp - 2] < stack_[sp - 1] ? stack_[sp - 2] : stack_[sp - 1];
+        --sp;
+        break;
+      case Op::max2:
+        EDEN_NEED(2);
+        stack_[sp - 2] =
+            stack_[sp - 2] > stack_[sp - 1] ? stack_[sp - 2] : stack_[sp - 1];
+        --sp;
+        break;
+      case Op::abs1:
+        EDEN_NEED(1);
+        if (stack_[sp - 1] < 0) stack_[sp - 1] = wrap_neg(stack_[sp - 1]);
+        break;
+
+      case Op::halt:
+        result.value = sp > 0 ? stack_[sp - 1] : 0;
+        result.status = ExecStatus::ok;
+        return result;
+    }
+  }
+#undef EDEN_NEED
+}
+
+}  // namespace eden::lang

@@ -1,0 +1,250 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <limits>
+#include <unordered_map>
+
+namespace eden::lang {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::integer: return "integer";
+    case TokenKind::identifier: return "identifier";
+    case TokenKind::kw_fun: return "'fun'";
+    case TokenKind::kw_let: return "'let'";
+    case TokenKind::kw_rec: return "'rec'";
+    case TokenKind::kw_in: return "'in'";
+    case TokenKind::kw_if: return "'if'";
+    case TokenKind::kw_then: return "'then'";
+    case TokenKind::kw_elif: return "'elif'";
+    case TokenKind::kw_else: return "'else'";
+    case TokenKind::kw_while: return "'while'";
+    case TokenKind::kw_do: return "'do'";
+    case TokenKind::kw_done: return "'done'";
+    case TokenKind::kw_true: return "'true'";
+    case TokenKind::kw_false: return "'false'";
+    case TokenKind::kw_not: return "'not'";
+    case TokenKind::kw_and: return "'&&'";
+    case TokenKind::kw_or: return "'||'";
+    case TokenKind::arrow: return "'->'";
+    case TokenKind::left_arrow: return "'<-'";
+    case TokenKind::plus: return "'+'";
+    case TokenKind::minus: return "'-'";
+    case TokenKind::star: return "'*'";
+    case TokenKind::slash: return "'/'";
+    case TokenKind::percent: return "'%'";
+    case TokenKind::eq: return "'='";
+    case TokenKind::ne: return "'<>'";
+    case TokenKind::lt: return "'<'";
+    case TokenKind::le: return "'<='";
+    case TokenKind::gt: return "'>'";
+    case TokenKind::ge: return "'>='";
+    case TokenKind::lparen: return "'('";
+    case TokenKind::rparen: return "')'";
+    case TokenKind::lbracket: return "'['";
+    case TokenKind::rbracket: return "']'";
+    case TokenKind::dot: return "'.'";
+    case TokenKind::comma: return "','";
+    case TokenKind::semicolon: return "';'";
+    case TokenKind::colon: return "':'";
+    case TokenKind::end_of_input: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"fun", TokenKind::kw_fun},     {"let", TokenKind::kw_let},
+      {"rec", TokenKind::kw_rec},     {"in", TokenKind::kw_in},
+      {"if", TokenKind::kw_if},       {"then", TokenKind::kw_then},
+      {"elif", TokenKind::kw_elif},   {"else", TokenKind::kw_else},
+      {"while", TokenKind::kw_while}, {"do", TokenKind::kw_do},
+      {"done", TokenKind::kw_done},   {"true", TokenKind::kw_true},
+      {"false", TokenKind::kw_false}, {"not", TokenKind::kw_not},
+      {"and", TokenKind::kw_and},     {"or", TokenKind::kw_or},
+  };
+  return table;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+  bool match(char expected) {
+    if (at_end() || src_[pos_] != expected) return false;
+    advance();
+    return true;
+  }
+  SourceLoc loc() const { return loc_; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  SourceLoc loc_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  auto push = [&](TokenKind kind, SourceLoc loc) {
+    tokens.push_back(Token{kind, {}, 0, loc});
+  };
+
+  while (!cur.at_end()) {
+    const SourceLoc loc = cur.loc();
+    const char c = cur.advance();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') continue;
+
+    // Line comment.
+    if (c == '/' && cur.peek() == '/') {
+      while (!cur.at_end() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    // Block comment "(* ... *)", nesting allowed (F# style).
+    if (c == '(' && cur.peek() == '*') {
+      cur.advance();
+      int depth = 1;
+      while (depth > 0) {
+        if (cur.at_end()) throw LangError("unterminated comment", loc);
+        const char d = cur.advance();
+        if (d == '(' && cur.peek() == '*') {
+          cur.advance();
+          ++depth;
+        } else if (d == '*' && cur.peek() == ')') {
+          cur.advance();
+          --depth;
+        }
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = c - '0';
+      constexpr std::int64_t max = std::numeric_limits<std::int64_t>::max();
+      while (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_') {
+        const char d = cur.advance();
+        if (d == '_') continue;  // 1_000_000 readability separators
+        const int digit = d - '0';
+        if (value > (max - digit) / 10) {
+          throw LangError("integer literal overflows 64 bits", loc);
+        }
+        value = value * 10 + digit;
+      }
+      // F# int64 literal suffix "L" is accepted and ignored.
+      if (cur.peek() == 'L') cur.advance();
+      Token tok{TokenKind::integer, {}, value, loc};
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name(1, c);
+      while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_') {
+        name.push_back(cur.advance());
+      }
+      const auto it = keywords().find(name);
+      if (it != keywords().end()) {
+        push(it->second, loc);
+      } else {
+        Token tok{TokenKind::identifier, std::move(name), 0, loc};
+        tokens.push_back(std::move(tok));
+      }
+      continue;
+    }
+
+    switch (c) {
+      case '+': push(TokenKind::plus, loc); break;
+      case '*': push(TokenKind::star, loc); break;
+      case '/': push(TokenKind::slash, loc); break;
+      case '%': push(TokenKind::percent, loc); break;
+      case '(': push(TokenKind::lparen, loc); break;
+      case ')': push(TokenKind::rparen, loc); break;
+      case '[': push(TokenKind::lbracket, loc); break;
+      case ']': push(TokenKind::rbracket, loc); break;
+      case ',': push(TokenKind::comma, loc); break;
+      case ';': push(TokenKind::semicolon, loc); break;
+      case ':': push(TokenKind::colon, loc); break;
+      case '=':
+        cur.match('=');  // "==" is accepted as a synonym for "="
+        push(TokenKind::eq, loc);
+        break;
+      case '-':
+        push(cur.match('>') ? TokenKind::arrow : TokenKind::minus, loc);
+        break;
+      case '<':
+        if (cur.match('-')) {
+          push(TokenKind::left_arrow, loc);
+        } else if (cur.match('=')) {
+          push(TokenKind::le, loc);
+        } else if (cur.match('>')) {
+          push(TokenKind::ne, loc);
+        } else {
+          push(TokenKind::lt, loc);
+        }
+        break;
+      case '>':
+        push(cur.match('=') ? TokenKind::ge : TokenKind::gt, loc);
+        break;
+      case '!':
+        if (cur.match('=')) {
+          push(TokenKind::ne, loc);  // "!=" synonym for "<>"
+        } else {
+          throw LangError("unexpected character '!'", loc);
+        }
+        break;
+      case '&':
+        if (cur.match('&')) {
+          push(TokenKind::kw_and, loc);
+        } else {
+          throw LangError("unexpected character '&'", loc);
+        }
+        break;
+      case '|':
+        if (cur.match('|')) {
+          push(TokenKind::kw_or, loc);
+        } else {
+          throw LangError("unexpected character '|'", loc);
+        }
+        break;
+      case '.':
+        // F# array indexing is written "xs.[i]"; accept the dot-bracket
+        // spelling by treating ".[" as "[".
+        if (cur.peek() == '[') {
+          cur.advance();
+          push(TokenKind::lbracket, loc);
+        } else {
+          push(TokenKind::dot, loc);
+        }
+        break;
+      default:
+        throw LangError(std::string("unexpected character '") + c + "'", loc);
+    }
+  }
+
+  tokens.push_back(Token{TokenKind::end_of_input, {}, 0, cur.loc()});
+  return tokens;
+}
+
+}  // namespace eden::lang

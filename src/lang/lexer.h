@@ -1,0 +1,17 @@
+// Lexer for the Eden Action Language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace eden::lang {
+
+// Tokenizes an entire EAL program. Throws LangError on invalid input
+// (unknown characters, overflowing integer literals, unterminated
+// comments). Comments run from "//" to end of line or are enclosed in
+// F#-style "(* ... *)" blocks (nesting supported).
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace eden::lang

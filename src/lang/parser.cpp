@@ -1,0 +1,375 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+#include "lang/lexer.h"
+
+namespace eden::lang {
+
+ExprPtr make_int(std::int64_t value, SourceLoc loc) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::int_literal;
+  e->loc = loc;
+  e->int_value = value;
+  return e;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    expect(TokenKind::kw_fun, "action functions start with 'fun'");
+    expect(TokenKind::lparen, "'(' after 'fun'");
+    program.params = parse_params(TokenKind::rparen);
+    expect(TokenKind::rparen, "')' closing the parameter list");
+    expect(TokenKind::arrow, "'->' after the parameter list");
+    program.body = parse_block();
+    expect(TokenKind::end_of_input, "end of program");
+    return program;
+  }
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  const Token& expect(TokenKind kind, const std::string& what) {
+    if (!check(kind)) {
+      throw LangError("expected " + what + ", found " +
+                          std::string(token_kind_name(peek().kind)),
+                      peek().loc);
+    }
+    return advance();
+  }
+
+  ExprPtr node(ExprKind kind, SourceLoc loc) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->loc = loc;
+    return e;
+  }
+
+  std::vector<Param> parse_params(TokenKind terminator) {
+    std::vector<Param> params;
+    if (check(terminator)) return params;
+    while (true) {
+      Param p;
+      p.name = expect(TokenKind::identifier, "parameter name").text;
+      if (match(TokenKind::colon)) {
+        p.type_name = expect(TokenKind::identifier, "type name").text;
+      }
+      params.push_back(std::move(p));
+      if (!match(TokenKind::comma)) break;
+    }
+    return params;
+  }
+
+  // block := expr (';' expr)*
+  ExprPtr parse_block() {
+    const SourceLoc loc = peek().loc;
+    ExprPtr first = parse_expr();
+    if (!check(TokenKind::semicolon)) return first;
+    auto seq = node(ExprKind::sequence, loc);
+    seq->children.push_back(std::move(first));
+    while (match(TokenKind::semicolon)) {
+      seq->children.push_back(parse_expr());
+    }
+    return seq;
+  }
+
+  // expr := let | if | while | assign
+  ExprPtr parse_expr() {
+    switch (peek().kind) {
+      case TokenKind::kw_let: return parse_let();
+      case TokenKind::kw_if: return parse_if();
+      case TokenKind::kw_while: return parse_while();
+      default: return parse_assign();
+    }
+  }
+
+  ExprPtr parse_let() {
+    const SourceLoc loc = advance().loc;  // consume 'let'
+    const bool recursive = match(TokenKind::kw_rec);
+    std::string name = expect(TokenKind::identifier, "binding name").text;
+
+    if (check(TokenKind::lparen)) {
+      // Local function definition: let [rec] f(a, b) = fbody in body
+      advance();
+      std::vector<Param> params = parse_params(TokenKind::rparen);
+      expect(TokenKind::rparen, "')' closing the function parameters");
+      expect(TokenKind::eq, "'=' in function definition");
+      ExprPtr fbody = parse_expr();
+      expect(TokenKind::kw_in, "'in' after function definition");
+      ExprPtr body = parse_block();
+      auto e = node(ExprKind::let_fun, loc);
+      e->name = std::move(name);
+      e->fun_params = std::move(params);
+      e->is_recursive = recursive;
+      e->children.push_back(std::move(fbody));
+      e->children.push_back(std::move(body));
+      return e;
+    }
+
+    if (recursive) {
+      throw LangError("'let rec' requires a function definition", loc);
+    }
+    expect(TokenKind::eq, "'=' in let binding");
+    ExprPtr value = parse_expr();
+    expect(TokenKind::kw_in, "'in' after let binding");
+    ExprPtr body = parse_block();
+    auto e = node(ExprKind::let, loc);
+    e->name = std::move(name);
+    e->children.push_back(std::move(value));
+    e->children.push_back(std::move(body));
+    return e;
+  }
+
+  ExprPtr parse_if() {
+    const SourceLoc loc = advance().loc;  // consume 'if'
+    auto e = node(ExprKind::if_else, loc);
+    e->children.push_back(parse_expr());  // condition
+    expect(TokenKind::kw_then, "'then' after condition");
+    e->children.push_back(parse_expr());  // then-branch
+    if (check(TokenKind::kw_elif)) {
+      // Desugar: elif ... == else (if ...), reusing this if parser.
+      // Overwrite the kw_elif token view by recursing after consuming it.
+      const SourceLoc elif_loc = peek().loc;
+      advance();
+      auto nested = node(ExprKind::if_else, elif_loc);
+      nested->children.push_back(parse_expr());
+      expect(TokenKind::kw_then, "'then' after condition");
+      nested->children.push_back(parse_expr());
+      nested->children.push_back(parse_elif_tail());
+      e->children.push_back(std::move(nested));
+    } else if (match(TokenKind::kw_else)) {
+      e->children.push_back(parse_expr());
+    } else {
+      e->children.push_back(nullptr);  // missing else: value 0
+    }
+    return e;
+  }
+
+  // Continues a chain of elif/else after a then-branch. Returns the
+  // else-expression (possibly another nested if) or null.
+  ExprPtr parse_elif_tail() {
+    if (check(TokenKind::kw_elif)) {
+      const SourceLoc loc = peek().loc;
+      advance();
+      auto nested = node(ExprKind::if_else, loc);
+      nested->children.push_back(parse_expr());
+      expect(TokenKind::kw_then, "'then' after condition");
+      nested->children.push_back(parse_expr());
+      nested->children.push_back(parse_elif_tail());
+      return nested;
+    }
+    if (match(TokenKind::kw_else)) return parse_expr();
+    return nullptr;
+  }
+
+  ExprPtr parse_while() {
+    const SourceLoc loc = advance().loc;  // consume 'while'
+    auto e = node(ExprKind::while_loop, loc);
+    e->children.push_back(parse_expr());
+    expect(TokenKind::kw_do, "'do' after loop condition");
+    e->children.push_back(parse_block());
+    expect(TokenKind::kw_done, "'done' closing the loop body");
+    return e;
+  }
+
+  ExprPtr parse_assign() {
+    ExprPtr lhs = parse_or();
+    if (!check(TokenKind::left_arrow)) return lhs;
+    const SourceLoc loc = advance().loc;  // consume '<-'
+    if (lhs->kind != ExprKind::path_read) {
+      throw LangError("left side of '<-' must be a variable or state field",
+                      loc);
+    }
+    ExprPtr value = parse_expr();
+    auto e = node(ExprKind::assign, loc);
+    e->path = std::move(lhs->path);
+    e->children.push_back(std::move(value));
+    return e;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (check(TokenKind::kw_or)) {
+      const SourceLoc loc = advance().loc;
+      auto e = node(ExprKind::binary, loc);
+      e->binary_op = BinaryOp::logical_or;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_and());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (check(TokenKind::kw_and)) {
+      const SourceLoc loc = advance().loc;
+      auto e = node(ExprKind::binary, loc);
+      e->binary_op = BinaryOp::logical_and;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_cmp());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    BinaryOp op;
+    switch (peek().kind) {
+      case TokenKind::eq: op = BinaryOp::eq; break;
+      case TokenKind::ne: op = BinaryOp::ne; break;
+      case TokenKind::lt: op = BinaryOp::lt; break;
+      case TokenKind::le: op = BinaryOp::le; break;
+      case TokenKind::gt: op = BinaryOp::gt; break;
+      case TokenKind::ge: op = BinaryOp::ge; break;
+      default: return lhs;
+    }
+    const SourceLoc loc = advance().loc;
+    auto e = node(ExprKind::binary, loc);
+    e->binary_op = op;
+    e->children.push_back(std::move(lhs));
+    e->children.push_back(parse_add());
+    return e;  // Comparisons do not chain (a < b < c is a syntax error).
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (check(TokenKind::plus) || check(TokenKind::minus)) {
+      const BinaryOp op =
+          peek().kind == TokenKind::plus ? BinaryOp::add : BinaryOp::sub;
+      const SourceLoc loc = advance().loc;
+      auto e = node(ExprKind::binary, loc);
+      e->binary_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_mul());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (check(TokenKind::star) || check(TokenKind::slash) ||
+           check(TokenKind::percent)) {
+      BinaryOp op = BinaryOp::mul;
+      if (peek().kind == TokenKind::slash) op = BinaryOp::div;
+      if (peek().kind == TokenKind::percent) op = BinaryOp::mod;
+      const SourceLoc loc = advance().loc;
+      auto e = node(ExprKind::binary, loc);
+      e->binary_op = op;
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(parse_unary());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (check(TokenKind::minus) || check(TokenKind::kw_not)) {
+      const UnaryOp op = peek().kind == TokenKind::minus
+                             ? UnaryOp::neg
+                             : UnaryOp::logical_not;
+      const SourceLoc loc = advance().loc;
+      auto e = node(ExprKind::unary, loc);
+      e->unary_op = op;
+      e->children.push_back(parse_unary());
+      return e;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    const Token& tok = peek();
+    if (tok.kind == TokenKind::integer) {
+      advance();
+      return make_int(tok.int_value, tok.loc);
+    }
+    if (tok.kind == TokenKind::kw_true || tok.kind == TokenKind::kw_false) {
+      const bool value = tok.kind == TokenKind::kw_true;
+      advance();
+      auto e = node(ExprKind::bool_literal, tok.loc);
+      e->int_value = value ? 1 : 0;
+      return e;
+    }
+    if (tok.kind == TokenKind::lparen) {
+      advance();
+      ExprPtr inner = parse_block();
+      expect(TokenKind::rparen, "')'");
+      return inner;
+    }
+    if (tok.kind == TokenKind::identifier) {
+      return parse_path_or_call();
+    }
+    throw LangError("expected an expression, found " +
+                        std::string(token_kind_name(tok.kind)),
+                    tok.loc);
+  }
+
+  ExprPtr parse_path_or_call() {
+    const Token root = advance();
+
+    // Direct call: ident '(' args ')'
+    if (check(TokenKind::lparen)) {
+      advance();
+      auto e = node(ExprKind::call, root.loc);
+      e->name = root.text;
+      if (!check(TokenKind::rparen)) {
+        while (true) {
+          e->children.push_back(parse_expr());
+          if (!match(TokenKind::comma)) break;
+        }
+      }
+      expect(TokenKind::rparen, "')' closing the argument list");
+      return e;
+    }
+
+    Path path;
+    path.root = root.text;
+    path.loc = root.loc;
+    while (true) {
+      if (match(TokenKind::dot)) {
+        PathElem elem;
+        elem.field = expect(TokenKind::identifier, "field name").text;
+        path.elems.push_back(std::move(elem));
+      } else if (match(TokenKind::lbracket)) {
+        PathElem elem;
+        elem.index = parse_expr();
+        expect(TokenKind::rbracket, "']' closing the index");
+        path.elems.push_back(std::move(elem));
+      } else {
+        break;
+      }
+    }
+    auto e = node(ExprKind::path_read, root.loc);
+    e->path = std::move(path);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  Parser parser(lex(source));
+  return parser.parse_program();
+}
+
+}  // namespace eden::lang

@@ -1,0 +1,15 @@
+// Recursive-descent parser for the Eden Action Language.
+#pragma once
+
+#include <string_view>
+
+#include "lang/ast.h"
+
+namespace eden::lang {
+
+// Parses a complete action function of the form
+//   fun(packet : Packet, msg : Message, global : Global) -> <expr>
+// Throws LangError on syntax errors.
+Program parse(std::string_view source);
+
+}  // namespace eden::lang

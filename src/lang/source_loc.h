@@ -1,0 +1,32 @@
+// Source positions and the error type shared by the EAL front end.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace eden::lang {
+
+struct SourceLoc {
+  std::uint32_t line = 1;    // 1-based
+  std::uint32_t column = 1;  // 1-based
+
+  std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+// Thrown by the lexer, parser and compiler (all of which run at the
+// controller, never on the data path) on malformed programs.
+class LangError : public std::runtime_error {
+ public:
+  LangError(const std::string& message, SourceLoc loc)
+      : std::runtime_error(loc.to_string() + ": " + message), loc_(loc) {}
+
+  SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+}  // namespace eden::lang

@@ -1,0 +1,125 @@
+#include "lang/state_schema.h"
+
+#include <stdexcept>
+
+namespace eden::lang {
+
+std::string_view scope_name(Scope scope) {
+  switch (scope) {
+    case Scope::packet: return "packet";
+    case Scope::message: return "message";
+    case Scope::global: return "global";
+  }
+  return "?";
+}
+
+StateSchema& StateSchema::add(Scope scope, FieldDef field) {
+  const int s = static_cast<int>(scope);
+  if (field.name.empty()) {
+    throw std::invalid_argument("state field name must not be empty");
+  }
+  for (const auto& existing : fields_[s]) {
+    if (existing.name == field.name) {
+      throw std::invalid_argument("duplicate state field '" + field.name +
+                                  "' in scope " +
+                                  std::string(scope_name(scope)));
+    }
+  }
+  if (field.kind == FieldKind::record_array && field.record_fields.empty()) {
+    throw std::invalid_argument("record array '" + field.name +
+                                "' needs at least one record field");
+  }
+
+  FieldSlot slot;
+  slot.scope = scope;
+  slot.kind = field.kind;
+  slot.access = field.access;
+  if (field.kind == FieldKind::scalar) {
+    slot.slot = static_cast<std::uint16_t>(scalar_counts_[s]++);
+    slot.stride = 1;
+  } else {
+    slot.slot = static_cast<std::uint16_t>(array_counts_[s]++);
+    slot.stride = field.kind == FieldKind::record_array
+                      ? static_cast<std::uint16_t>(field.record_fields.size())
+                      : 1;
+  }
+  slots_[s].push_back(slot);
+  fields_[s].push_back(std::move(field));
+  return *this;
+}
+
+StateSchema& StateSchema::scalar(Scope scope, std::string name, Access access,
+                                 std::string header_map,
+                                 std::int64_t default_value) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.access = access;
+  f.kind = FieldKind::scalar;
+  f.header_map = std::move(header_map);
+  f.default_value = default_value;
+  return add(scope, std::move(f));
+}
+
+StateSchema& StateSchema::array(Scope scope, std::string name, Access access) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.access = access;
+  f.kind = FieldKind::array;
+  return add(scope, std::move(f));
+}
+
+StateSchema& StateSchema::record_array(Scope scope, std::string name,
+                                       Access access,
+                                       std::vector<std::string> record_fields) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.access = access;
+  f.kind = FieldKind::record_array;
+  f.record_fields = std::move(record_fields);
+  return add(scope, std::move(f));
+}
+
+std::optional<FieldSlot> StateSchema::find(Scope scope,
+                                           std::string_view name) const {
+  const int s = static_cast<int>(scope);
+  for (std::size_t i = 0; i < fields_[s].size(); ++i) {
+    if (fields_[s][i].name == name) return slots_[s][i];
+  }
+  return std::nullopt;
+}
+
+const FieldDef* StateSchema::field_def(Scope scope,
+                                       std::string_view name) const {
+  const int s = static_cast<int>(scope);
+  for (const auto& f : fields_[s]) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+int StateSchema::record_field_offset(Scope scope, std::string_view array_name,
+                                     std::string_view field) const {
+  const FieldDef* def = field_def(scope, array_name);
+  if (def == nullptr || def->kind != FieldKind::record_array) return -1;
+  for (std::size_t i = 0; i < def->record_fields.size(); ++i) {
+    if (def->record_fields[i] == field) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StateBlock StateBlock::from_schema(const StateSchema& schema, Scope scope) {
+  StateBlock block;
+  block.scalars.resize(schema.scalar_count(scope), 0);
+  block.arrays.resize(schema.array_count(scope));
+  for (const auto& f : schema.fields(scope)) {
+    const auto slot = schema.find(scope, f.name);
+    if (f.kind == FieldKind::scalar) {
+      block.scalars[slot->slot] = f.default_value;
+    } else {
+      block.arrays[slot->slot].stride = slot->stride;
+    }
+  }
+  return block;
+}
+
+}  // namespace eden::lang

@@ -1,0 +1,72 @@
+// Token definitions for the Eden Action Language (EAL).
+//
+// EAL is the F# subset described in the paper (Section 3.4.2): basic
+// arithmetic, assignments, function definitions and basic control flow.
+// No objects, exceptions or floating point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lang/source_loc.h"
+
+namespace eden::lang {
+
+enum class TokenKind : std::uint8_t {
+  // Literals / identifiers
+  integer,
+  identifier,
+  // Keywords
+  kw_fun,
+  kw_let,
+  kw_rec,
+  kw_in,
+  kw_if,
+  kw_then,
+  kw_elif,
+  kw_else,
+  kw_while,
+  kw_do,
+  kw_done,
+  kw_true,
+  kw_false,
+  kw_not,
+  kw_and,   // also spelled &&
+  kw_or,    // also spelled ||
+  // Punctuation / operators
+  arrow,        // ->
+  left_arrow,   // <-
+  plus,
+  minus,
+  star,
+  slash,
+  percent,
+  eq,           // =   (let-binding and equality, as in F#)
+  ne,           // <>
+  lt,
+  le,
+  gt,
+  ge,
+  lparen,
+  rparen,
+  lbracket,
+  rbracket,
+  dot,
+  comma,
+  semicolon,
+  colon,
+  end_of_input,
+};
+
+// Human-readable token-kind name for diagnostics.
+std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::end_of_input;
+  std::string text;          // identifier spelling (empty otherwise)
+  std::int64_t int_value = 0;  // for TokenKind::integer
+  SourceLoc loc;
+};
+
+}  // namespace eden::lang

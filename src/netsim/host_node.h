@@ -1,0 +1,39 @@
+// End-host node: one uplink port plus a delivery callback. The Eden host
+// stack (src/hoststack) sits on top of this: it owns the enclave and the
+// NIC-side rate limiters and uses HostNode purely as the wire attachment.
+#pragma once
+
+#include <functional>
+
+#include "netsim/node.h"
+
+namespace eden::netsim {
+
+class HostNode : public Node {
+ public:
+  using DeliverFn = std::function<void(PacketPtr)>;
+
+  HostNode(std::string name, HostId id) : Node(std::move(name), id) {}
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  void receive(PacketPtr packet, int in_port) override {
+    (void)in_port;
+    ++rx_packets_;
+    rx_bytes_ += packet->size_bytes;
+    if (deliver_) deliver_(std::move(packet));
+  }
+
+  // Transmits on the host's uplink (port 0 by convention).
+  bool transmit(PacketPtr packet) { return port(0).send(std::move(packet)); }
+
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  DeliverFn deliver_;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace eden::netsim

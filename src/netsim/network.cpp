@@ -1,0 +1,44 @@
+#include "netsim/network.h"
+
+namespace eden::netsim {
+
+HostNode& Network::add_host(const std::string& name) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  auto host = std::make_unique<HostNode>(name, next_id_++);
+  HostNode& ref = *host;
+  by_name_[name] = host.get();
+  hosts_.push_back(host.get());
+  nodes_.push_back(std::move(host));
+  return ref;
+}
+
+SwitchNode& Network::add_switch(const std::string& name, EcmpMode ecmp) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate node name: " + name);
+  }
+  auto sw = std::make_unique<SwitchNode>(name, next_id_++, ecmp);
+  SwitchNode& ref = *sw;
+  by_name_[name] = sw.get();
+  switches_.push_back(sw.get());
+  nodes_.push_back(std::move(sw));
+  return ref;
+}
+
+void Network::connect(Node& a, Node& b, std::uint64_t rate_bps,
+                      SimTime prop_delay, QueueConfig queue_config) {
+  const int pa = a.add_port(scheduler_, rate_bps, prop_delay, queue_config);
+  const int pb = b.add_port(scheduler_, rate_bps, prop_delay, queue_config);
+  a.port(pa).set_peer(&b, pb);
+  b.port(pb).set_peer(&a, pa);
+  edges_.push_back(Edge{&a, pa, &b, pb, rate_bps});
+  edges_.push_back(Edge{&b, pb, &a, pa, rate_bps});
+}
+
+Node* Network::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+}  // namespace eden::netsim

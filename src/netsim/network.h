@@ -1,0 +1,55 @@
+// Network container: owns the scheduler, the nodes and the wiring.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/event_queue.h"
+#include "netsim/host_node.h"
+#include "netsim/switch_node.h"
+
+namespace eden::netsim {
+
+// One direction of a link, for topology introspection.
+struct Edge {
+  Node* from = nullptr;
+  int from_port = -1;
+  Node* to = nullptr;
+  int to_port = -1;
+  std::uint64_t rate_bps = 0;
+};
+
+class Network {
+ public:
+  Scheduler& scheduler() { return scheduler_; }
+  SimTime now() const { return scheduler_.now(); }
+
+  HostNode& add_host(const std::string& name);
+  SwitchNode& add_switch(const std::string& name,
+                         EcmpMode ecmp = EcmpMode::flow_hash);
+
+  // Creates a bidirectional link: one port on each node, both at
+  // `rate_bps` with the given propagation delay and queue config.
+  void connect(Node& a, Node& b, std::uint64_t rate_bps, SimTime prop_delay,
+               QueueConfig queue_config = {});
+
+  Node* find(const std::string& name) const;
+  Node& node(HostId id) const { return *nodes_.at(id); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<HostNode*>& hosts() const { return hosts_; }
+  const std::vector<SwitchNode*>& switches() const { return switches_; }
+
+ private:
+  HostId next_id_ = 0;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, Node*> by_name_;
+  std::vector<Edge> edges_;
+  std::vector<HostNode*> hosts_;
+  std::vector<SwitchNode*> switches_;
+};
+
+}  // namespace eden::netsim

@@ -1,0 +1,36 @@
+#include "netsim/node.h"
+
+namespace eden::netsim {
+
+bool Port::send(PacketPtr packet) {
+  if (!queue_.enqueue(std::move(packet))) return false;
+  if (!busy_) start_transmission();
+  return true;
+}
+
+void Port::start_transmission() {
+  PacketPtr packet = queue_.dequeue();
+  if (packet == nullptr) return;
+  busy_ = true;
+  const SimTime tx = transmit_time(packet->size_bytes, rate_bps_);
+  ++tx_packets_;
+  tx_bytes_ += packet->size_bytes;
+
+  // When serialization completes, the packet departs onto the wire (its
+  // arrival is a separate event after the propagation delay) and the
+  // transmitter picks up the next queued packet.
+  scheduler_.after(tx, [this, packet = std::move(packet)]() mutable {
+    Node* peer = peer_;
+    const int in_port = peer_in_port_;
+    if (peer != nullptr) {
+      scheduler_.after(prop_delay_,
+                       [peer, in_port, packet = std::move(packet)]() mutable {
+                         peer->receive(std::move(packet), in_port);
+                       });
+    }
+    busy_ = false;
+    start_transmission();
+  });
+}
+
+}  // namespace eden::netsim

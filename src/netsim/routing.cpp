@@ -1,0 +1,145 @@
+#include "netsim/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+namespace eden::netsim {
+
+std::vector<Routing::Neighbor> Routing::neighbors(Node& node) const {
+  std::vector<Neighbor> result;
+  for (int i = 0; i < node.port_count(); ++i) {
+    Port& port = node.port(i);
+    if (port.peer() != nullptr) {
+      result.push_back(Neighbor{port.peer(), i, port.rate_bps()});
+    }
+  }
+  return result;
+}
+
+void Routing::install_all_paths(int max_hops) {
+  for (HostNode* src : network_.hosts()) {
+    for (HostNode* dst : network_.hosts()) {
+      if (src == dst) continue;
+
+      // Depth-first enumeration of simple paths src -> dst through
+      // switches only (hosts cannot transit).
+      std::vector<PathInfo>& out = matrix_[{src->id(), dst->id()}];
+      struct StackFrame {
+        Node* node;
+        std::size_t next_neighbor;
+      };
+      std::vector<Node*> current{src};
+      std::vector<std::uint64_t> bottleneck{
+          std::numeric_limits<std::uint64_t>::max()};
+      std::vector<StackFrame> stack{{src, 0}};
+
+      while (!stack.empty()) {
+        StackFrame& frame = stack.back();
+        const auto nbrs = neighbors(*frame.node);
+        if (frame.next_neighbor >= nbrs.size()) {
+          stack.pop_back();
+          current.pop_back();
+          bottleneck.pop_back();
+          continue;
+        }
+        const Neighbor nbr = nbrs[frame.next_neighbor++];
+        if (nbr.node == dst) {
+          PathInfo path;
+          path.nodes = current;
+          path.nodes.push_back(dst);
+          path.bottleneck_bps = std::min(bottleneck.back(), nbr.rate_bps);
+          out.push_back(std::move(path));
+          continue;
+        }
+        // Only transit through switches, never other hosts.
+        if (std::none_of(network_.switches().begin(),
+                         network_.switches().end(),
+                         [&](SwitchNode* s) { return s == nbr.node; })) {
+          continue;
+        }
+        if (static_cast<int>(current.size()) >= max_hops) continue;
+        if (std::find(current.begin(), current.end(), nbr.node) !=
+            current.end()) {
+          continue;  // simple paths only
+        }
+        current.push_back(nbr.node);
+        bottleneck.push_back(std::min(bottleneck.back(), nbr.rate_bps));
+        stack.push_back(StackFrame{nbr.node, 0});
+      }
+
+      // Deterministic ordering: shorter paths first, then by capacity.
+      std::sort(out.begin(), out.end(),
+                [](const PathInfo& a, const PathInfo& b) {
+                  if (a.nodes.size() != b.nodes.size()) {
+                    return a.nodes.size() < b.nodes.size();
+                  }
+                  return a.bottleneck_bps > b.bottleneck_bps;
+                });
+
+      // Assign labels and install them along each path.
+      for (PathInfo& path : out) {
+        path.label = next_label_++;
+        for (std::size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+          auto* sw = static_cast<SwitchNode*>(path.nodes[i]);
+          Node* next = path.nodes[i + 1];
+          for (const Neighbor& nbr : neighbors(*sw)) {
+            if (nbr.node == next) {
+              sw->install_label(path.label, nbr.out_port);
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Routing::install_dest_routes() {
+  for (HostNode* dst : network_.hosts()) {
+    // BFS from the destination to get hop distances.
+    std::unordered_map<Node*, int> dist;
+    dist[dst] = 0;
+    std::deque<Node*> frontier{dst};
+    while (!frontier.empty()) {
+      Node* node = frontier.front();
+      frontier.pop_front();
+      // Traffic cannot transit through other hosts.
+      const bool is_transit = node == dst ||
+                              std::any_of(network_.switches().begin(),
+                                          network_.switches().end(),
+                                          [&](SwitchNode* s) {
+                                            return s == node;
+                                          });
+      if (!is_transit) continue;
+      for (const Neighbor& nbr : neighbors(*node)) {
+        if (!dist.contains(nbr.node)) {
+          dist[nbr.node] = dist[node] + 1;
+          frontier.push_back(nbr.node);
+        }
+      }
+    }
+
+    // Every switch forwards toward any neighbor strictly closer to dst.
+    for (SwitchNode* sw : network_.switches()) {
+      const auto it = dist.find(sw);
+      if (it == dist.end()) continue;
+      std::vector<int> ports;
+      for (const Neighbor& nbr : neighbors(*sw)) {
+        const auto nd = dist.find(nbr.node);
+        if (nd != dist.end() && nd->second == it->second - 1) {
+          ports.push_back(nbr.out_port);
+        }
+      }
+      if (!ports.empty()) sw->install_route(dst->id(), std::move(ports));
+    }
+  }
+}
+
+const std::vector<PathInfo>& Routing::paths(HostId src, HostId dst) const {
+  const auto it = matrix_.find({src, dst});
+  return it == matrix_.end() ? empty_ : it->second;
+}
+
+}  // namespace eden::netsim

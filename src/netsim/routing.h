@@ -1,0 +1,58 @@
+// Path computation and route installation.
+//
+// Models the network support Eden assumes (Section 3.5): the controller
+// computes paths with global topology visibility, assigns each a label
+// (VLAN/MPLS as in SPAIN) and installs label-forwarding entries in the
+// switches; end hosts then source-route by tagging packets with a label.
+// Destination-based shortest-path ECMP tables are installed as the
+// fallback for unlabeled traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "netsim/network.h"
+
+namespace eden::netsim {
+
+struct PathInfo {
+  std::int32_t label = -1;
+  std::vector<Node*> nodes;  // src host, switches..., dst host
+  std::uint64_t bottleneck_bps = 0;
+
+  int hop_count() const { return static_cast<int>(nodes.size()) - 1; }
+};
+
+class Routing {
+ public:
+  explicit Routing(Network& network) : network_(network) {}
+
+  // Enumerates all simple paths between every pair of hosts (bounded by
+  // `max_hops`), assigns a unique label to each and installs the label
+  // tables in the switches along the way.
+  void install_all_paths(int max_hops = 8);
+
+  // Installs shortest-path destination tables (hop-count metric) with
+  // all equal-cost ports, enabling classic ECMP at the switches.
+  void install_dest_routes();
+
+  // Paths from src to dst; empty if install_all_paths was not run or no
+  // path exists.
+  const std::vector<PathInfo>& paths(HostId src, HostId dst) const;
+
+ private:
+  struct Neighbor {
+    Node* node;
+    int out_port;          // port on the *from* node
+    std::uint64_t rate_bps;
+  };
+  std::vector<Neighbor> neighbors(Node& node) const;
+
+  Network& network_;
+  std::int32_t next_label_ = 1;
+  std::map<std::pair<HostId, HostId>, std::vector<PathInfo>> matrix_;
+  std::vector<PathInfo> empty_;
+};
+
+}  // namespace eden::netsim

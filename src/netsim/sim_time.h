@@ -1,0 +1,34 @@
+// Simulated time. All of netsim runs on a virtual clock in integer
+// nanoseconds — at 10 Gbps one 1500-byte packet serializes in exactly
+// 1200 ns, so nanosecond resolution loses nothing at datacenter rates.
+#pragma once
+
+#include <cstdint>
+
+namespace eden::netsim {
+
+using SimTime = std::int64_t;  // nanoseconds since simulation start
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * 1000;
+inline constexpr SimTime kSecond = 1000 * 1000 * 1000;
+
+// Serialization delay of `bytes` at `rate_bps`, rounded up so a packet
+// never takes zero time on a finite-rate link.
+inline constexpr SimTime transmit_time(std::uint64_t bytes,
+                                       std::uint64_t rate_bps) {
+  if (rate_bps == 0) return 0;
+  const std::uint64_t bits = bytes * 8;
+  return static_cast<SimTime>((bits * 1000000000ULL + rate_bps - 1) /
+                              rate_bps);
+}
+
+inline constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / 1e9;
+}
+inline constexpr double to_micros(SimTime t) {
+  return static_cast<double>(t) / 1e3;
+}
+
+}  // namespace eden::netsim

@@ -1,0 +1,63 @@
+#include "netsim/switch_node.h"
+
+namespace eden::netsim {
+
+namespace {
+
+// 64-bit mix of the five-tuple; stable across runs so ECMP flow pinning
+// is deterministic.
+std::uint64_t five_tuple_hash(const Packet& p) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  mix(p.src);
+  mix(p.dst);
+  mix(p.src_port);
+  mix(p.dst_port);
+  mix(static_cast<std::uint64_t>(p.protocol));
+  return h;
+}
+
+}  // namespace
+
+void SwitchNode::receive(PacketPtr packet, int in_port) {
+  (void)in_port;
+
+  // Label-based source routing takes precedence (Section 3.5).
+  if (packet->path_label >= 0) {
+    const auto it = label_table_.find(packet->path_label);
+    if (it != label_table_.end()) {
+      ++stats_.forwarded;
+      ++stats_.label_forwarded;
+      if (!port(it->second).send(std::move(packet))) ++stats_.queue_drops;
+      return;
+    }
+    // Unknown label: fall through to destination routing.
+  }
+
+  const auto route = dest_table_.find(packet->dst);
+  if (route == dest_table_.end() || route->second.empty()) {
+    ++stats_.no_route_drops;
+    return;  // packet dropped
+  }
+  const int out_port = pick_port(*packet, route->second);
+  ++stats_.forwarded;
+  if (!port(out_port).send(std::move(packet))) ++stats_.queue_drops;
+}
+
+int SwitchNode::pick_port(const Packet& packet,
+                          const std::vector<int>& ports) {
+  if (ports.size() == 1) return ports[0];
+  switch (ecmp_) {
+    case EcmpMode::flow_hash:
+      return ports[five_tuple_hash(packet) % ports.size()];
+    case EcmpMode::per_packet_random:
+      return ports[spray_counter_++ % ports.size()];
+  }
+  return ports[0];
+}
+
+}  // namespace eden::netsim

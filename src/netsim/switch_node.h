@@ -1,0 +1,61 @@
+// Commodity switch model.
+//
+// Eden requires only two things from switches (Section 3.5): 802.1q
+// priority queueing (provided by Port/PriorityQueueSet) and label-based
+// forwarding for source routing (VLAN/MPLS as in SPAIN). SwitchNode
+// implements a label table plus conventional destination-based tables
+// with ECMP hashing as the fallback for unlabeled traffic.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/node.h"
+
+namespace eden::netsim {
+
+enum class EcmpMode : std::uint8_t {
+  flow_hash,          // hash of the five-tuple (standard ECMP)
+  per_packet_random,  // random spraying (used by reordering experiments)
+};
+
+struct SwitchStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t label_forwarded = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t queue_drops = 0;
+};
+
+class SwitchNode : public Node {
+ public:
+  SwitchNode(std::string name, HostId id, EcmpMode ecmp = EcmpMode::flow_hash)
+      : Node(std::move(name), id), ecmp_(ecmp) {}
+
+  void receive(PacketPtr packet, int in_port) override;
+
+  // Label forwarding: packets carrying `label` exit through `out_port`.
+  void install_label(std::int32_t label, int out_port) {
+    label_table_[label] = out_port;
+  }
+  void remove_label(std::int32_t label) { label_table_.erase(label); }
+
+  // Destination routes: the set of equal-cost output ports toward `dst`.
+  void install_route(HostId dst, std::vector<int> out_ports) {
+    dest_table_[dst] = std::move(out_ports);
+  }
+
+  void set_ecmp_mode(EcmpMode mode) { ecmp_ = mode; }
+  const SwitchStats& stats() const { return stats_; }
+  std::size_t label_table_size() const { return label_table_.size(); }
+
+ private:
+  int pick_port(const Packet& packet, const std::vector<int>& ports);
+
+  EcmpMode ecmp_;
+  std::unordered_map<std::int32_t, int> label_table_;
+  std::unordered_map<HostId, std::vector<int>> dest_table_;
+  SwitchStats stats_;
+  std::uint64_t spray_counter_ = 0;
+};
+
+}  // namespace eden::netsim

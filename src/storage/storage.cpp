@@ -1,0 +1,220 @@
+#include "storage/storage.h"
+
+#include <algorithm>
+
+namespace eden::storage {
+
+using netsim::PacketPtr;
+
+// ---------------------------------------------------------------------
+// Server
+
+StorageServer::StorageServer(netsim::Network& network,
+                             hoststack::HostStack& stack,
+                             StorageServerConfig config)
+    : network_(network), stack_(stack), config_(config) {
+  // WRITE data arrives as TCP flows on the storage port.
+  stack_.listen(kStoragePort, [this](transport::TcpReceiver& receiver,
+                                     const hoststack::FlowInfo& info) {
+    receiver.expect(static_cast<std::uint64_t>(info.meta.msg_size));
+    const PendingIo io{info.meta.tenant, info.meta.msg_id, kIoWrite,
+                       info.meta.msg_size, info.peer};
+    receiver.on_complete = [this, io] { on_write_complete(io); };
+  });
+  // READ requests and retries arrive as raw packets on the control port.
+  stack_.set_raw_handler([this](PacketPtr packet) {
+    if (packet->dst_port == kStorageCtrlPort) on_read_request(*packet);
+  });
+}
+
+void StorageServer::on_read_request(const netsim::Packet& request) {
+  PendingIo io{request.meta.tenant, request.meta.msg_id,
+               request.meta.msg_type, request.meta.msg_size, request.src};
+  if (io.kind == kIoWrite) {
+    // A write-retry: the data is already buffered; only admission is
+    // being retried.
+  }
+  if (!admit(std::move(io))) {
+    ++rejected_;
+    send_ctrl(request.src, request.meta.tenant, request.meta.msg_id,
+              kIoReject);
+  }
+}
+
+void StorageServer::on_write_complete(const PendingIo& io) {
+  if (!admit(io)) {
+    ++rejected_;
+    send_ctrl(io.client, io.tenant, io.io_id, kIoReject);
+  }
+}
+
+bool StorageServer::admit(PendingIo io) {
+  if (queue_.size() >= config_.queue_limit) return false;
+  queue_.push_back(std::move(io));
+  service_next();
+  return true;
+}
+
+void StorageServer::service_next() {
+  if (disk_busy_ || queue_.empty()) return;
+  const PendingIo io = queue_.front();
+  queue_.pop_front();
+  disk_busy_ = true;
+  const netsim::SimTime service = netsim::transmit_time(
+      static_cast<std::uint64_t>(io.size), config_.disk_rate_bps);
+  network_.scheduler().after(service, [this, io] {
+    disk_busy_ = false;
+    if (io.kind == kIoRead) {
+      ++served_reads_;
+      // Bulk response back to the client as a TCP flow.
+      netsim::PacketMeta meta;
+      meta.tenant = io.tenant;
+      meta.msg_type = kIoRead;
+      meta.msg_size = io.size;
+      meta.msg_id = io.io_id;
+      transport::TcpSender& sender =
+          stack_.open_flow(io.client, kClientDataPort, meta);
+      sender.start(static_cast<std::uint64_t>(io.size));
+      const netsim::FlowId fid = sender.flow_id();
+      sender.on_complete = [this, fid] { stack_.close_flow(fid); };
+    } else {
+      ++served_writes_;
+      send_ctrl(io.client, io.tenant, io.io_id, kIoWriteAck);
+    }
+    service_next();
+  });
+}
+
+void StorageServer::send_ctrl(netsim::HostId client, std::int64_t tenant,
+                              std::int64_t io_id, std::int64_t type) {
+  PacketPtr packet = netsim::make_packet();
+  packet->src = stack_.id();
+  packet->dst = client;
+  packet->dst_port = kStorageCtrlPort;
+  packet->protocol = netsim::Protocol::storage;
+  packet->size_bytes = config_.request_bytes;
+  packet->meta.tenant = tenant;
+  packet->meta.msg_id = io_id;
+  packet->meta.msg_type = type;
+  stack_.send_raw(std::move(packet));
+}
+
+// ---------------------------------------------------------------------
+// Client
+
+StorageClient::StorageClient(netsim::Network& network,
+                             hoststack::HostStack& stack,
+                             StorageClientConfig config)
+    : network_(network),
+      stack_(stack),
+      config_(config),
+      stage_("storage", {"op"}, {"msg_id", "msg_type", "msg_size", "tenant"},
+             stack.enclave().registry()) {
+  // Default classification rules (the controller may add more).
+  stage_.create_rule("ops", {core::FieldPattern::exact("READ")}, "READ",
+                     core::kMetaAll);
+  stage_.create_rule("ops", {core::FieldPattern::exact("WRITE")}, "WRITE",
+                     core::kMetaAll);
+  read_classes_ = stage_.classify({"READ"}, {}).classes;
+  write_classes_ = stage_.classify({"WRITE"}, {}).classes;
+  // READ responses arrive as TCP flows on the client data port.
+  stack_.listen(kClientDataPort, [this](transport::TcpReceiver& receiver,
+                                        const hoststack::FlowInfo& info) {
+    receiver.expect(static_cast<std::uint64_t>(info.meta.msg_size));
+    const netsim::FlowId fid = info.flow_id;
+    receiver.on_complete = [this, fid] {
+      stack_.close_flow(fid);
+      complete_one();
+    };
+  });
+  // Control packets: rejections and write acks.
+  stack_.set_raw_handler([this](PacketPtr packet) {
+    if (packet->dst_port == kStorageCtrlPort) on_ctrl(*packet);
+  });
+}
+
+void StorageClient::start() {
+  running_ = true;
+  for (int i = 0; i < config_.window; ++i) issue_one();
+}
+
+void StorageClient::issue_one() {
+  if (!running_ || outstanding_ >= config_.window) return;
+  ++outstanding_;
+  const std::int64_t io_id = next_io_id_++;
+
+  if (config_.kind == kIoRead) {
+    // Tiny request packet; the response carries the bytes.
+    PacketPtr packet = netsim::make_packet();
+    packet->src = stack_.id();
+    packet->dst = config_.server;
+    packet->dst_port = kStorageCtrlPort;
+    packet->protocol = netsim::Protocol::storage;
+    packet->size_bytes = 200;
+    packet->meta.tenant = config_.tenant;
+    packet->meta.msg_id = io_id;
+    packet->meta.msg_type = kIoRead;
+    packet->meta.msg_size = config_.io_bytes;
+    packet->classes = read_classes_;
+    stack_.send_raw(std::move(packet));
+  } else {
+    // Bulk write: the data itself is the request.
+    netsim::PacketMeta meta;
+    meta.tenant = config_.tenant;
+    meta.msg_type = kIoWrite;
+    meta.msg_size = config_.io_bytes;
+    meta.msg_id = io_id;
+    transport::TcpSender& sender =
+        stack_.open_flow(config_.server, kStoragePort, meta, write_classes_);
+    sender.start(static_cast<std::uint64_t>(config_.io_bytes));
+    const netsim::FlowId fid = sender.flow_id();
+    sender.on_complete = [this, fid] { stack_.close_flow(fid); };
+  }
+}
+
+void StorageClient::on_ctrl(const netsim::Packet& packet) {
+  if (packet.meta.msg_type == kIoWriteAck) {
+    complete_one();
+    return;
+  }
+  if (packet.meta.msg_type != kIoReject) return;
+  ++rejections_;
+  // Retry admission after a beat. Reads resend the whole (tiny) request;
+  // writes only retry admission — the server already has the data.
+  const std::int64_t io_id = packet.meta.msg_id;
+  network_.scheduler().after(config_.retry_delay, [this, io_id] {
+    if (!running_) return;
+    PacketPtr retry = netsim::make_packet();
+    retry->src = stack_.id();
+    retry->dst = config_.server;
+    retry->dst_port = kStorageCtrlPort;
+    retry->protocol = netsim::Protocol::storage;
+    retry->size_bytes = 200;
+    retry->meta.tenant = config_.tenant;
+    retry->meta.msg_id = io_id;
+    retry->meta.msg_type = config_.kind;
+    retry->meta.msg_size = config_.io_bytes;
+    retry->classes =
+        config_.kind == kIoRead ? read_classes_ : write_classes_;
+    stack_.send_raw(std::move(retry));
+  });
+}
+
+void StorageClient::complete_one() {
+  ++completed_;
+  completions_.push_back(network_.now());
+  --outstanding_;
+  issue_one();
+}
+
+double StorageClient::throughput_mbps(netsim::SimTime from,
+                                      netsim::SimTime to) const {
+  if (to <= from) return 0.0;
+  const auto in_window = static_cast<double>(std::count_if(
+      completions_.begin(), completions_.end(),
+      [from, to](netsim::SimTime t) { return t >= from && t <= to; }));
+  const double bytes = in_window * static_cast<double>(config_.io_bytes);
+  return bytes / 1e6 / netsim::to_seconds(to - from);
+}
+
+}  // namespace eden::storage

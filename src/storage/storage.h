@@ -1,0 +1,128 @@
+// Storage substrate for the Pulsar case study (Figure 11).
+//
+// A StorageServer fronts a RAM-disk-like backend behind its host's link:
+// a bounded FIFO request queue served at the backend's byte rate. READ
+// requests are tiny packets whose responses are bulk TCP flows back to
+// the client; WRITE requests are bulk TCP flows whose acks are tiny
+// packets — the IO asymmetry the case study turns on. When the request
+// queue is full the server rejects, and clients retry: a READ-heavy
+// tenant can therefore flood the shared queue with cheap requests and
+// starve WRITEs, unless Pulsar's rate control charges READ requests by
+// their operation size at the client enclave.
+//
+// StorageClient runs a closed-loop tenant workload: `window` outstanding
+// IOs of one kind, retrying rejected requests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "hoststack/host_stack.h"
+
+namespace eden::storage {
+
+// PacketMeta.msg_type values (shared with functions::kIoRead/kIoWrite).
+inline constexpr std::int64_t kIoRead = 1;
+inline constexpr std::int64_t kIoWrite = 2;
+inline constexpr std::int64_t kIoReject = 3;
+inline constexpr std::int64_t kIoWriteAck = 4;
+
+inline constexpr std::uint16_t kStoragePort = 9000;     // WRITE data flows
+inline constexpr std::uint16_t kStorageCtrlPort = 9001; // READ requests/acks
+inline constexpr std::uint16_t kClientDataPort = 9100;  // READ responses
+
+struct StorageServerConfig {
+  std::uint64_t disk_rate_bps = 1200 * 1000 * 1000ULL;  // ~150 MB/s backend
+  std::size_t queue_limit = 64;  // outstanding IOs admitted
+  std::uint32_t request_bytes = 200;  // wire size of a READ request / ack
+};
+
+class StorageServer {
+ public:
+  StorageServer(netsim::Network& network, hoststack::HostStack& stack,
+                StorageServerConfig config = {});
+
+  std::uint64_t served_reads() const { return served_reads_; }
+  std::uint64_t served_writes() const { return served_writes_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct PendingIo {
+    std::int64_t tenant;
+    std::int64_t io_id;
+    std::int64_t kind;
+    std::int64_t size;
+    netsim::HostId client;
+  };
+
+  void on_read_request(const netsim::Packet& request);
+  void on_write_complete(const PendingIo& io);
+  bool admit(PendingIo io);
+  void service_next();
+  void send_ctrl(netsim::HostId client, std::int64_t tenant,
+                 std::int64_t io_id, std::int64_t type);
+
+  netsim::Network& network_;
+  hoststack::HostStack& stack_;
+  StorageServerConfig config_;
+  std::deque<PendingIo> queue_;
+  bool disk_busy_ = false;
+  std::uint64_t served_reads_ = 0;
+  std::uint64_t served_writes_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+struct StorageClientConfig {
+  std::int64_t tenant = 0;
+  std::int64_t kind = kIoRead;      // all IOs of this tenant
+  std::int64_t io_bytes = 64 * 1024;
+  int window = 16;                  // outstanding IOs
+  netsim::SimTime retry_delay = 500 * netsim::kMicrosecond;
+  netsim::HostId server = 0;
+};
+
+class StorageClient {
+ public:
+  StorageClient(netsim::Network& network, hoststack::HostStack& stack,
+                StorageClientConfig config);
+
+  // The client's Eden stage: classifies IO requests on <op> into the
+  // classes storage.ops.READ / storage.ops.WRITE, so enclave rules (e.g.
+  // Pulsar's) match only IO requests — not, say, the TCP acks of
+  // response flows.
+  core::Stage& stage() { return stage_; }
+
+  void start();
+  void stop() { running_ = false; }
+
+  std::uint64_t completed_ios() const { return completed_; }
+  std::uint64_t completed_bytes() const {
+    return completed_ * static_cast<std::uint64_t>(config_.io_bytes);
+  }
+  std::uint64_t rejections_seen() const { return rejections_; }
+
+  // Throughput in MB/s over the window [from, to].
+  double throughput_mbps(netsim::SimTime from, netsim::SimTime to) const;
+
+ private:
+  void issue_one();
+  void on_ctrl(const netsim::Packet& packet);
+  void complete_one();
+
+  netsim::Network& network_;
+  hoststack::HostStack& stack_;
+  StorageClientConfig config_;
+  core::Stage stage_;
+  netsim::ClassList read_classes_;
+  netsim::ClassList write_classes_;
+  bool running_ = false;
+  int outstanding_ = 0;
+  std::int64_t next_io_id_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::vector<netsim::SimTime> completions_;
+};
+
+}  // namespace eden::storage

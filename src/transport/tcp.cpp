@@ -1,0 +1,248 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+
+namespace eden::transport {
+
+TcpSender::TcpSender(Scheduler& scheduler, TcpConfig config, FlowId flow_id,
+                     HostId src, HostId dst, std::uint16_t src_port,
+                     std::uint16_t dst_port)
+    : scheduler_(scheduler),
+      config_(config),
+      flow_id_(flow_id),
+      src_(src),
+      dst_(dst),
+      src_port_(src_port),
+      dst_port_(dst_port) {
+  cwnd_ = static_cast<std::uint64_t>(config_.initial_cwnd_segments) *
+          config_.mss;
+  ssthresh_ = config_.max_cwnd_bytes;
+  rto_ = config_.initial_rto;
+}
+
+TcpSender::~TcpSender() { scheduler_.cancel(rto_timer_); }
+
+void TcpSender::start(std::uint64_t bytes) {
+  total_bytes_ += bytes;
+  if (stats_.first_send_time < 0) {
+    stats_.first_send_time = scheduler_.now();
+  }
+  try_send();
+}
+
+void TcpSender::try_send() {
+  while (snd_next_ < total_bytes_) {
+    const std::uint64_t in_flight = snd_next_ - snd_una_;
+    if (in_flight >= cwnd_) break;
+    const auto len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(config_.mss, total_bytes_ - snd_next_));
+    // Avoid runt segments: wait for a full MSS of window unless nothing
+    // is in flight (so progress is always possible).
+    if (in_flight > 0 && cwnd_ - in_flight < len) break;
+    send_segment(snd_next_, len);
+    snd_next_ += len;
+  }
+  if (snd_next_ > snd_una_) arm_rto();
+}
+
+void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len) {
+  if (!transmit_) return;
+  PacketPtr packet = netsim::make_packet();
+  packet->src = src_;
+  packet->dst = dst_;
+  packet->src_port = src_port_;
+  packet->dst_port = dst_port_;
+  packet->protocol = netsim::Protocol::tcp;
+  packet->flow_id = flow_id_;
+  packet->seq = seq;
+  packet->payload_bytes = len;
+  packet->size_bytes = len + config_.header_bytes;
+  packet->priority = priority_;
+  packet->meta = meta_;
+  packet->classes = classes_;
+  packet->sent_at = scheduler_.now();
+
+  // RTT sampling per Karn: time one segment at a time and only segments
+  // carrying never-before-sent data (an RTO rewinds snd_next_, so compare
+  // against the high-water mark rather than snd_next_).
+  if (timed_sent_at_ < 0 && seq >= highest_sent_) {
+    timed_seq_ = seq + len;
+    timed_sent_at_ = scheduler_.now();
+  }
+  highest_sent_ = std::max(highest_sent_, seq + len);
+
+  ++stats_.data_packets_sent;
+  stats_.bytes_sent += len;
+  transmit_(std::move(packet));
+}
+
+void TcpSender::on_ack(const Packet& packet) {
+  const std::uint64_t ack = packet.ack;
+
+  if (ack > snd_una_) {
+    // New data acknowledged.
+    snd_una_ = ack;
+    dupack_count_ = 0;
+    backoff_ = 0;
+
+    // RTT sample.
+    if (timed_sent_at_ >= 0 && ack >= timed_seq_) {
+      const double sample =
+          static_cast<double>(scheduler_.now() - timed_sent_at_);
+      if (!rtt_seeded_) {
+        srtt_ns_ = sample;
+        rttvar_ns_ = sample / 2;
+        rtt_seeded_ = true;
+      } else {
+        const double err = sample - srtt_ns_;
+        srtt_ns_ += 0.125 * err;
+        rttvar_ns_ += 0.25 * (std::abs(err) - rttvar_ns_);
+      }
+      rto_ = std::max<SimTime>(
+          config_.min_rto,
+          static_cast<SimTime>(srtt_ns_ + 4.0 * rttvar_ns_));
+      timed_sent_at_ = -1;
+    }
+
+    if (in_recovery_ && ack >= recovery_point_) {
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else if (in_recovery_) {
+      // NewReno partial ACK: the ack advanced but not past the recovery
+      // point, so another segment from the same window was lost —
+      // retransmit the new hole immediately instead of waiting for an
+      // RTO.
+      const auto len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          config_.mss, total_bytes_ - snd_una_));
+      if (len > 0) send_segment(snd_una_, len);
+    } else if (!in_recovery_) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += config_.mss;  // slow start
+      } else {
+        cwnd_ += static_cast<std::uint64_t>(config_.mss) * config_.mss /
+                 std::max<std::uint64_t>(cwnd_, 1);  // congestion avoidance
+      }
+      cwnd_ = std::min(cwnd_, config_.max_cwnd_bytes);
+    }
+
+    if (complete()) {
+      scheduler_.cancel(rto_timer_);
+      rto_timer_ = netsim::kInvalidEvent;
+      if (stats_.completion_time < 0) {
+        stats_.completion_time = scheduler_.now();
+        if (on_complete) on_complete();
+      }
+      return;
+    }
+    arm_rto();
+    try_send();
+    return;
+  }
+
+  // Duplicate ACK.
+  if (snd_next_ > snd_una_) {
+    ++stats_.dup_acks;
+    ++dupack_count_;
+    if (!in_recovery_ && dupack_count_ >= config_.dupack_threshold) {
+      enter_fast_retransmit();
+    }
+  }
+}
+
+void TcpSender::enter_fast_retransmit() {
+  in_recovery_ = true;
+  recovery_point_ = snd_next_;
+  ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2,
+                                      2ULL * config_.mss);
+  cwnd_ = ssthresh_;
+  ++stats_.fast_retransmits;
+  timed_sent_at_ = -1;  // Karn: do not time retransmissions
+  const std::uint32_t len = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(config_.mss, total_bytes_ - snd_una_));
+  if (len > 0) send_segment(snd_una_, len);
+  arm_rto();
+}
+
+void TcpSender::arm_rto() {
+  scheduler_.cancel(rto_timer_);
+  const SimTime timeout = rto_ << std::min(backoff_, 10u);
+  rto_timer_ = scheduler_.after(timeout, [this] { on_rto(); });
+}
+
+void TcpSender::on_rto() {
+  rto_timer_ = netsim::kInvalidEvent;
+  if (complete()) return;
+  ++stats_.timeouts;
+  ++backoff_;
+  ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ULL * config_.mss);
+  cwnd_ = config_.mss;  // back to slow start
+  in_recovery_ = false;
+  dupack_count_ = 0;
+  timed_sent_at_ = -1;
+  // Go-back-N: retransmit from the first unacked byte.
+  snd_next_ = snd_una_;
+  try_send();
+  arm_rto();
+}
+
+// ---------------------------------------------------------------------
+// Receiver
+
+TcpReceiver::TcpReceiver(FlowId flow_id, HostId self, HostId peer,
+                         std::uint16_t self_port, std::uint16_t peer_port,
+                         std::uint32_t ack_bytes)
+    : flow_id_(flow_id),
+      self_(self),
+      peer_(peer),
+      self_port_(self_port),
+      peer_port_(peer_port),
+      ack_bytes_(ack_bytes) {}
+
+void TcpReceiver::on_data(const Packet& packet) {
+  const std::uint64_t seg_start = packet.seq;
+  const std::uint64_t seg_end = packet.seq + packet.payload_bytes;
+
+  if (seg_end > rcv_next_) {
+    if (seg_start <= rcv_next_) {
+      rcv_next_ = seg_end;
+      // Pull any previously buffered contiguous segments.
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && it->first <= rcv_next_) {
+        rcv_next_ = std::max(rcv_next_, it->second);
+        it = ooo_.erase(it);
+      }
+    } else {
+      // Out of order: buffer (coalescing is unnecessary for stats).
+      ++ooo_total_;
+      auto [it, inserted] = ooo_.emplace(seg_start, seg_end);
+      if (!inserted && seg_end > it->second) it->second = seg_end;
+    }
+  }
+
+  // Cumulative ACK for every data packet (no delayed acks), inheriting
+  // the data packet's priority so acks are not starved in prioritized
+  // experiments.
+  if (transmit_) {
+    PacketPtr ackp = netsim::make_packet();
+    ackp->src = self_;
+    ackp->dst = peer_;
+    ackp->src_port = self_port_;
+    ackp->dst_port = peer_port_;
+    ackp->protocol = netsim::Protocol::tcp;
+    ackp->flow_id = flow_id_;
+    ackp->tcp_flags = netsim::kTcpAck;
+    ackp->ack = rcv_next_;
+    ackp->size_bytes = ack_bytes_;
+    ackp->priority = packet.priority;
+    ackp->meta = packet.meta;
+    transmit_(std::move(ackp));
+  }
+
+  if (on_deliver) on_deliver(rcv_next_);
+  if (!completed_ && expected_bytes_ > 0 && rcv_next_ >= expected_bytes_) {
+    completed_ = true;
+    if (on_complete) on_complete();
+  }
+}
+
+}  // namespace eden::transport

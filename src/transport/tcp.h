@@ -1,0 +1,170 @@
+// A Reno-style TCP over netsim.
+//
+// Deliberately classic: slow start, AIMD congestion avoidance, duplicate-
+// ack fast retransmit and RTO with exponential backoff — and no SACK/DSACK
+// reordering tolerance. The WCMP case study (Figure 10) depends on this
+// behavior: per-packet load balancing across unequal paths reorders
+// segments, dup-acks trigger spurious retransmissions, and throughput
+// lands below the topology min-cut exactly as the paper reports.
+//
+// Senders and receivers are wired to the host stack through a transmit
+// callback; the stack demuxes inbound packets back to them by flow id.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "netsim/event_queue.h"
+#include "netsim/packet.h"
+
+namespace eden::transport {
+
+using netsim::FlowId;
+using netsim::HostId;
+using netsim::Packet;
+using netsim::PacketMeta;
+using netsim::PacketPtr;
+using netsim::Scheduler;
+using netsim::SimTime;
+
+struct TcpConfig {
+  std::uint32_t mss = netsim::kMssBytes;
+  std::uint32_t header_bytes = netsim::kHeaderBytes;
+  std::uint32_t initial_cwnd_segments = 10;
+  std::uint32_t dupack_threshold = 3;
+  std::uint64_t max_cwnd_bytes = 5 * 1024 * 1024;
+  SimTime min_rto = 2 * netsim::kMillisecond;  // datacenter-tuned floor
+  SimTime initial_rto = 10 * netsim::kMillisecond;
+  std::uint32_t ack_bytes = 64;  // on-wire size of a pure ACK
+};
+
+struct TcpSenderStats {
+  std::uint64_t data_packets_sent = 0;
+  std::uint64_t bytes_sent = 0;  // payload, including retransmissions
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_acks = 0;
+  SimTime first_send_time = -1;
+  SimTime completion_time = -1;  // when every byte was cumulatively acked
+};
+
+// Sending endpoint of one flow. `start(bytes)` queues application data;
+// more data may be queued later (long-running flows call it repeatedly).
+class TcpSender {
+ public:
+  using TransmitFn = std::function<void(PacketPtr)>;
+
+  TcpSender(Scheduler& scheduler, TcpConfig config, FlowId flow_id,
+            HostId src, HostId dst, std::uint16_t src_port,
+            std::uint16_t dst_port);
+  ~TcpSender();
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  void set_transmit(TransmitFn fn) { transmit_ = std::move(fn); }
+  // Metadata template stamped on every outgoing packet (stage-assigned
+  // class and message information travels with the flow's packets).
+  void set_meta(const PacketMeta& meta) { meta_ = meta; }
+  // Stage-assigned classes stamped on every outgoing packet.
+  void set_classes(const netsim::ClassList& classes) { classes_ = classes; }
+  void set_priority(std::uint8_t priority) { priority_ = priority; }
+
+  // Queues `bytes` of application data for transmission.
+  void start(std::uint64_t bytes);
+  // Handles an inbound ACK for this flow.
+  void on_ack(const Packet& packet);
+
+  bool complete() const {
+    return total_bytes_ > 0 && snd_una_ >= total_bytes_;
+  }
+  const TcpSenderStats& stats() const { return stats_; }
+  FlowId flow_id() const { return flow_id_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  double cwnd_segments() const {
+    return static_cast<double>(cwnd_) / config_.mss;
+  }
+
+  // Invoked once when the last byte is cumulatively acked.
+  std::function<void()> on_complete;
+
+ private:
+  void try_send();
+  void send_segment(std::uint64_t seq, std::uint32_t len);
+  void arm_rto();
+  void on_rto();
+  void enter_fast_retransmit();
+
+  Scheduler& scheduler_;
+  TcpConfig config_;
+  FlowId flow_id_;
+  HostId src_, dst_;
+  std::uint16_t src_port_, dst_port_;
+  TransmitFn transmit_;
+  PacketMeta meta_;
+  netsim::ClassList classes_;
+  std::uint8_t priority_ = 0;
+
+  std::uint64_t total_bytes_ = 0;   // application bytes queued
+  std::uint64_t snd_una_ = 0;       // lowest unacked byte
+  std::uint64_t snd_next_ = 0;      // next byte to transmit
+  std::uint64_t highest_sent_ = 0;  // high-water mark of sent data
+
+  std::uint64_t cwnd_ = 0;         // bytes
+  std::uint64_t ssthresh_ = 0;     // bytes
+  std::uint32_t dupack_count_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+
+  // RTT estimation (Jacobson/Karels).
+  bool rtt_seeded_ = false;
+  double srtt_ns_ = 0.0;
+  double rttvar_ns_ = 0.0;
+  SimTime rto_ = 0;
+  std::uint32_t backoff_ = 0;
+  netsim::EventId rto_timer_ = netsim::kInvalidEvent;
+  // Karn's algorithm: time and sequence of one unretransmitted probe.
+  std::uint64_t timed_seq_ = 0;
+  SimTime timed_sent_at_ = -1;
+
+  TcpSenderStats stats_;
+};
+
+// Receiving endpoint: cumulative acks, out-of-order buffering, delivery
+// notifications.
+class TcpReceiver {
+ public:
+  using TransmitFn = std::function<void(PacketPtr)>;
+
+  TcpReceiver(FlowId flow_id, HostId self, HostId peer,
+              std::uint16_t self_port, std::uint16_t peer_port,
+              std::uint32_t ack_bytes = 64);
+
+  void set_transmit(TransmitFn fn) { transmit_ = std::move(fn); }
+  // Sets how many bytes this flow is expected to deliver; on_complete
+  // fires when the contiguous stream reaches that size.
+  void expect(std::uint64_t bytes) { expected_bytes_ = bytes; }
+
+  void on_data(const Packet& packet);
+
+  std::uint64_t delivered_bytes() const { return rcv_next_; }
+  std::uint64_t ooo_segments() const { return ooo_total_; }
+
+  std::function<void(std::uint64_t contiguous_bytes)> on_deliver;
+  std::function<void()> on_complete;
+
+ private:
+  FlowId flow_id_;
+  HostId self_, peer_;
+  std::uint16_t self_port_, peer_port_;
+  std::uint32_t ack_bytes_;
+  TransmitFn transmit_;
+
+  std::uint64_t rcv_next_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;  // seq -> end (exclusive)
+  std::uint64_t ooo_total_ = 0;
+  std::uint64_t expected_bytes_ = 0;
+  bool completed_ = false;
+};
+
+}  // namespace eden::transport

@@ -1,0 +1,103 @@
+// Little-endian byte stream writer/reader shared by the bytecode
+// serializer and the controller wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace eden::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// Thrown on truncated or malformed streams.
+class ByteStreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<long>(pos_),
+                                  bytes_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > bytes_.size()) {
+      throw ByteStreamError("truncated byte stream");
+    }
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eden::util

@@ -1,0 +1,85 @@
+// Deterministic random number generation for simulations and workloads.
+//
+// All stochastic components in Eden's simulator draw from an explicitly
+// seeded Rng so experiments are reproducible run-to-run; nothing in the
+// library uses global random state.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+namespace eden::util {
+
+// SplitMix64/xoshiro256** generator. Small, fast and statistically strong
+// enough for workload generation; not for cryptographic use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to spread a small seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) {
+    assert(n > 0);
+    // Lemire's nearly-divisionless bounded generation (rejection-free for
+    // most draws); bias is negligible for simulation purposes.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Exponentially distributed double with the given mean.
+  double exponential(double mean);
+
+  // Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  // Weighted choice: returns an index in [0, weights.size()) with
+  // probability proportional to weights[i]. Weights must be non-negative
+  // and sum to a positive value.
+  std::size_t weighted_choice(std::span<const double> weights);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace eden::util

@@ -1,0 +1,65 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eden::util {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::ci95() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void Percentiles::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Percentiles::quantile(double q) const {
+  if (xs_.empty()) return 0.0;
+  if (q <= 0.0) {
+    ensure_sorted();
+    return xs_.front();
+  }
+  if (q >= 1.0) {
+    ensure_sorted();
+    return xs_.back();
+  }
+  ensure_sorted();
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+double Percentiles::mean() const {
+  if (xs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs_) sum += x;
+  return sum / static_cast<double>(xs_.size());
+}
+
+}  // namespace eden::util

@@ -1,0 +1,64 @@
+// Summary statistics helpers used by the experiment harnesses.
+//
+// The paper reports means with 95% confidence intervals and 95th
+// percentiles (Figures 9-12); Summary and Percentiles provide exactly
+// those quantities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eden::util {
+
+// Online mean/variance accumulator (Welford). Suitable for streaming
+// per-packet or per-flow observations without storing them.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // Sample variance (n-1 denominator).
+  double stddev() const;
+  // Half-width of the 95% confidence interval of the mean, using the
+  // normal approximation (the paper runs >= 10 repetitions per point).
+  double ci95() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Stores all observations to answer arbitrary quantile queries.
+// Used for the 95th-percentile rows in Figures 9 and 12.
+class Percentiles {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  // Quantile in [0,1] with linear interpolation; q=0.5 is the median.
+  double quantile(double q) const;
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+  double mean() const;
+
+  const std::vector<double>& values() const { return xs_; }
+  void clear() { xs_.clear(); }
+
+ private:
+  // Sorted lazily on query; mutable so quantile() can stay const.
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace eden::util

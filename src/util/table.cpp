@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eden::util {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return {};
+  std::size_t cols = 0;
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      // Left-align the first column (labels), right-align numbers.
+      if (c == 0) {
+        out += cell;
+        out.append(width[c] - cell.size(), ' ');
+      } else {
+        out.append(width[c] - cell.size(), ' ');
+        out += cell;
+      }
+      out += (c + 1 < cols) ? " | " : "";
+    }
+    out += '\n';
+  };
+  emit_row(rows_.front());
+  for (std::size_t c = 0; c < cols; ++c) {
+    out.append(width[c], '-');
+    out += (c + 1 < cols) ? "-+-" : "";
+  }
+  out += '\n';
+  for (std::size_t i = 1; i < rows_.size(); ++i) emit_row(rows_[i]);
+  return out;
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace eden::util

@@ -1,0 +1,30 @@
+// Minimal fixed-width text table printer for the figure/table harnesses.
+//
+// All bench binaries print the same rows/series the paper reports; this
+// keeps their formatting uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eden::util {
+
+class TextTable {
+ public:
+  // The first added row is treated as the header.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column widths fitted to content, e.g.:
+  //   scheme     | FCT avg (us) | FCT p95 (us)
+  //   -----------+--------------+-------------
+  //   baseline   |        363.0 |       1600.0
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals.
+std::string fmt(double v, int decimals = 1);
+
+}  // namespace eden::util

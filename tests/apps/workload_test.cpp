@@ -1,0 +1,93 @@
+#include "apps/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::apps {
+namespace {
+
+TEST(FlowSizeDistribution, ValidatesCdf) {
+  EXPECT_THROW(FlowSizeDistribution({}), std::invalid_argument);
+  EXPECT_THROW(FlowSizeDistribution({{0.5, 100}}), std::invalid_argument);
+  EXPECT_THROW(FlowSizeDistribution({{0.5, 100}, {0.4, 200}, {1.0, 300}}),
+               std::invalid_argument);
+  EXPECT_THROW(FlowSizeDistribution({{1.2, 100}}), std::invalid_argument);
+  EXPECT_NO_THROW(FlowSizeDistribution({{0.5, 100}, {1.0, 200}}));
+}
+
+TEST(FlowSizeDistribution, FixedAlwaysSamplesSameSize) {
+  const auto dist = FlowSizeDistribution::fixed(5000);
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(dist.sample(rng), 5000u);
+    EXPECT_GE(dist.sample(rng), 1u);
+  }
+  EXPECT_NEAR(dist.mean(), 2500.0, 1.0);  // linear ramp from 0
+}
+
+TEST(FlowSizeDistribution, WebSearchShape) {
+  const auto dist = FlowSizeDistribution::web_search();
+  util::Rng rng(7);
+  int small = 0, huge = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t size = dist.sample(rng);
+    if (size < 10 * 1024) ++small;
+    if (size > 1024 * 1024) ++huge;
+  }
+  // ~18-28% of web-search flows are under 10KB; a solid tail is over
+  // 1MB. (Wide bounds: this asserts shape, not exact quantiles.)
+  EXPECT_GT(small, kDraws / 8);
+  EXPECT_LT(small, kDraws / 3);
+  EXPECT_GT(huge, kDraws / 8);
+}
+
+TEST(FlowSizeDistribution, SampleMeanMatchesAnalyticMean) {
+  const auto dist = FlowSizeDistribution::web_search();
+  util::Rng rng(11);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(dist.sample(rng));
+  }
+  const double sample_mean = sum / kDraws;
+  EXPECT_NEAR(sample_mean / dist.mean(), 1.0, 0.05);
+}
+
+TEST(FlowSizeDistribution, DataMiningIsHeavierTailed) {
+  const auto web = FlowSizeDistribution::web_search();
+  const auto mining = FlowSizeDistribution::data_mining();
+  // Data-mining has more tiny flows AND a longer tail.
+  util::Rng rng(3);
+  int web_tiny = 0, mining_tiny = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (web.sample(rng) < 4096) ++web_tiny;
+    if (mining.sample(rng) < 4096) ++mining_tiny;
+  }
+  EXPECT_GT(mining_tiny, web_tiny * 3);
+  EXPECT_GT(mining.mean(), web.mean());
+}
+
+TEST(PoissonArrivals, RateMatchesLoad) {
+  // 70% of 10 Gbps with 1 MB mean flows: 875 flows/s.
+  const PoissonArrivals arrivals(0.7, 10ULL * 1000 * 1000 * 1000,
+                                 1000.0 * 1000.0);
+  EXPECT_NEAR(arrivals.rate_per_sec(), 875.0, 0.1);
+
+  util::Rng rng(5);
+  double sum = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    sum += static_cast<double>(arrivals.next_gap(rng));
+  }
+  const double mean_gap_s = sum / kDraws / 1e9;
+  EXPECT_NEAR(mean_gap_s * arrivals.rate_per_sec(), 1.0, 0.03);
+}
+
+TEST(PoissonArrivals, RejectsBadParameters) {
+  EXPECT_THROW(PoissonArrivals(0.0, 1000, 100), std::invalid_argument);
+  EXPECT_THROW(PoissonArrivals(0.5, 0, 100), std::invalid_argument);
+  EXPECT_THROW(PoissonArrivals(0.5, 1000, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eden::apps

@@ -1,0 +1,155 @@
+// Packet <-> state-block marshalling and the canonical schema layout.
+#include "core/enclave_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::core {
+namespace {
+
+TEST(EnclaveSchema, SlotConstantsMatchSchemaOrder) {
+  const lang::StateSchema schema = make_enclave_schema();
+  EXPECT_EQ(schema.find(lang::Scope::packet, "size")->slot, PacketSlot::size);
+  EXPECT_EQ(schema.find(lang::Scope::packet, "priority")->slot,
+            PacketSlot::priority);
+  EXPECT_EQ(schema.find(lang::Scope::packet, "app_priority")->slot,
+            PacketSlot::app_priority);
+  EXPECT_EQ(schema.scalar_count(lang::Scope::packet), PacketSlot::count_);
+  EXPECT_EQ(schema.find(lang::Scope::message, "size")->slot,
+            MessageSlot::size);
+  EXPECT_EQ(schema.find(lang::Scope::message, "state3")->slot,
+            MessageSlot::state3);
+  EXPECT_EQ(schema.scalar_count(lang::Scope::message), MessageSlot::count_);
+}
+
+TEST(EnclaveSchema, HeaderMappingsPresent) {
+  const lang::StateSchema schema = make_enclave_schema();
+  EXPECT_EQ(schema.field_def(lang::Scope::packet, "priority")->header_map,
+            "802.1q.pcp");
+  EXPECT_EQ(schema.field_def(lang::Scope::packet, "path")->header_map,
+            "802.1q.vid");
+  EXPECT_EQ(schema.field_def(lang::Scope::packet, "size")->header_map,
+            "ipv4.total_length");
+}
+
+TEST(EnclaveSchema, ReadOnlyFieldsCannotBeWrittenByPrograms) {
+  const lang::StateSchema schema = make_enclave_schema();
+  for (const char* field : {"size", "src", "dst", "msg_id", "tenant"}) {
+    EXPECT_EQ(schema.find(lang::Scope::packet, field)->access,
+              lang::Access::read_only)
+        << field;
+  }
+  for (const char* field : {"priority", "path", "queue", "drop", "charge"}) {
+    EXPECT_EQ(schema.find(lang::Scope::packet, field)->access,
+              lang::Access::read_write)
+        << field;
+  }
+}
+
+TEST(EnclaveSchema, GlobalFieldsAppended) {
+  lang::FieldDef f;
+  f.name = "custom";
+  f.access = lang::Access::read_write;
+  const lang::StateSchema schema = make_enclave_schema({f});
+  EXPECT_TRUE(schema.find(lang::Scope::global, "custom").has_value());
+  EXPECT_EQ(schema.scalar_count(lang::Scope::global), 1u);
+}
+
+TEST(Marshalling, LoadCopiesEveryField) {
+  const lang::StateSchema schema = make_enclave_schema();
+  lang::StateBlock block =
+      lang::StateBlock::from_schema(schema, lang::Scope::packet);
+  netsim::Packet p;
+  p.size_bytes = 1514;
+  p.payload_bytes = 1460;
+  p.priority = 3;
+  p.path_label = 9;
+  p.rl_queue = 2;
+  p.drop_mark = true;
+  p.charge_bytes = 777;
+  p.src = 10;
+  p.dst = 20;
+  p.src_port = 30;
+  p.dst_port = 40;
+  p.protocol = netsim::Protocol::storage;
+  p.seq = 123456;
+  p.meta.msg_id = 1;
+  p.meta.msg_type = 2;
+  p.meta.msg_size = 3;
+  p.meta.tenant = 4;
+  p.meta.key_hash = 5;
+  p.meta.flow_size = 6;
+  p.meta.app_priority = 7;
+
+  load_packet_state(p, block);
+  EXPECT_EQ(block.scalars[PacketSlot::size], 1514);
+  EXPECT_EQ(block.scalars[PacketSlot::payload], 1460);
+  EXPECT_EQ(block.scalars[PacketSlot::priority], 3);
+  EXPECT_EQ(block.scalars[PacketSlot::path], 9);
+  EXPECT_EQ(block.scalars[PacketSlot::queue], 2);
+  EXPECT_EQ(block.scalars[PacketSlot::drop], 1);
+  EXPECT_EQ(block.scalars[PacketSlot::charge], 777);
+  EXPECT_EQ(block.scalars[PacketSlot::src], 10);
+  EXPECT_EQ(block.scalars[PacketSlot::dst], 20);
+  EXPECT_EQ(block.scalars[PacketSlot::src_port], 30);
+  EXPECT_EQ(block.scalars[PacketSlot::dst_port], 40);
+  EXPECT_EQ(block.scalars[PacketSlot::proto], 2);
+  EXPECT_EQ(block.scalars[PacketSlot::seq], 123456);
+  EXPECT_EQ(block.scalars[PacketSlot::msg_id], 1);
+  EXPECT_EQ(block.scalars[PacketSlot::app_priority], 7);
+}
+
+TEST(Marshalling, StoreWritesBackOnlyWritableFields) {
+  const lang::StateSchema schema = make_enclave_schema();
+  lang::StateBlock block =
+      lang::StateBlock::from_schema(schema, lang::Scope::packet);
+  netsim::Packet p;
+  p.size_bytes = 1514;
+  load_packet_state(p, block);
+
+  block.scalars[PacketSlot::priority] = 6;
+  block.scalars[PacketSlot::path] = 44;
+  block.scalars[PacketSlot::queue] = 1;
+  block.scalars[PacketSlot::drop] = 1;
+  block.scalars[PacketSlot::charge] = 999;
+  block.scalars[PacketSlot::size] = 7;  // RO fields never write back
+
+  store_packet_state(block, p);
+  EXPECT_EQ(p.priority, 6);
+  EXPECT_EQ(p.path_label, 44);
+  EXPECT_EQ(p.rl_queue, 1);
+  EXPECT_TRUE(p.drop_mark);
+  EXPECT_EQ(p.charge_bytes, 999u);
+  EXPECT_EQ(p.size_bytes, 1514u);  // untouched
+}
+
+TEST(Marshalling, StoreClampsPriorityAndNegativeCharge) {
+  const lang::StateSchema schema = make_enclave_schema();
+  lang::StateBlock block =
+      lang::StateBlock::from_schema(schema, lang::Scope::packet);
+  netsim::Packet p;
+  load_packet_state(p, block);
+  block.scalars[PacketSlot::priority] = -5;
+  block.scalars[PacketSlot::charge] = -100;
+  store_packet_state(block, p);
+  EXPECT_EQ(p.priority, 0);
+  EXPECT_EQ(p.charge_bytes, 0u);
+
+  block.scalars[PacketSlot::priority] = 200;
+  store_packet_state(block, p);
+  EXPECT_EQ(p.priority, netsim::kMaxPriorities - 1);
+}
+
+TEST(Marshalling, MessageInitSeedsFromFirstPacket) {
+  const lang::StateSchema schema = make_enclave_schema();
+  lang::StateBlock block =
+      lang::StateBlock::from_schema(schema, lang::Scope::message);
+  netsim::Packet p;
+  p.meta.app_priority = 0;  // background pin
+  init_message_state(p, block);
+  EXPECT_EQ(block.scalars[MessageSlot::size], 0);
+  EXPECT_EQ(block.scalars[MessageSlot::priority], 0);
+  EXPECT_EQ(block.scalars[MessageSlot::path], -1);
+}
+
+}  // namespace
+}  // namespace eden::core

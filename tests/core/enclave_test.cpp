@@ -1,0 +1,563 @@
+// The enclave data path: match-action tables, state management, the
+// concurrency model, error isolation and the enclave's own stage.
+#include "core/enclave.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/controller.h"
+
+namespace eden::core {
+namespace {
+
+netsim::Packet tcp_packet(std::int64_t msg_id = 7) {
+  netsim::Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.src_port = 1000;
+  p.dst_port = 2000;
+  p.protocol = netsim::Protocol::tcp;
+  p.size_bytes = 1514;
+  p.payload_bytes = 1460;
+  p.meta.msg_id = msg_id;
+  return p;
+}
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  ClassRegistry registry_;
+  Enclave enclave_{"test", registry_};
+  Controller controller_{registry_};
+
+  ActionId install(const char* name, const char* source,
+                   std::vector<lang::FieldDef> globals = {}) {
+    const lang::CompiledProgram program =
+        controller_.compile(name, source, globals);
+    return enclave_.install_action(name, program, globals);
+  }
+
+  // Installs `source` behind a match-any rule in a fresh table.
+  ActionId install_with_rule(const char* name, const char* source,
+                             std::vector<lang::FieldDef> globals = {}) {
+    const ActionId action = install(name, source, globals);
+    const TableId table = enclave_.create_table(name);
+    enclave_.add_rule(table, ClassPattern("*"), action);
+    return action;
+  }
+};
+
+TEST_F(EnclaveTest, ActionSetsPacketPriority) {
+  install_with_rule("p3", "fun(p, m, g) -> p.priority <- 3");
+  netsim::Packet packet = tcp_packet();
+  EXPECT_TRUE(enclave_.process(packet));
+  EXPECT_EQ(packet.priority, 3);
+  EXPECT_EQ(enclave_.stats().packets, 1u);
+  EXPECT_EQ(enclave_.stats().matched, 1u);
+}
+
+TEST_F(EnclaveTest, PriorityClampedToValidRange) {
+  install_with_rule("p99", "fun(p, m, g) -> p.priority <- 99");
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, netsim::kMaxPriorities - 1);
+}
+
+TEST_F(EnclaveTest, DropActionDropsPacket) {
+  install_with_rule("dropper", "fun(p, m, g) -> p.drop <- 1");
+  netsim::Packet packet = tcp_packet();
+  EXPECT_FALSE(enclave_.process(packet));
+  EXPECT_EQ(enclave_.stats().dropped_by_action, 1u);
+}
+
+TEST_F(EnclaveTest, NoTableMeansPassThrough) {
+  netsim::Packet packet = tcp_packet();
+  packet.priority = 5;
+  EXPECT_TRUE(enclave_.process(packet));
+  EXPECT_EQ(packet.priority, 5);
+  EXPECT_EQ(enclave_.stats().matched, 0u);
+}
+
+TEST_F(EnclaveTest, RuleMatchesOnClassNotHeaders) {
+  const ClassId get = registry_.intern("memcached.r1.GET");
+  const ClassId put = registry_.intern("memcached.r1.PUT");
+  const ActionId action = install("p6", "fun(p, m, g) -> p.priority <- 6");
+  const TableId table = enclave_.create_table("t");
+  enclave_.add_rule(table, ClassPattern("memcached.r1.GET"), action);
+
+  netsim::Packet get_packet = tcp_packet();
+  get_packet.classes.add(get);
+  enclave_.process(get_packet);
+  EXPECT_EQ(get_packet.priority, 6);
+
+  netsim::Packet put_packet = tcp_packet();
+  put_packet.classes.add(put);
+  enclave_.process(put_packet);
+  EXPECT_EQ(put_packet.priority, 0);  // no rule matched
+}
+
+TEST_F(EnclaveTest, FirstMatchingRuleWinsWithinTable) {
+  const ClassId get = registry_.intern("memcached.r1.GET");
+  const ActionId first = install("first", "fun(p, m, g) -> p.priority <- 1");
+  const ActionId second = install("second", "fun(p, m, g) -> p.priority <- 2");
+  const TableId table = enclave_.create_table("t");
+  enclave_.add_rule(table, ClassPattern("memcached.r1.*"), first);
+  enclave_.add_rule(table, ClassPattern("memcached.r1.GET"), second);
+  netsim::Packet packet = tcp_packet();
+  packet.classes.add(get);
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 1);
+}
+
+TEST_F(EnclaveTest, TablesApplyInOrderAndCompose) {
+  // Table 1 sets the priority, table 2 reads nothing but sets the path;
+  // both actions run on the same packet.
+  const ActionId prio = install("prio", "fun(p, m, g) -> p.priority <- 4");
+  const ActionId path = install("path", "fun(p, m, g) -> p.path <- 17");
+  const TableId t1 = enclave_.create_table("t1");
+  const TableId t2 = enclave_.create_table("t2");
+  enclave_.add_rule(t1, ClassPattern("*"), prio);
+  enclave_.add_rule(t2, ClassPattern("*"), path);
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 4);
+  EXPECT_EQ(packet.path_label, 17);
+}
+
+TEST_F(EnclaveTest, RemoveRuleStopsMatching) {
+  const ActionId action = install("p5", "fun(p, m, g) -> p.priority <- 5");
+  const TableId table = enclave_.create_table("t");
+  const MatchRuleId rule = enclave_.add_rule(table, ClassPattern("*"), action);
+  EXPECT_EQ(enclave_.rule_count(table), 1u);
+  EXPECT_TRUE(enclave_.remove_rule(table, rule));
+  EXPECT_FALSE(enclave_.remove_rule(table, rule));
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 0);
+}
+
+TEST_F(EnclaveTest, DeleteTableRemovesItsRules) {
+  const ActionId action = install("p5", "fun(p, m, g) -> p.priority <- 5");
+  const TableId table = enclave_.create_table("t");
+  enclave_.add_rule(table, ClassPattern("*"), action);
+  enclave_.delete_table(table);
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 0);
+  EXPECT_THROW(enclave_.add_rule(table, ClassPattern("*"), action),
+               std::invalid_argument);
+}
+
+TEST_F(EnclaveTest, RemoveActionDetachesItsRules) {
+  const ActionId action = install("p5", "fun(p, m, g) -> p.priority <- 5");
+  const TableId table = enclave_.create_table("t");
+  enclave_.add_rule(table, ClassPattern("*"), action);
+  enclave_.remove_action(action);
+  EXPECT_EQ(enclave_.rule_count(table), 0u);
+  netsim::Packet packet = tcp_packet();
+  EXPECT_TRUE(enclave_.process(packet));
+  EXPECT_EQ(packet.priority, 0);
+}
+
+TEST_F(EnclaveTest, FindActionByName) {
+  const ActionId action = install("needle", "fun(p, m, g) -> 0");
+  EXPECT_EQ(enclave_.find_action("needle"), action);
+  EXPECT_FALSE(enclave_.find_action("haystack").has_value());
+}
+
+TEST_F(EnclaveTest, MessageStatePersistsAcrossPackets) {
+  const ActionId action = install_with_rule(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size");
+  for (int i = 0; i < 3; ++i) {
+    netsim::Packet packet = tcp_packet(/*msg_id=*/5);
+    enclave_.process(packet);
+  }
+  EXPECT_EQ(enclave_.peek_message_state(action, 5, MessageSlot::size),
+            3 * 1514);
+}
+
+TEST_F(EnclaveTest, MessagesAreIsolatedFromEachOther) {
+  const ActionId action = install_with_rule(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size");
+  netsim::Packet a = tcp_packet(1);
+  netsim::Packet b = tcp_packet(2);
+  enclave_.process(a);
+  enclave_.process(a);
+  enclave_.process(b);
+  EXPECT_EQ(enclave_.peek_message_state(action, 1, MessageSlot::size),
+            2 * 1514);
+  EXPECT_EQ(enclave_.peek_message_state(action, 2, MessageSlot::size),
+            1514);
+}
+
+TEST_F(EnclaveTest, MessageStateInitializedFromFirstPacket) {
+  const ActionId action = install_with_rule(
+      "peek_prio", "fun(p, m, g) -> p.priority <- m.priority");
+  netsim::Packet packet = tcp_packet(9);
+  packet.meta.app_priority = 6;
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 6);  // msg.priority seeded from app_priority
+  EXPECT_EQ(enclave_.peek_message_state(action, 9, MessageSlot::priority), 6);
+}
+
+TEST_F(EnclaveTest, MessageStoreEvictsBeyondCap) {
+  EnclaveConfig config;
+  config.max_messages_per_action = 4;
+  Enclave small("small", registry_, config);
+  const lang::CompiledProgram program = controller_.compile(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size", {});
+  const ActionId action = small.install_action("accum", program, {});
+  const TableId table = small.create_table("t");
+  small.add_rule(table, ClassPattern("*"), action);
+  for (std::int64_t id = 1; id <= 10; ++id) {
+    netsim::Packet packet = tcp_packet(id);
+    small.process(packet);
+  }
+  EXPECT_EQ(small.stats().message_entries_created, 10u);
+  EXPECT_EQ(small.stats().message_entries_evicted, 6u);
+  // Oldest entries gone, newest retained.
+  EXPECT_FALSE(small.peek_message_state(action, 1, 0).has_value());
+  EXPECT_TRUE(small.peek_message_state(action, 10, 0).has_value());
+}
+
+TEST_F(EnclaveTest, GlobalStateReadableAndUpdatable) {
+  lang::FieldDef counter;
+  counter.name = "limit";
+  counter.access = lang::Access::read_only;
+  const ActionId action = install_with_rule(
+      "cmp", "fun(p, m, g) -> p.priority <- (if p.size > g.limit then 1 else 7)",
+      {counter});
+  enclave_.set_global_scalar(action, "limit", 100);
+  EXPECT_EQ(enclave_.read_global_scalar(action, "limit"), 100);
+
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 1);  // 1514 > 100
+
+  enclave_.set_global_scalar(action, "limit", 100000);
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 7);
+}
+
+TEST_F(EnclaveTest, GlobalArrayValidation) {
+  lang::FieldDef table_field;
+  table_field.name = "recs";
+  table_field.kind = lang::FieldKind::record_array;
+  table_field.record_fields = {"a", "b", "c"};
+  const ActionId action =
+      install("arr", "fun(p, m, g) -> g.recs[0].a", {table_field});
+  EXPECT_THROW(enclave_.set_global_array(action, "recs", {1, 2}),
+               std::invalid_argument);  // not a whole record
+  enclave_.set_global_array(action, "recs", {1, 2, 3});
+  EXPECT_THROW(enclave_.set_global_array(action, "nope", {1}),
+               std::invalid_argument);
+  EXPECT_THROW(enclave_.set_global_scalar(action, "recs", 1),
+               std::invalid_argument);
+}
+
+TEST_F(EnclaveTest, FaultyActionIsIsolated) {
+  // Out-of-bounds access: the action fails, the packet continues
+  // unmodified, the error is counted (Section 3.4.3).
+  lang::FieldDef arr;
+  arr.name = "xs";
+  arr.kind = lang::FieldKind::array;
+  const ActionId action = install_with_rule(
+      "oob", "fun(p, m, g) -> p.priority <- g.xs[99]", {arr});
+  netsim::Packet packet = tcp_packet();
+  packet.priority = 2;
+  EXPECT_TRUE(enclave_.process(packet));
+  EXPECT_EQ(packet.priority, 2);  // untouched
+  EXPECT_EQ(enclave_.action_stats(action).errors, 1u);
+  EXPECT_EQ(enclave_.action_stats(action).executions, 1u);
+}
+
+TEST_F(EnclaveTest, FaultyActionRollsBackMessageState) {
+  // The program writes message state and *then* traps; the authoritative
+  // message entry must keep its pre-run value (the function ran against
+  // a consistent copy, Section 3.4.4).
+  lang::FieldDef arr;
+  arr.name = "xs";
+  arr.kind = lang::FieldKind::array;
+  const ActionId action = install_with_rule(
+      "late_trap", "fun(p, m, g) -> m.size <- 123; p.priority <- g.xs[5]",
+      {arr});
+  netsim::Packet packet = tcp_packet(/*msg_id=*/77);
+  EXPECT_TRUE(enclave_.process(packet));
+  EXPECT_EQ(enclave_.action_stats(action).errors, 1u);
+  EXPECT_EQ(enclave_.peek_message_state(action, 77, MessageSlot::size), 0);
+}
+
+TEST_F(EnclaveTest, DivideByZeroIsIsolated) {
+  const ActionId action = install_with_rule(
+      "div0", "fun(p, m, g) -> p.priority <- 1 / (p.size - p.size)");
+  netsim::Packet packet = tcp_packet();
+  EXPECT_TRUE(enclave_.process(packet));
+  EXPECT_EQ(enclave_.action_stats(action).errors, 1u);
+}
+
+TEST_F(EnclaveTest, NativeActionSeesSameStateMachinery) {
+  const ActionId action = enclave_.install_native_action(
+      "native_accum",
+      [](lang::StateBlock& pkt, lang::StateBlock* msg, lang::StateBlock*,
+         NativeCtx&) {
+        msg->scalars[MessageSlot::size] += pkt.scalars[PacketSlot::size];
+        pkt.scalars[PacketSlot::priority] = 5;
+        return lang::ExecStatus::ok;
+      },
+      lang::ConcurrencyMode::per_message, /*touches_message=*/true);
+  const TableId table = enclave_.create_table("t");
+  enclave_.add_rule(table, ClassPattern("*"), action);
+  netsim::Packet packet = tcp_packet(3);
+  enclave_.process(packet);
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 5);
+  EXPECT_EQ(enclave_.peek_message_state(action, 3, MessageSlot::size),
+            2 * 1514);
+}
+
+TEST_F(EnclaveTest, FlowClassifierAssignsClassAndMessageId) {
+  const ClassId tcp_class = registry_.intern("enclave.flows.tcp");
+  FlowClassifierRule rule;
+  rule.proto = static_cast<std::int64_t>(netsim::Protocol::tcp);
+  rule.class_id = tcp_class;
+  enclave_.add_flow_rule(rule);
+
+  netsim::Packet packet = tcp_packet(/*msg_id=*/0);
+  enclave_.process(packet);
+  EXPECT_TRUE(packet.classes.contains(tcp_class));
+  EXPECT_NE(packet.meta.msg_id, 0);
+
+  // Same five-tuple -> same message id; different flow -> different id.
+  netsim::Packet same = tcp_packet(0);
+  enclave_.process(same);
+  EXPECT_EQ(same.meta.msg_id, packet.meta.msg_id);
+  netsim::Packet other = tcp_packet(0);
+  other.src_port = 4321;
+  enclave_.process(other);
+  EXPECT_NE(other.meta.msg_id, packet.meta.msg_id);
+}
+
+TEST_F(EnclaveTest, FlowClassifierRespectsFieldFilters) {
+  const ClassId cls = registry_.intern("enclave.flows.port80");
+  FlowClassifierRule rule;
+  rule.dst_port = 80;
+  rule.class_id = cls;
+  enclave_.add_flow_rule(rule);
+
+  netsim::Packet hit = tcp_packet(0);
+  hit.dst_port = 80;
+  enclave_.process(hit);
+  EXPECT_TRUE(hit.classes.contains(cls));
+
+  netsim::Packet miss = tcp_packet(0);
+  miss.dst_port = 443;
+  enclave_.process(miss);
+  EXPECT_FALSE(miss.classes.contains(cls));
+}
+
+TEST_F(EnclaveTest, StageAssignedMessageIdTakesPrecedence) {
+  const ClassId cls = registry_.intern("enclave.flows.tcp");
+  FlowClassifierRule rule;
+  rule.class_id = cls;
+  enclave_.add_flow_rule(rule);
+  netsim::Packet packet = tcp_packet(/*msg_id=*/1234);
+  enclave_.process(packet);
+  EXPECT_EQ(packet.meta.msg_id, 1234);  // not overwritten
+}
+
+// --- Platform presets -----------------------------------------------------
+
+TEST_F(EnclaveTest, NicEnclaveEnforcesCycleBudget) {
+  // The same bytecode ships to an OS enclave (unbounded) and a NIC
+  // enclave (hard instruction budget). An expensive function runs on
+  // the OS but trips the NIC's budget — and is isolated there.
+  const char* expensive = R"(fun(p, m, g) ->
+      let i = 0 in
+      (while i < 10000 do i <- i + 1 done;
+       p.priority <- 5))";
+  const auto program = controller_.compile("spin", expensive, {});
+
+  Enclave os("os", registry_, core::EnclaveConfig::os_default());
+  Enclave nic("nic", registry_, core::EnclaveConfig::nic_default());
+  for (Enclave* e : {&os, &nic}) {
+    const ActionId action = e->install_action("spin", program, {});
+    const TableId table = e->create_table("t");
+    e->add_rule(table, ClassPattern("*"), action);
+  }
+
+  netsim::Packet on_os = tcp_packet();
+  os.process(on_os);
+  EXPECT_EQ(on_os.priority, 5);
+
+  netsim::Packet on_nic = tcp_packet();
+  nic.process(on_nic);
+  EXPECT_EQ(on_nic.priority, 0);  // fuel exhausted: no write-back
+  EXPECT_EQ(nic.action_stats(*nic.find_action("spin")).errors, 1u);
+}
+
+TEST_F(EnclaveTest, NicEnclaveRunsTheLibraryFunctions) {
+  // The actual library programs fit comfortably inside the NIC budget —
+  // the paper's claim that the same action functions run on both
+  // platforms.
+  Enclave nic("nic", registry_, core::EnclaveConfig::nic_default());
+  const auto program = controller_.compile(
+      "pias_like", R"(fun(p, m, g) ->
+        m.size <- m.size + p.size;
+        p.priority <- (if m.size <= 10240 then 7 else 5))",
+      {});
+  const ActionId action = nic.install_action("pias_like", program, {});
+  const TableId table = nic.create_table("t");
+  nic.add_rule(table, ClassPattern("*"), action);
+  netsim::Packet packet = tcp_packet();
+  nic.process(packet);
+  EXPECT_EQ(packet.priority, 7);
+  EXPECT_EQ(nic.action_stats(action).errors, 0u);
+}
+
+// --- Batched execution (Section 6) --------------------------------------
+
+TEST_F(EnclaveTest, BatchMatchesPerPacketSemantics) {
+  // Same PIAS-style accumulation, one enclave fed per packet, the other
+  // in batches: identical message state and packet priorities.
+  const char* source = R"(fun(p, m, g) ->
+      m.size <- m.size + p.size;
+      p.priority <- (if m.size > 4000 then 2 else 6))";
+  Enclave batch_enclave("batch", registry_);
+  const auto program = controller_.compile("accum", source, {});
+  const ActionId a1 = install_with_rule("accum", source);
+  const ActionId a2 = batch_enclave.install_action("accum", program, {});
+  const TableId t2 = batch_enclave.create_table("t");
+  batch_enclave.add_rule(t2, ClassPattern("*"), a2);
+
+  std::vector<netsim::PacketPtr> batch;
+  std::vector<std::uint8_t> expected;
+  for (int i = 0; i < 8; ++i) {
+    // Two interleaved messages.
+    netsim::Packet p = tcp_packet(1 + (i % 2));
+    enclave_.process(p);
+    expected.push_back(p.priority);
+    auto bp = netsim::make_packet();
+    *bp = tcp_packet(1 + (i % 2));
+    batch.push_back(std::move(bp));
+  }
+  EXPECT_EQ(batch_enclave.process_batch(batch), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i]->priority, expected[i]) << i;
+  }
+  EXPECT_EQ(batch_enclave.peek_message_state(a2, 1, MessageSlot::size),
+            enclave_.peek_message_state(a1, 1, MessageSlot::size));
+  EXPECT_EQ(batch_enclave.peek_message_state(a2, 2, MessageSlot::size),
+            enclave_.peek_message_state(a1, 2, MessageSlot::size));
+}
+
+TEST_F(EnclaveTest, BatchDropsAreCountedAndMarked) {
+  install_with_rule("dropper", "fun(p, m, g) -> p.drop <- p.size > 1000");
+  std::vector<netsim::PacketPtr> batch;
+  for (int i = 0; i < 4; ++i) {
+    auto p = netsim::make_packet();
+    *p = tcp_packet();
+    p->size_bytes = i % 2 == 0 ? 500 : 1500;
+    batch.push_back(std::move(p));
+  }
+  EXPECT_EQ(enclave_.process_batch(batch), 2u);
+  EXPECT_FALSE(batch[0]->drop_mark);
+  EXPECT_TRUE(batch[1]->drop_mark);
+  EXPECT_EQ(enclave_.stats().dropped_by_action, 2u);
+}
+
+TEST_F(EnclaveTest, BatchRollsBackOnlyFaultyPackets) {
+  // The action accumulates message state, then traps on large packets.
+  lang::FieldDef arr;
+  arr.name = "xs";
+  arr.kind = lang::FieldKind::array;
+  const ActionId action = install_with_rule("trapper", R"(fun(p, m, g) ->
+      m.size <- m.size + p.size;
+      (if p.size > 1000 then p.priority <- g.xs[9] else 0))",
+                                            {arr});
+  std::vector<netsim::PacketPtr> batch;
+  for (int i = 0; i < 4; ++i) {
+    auto p = netsim::make_packet();
+    *p = tcp_packet(5);
+    p->size_bytes = i == 2 ? 1500 : 100;  // third packet traps
+    batch.push_back(std::move(p));
+  }
+  enclave_.process_batch(batch);
+  // Message state includes only the three successful packets.
+  EXPECT_EQ(enclave_.peek_message_state(action, 5, MessageSlot::size), 300);
+  EXPECT_EQ(enclave_.action_stats(action).errors, 1u);
+}
+
+TEST_F(EnclaveTest, BatchFallsBackWithMultipleTables) {
+  const ActionId prio = install("prio", "fun(p, m, g) -> p.priority <- 4");
+  const ActionId path = install("path", "fun(p, m, g) -> p.path <- 17");
+  const TableId t1 = enclave_.create_table("t1");
+  const TableId t2 = enclave_.create_table("t2");
+  enclave_.add_rule(t1, ClassPattern("*"), prio);
+  enclave_.add_rule(t2, ClassPattern("*"), path);
+  std::vector<netsim::PacketPtr> batch;
+  for (int i = 0; i < 3; ++i) {
+    auto p = netsim::make_packet();
+    *p = tcp_packet();
+    batch.push_back(std::move(p));
+  }
+  EXPECT_EQ(enclave_.process_batch(batch), 3u);
+  for (const auto& p : batch) {
+    EXPECT_EQ(p->priority, 4);
+    EXPECT_EQ(p->path_label, 17);
+  }
+}
+
+TEST_F(EnclaveTest, EmptyBatchIsFine) {
+  std::vector<netsim::PacketPtr> batch;
+  EXPECT_EQ(enclave_.process_batch(batch), 0u);
+}
+
+// The concurrency model under real threads: a serialized (global-
+// writing) action must not lose updates.
+TEST_F(EnclaveTest, SerializedActionIsThreadSafe) {
+  lang::FieldDef packets;
+  packets.name = "packets";
+  packets.access = lang::Access::read_write;
+  const ActionId action = install_with_rule(
+      "count", "fun(p, m, g) -> g.packets <- g.packets + 1", {packets});
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        netsim::Packet packet = tcp_packet();
+        enclave_.process(packet);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(enclave_.read_global_scalar(action, "packets"),
+            kThreads * kPerThread);
+}
+
+TEST_F(EnclaveTest, PerMessageActionIsThreadSafePerMessage) {
+  const ActionId action = install_with_rule(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Two threads share message 1, two share message 2.
+        netsim::Packet packet = tcp_packet(1 + (t % 2));
+        enclave_.process(packet);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(enclave_.peek_message_state(action, 1, MessageSlot::size),
+            2 * kPerThread * 1514);
+  EXPECT_EQ(enclave_.peek_message_state(action, 2, MessageSlot::size),
+            2 * kPerThread * 1514);
+}
+
+}  // namespace
+}  // namespace eden::core

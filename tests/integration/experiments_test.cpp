@@ -1,0 +1,201 @@
+// Integration tests: scaled-down versions of the paper's experiments
+// asserting the qualitative results (the "shape") hold.
+#include <gtest/gtest.h>
+
+#include "experiments/fig10_wcmp.h"
+#include "experiments/fig11_pulsar.h"
+#include "experiments/fig12_overheads.h"
+#include "experiments/fig9_scheduling.h"
+
+namespace eden::experiments {
+namespace {
+
+// --- Case study 1: flow scheduling (Figure 9) --------------------------
+
+Fig9Result quick_fig9(SchedulingScheme scheme, SchedulingVariant variant) {
+  Fig9Config cfg;
+  cfg.scheme = scheme;
+  cfg.variant = variant;
+  cfg.duration = 400 * netsim::kMillisecond;
+  cfg.warmup = 100 * netsim::kMillisecond;
+  return run_fig9(cfg);
+}
+
+TEST(Fig9, PiasReducesSmallFlowFct) {
+  const Fig9Result baseline =
+      quick_fig9(SchedulingScheme::baseline, SchedulingVariant::native);
+  const Fig9Result pias =
+      quick_fig9(SchedulingScheme::pias, SchedulingVariant::eden);
+  ASSERT_GT(baseline.small_fct_us.count(), 10u);
+  ASSERT_GT(pias.small_fct_us.count(), 10u);
+  // The paper reports a 25-40% improvement; we assert the direction
+  // with margin.
+  EXPECT_LT(pias.small_fct_us.mean(), baseline.small_fct_us.mean() * 0.8);
+  EXPECT_LT(pias.small_fct_us.p95(), baseline.small_fct_us.p95());
+  // Intermediate flows improve too.
+  EXPECT_LT(pias.intermediate_fct_us.mean(),
+            baseline.intermediate_fct_us.mean());
+  EXPECT_EQ(pias.interpreter_errors, 0u);
+}
+
+TEST(Fig9, SffMatchesOrBeatsPias) {
+  const Fig9Result pias =
+      quick_fig9(SchedulingScheme::pias, SchedulingVariant::eden);
+  const Fig9Result sff =
+      quick_fig9(SchedulingScheme::sff, SchedulingVariant::eden);
+  EXPECT_LE(sff.intermediate_fct_us.mean(),
+            pias.intermediate_fct_us.mean() * 1.1);
+}
+
+TEST(Fig9, NativeAndEdenAgree) {
+  // Same seed, same decisions: interpreted and native runs should be
+  // statistically indistinguishable (here: near-identical).
+  const Fig9Result native =
+      quick_fig9(SchedulingScheme::pias, SchedulingVariant::native);
+  const Fig9Result eden =
+      quick_fig9(SchedulingScheme::pias, SchedulingVariant::eden);
+  EXPECT_NEAR(eden.small_fct_us.mean(), native.small_fct_us.mean(),
+              native.small_fct_us.mean() * 0.05 + 1.0);
+}
+
+TEST(Fig9, BaselineEdenNoopMatchesBaselineNative) {
+  const Fig9Result native =
+      quick_fig9(SchedulingScheme::baseline, SchedulingVariant::native);
+  const Fig9Result noop = quick_fig9(SchedulingScheme::baseline,
+                                     SchedulingVariant::eden_ignore_output);
+  EXPECT_NEAR(noop.small_fct_us.mean(), native.small_fct_us.mean(),
+              native.small_fct_us.mean() * 0.05 + 1.0);
+}
+
+TEST(Fig9, BackgroundTrafficNotStarved) {
+  const Fig9Result pias =
+      quick_fig9(SchedulingScheme::pias, SchedulingVariant::eden);
+  // Background still gets a meaningful share of the 10G link.
+  EXPECT_GT(pias.background_mbps, 500.0);
+}
+
+// --- Case study 2: WCMP (Figure 10) -------------------------------------
+
+Fig10Result quick_fig10(LoadBalanceScheme scheme, DataPlaneVariant variant,
+                        bool message_level = false) {
+  Fig10Config cfg;
+  cfg.scheme = scheme;
+  cfg.variant = variant;
+  cfg.message_level = message_level;
+  cfg.duration = 300 * netsim::kMillisecond;
+  cfg.warmup = 50 * netsim::kMillisecond;
+  return run_fig10(cfg);
+}
+
+TEST(Fig10, WcmpBeatsEcmpByAFewX) {
+  const Fig10Result ecmp =
+      quick_fig10(LoadBalanceScheme::ecmp, DataPlaneVariant::eden);
+  const Fig10Result wcmp =
+      quick_fig10(LoadBalanceScheme::wcmp, DataPlaneVariant::eden);
+  // Paper: ECMP just over 2 Gbps, WCMP ~7.8 Gbps (3x), below the 11G
+  // min-cut because of reordering.
+  EXPECT_GT(ecmp.throughput_mbps, 1000.0);
+  EXPECT_LT(ecmp.throughput_mbps, 3500.0);
+  EXPECT_GT(wcmp.throughput_mbps, ecmp.throughput_mbps * 2.5);
+  EXPECT_LT(wcmp.throughput_mbps, 11000.0);
+  EXPECT_GT(wcmp.ooo_segments, 0u);  // reordering really happened
+}
+
+TEST(Fig10, NativeAndEdenAgree) {
+  const Fig10Result native =
+      quick_fig10(LoadBalanceScheme::wcmp, DataPlaneVariant::native);
+  const Fig10Result eden =
+      quick_fig10(LoadBalanceScheme::wcmp, DataPlaneVariant::eden);
+  EXPECT_NEAR(eden.throughput_mbps, native.throughput_mbps,
+              native.throughput_mbps * 0.10);
+  EXPECT_GT(eden.interpreted_packets, 1000u);
+}
+
+TEST(Fig10, MessageLevelWcmpAvoidsReordering) {
+  const Fig10Result per_packet =
+      quick_fig10(LoadBalanceScheme::wcmp, DataPlaneVariant::eden, false);
+  const Fig10Result per_message =
+      quick_fig10(LoadBalanceScheme::wcmp, DataPlaneVariant::eden, true);
+  // A flow is one message here, so message-level WCMP pins each flow to
+  // one path: drastically fewer out-of-order arrivals. (The residual
+  // count is loss-induced holes — a dropped segment makes everything
+  // behind it arrive "out of order" — not path reordering.)
+  EXPECT_LT(per_message.ooo_segments, per_packet.ooo_segments / 5);
+}
+
+// --- Case study 3: Pulsar QoS (Figure 11) ---------------------------------
+
+Fig11Result quick_fig11(PulsarMode mode) {
+  Fig11Config cfg;
+  cfg.mode = mode;
+  cfg.duration = 600 * netsim::kMillisecond;
+  cfg.warmup = 200 * netsim::kMillisecond;
+  return run_fig11(cfg);
+}
+
+TEST(Fig11, IsolatedTenantsGetSimilarThroughput) {
+  const Fig11Result r = quick_fig11(PulsarMode::isolated);
+  EXPECT_GT(r.read_mbps, 80.0);
+  EXPECT_GT(r.write_mbps, 80.0);
+  EXPECT_NEAR(r.read_mbps, r.write_mbps, r.read_mbps * 0.25);
+}
+
+TEST(Fig11, SimultaneousReadsStarveWrites) {
+  const Fig11Result iso = quick_fig11(PulsarMode::isolated);
+  const Fig11Result sim = quick_fig11(PulsarMode::simultaneous);
+  // Paper: WRITE throughput drops by 72% when competing with READs.
+  EXPECT_LT(sim.write_mbps, iso.write_mbps * 0.5);
+  EXPECT_GT(sim.read_mbps, iso.read_mbps * 0.7);  // READs barely hurt
+  EXPECT_GT(sim.rejected_requests, 0u);  // the queue really flooded
+}
+
+TEST(Fig11, RateControlRestoresFairness) {
+  const Fig11Result rc = quick_fig11(PulsarMode::rate_controlled);
+  EXPECT_GT(rc.read_mbps, 30.0);
+  EXPECT_GT(rc.write_mbps, 30.0);
+  EXPECT_NEAR(rc.read_mbps, rc.write_mbps,
+              std::max(rc.read_mbps, rc.write_mbps) * 0.25);
+}
+
+TEST(Fig11, NativeVariantMatchesEden) {
+  Fig11Config cfg;
+  cfg.mode = PulsarMode::rate_controlled;
+  cfg.duration = 400 * netsim::kMillisecond;
+  cfg.use_native = true;
+  const Fig11Result native = run_fig11(cfg);
+  cfg.use_native = false;
+  const Fig11Result eden = run_fig11(cfg);
+  EXPECT_NEAR(native.write_mbps, eden.write_mbps,
+              eden.write_mbps * 0.1 + 1.0);
+}
+
+// --- Figure 12: overheads ----------------------------------------------------
+
+TEST(Fig12, ComponentCostsAreOrderedAndBounded) {
+  Fig12Config cfg;
+  cfg.packets = 30000;
+  cfg.warmup_packets = 3000;
+  const Fig12Result r = run_fig12(cfg);
+  // This quick pass is too short for fine-grained layer ordering on a
+  // noisy machine (the bench binary runs 200k packets per layer for
+  // that); assert the robust facts: the full Eden pipeline costs more
+  // than the vanilla path, and the added cost stays well under a
+  // microsecond per packet.
+  EXPECT_GT(r.interpreter.avg_ns, r.vanilla.avg_ns);
+  EXPECT_LT(r.interpreter.avg_ns - r.vanilla.avg_ns, 3000.0);
+}
+
+TEST(Fig12, FootprintMatchesPaperScale) {
+  Fig12Config cfg;
+  cfg.packets = 2000;
+  cfg.warmup_packets = 200;
+  const Fig12Result r = run_fig12(cfg);
+  // Paper, Section 5.4: operand stack ~64 bytes, heap ~256 bytes.
+  EXPECT_LE(r.operand_stack_bytes, 64u);
+  EXPECT_GT(r.operand_stack_bytes, 0u);
+  EXPECT_LE(r.locals_bytes, 256u);
+  EXPECT_GT(r.bytecode_instructions, 10u);
+}
+
+}  // namespace
+}  // namespace eden::experiments

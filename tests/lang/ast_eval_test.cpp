@@ -1,0 +1,237 @@
+// Differential testing: the compiler + bytecode interpreter must agree
+// with the reference AST evaluator on every program and input. This is
+// the strongest correctness check on the toolchain — any divergence is
+// a compiler or interpreter bug.
+#include "lang/ast_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/enclave_schema.h"
+#include "functions/registry.h"
+#include "lang/compiler.h"
+#include "lang/parser.h"
+#include "tests/lang/test_schemas.h"
+
+namespace eden::lang {
+namespace {
+
+// Runs a source program through both engines against identical state
+// and verifies status, result value and all post-state agree.
+struct DiffResult {
+  ExecStatus status;
+  std::int64_t value;
+};
+
+DiffResult run_both(std::string_view source, const StateSchema& schema,
+                    StateBlock pkt, StateBlock msg, StateBlock glb,
+                    std::uint64_t seed = 7,
+                    const CompileOptions& copts = {}) {
+  const Program ast = parse(source);
+  const CompiledProgram program = compile(ast, schema, copts);
+
+  StateBlock bc_pkt = pkt, bc_msg = msg, bc_glb = glb;
+  Interpreter interp(ExecLimits{}, seed);
+  const ExecResult bc = interp.execute(program, &bc_pkt, &bc_msg, &bc_glb);
+
+  StateBlock ref_pkt = std::move(pkt), ref_msg = std::move(msg),
+             ref_glb = std::move(glb);
+  util::Rng rng(seed);
+  const ExecResult ref =
+      ast_eval(ast, schema, &ref_pkt, &ref_msg, &ref_glb, rng);
+
+  EXPECT_EQ(bc.status, ref.status) << source;
+  if (bc.status == ExecStatus::ok && ref.status == ExecStatus::ok) {
+    EXPECT_EQ(bc.value, ref.value) << source;
+    EXPECT_EQ(bc_pkt.scalars, ref_pkt.scalars) << source;
+    EXPECT_EQ(bc_msg.scalars, ref_msg.scalars) << source;
+    EXPECT_EQ(bc_glb.scalars, ref_glb.scalars) << source;
+    for (std::size_t i = 0; i < bc_glb.arrays.size(); ++i) {
+      EXPECT_EQ(bc_glb.arrays[i].data, ref_glb.arrays[i].data) << source;
+    }
+  }
+  return DiffResult{bc.status, bc.value};
+}
+
+DiffResult run_both_empty(std::string_view source) {
+  StateSchema schema;
+  return run_both(source, schema, StateBlock{}, StateBlock{}, StateBlock{});
+}
+
+TEST(AstEvalDiff, PureExpressionCorpus) {
+  const char* corpus[] = {
+      "fun(p) -> 0",
+      "fun(p) -> 1 + 2 * 3 - 4 / 2 % 3",
+      "fun(p) -> (1 + 2) * (3 - 4)",
+      "fun(p) -> -9223372036854775807 - 1",
+      "fun(p) -> 9223372036854775807 + 1",  // wraps identically
+      "fun(p) -> 1 < 2 && 3 >= 3 || not true",
+      "fun(p) -> if 2 > 1 then 10 elif 1 > 2 then 20 else 30",
+      "fun(p) -> let x = 5 in let y = x * x in y - x",
+      "fun(p) -> let x = 1 in (x <- x + 1; x <- x * 10; x)",
+      "fun(p) -> let i = 0 in let s = 0 in "
+      "(while i < 25 do s <- s + i * i; i <- i + 1 done; s)",
+      "fun(p) -> let f(a, b) = a * 10 + b in f(f(1, 2), 3)",
+      "fun(p) -> let rec fib(n) = if n < 2 then n else fib(n-1) + fib(n-2) "
+      "in fib(12)",
+      "fun(p) -> let rec gcd(a, b) = if b = 0 then a else gcd(b, a % b) in "
+      "gcd(252, 105)",
+      "fun(p) -> let k = 3 in let addk(x) = x + k in addk(addk(addk(0)))",
+      "fun(p) -> let a = 2 in let f(x) = x * a in let a = 100 in f(1) + a",
+      "fun(p) -> min(3, max(1, 2)) + abs(0 - 7)",
+      "fun(p) -> (1; 2; 3; 4)",
+      "fun(p) -> let u = (if false then 1) in u",
+      "fun(p) -> true && 7",
+  };
+  for (const char* source : corpus) {
+    SCOPED_TRACE(source);
+    run_both_empty(source);
+  }
+}
+
+TEST(AstEvalDiff, TrapCorpusAgreesOnStatus) {
+  struct Case {
+    const char* source;
+    ExecStatus expected;
+  };
+  const Case corpus[] = {
+      {"fun(p) -> 1 / 0", ExecStatus::div_by_zero},
+      {"fun(p) -> 5 % (3 - 3)", ExecStatus::div_by_zero},
+      {"fun(p) -> rand(0)", ExecStatus::bad_rand_bound},
+      {"fun(p) -> let rec f(n) = 1 + f(n + 1) in f(0)",
+       ExecStatus::call_depth_exceeded},
+  };
+  for (const Case& c : corpus) {
+    SCOPED_TRACE(c.source);
+    const DiffResult r = run_both_empty(c.source);
+    EXPECT_EQ(r.status, c.expected);
+  }
+}
+
+TEST(AstEvalDiff, StatefulCorpus) {
+  const StateSchema schema = testing::pias_schema();
+  auto pkt = StateBlock::from_schema(schema, Scope::packet);
+  auto msg = StateBlock::from_schema(schema, Scope::message);
+  auto glb = StateBlock::from_schema(schema, Scope::global);
+  pkt.scalars[0] = 1460;  // size
+  msg.scalars[0] = 9000;  // msg.size
+  msg.scalars[1] = 1;     // msg.priority
+  glb.arrays[0].stride = 2;
+  glb.arrays[0].data = {10240, 7, 1048576, 5};
+
+  const char* corpus[] = {
+      testing::kPiasSource,
+      "fun(p, m, g) -> m.size <- m.size + p.size; m.size",
+      "fun(p, m, g) -> p.priority <- g.priorities[1].priority",
+      "fun(p, m, g) -> len(g.priorities) + g.priorities.length",
+      "fun(p, m, g) -> let t = g.priorities in t[0].limit + t[1].priority",
+      "fun(p, m, g) -> if m.size > 8000 then (p.priority <- 5; 1) else 0",
+  };
+  for (const char* source : corpus) {
+    SCOPED_TRACE(source);
+    run_both(source, schema, pkt, msg, glb);
+  }
+}
+
+TEST(AstEvalDiff, StatefulTraps) {
+  const StateSchema schema = testing::pias_schema();
+  auto pkt = StateBlock::from_schema(schema, Scope::packet);
+  auto msg = StateBlock::from_schema(schema, Scope::message);
+  auto glb = StateBlock::from_schema(schema, Scope::global);
+  glb.arrays[0].stride = 2;
+  glb.arrays[0].data = {10240, 7};
+
+  const DiffResult oob = run_both("fun(p, m, g) -> g.priorities[5].limit",
+                                  schema, pkt, msg, glb);
+  EXPECT_EQ(oob.status, ExecStatus::out_of_bounds);
+  const DiffResult neg =
+      run_both("fun(p, m, g) -> g.priorities[0 - 1].limit", schema, pkt,
+               msg, glb);
+  EXPECT_EQ(neg.status, ExecStatus::out_of_bounds);
+}
+
+// Every library function, interpreted vs reference-evaluated, across a
+// parameter sweep of packet/message inputs. Randomized functions agree
+// exactly because both engines draw from the same seeded generator.
+class LibraryDiff : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibraryDiff, FunctionsAgreeWithReference) {
+  const int variant = GetParam();
+  for (const auto& fn : functions::all_functions()) {
+    SCOPED_TRACE(fn->name());
+    const StateSchema schema = core::make_enclave_schema(fn->global_fields());
+    auto pkt = StateBlock::from_schema(schema, Scope::packet);
+    auto msg = StateBlock::from_schema(schema, Scope::message);
+    auto glb = StateBlock::from_schema(schema, Scope::global);
+
+    // Vary the inputs per parameter.
+    util::Rng vary(static_cast<std::uint64_t>(variant) * 977 + 13);
+    pkt.scalars[core::PacketSlot::size] = vary.range(54, 1514);
+    pkt.scalars[core::PacketSlot::dst] = vary.range(0, 3);
+    pkt.scalars[core::PacketSlot::dst_port] = vary.range(1000, 1005);
+    pkt.scalars[core::PacketSlot::tenant] = vary.range(0, 2);
+    pkt.scalars[core::PacketSlot::msg_type] = vary.range(1, 2);
+    pkt.scalars[core::PacketSlot::msg_size] = vary.range(0, 100000);
+    pkt.scalars[core::PacketSlot::flow_size] = vary.range(0, 3000000);
+    pkt.scalars[core::PacketSlot::app_priority] = vary.range(0, 2);
+    pkt.scalars[core::PacketSlot::key_hash] = vary.range(0, 1 << 20);
+    msg.scalars[core::MessageSlot::size] = vary.range(0, 2000000);
+    msg.scalars[core::MessageSlot::priority] = vary.range(0, 2);
+    msg.scalars[core::MessageSlot::path] = vary.range(-1, 3);
+
+    // Populate the function's global tables with plausible content.
+    for (auto& arr : glb.arrays) {
+      // Strides were set by from_schema.
+      const int records = 3;
+      for (int r = 0; r < records * arr.stride; ++r) {
+        arr.data.push_back(vary.range(0, 1000));
+      }
+    }
+    for (auto& scalar : glb.scalars) scalar = vary.range(0, 2);
+
+    run_both(fn->source(), schema, pkt, msg, glb,
+             /*seed=*/static_cast<std::uint64_t>(variant) + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(InputSweep, LibraryDiff, ::testing::Range(0, 25));
+
+// TCO must not change semantics: the same program with and without the
+// optimization agrees with the reference on deep recursions.
+TEST(AstEvalDiff, TcoOnOffAgree) {
+  const char* source =
+      "fun(p) -> let rec sum(n, acc) = if n = 0 then acc "
+      "else sum(n - 1, acc + n) in sum(100, 0)";
+  StateSchema schema;
+  CompileOptions no_tco;
+  no_tco.tail_call_optimization = false;
+  const DiffResult with_tco =
+      run_both(source, schema, {}, {}, {}, 7, CompileOptions{});
+  const DiffResult without_tco =
+      run_both(source, schema, {}, {}, {}, 7, no_tco);
+  EXPECT_EQ(with_tco.status, ExecStatus::ok);
+  EXPECT_EQ(with_tco.value, 5050);
+  EXPECT_EQ(without_tco.value, 5050);
+}
+
+TEST(AstEval, NodeBudgetTrapsRunaways) {
+  StateSchema schema;
+  const Program ast = parse("fun(p) -> while true do 0 done");
+  util::Rng rng(1);
+  AstEvalOptions options;
+  options.max_nodes = 5000;
+  const ExecResult r =
+      ast_eval(ast, schema, nullptr, nullptr, nullptr, rng, 0, options);
+  EXPECT_EQ(r.status, ExecStatus::fuel_exhausted);
+}
+
+TEST(AstEval, ClockInjection) {
+  StateSchema schema;
+  const Program ast = parse("fun(p) -> clock()");
+  util::Rng rng(1);
+  const ExecResult r =
+      ast_eval(ast, schema, nullptr, nullptr, nullptr, rng, 123456);
+  EXPECT_EQ(r.value, 123456);
+}
+
+}  // namespace
+}  // namespace eden::lang

@@ -1,0 +1,204 @@
+#include "lang/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/disasm.h"
+#include "tests/lang/test_schemas.h"
+
+namespace eden::lang {
+namespace {
+
+using testing::pias_schema;
+
+TEST(Compiler, ConcurrencyParallelWhenOnlyPacketWritten) {
+  const auto p = compile_source("fun(p, m, g) -> p.priority <- 3",
+                                pias_schema());
+  EXPECT_EQ(p.concurrency, ConcurrencyMode::parallel);
+}
+
+TEST(Compiler, ConcurrencyPerMessageWhenMessageWritten) {
+  const auto p = compile_source(
+      "fun(p, m, g) -> m.size <- m.size + p.size", pias_schema());
+  EXPECT_EQ(p.concurrency, ConcurrencyMode::per_message);
+}
+
+TEST(Compiler, ConcurrencySerializedWhenGlobalWritten) {
+  StateSchema schema = pias_schema();
+  schema.scalar(Scope::global, "counter", Access::read_write);
+  const auto p = compile_source(
+      "fun(p, m, g) -> g.counter <- g.counter + 1", schema);
+  EXPECT_EQ(p.concurrency, ConcurrencyMode::serialized);
+}
+
+TEST(Compiler, RejectsWriteToReadOnlyField) {
+  EXPECT_THROW(
+      compile_source("fun(p, m, g) -> p.size <- 0", pias_schema()),
+      LangError);
+}
+
+TEST(Compiler, RejectsUnknownField) {
+  EXPECT_THROW(
+      compile_source("fun(p, m, g) -> p.nonexistent", pias_schema()),
+      LangError);
+}
+
+TEST(Compiler, RejectsUnboundVariable) {
+  EXPECT_THROW(compile_source("fun(p, m, g) -> mystery", pias_schema()),
+               LangError);
+}
+
+TEST(Compiler, RejectsScalarIndexing) {
+  EXPECT_THROW(
+      compile_source("fun(p, m, g) -> p.size[0]", pias_schema()),
+      LangError);
+}
+
+TEST(Compiler, RejectsWholeArrayRead) {
+  EXPECT_THROW(
+      compile_source("fun(p, m, g) -> g.priorities", pias_schema()),
+      LangError);
+}
+
+TEST(Compiler, RejectsRecordArrayWithoutField) {
+  EXPECT_THROW(
+      compile_source("fun(p, m, g) -> g.priorities[0]", pias_schema()),
+      LangError);
+}
+
+TEST(Compiler, RejectsUnknownRecordField) {
+  EXPECT_THROW(
+      compile_source("fun(p, m, g) -> g.priorities[0].bogus", pias_schema()),
+      LangError);
+}
+
+TEST(Compiler, RejectsAssignToLength) {
+  StateSchema schema = pias_schema();
+  schema.array(Scope::global, "xs", Access::read_write);
+  EXPECT_THROW(compile_source("fun(p, m, g) -> g.xs.length <- 1", schema),
+               LangError);
+}
+
+TEST(Compiler, RejectsTooManyParams) {
+  EXPECT_THROW(compile_source("fun(a, b, c, d) -> 0", pias_schema()),
+               LangError);
+}
+
+TEST(Compiler, RejectsUnknownParamType) {
+  EXPECT_THROW(compile_source("fun(p : Widget) -> 0", pias_schema()),
+               LangError);
+}
+
+TEST(Compiler, ParamTypeAnnotationsOverridePosition) {
+  // Single parameter annotated as Global still resolves global fields.
+  const auto p = compile_source(
+      "fun(g : Global) -> g.priorities[0].limit", pias_schema());
+  EXPECT_NE(p.usage.array_read[static_cast<int>(Scope::global)], 0u);
+}
+
+TEST(Compiler, UsageMasksTrackReadsAndWrites) {
+  const auto p = compile_source(testing::kPiasSource, pias_schema());
+  const int pkt = static_cast<int>(Scope::packet);
+  const int msg = static_cast<int>(Scope::message);
+  const int glb = static_cast<int>(Scope::global);
+  EXPECT_EQ(p.usage.scalar_read[pkt], 0b01u);   // size read
+  EXPECT_EQ(p.usage.scalar_write[pkt], 0b10u);  // priority written
+  EXPECT_EQ(p.usage.scalar_read[msg], 0b11u);   // size + priority read
+  EXPECT_EQ(p.usage.scalar_write[msg], 0b01u);  // size written
+  EXPECT_EQ(p.usage.array_read[glb], 0b1u);
+  EXPECT_EQ(p.usage.array_write[glb], 0u);
+  EXPECT_EQ(p.concurrency, ConcurrencyMode::per_message);
+}
+
+TEST(Compiler, TailRecursionCompilesToJump) {
+  const auto with_tco = compile_source(testing::kPiasSource, pias_schema());
+  CompileOptions no_tco;
+  no_tco.tail_call_optimization = false;
+  const auto without_tco =
+      compile_source(testing::kPiasSource, pias_schema(), no_tco);
+
+  auto count_calls = [](const CompiledProgram& p) {
+    int calls = 0;
+    for (const auto& instr : p.code) {
+      if (instr.op == Op::call) ++calls;
+    }
+    return calls;
+  };
+  // With TCO only the initial search(0) remains a real call; the
+  // recursive call becomes a jump.
+  EXPECT_EQ(count_calls(with_tco), 1);
+  EXPECT_EQ(count_calls(without_tco), 2);
+}
+
+TEST(Compiler, SerializeRoundTrips) {
+  const auto p = compile_source(testing::kPiasSource, pias_schema(), {},
+                                "pias");
+  const auto bytes = p.serialize();
+  const auto q = CompiledProgram::deserialize(bytes);
+  EXPECT_EQ(q.source_name, "pias");
+  EXPECT_EQ(q.concurrency, p.concurrency);
+  ASSERT_EQ(q.code.size(), p.code.size());
+  for (std::size_t i = 0; i < p.code.size(); ++i) {
+    EXPECT_EQ(q.code[i].op, p.code[i].op) << "instr " << i;
+    EXPECT_EQ(q.code[i].a, p.code[i].a) << "instr " << i;
+    EXPECT_EQ(q.code[i].imm, p.code[i].imm) << "instr " << i;
+  }
+  ASSERT_EQ(q.functions.size(), p.functions.size());
+  EXPECT_EQ(q.functions[1].name, p.functions[1].name);
+  EXPECT_EQ(q.usage.scalar_write[0], p.usage.scalar_write[0]);
+}
+
+TEST(Compiler, DeserializeRejectsCorruptStreams) {
+  const auto p = compile_source("fun(p, m, g) -> 1", pias_schema());
+  auto bytes = p.serialize();
+  // Truncated stream.
+  std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + 8);
+  EXPECT_THROW(CompiledProgram::deserialize(cut), LangError);
+  // Bad magic.
+  auto bad = bytes;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(CompiledProgram::deserialize(bad), LangError);
+  // Trailing garbage.
+  auto longer = bytes;
+  longer.push_back(0);
+  EXPECT_THROW(CompiledProgram::deserialize(longer), LangError);
+}
+
+TEST(Compiler, DisassemblyMentionsFunctionsAndState) {
+  const auto p = compile_source(testing::kPiasSource, pias_schema());
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find("main"), std::string::npos);
+  EXPECT_NE(text.find("search"), std::string::npos);
+  EXPECT_NE(text.find("store_state"), std::string::npos);
+  EXPECT_NE(text.find("per_message"), std::string::npos);
+}
+
+TEST(Compiler, CallArityMismatchIsError) {
+  EXPECT_THROW(compile_source(
+                   "fun(p, m, g) -> let f(a, b) = a + b in f(1)",
+                   pias_schema()),
+               LangError);
+}
+
+TEST(Compiler, UnknownFunctionCallIsError) {
+  EXPECT_THROW(compile_source("fun(p, m, g) -> ghost(1)", pias_schema()),
+               LangError);
+}
+
+TEST(Compiler, BuiltinArityChecked) {
+  EXPECT_THROW(compile_source("fun(p, m, g) -> min(1)", pias_schema()),
+               LangError);
+  EXPECT_THROW(compile_source("fun(p, m, g) -> clock(1)", pias_schema()),
+               LangError);
+  EXPECT_THROW(compile_source("fun(p, m, g) -> len(1)", pias_schema()),
+               LangError);
+}
+
+TEST(Compiler, ArrayAliasRebindingForbidden) {
+  EXPECT_THROW(compile_source(
+                   "fun(p, m, g) -> let a = g.priorities in a <- 1",
+                   pias_schema()),
+               LangError);
+}
+
+}  // namespace
+}  // namespace eden::lang

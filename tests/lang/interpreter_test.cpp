@@ -1,0 +1,324 @@
+#include "lang/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "tests/lang/test_schemas.h"
+
+namespace eden::lang {
+namespace {
+
+using testing::pias_schema;
+
+// Runs a source program with fresh default state blocks and returns the
+// result; the blocks can be inspected afterwards through the fixture.
+class InterpreterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_schema(pias_schema()); }
+
+  void set_schema(StateSchema schema) {
+    schema_ = std::move(schema);
+    packet_ = StateBlock::from_schema(schema_, Scope::packet);
+    message_ = StateBlock::from_schema(schema_, Scope::message);
+    global_ = StateBlock::from_schema(schema_, Scope::global);
+  }
+
+  ExecResult run(std::string_view source, CompileOptions options = {}) {
+    program_ = compile_source(source, schema_, options);
+    return interp_.execute(program_, &packet_, &message_, &global_);
+  }
+
+  std::int64_t eval(std::string_view source) {
+    const ExecResult r = run(source);
+    EXPECT_EQ(r.status, ExecStatus::ok);
+    return r.value;
+  }
+
+  StateSchema schema_;
+  StateBlock packet_, message_, global_;
+  CompiledProgram program_;
+  Interpreter interp_;
+};
+
+TEST_F(InterpreterTest, Arithmetic) {
+  EXPECT_EQ(eval("fun(p) -> 2 + 3 * 4"), 14);
+  EXPECT_EQ(eval("fun(p) -> (2 + 3) * 4"), 20);
+  EXPECT_EQ(eval("fun(p) -> 10 - 3 - 2"), 5);  // left associative
+  EXPECT_EQ(eval("fun(p) -> 17 / 5"), 3);
+  EXPECT_EQ(eval("fun(p) -> 17 % 5"), 2);
+  EXPECT_EQ(eval("fun(p) -> -7"), -7);
+  EXPECT_EQ(eval("fun(p) -> - (3 - 10)"), 7);
+}
+
+TEST_F(InterpreterTest, Comparisons) {
+  EXPECT_EQ(eval("fun(p) -> 1 < 2"), 1);
+  EXPECT_EQ(eval("fun(p) -> 2 <= 2"), 1);
+  EXPECT_EQ(eval("fun(p) -> 3 = 3"), 1);
+  EXPECT_EQ(eval("fun(p) -> 3 <> 3"), 0);
+  EXPECT_EQ(eval("fun(p) -> 5 > 6"), 0);
+  EXPECT_EQ(eval("fun(p) -> 6 >= 6"), 1);
+}
+
+TEST_F(InterpreterTest, ShortCircuitLogic) {
+  EXPECT_EQ(eval("fun(p) -> true && false"), 0);
+  EXPECT_EQ(eval("fun(p) -> true || false"), 1);
+  EXPECT_EQ(eval("fun(p) -> not true"), 0);
+  // Right side is not evaluated when the left decides: a division by
+  // zero in the unevaluated branch must not trap.
+  EXPECT_EQ(eval("fun(p) -> false && (1 / 0 = 1)"), 0);
+  EXPECT_EQ(eval("fun(p) -> true || (1 / 0 = 1)"), 1);
+  // Nonzero values normalize to 1.
+  EXPECT_EQ(eval("fun(p) -> 7 && 9"), 1);
+}
+
+TEST_F(InterpreterTest, DivisionByZeroTraps) {
+  EXPECT_EQ(run("fun(p) -> 1 / 0").status, ExecStatus::div_by_zero);
+  EXPECT_EQ(run("fun(p) -> 1 % 0").status, ExecStatus::div_by_zero);
+}
+
+TEST_F(InterpreterTest, Int64MinDivMinusOneWrapsInsteadOfTrapping) {
+  EXPECT_EQ(eval("fun(p) -> (0 - 9223372036854775807 - 1) / (0 - 1)"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(eval("fun(p) -> (0 - 9223372036854775807 - 1) % (0 - 1)"), 0);
+}
+
+TEST_F(InterpreterTest, IfElifElse) {
+  EXPECT_EQ(eval("fun(p) -> if 0 then 1 else 2"), 2);
+  EXPECT_EQ(eval("fun(p) -> if 1 then 1 else 2"), 1);
+  EXPECT_EQ(eval("fun(p) -> if 0 then 1 elif 1 then 5 else 2"), 5);
+  EXPECT_EQ(eval("fun(p) -> if 0 then 1"), 0);  // missing else = 0
+}
+
+TEST_F(InterpreterTest, LetBindingAndShadowing) {
+  EXPECT_EQ(eval("fun(p) -> let x = 3 in let y = 4 in x * y"), 12);
+  EXPECT_EQ(eval("fun(p) -> let x = 3 in let x = x + 1 in x"), 4);
+}
+
+TEST_F(InterpreterTest, LocalMutation) {
+  EXPECT_EQ(eval("fun(p) -> let x = 1 in (x <- x + 10; x)"), 11);
+}
+
+TEST_F(InterpreterTest, WhileLoop) {
+  EXPECT_EQ(eval(R"(fun(p) ->
+    let i = 0 in
+    let sum = 0 in
+    (while i < 10 do sum <- sum + i; i <- i + 1 done; sum))"),
+            45);
+}
+
+TEST_F(InterpreterTest, SequenceYieldsLastValue) {
+  EXPECT_EQ(eval("fun(p) -> (1; 2; 3)"), 3);
+}
+
+TEST_F(InterpreterTest, AssignEvaluatesToUnit) {
+  EXPECT_EQ(eval("fun(p) -> let x = 5 in let u = (x <- 9) in u"), 0);
+}
+
+TEST_F(InterpreterTest, NonRecursiveFunction) {
+  EXPECT_EQ(eval("fun(p) -> let add(a, b) = a + b in add(3, 4)"), 7);
+}
+
+TEST_F(InterpreterTest, RecursiveFunctionNonTail) {
+  // Factorial has a non-tail recursive call (the multiply happens after
+  // the call), so this exercises real frames.
+  EXPECT_EQ(eval(R"(fun(p) ->
+    let rec fact(n) = if n <= 1 then 1 else n * fact(n - 1) in
+    fact(10))"),
+            3628800);
+}
+
+TEST_F(InterpreterTest, TailRecursionRunsDeep) {
+  // 100000 iterations would blow max_call_depth without TCO.
+  EXPECT_EQ(eval(R"(fun(p) ->
+    let rec count(n, acc) = if n = 0 then acc else count(n - 1, acc + 1) in
+    count(100000, 0))"),
+            100000);
+}
+
+TEST_F(InterpreterTest, DeepNonTailRecursionHitsCallDepthLimit) {
+  const ExecResult r = run(R"(fun(p) ->
+    let rec f(n) = if n = 0 then 0 else 1 + f(n - 1) in
+    f(100000))");
+  EXPECT_EQ(r.status, ExecStatus::call_depth_exceeded);
+}
+
+TEST_F(InterpreterTest, CapturedVariables) {
+  // `base` is captured by value from the enclosing scope.
+  EXPECT_EQ(eval(R"(fun(p) ->
+    let base = 100 in
+    let addbase(x) = x + base in
+    addbase(7))"),
+            107);
+}
+
+TEST_F(InterpreterTest, CapturedVariableInRecursion) {
+  EXPECT_EQ(eval(R"(fun(p) ->
+    let step = 3 in
+    let rec sum(n, acc) = if n = 0 then acc else sum(n - 1, acc + step) in
+    sum(5, 0))"),
+            15);
+}
+
+TEST_F(InterpreterTest, StateReadsAndWrites) {
+  packet_.scalars[0] = 1500;  // packet.size
+  message_.scalars[0] = 4000; // msg.size
+  const ExecResult r =
+      run("fun(p, m, g) -> m.size <- m.size + p.size; m.size");
+  EXPECT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(message_.scalars[0], 5500);
+}
+
+TEST_F(InterpreterTest, RecordArrayAccess) {
+  global_.arrays[0].stride = 2;
+  global_.arrays[0].data = {10000, 7, 1000000, 5};  // {limit, prio} x2
+  EXPECT_EQ(eval("fun(p, m, g) -> g.priorities[1].limit"), 1000000);
+  EXPECT_EQ(eval("fun(p, m, g) -> g.priorities[1].priority"), 5);
+  EXPECT_EQ(eval("fun(p, m, g) -> len(g.priorities)"), 2);
+  EXPECT_EQ(eval("fun(p, m, g) -> g.priorities.length"), 2);
+}
+
+TEST_F(InterpreterTest, ArrayOutOfBoundsTraps) {
+  global_.arrays[0].stride = 2;
+  global_.arrays[0].data = {10000, 7};
+  EXPECT_EQ(run("fun(p, m, g) -> g.priorities[1].limit").status,
+            ExecStatus::out_of_bounds);
+  EXPECT_EQ(run("fun(p, m, g) -> g.priorities[0 - 1].limit").status,
+            ExecStatus::out_of_bounds);
+}
+
+TEST_F(InterpreterTest, FaultyProgramLeavesOtherStateUntouched) {
+  // A trap must not corrupt anything the program did not already write.
+  global_.arrays[0].stride = 2;
+  global_.arrays[0].data = {10000, 7};
+  packet_.scalars[1] = 42;
+  const ExecResult r =
+      run("fun(p, m, g) -> g.priorities[99].limit");
+  EXPECT_EQ(r.status, ExecStatus::out_of_bounds);
+  EXPECT_EQ(packet_.scalars[1], 42);
+}
+
+TEST_F(InterpreterTest, MissingStateBlockReportsBadSlot) {
+  program_ = compile_source("fun(p, m, g) -> m.size", schema_);
+  const ExecResult r = interp_.execute(program_, &packet_, nullptr, &global_);
+  EXPECT_EQ(r.status, ExecStatus::bad_state_slot);
+}
+
+TEST_F(InterpreterTest, FuelLimitStopsRunawayLoop) {
+  ExecLimits limits;
+  limits.max_steps = 10000;
+  Interpreter bounded(limits);
+  program_ = compile_source("fun(p) -> while true do 0 done", schema_);
+  const ExecResult r =
+      bounded.execute(program_, &packet_, &message_, &global_);
+  EXPECT_EQ(r.status, ExecStatus::fuel_exhausted);
+  EXPECT_EQ(r.steps, 10000u);
+}
+
+TEST_F(InterpreterTest, RandRespectsBound) {
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t v = eval("fun(p) -> rand(10)");
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 10);
+  }
+  EXPECT_EQ(run("fun(p) -> rand(0)").status, ExecStatus::bad_rand_bound);
+  EXPECT_EQ(run("fun(p) -> rand(0 - 5)").status, ExecStatus::bad_rand_bound);
+}
+
+TEST_F(InterpreterTest, ClockUsesInjectedSource) {
+  static std::int64_t fake_now = 123456789;
+  interp_.set_clock([](void*) { return fake_now; }, nullptr);
+  EXPECT_EQ(eval("fun(p) -> clock()"), 123456789);
+}
+
+TEST_F(InterpreterTest, MinMaxAbs) {
+  EXPECT_EQ(eval("fun(p) -> min(3, 9)"), 3);
+  EXPECT_EQ(eval("fun(p) -> max(3, 9)"), 9);
+  EXPECT_EQ(eval("fun(p) -> abs(0 - 5)"), 5);
+  EXPECT_EQ(eval("fun(p) -> abs(5)"), 5);
+}
+
+TEST_F(InterpreterTest, ResultReportsResourceHighWaterMarks) {
+  const ExecResult r = run(testing::kPiasSource);
+  EXPECT_EQ(r.status, ExecStatus::ok);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_GT(r.max_stack, 0u);
+  // The paper reports ~64 bytes of operand stack for these programs
+  // (Section 5.4); that is 8 entries.
+  EXPECT_LE(r.max_stack, 8u);
+}
+
+// --- The Figure 7 PIAS program, end to end ------------------------------
+
+class PiasProgramTest : public InterpreterTest {
+ protected:
+  void SetUp() override {
+    InterpreterTest::SetUp();
+    // Thresholds: <=10KB -> priority 7, <=1MB -> priority 5, else 0.
+    global_.arrays[0].stride = 2;
+    global_.arrays[0].data = {10240, 7, 1048576, 5};
+    message_.scalars[1] = 1;  // msg.priority: 1 = unset, use PIAS
+  }
+
+  // Sends one packet of `size` bytes through the program and returns the
+  // priority the program assigned to it.
+  std::int64_t send_packet(std::int64_t size) {
+    packet_.scalars[0] = size;
+    const ExecResult r = run(testing::kPiasSource);
+    EXPECT_EQ(r.status, ExecStatus::ok);
+    return packet_.scalars[1];
+  }
+};
+
+TEST_F(PiasProgramTest, SmallMessageGetsHighPriority) {
+  EXPECT_EQ(send_packet(1460), 7);
+  EXPECT_EQ(message_.scalars[0], 1460);  // msg.size updated
+}
+
+TEST_F(PiasProgramTest, PriorityDemotesAsMessageGrows) {
+  // 7 packets of 1460B stay under 10KB29; after that the message crosses
+  // into the intermediate band, and eventually to background.
+  std::int64_t last = 7;
+  std::int64_t total = 0;
+  while (total + 1460 <= 10240) {
+    last = send_packet(1460);
+    total += 1460;
+    EXPECT_EQ(last, 7);
+  }
+  last = send_packet(1460);  // crosses 10KB
+  EXPECT_EQ(last, 5);
+  // Push beyond 1MB.
+  message_.scalars[0] = 1048576 - 100;
+  EXPECT_EQ(send_packet(1460), 0);
+}
+
+TEST_F(PiasProgramTest, ApplicationPinnedPriorityIsRespected) {
+  message_.scalars[1] = 0;  // background-pinned
+  EXPECT_EQ(send_packet(1460), 0);
+  EXPECT_EQ(message_.scalars[0], 1460);  // size still tracked
+}
+
+TEST_F(PiasProgramTest, WorksIdenticallyWithoutTCO) {
+  CompileOptions no_tco;
+  no_tco.tail_call_optimization = false;
+  message_.scalars[0] = 20000;
+  packet_.scalars[0] = 1460;
+  const ExecResult r = run(testing::kPiasSource, no_tco);
+  EXPECT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(packet_.scalars[1], 5);
+}
+
+TEST_F(PiasProgramTest, SurvivesSerializationRoundTrip) {
+  // Compile, serialize, deserialize (as if shipped to a NIC enclave),
+  // then execute the deserialized program.
+  const auto compiled = compile_source(testing::kPiasSource, schema_);
+  const auto shipped = CompiledProgram::deserialize(compiled.serialize());
+  packet_.scalars[0] = 1460;
+  message_.scalars[0] = 50000;
+  const ExecResult r =
+      interp_.execute(shipped, &packet_, &message_, &global_);
+  EXPECT_EQ(r.status, ExecStatus::ok);
+  EXPECT_EQ(packet_.scalars[1], 5);
+}
+
+}  // namespace
+}  // namespace eden::lang

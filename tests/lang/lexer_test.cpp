@@ -1,0 +1,105 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::lang {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  std::vector<TokenKind> out;
+  for (const auto& tok : lex(src)) out.push_back(tok.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::end_of_input);
+}
+
+TEST(Lexer, IntegersWithSeparatorsAndSuffix) {
+  const auto tokens = lex("1_000_000 42L 0");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].int_value, 1000000);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 0);
+}
+
+TEST(Lexer, IntegerOverflowIsRejected) {
+  EXPECT_THROW(lex("99999999999999999999"), LangError);
+}
+
+TEST(Lexer, MaxInt64Accepted) {
+  const auto tokens = lex("9223372036854775807");
+  EXPECT_EQ(tokens[0].int_value, 9223372036854775807LL);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto k = kinds("fun let rec in if then elif else while do done foo");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kw_fun,  TokenKind::kw_let,  TokenKind::kw_rec,
+      TokenKind::kw_in,   TokenKind::kw_if,   TokenKind::kw_then,
+      TokenKind::kw_elif, TokenKind::kw_else, TokenKind::kw_while,
+      TokenKind::kw_do,   TokenKind::kw_done, TokenKind::identifier,
+      TokenKind::end_of_input};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, OperatorsTwoCharacter) {
+  const auto k = kinds("-> <- <= >= <> != == && ||");
+  const std::vector<TokenKind> expected = {
+      TokenKind::arrow, TokenKind::left_arrow, TokenKind::le,
+      TokenKind::ge,    TokenKind::ne,         TokenKind::ne,
+      TokenKind::eq,    TokenKind::kw_and,     TokenKind::kw_or,
+      TokenKind::end_of_input};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, DotBracketIsArrayIndexSugar) {
+  // F# spells indexing "xs.[i]"; the lexer folds ".[" into "[".
+  const auto k = kinds("xs.[i]");
+  const std::vector<TokenKind> expected = {
+      TokenKind::identifier, TokenKind::lbracket, TokenKind::identifier,
+      TokenKind::rbracket, TokenKind::end_of_input};
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, LineComments) {
+  const auto k = kinds("a // comment until newline\nb");
+  ASSERT_EQ(k.size(), 3u);
+  EXPECT_EQ(k[0], TokenKind::identifier);
+  EXPECT_EQ(k[1], TokenKind::identifier);
+}
+
+TEST(Lexer, NestedBlockComments) {
+  const auto k = kinds("a (* outer (* inner *) still outer *) b");
+  ASSERT_EQ(k.size(), 3u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("(* never closed"), LangError);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW(lex("a $ b"), LangError);
+  EXPECT_THROW(lex("a & b"), LangError);   // bare & is invalid
+  EXPECT_THROW(lex("a | b"), LangError);   // bare | is invalid
+  EXPECT_THROW(lex("a ! b"), LangError);   // bare ! is invalid
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.column, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.column, 3u);
+}
+
+TEST(Lexer, ParenStarRequiresCommentClose) {
+  // "(*" always opens a comment; "( *" does not.
+  EXPECT_THROW(lex("(* open"), LangError);
+  EXPECT_NO_THROW(lex("( * )"));
+}
+
+}  // namespace
+}  // namespace eden::lang

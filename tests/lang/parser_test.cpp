@@ -1,0 +1,164 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::lang {
+namespace {
+
+TEST(Parser, MinimalFunction) {
+  const Program p = parse("fun(packet) -> 42");
+  ASSERT_EQ(p.params.size(), 1u);
+  EXPECT_EQ(p.params[0].name, "packet");
+  ASSERT_NE(p.body, nullptr);
+  EXPECT_EQ(p.body->kind, ExprKind::int_literal);
+  EXPECT_EQ(p.body->int_value, 42);
+}
+
+TEST(Parser, TypedParameters) {
+  const Program p =
+      parse("fun(packet : Packet, msg : Message, g : Global) -> 0");
+  ASSERT_EQ(p.params.size(), 3u);
+  EXPECT_EQ(p.params[1].type_name, "Message");
+}
+
+TEST(Parser, LetBindingAndBody) {
+  const Program p = parse("fun(p) -> let x = 1 + 2 in x * 3");
+  EXPECT_EQ(p.body->kind, ExprKind::let);
+  EXPECT_EQ(p.body->name, "x");
+  EXPECT_EQ(p.body->children[0]->kind, ExprKind::binary);
+  EXPECT_EQ(p.body->children[1]->kind, ExprKind::binary);
+}
+
+TEST(Parser, LetRecRequiresFunction) {
+  EXPECT_THROW(parse("fun(p) -> let rec x = 1 in x"), LangError);
+}
+
+TEST(Parser, LocalFunctionDefinition) {
+  const Program p =
+      parse("fun(p) -> let rec f(n) = if n <= 0 then 0 else f(n - 1) in f(3)");
+  EXPECT_EQ(p.body->kind, ExprKind::let_fun);
+  EXPECT_TRUE(p.body->is_recursive);
+  ASSERT_EQ(p.body->fun_params.size(), 1u);
+  EXPECT_EQ(p.body->fun_params[0].name, "n");
+}
+
+TEST(Parser, ElifChainsDesugarToNestedIf) {
+  const Program p = parse(
+      "fun(p) -> if 1 then 10 elif 2 then 20 elif 3 then 30 else 40");
+  const Expr* e = p.body.get();
+  ASSERT_EQ(e->kind, ExprKind::if_else);
+  const Expr* first_else = e->children[2].get();
+  ASSERT_NE(first_else, nullptr);
+  ASSERT_EQ(first_else->kind, ExprKind::if_else);
+  const Expr* second_else = first_else->children[2].get();
+  ASSERT_NE(second_else, nullptr);
+  ASSERT_EQ(second_else->kind, ExprKind::if_else);
+  EXPECT_EQ(second_else->children[2]->int_value, 40);
+}
+
+TEST(Parser, IfWithoutElse) {
+  const Program p = parse("fun(p) -> if 1 then 2");
+  EXPECT_EQ(p.body->children[2], nullptr);
+}
+
+TEST(Parser, AssignmentRequiresPathOnLeft) {
+  EXPECT_THROW(parse("fun(p) -> 1 <- 2"), LangError);
+  EXPECT_THROW(parse("fun(p) -> (1 + 2) <- 3"), LangError);
+}
+
+TEST(Parser, AssignmentToPath) {
+  const Program p = parse("fun(p) -> p.priority <- 3");
+  EXPECT_EQ(p.body->kind, ExprKind::assign);
+  EXPECT_EQ(p.body->path.root, "p");
+  ASSERT_EQ(p.body->path.elems.size(), 1u);
+  EXPECT_EQ(p.body->path.elems[0].field, "priority");
+}
+
+TEST(Parser, SequencesWithSemicolon) {
+  const Program p = parse("fun(p) -> p.a <- 1; p.b <- 2; 99");
+  ASSERT_EQ(p.body->kind, ExprKind::sequence);
+  EXPECT_EQ(p.body->children.size(), 3u);
+}
+
+TEST(Parser, ParenthesizedSequence) {
+  const Program p = parse("fun(p) -> if 1 then (p.a <- 1; 2) else 3");
+  const Expr* then_branch = p.body->children[1].get();
+  EXPECT_EQ(then_branch->kind, ExprKind::sequence);
+}
+
+TEST(Parser, PathWithIndexAndField) {
+  const Program p = parse("fun(p, m, g) -> g.priorities[2].limit");
+  ASSERT_EQ(p.body->kind, ExprKind::path_read);
+  const Path& path = p.body->path;
+  EXPECT_EQ(path.root, "g");
+  ASSERT_EQ(path.elems.size(), 3u);
+  EXPECT_EQ(path.elems[0].field, "priorities");
+  ASSERT_NE(path.elems[1].index, nullptr);
+  EXPECT_EQ(path.elems[2].field, "limit");
+}
+
+TEST(Parser, FSharpDotBracketIndexing) {
+  const Program p = parse("fun(p, m, g) -> g.weights.[3]");
+  ASSERT_EQ(p.body->path.elems.size(), 2u);
+  ASSERT_NE(p.body->path.elems[1].index, nullptr);
+}
+
+TEST(Parser, CallWithArguments) {
+  const Program p = parse("fun(p) -> min(p.size, 1500)");
+  ASSERT_EQ(p.body->kind, ExprKind::call);
+  EXPECT_EQ(p.body->name, "min");
+  EXPECT_EQ(p.body->children.size(), 2u);
+}
+
+TEST(Parser, WhileLoop) {
+  const Program p = parse("fun(p) -> let i = 0 in while i < 10 do i <- i + 1 done");
+  const Expr* body = p.body->children[1].get();
+  ASSERT_EQ(body->kind, ExprKind::while_loop);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3)
+  const Program p = parse("fun(p) -> 1 + 2 * 3");
+  const Expr* e = p.body.get();
+  ASSERT_EQ(e->kind, ExprKind::binary);
+  EXPECT_EQ(e->binary_op, BinaryOp::add);
+  EXPECT_EQ(e->children[1]->binary_op, BinaryOp::mul);
+}
+
+TEST(Parser, ComparisonDoesNotChain) {
+  EXPECT_THROW(parse("fun(p) -> 1 < 2 < 3"), LangError);
+}
+
+TEST(Parser, LogicalPrecedence) {
+  // a || b && c parses as a || (b && c)
+  const Program p = parse("fun(p) -> 1 || 0 && 0");
+  EXPECT_EQ(p.body->binary_op, BinaryOp::logical_or);
+  EXPECT_EQ(p.body->children[1]->binary_op, BinaryOp::logical_and);
+}
+
+TEST(Parser, UnaryMinusAndNot) {
+  const Program p = parse("fun(p) -> not -1");
+  EXPECT_EQ(p.body->kind, ExprKind::unary);
+  EXPECT_EQ(p.body->unary_op, UnaryOp::logical_not);
+  EXPECT_EQ(p.body->children[0]->unary_op, UnaryOp::neg);
+}
+
+TEST(Parser, MissingArrowIsError) {
+  EXPECT_THROW(parse("fun(p) 42"), LangError);
+}
+
+TEST(Parser, TrailingTokensAreError) {
+  EXPECT_THROW(parse("fun(p) -> 42 43"), LangError);
+}
+
+TEST(Parser, ErrorsCarryLocation) {
+  try {
+    parse("fun(p) ->\n  let x = in 3");
+    FAIL() << "expected LangError";
+  } catch (const LangError& e) {
+    EXPECT_EQ(e.loc().line, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace eden::lang

@@ -1,0 +1,138 @@
+// Robustness: the enclave runtime must survive arbitrary garbage.
+//  * random byte streams fed to the bytecode deserializer either decode
+//    or throw LangError — never crash;
+//  * structurally valid but semantically random instruction sequences
+//    executed under a fuel cap always terminate with a status — the
+//    interpreter's bounds checks are the safety boundary the paper's
+//    isolation argument rests on (Section 3.4.3).
+#include <gtest/gtest.h>
+
+#include "lang/compiler.h"
+#include "lang/interpreter.h"
+#include "tests/lang/test_schemas.h"
+#include "util/rng.h"
+
+namespace eden::lang {
+namespace {
+
+class FuzzDeserialize : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzDeserialize, RandomBytesNeverCrash) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t len = rng.below(256);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+    try {
+      const CompiledProgram p = CompiledProgram::deserialize(bytes);
+      (void)p;  // decoding garbage successfully is acceptable (rare)
+    } catch (const LangError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDeserialize,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class FuzzMutatedBytecode : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzMutatedBytecode, MutatedProgramsAlwaysTerminate) {
+  // Start from a real program and corrupt instructions: operands,
+  // opcodes, jump targets. Execution must end with *some* status within
+  // the fuel budget, and never touch memory outside the state blocks.
+  const StateSchema schema = testing::pias_schema();
+  const CompiledProgram original =
+      compile_source(testing::kPiasSource, schema);
+
+  util::Rng rng(GetParam());
+  ExecLimits limits;
+  limits.max_steps = 20000;
+  Interpreter interp(limits, GetParam());
+
+  for (int round = 0; round < 300; ++round) {
+    CompiledProgram mutated = original;
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      Instr& instr = mutated.code[rng.below(mutated.code.size())];
+      switch (rng.below(3)) {
+        case 0:
+          instr.op = static_cast<Op>(
+              rng.below(static_cast<std::uint64_t>(Op::halt) + 1));
+          break;
+        case 1:
+          instr.a = static_cast<std::int32_t>(rng.next_u64());
+          break;
+        default:
+          instr.imm = static_cast<std::int64_t>(rng.next_u64());
+          break;
+      }
+    }
+
+    StateBlock pkt = StateBlock::from_schema(schema, Scope::packet);
+    StateBlock msg = StateBlock::from_schema(schema, Scope::message);
+    StateBlock glb = StateBlock::from_schema(schema, Scope::global);
+    glb.arrays[0].stride = 2;
+    glb.arrays[0].data = {10240, 7, 1048576, 5};
+
+    const ExecResult r = interp.execute(mutated, &pkt, &msg, &glb);
+    // Any status is fine; the property is "terminates and reports".
+    EXPECT_LE(r.steps, limits.max_steps + 1);
+    (void)r.status;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMutatedBytecode,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(Robustness, HugeJumpTargetsAreInvalidProgram) {
+  StateSchema schema;
+  CompiledProgram p = compile_source("fun(x) -> 1 + 2", schema);
+  p.code[0] = Instr{Op::jmp, 1 << 30, 0};
+  Interpreter interp;
+  EXPECT_EQ(interp.execute(p, nullptr, nullptr, nullptr).status,
+            ExecStatus::invalid_program);
+}
+
+TEST(Robustness, CallToMissingFunctionIsInvalidProgram) {
+  StateSchema schema;
+  CompiledProgram p = compile_source("fun(x) -> 1", schema);
+  p.code.insert(p.code.begin(), Instr{Op::call, 99, 0});
+  Interpreter interp;
+  EXPECT_EQ(interp.execute(p, nullptr, nullptr, nullptr).status,
+            ExecStatus::invalid_program);
+}
+
+TEST(Robustness, EmptyProgramIsInvalid) {
+  CompiledProgram p;
+  Interpreter interp;
+  EXPECT_EQ(interp.execute(p, nullptr, nullptr, nullptr).status,
+            ExecStatus::invalid_program);
+}
+
+TEST(Robustness, StackUnderflowDetected) {
+  StateSchema schema;
+  CompiledProgram p = compile_source("fun(x) -> 1", schema);
+  p.code[0] = Instr{Op::add, 0, 0};  // add with empty stack
+  Interpreter interp;
+  EXPECT_EQ(interp.execute(p, nullptr, nullptr, nullptr).status,
+            ExecStatus::stack_underflow);
+}
+
+TEST(Robustness, OperandStackOverflowDetected) {
+  // An unterminated push loop overflows the operand stack before fuel.
+  StateSchema schema;
+  CompiledProgram p;
+  p.functions.push_back(FunctionInfo{"main", 0, 0, 0});
+  p.code.push_back(Instr{Op::push, 0, 1});
+  p.code.push_back(Instr{Op::jmp, 0, 0});
+  ExecLimits limits;
+  limits.max_operand_stack = 32;
+  limits.max_steps = 100000;
+  Interpreter interp(limits);
+  EXPECT_EQ(interp.execute(p, nullptr, nullptr, nullptr).status,
+            ExecStatus::stack_overflow);
+}
+
+}  // namespace
+}  // namespace eden::lang

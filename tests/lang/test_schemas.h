@@ -1,0 +1,46 @@
+// Shared schemas for the lang tests: a miniature version of the enclave
+// packet/message/global schema, plus the PIAS program from Figure 7 of
+// the paper.
+#pragma once
+
+#include "lang/state_schema.h"
+
+namespace eden::lang::testing {
+
+// Schema mirroring the paper's priority-selection example (Figures 7/8):
+//   packet.size      RO  (maps to IPv4 TotalLength)
+//   packet.priority  RW  (maps to 802.1q PCP)
+//   msg.size         RW
+//   msg.priority     RO
+//   global.priorities : records {limit, priority}, RO
+inline StateSchema pias_schema() {
+  StateSchema schema;
+  schema.scalar(Scope::packet, "size", Access::read_only,
+                "ipv4.total_length");
+  schema.scalar(Scope::packet, "priority", Access::read_write, "802.1q.pcp");
+  schema.scalar(Scope::message, "size", Access::read_write);
+  schema.scalar(Scope::message, "priority", Access::read_only);
+  schema.record_array(Scope::global, "priorities", Access::read_only,
+                      {"limit", "priority"});
+  return schema;
+}
+
+// The PIAS action function of Figure 7, in EAL. Message priority < 1
+// means the application pinned a (background) priority; otherwise the
+// priority follows the message's bytes sent so far.
+inline constexpr const char* kPiasSource = R"(
+fun(packet : Packet, msg : Message, global : Global) ->
+  let msg_size = msg.size + packet.size in
+  msg.size <- msg_size;
+  let priorities = global.priorities in
+  let rec search(index) =
+    if index >= priorities.length then 0
+    elif msg_size <= priorities.[index].limit then priorities.[index].priority
+    else search(index + 1)
+  in
+  packet.priority <-
+    (let desired = msg.priority in
+     if desired < 1 then desired else search(0))
+)";
+
+}  // namespace eden::lang::testing

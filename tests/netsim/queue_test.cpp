@@ -1,0 +1,92 @@
+#include "netsim/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace eden::netsim {
+namespace {
+
+PacketPtr packet_of(std::uint32_t bytes, std::uint8_t priority = 0) {
+  PacketPtr p = make_packet();
+  p->size_bytes = bytes;
+  p->priority = priority;
+  return p;
+}
+
+TEST(PriorityQueueSet, FifoWithinOnePriority) {
+  PriorityQueueSet q;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    auto p = packet_of(100);
+    p->debug_id = i;
+    q.enqueue(std::move(p));
+  }
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(q.dequeue()->debug_id, i);
+  }
+  EXPECT_EQ(q.dequeue(), nullptr);
+}
+
+TEST(PriorityQueueSet, HigherPriorityServedFirst) {
+  PriorityQueueSet q;
+  q.enqueue(packet_of(100, 0));
+  q.enqueue(packet_of(100, 5));
+  q.enqueue(packet_of(100, 7));
+  q.enqueue(packet_of(100, 5));
+  EXPECT_EQ(q.dequeue()->priority, 7);
+  EXPECT_EQ(q.dequeue()->priority, 5);
+  EXPECT_EQ(q.dequeue()->priority, 5);
+  EXPECT_EQ(q.dequeue()->priority, 0);
+}
+
+TEST(PriorityQueueSet, TailDropsWhenQueueFull) {
+  QueueConfig cfg;
+  cfg.per_queue_bytes = 250;
+  PriorityQueueSet q(cfg);
+  EXPECT_TRUE(q.enqueue(packet_of(100)));
+  EXPECT_TRUE(q.enqueue(packet_of(100)));
+  EXPECT_FALSE(q.enqueue(packet_of(100)));  // would exceed 250
+  EXPECT_EQ(q.stats().dropped_packets, 1u);
+  EXPECT_EQ(q.stats().dropped_bytes, 100u);
+  EXPECT_EQ(q.stats().drops_per_priority[0], 1u);
+}
+
+TEST(PriorityQueueSet, DropInOneBandDoesNotAffectOthers) {
+  QueueConfig cfg;
+  cfg.per_queue_bytes = 150;
+  PriorityQueueSet q(cfg);
+  EXPECT_TRUE(q.enqueue(packet_of(100, 0)));
+  EXPECT_FALSE(q.enqueue(packet_of(100, 0)));  // band 0 full
+  EXPECT_TRUE(q.enqueue(packet_of(100, 7)));   // band 7 independent
+}
+
+TEST(PriorityQueueSet, ByteAccountingTracksOccupancy) {
+  PriorityQueueSet q;
+  q.enqueue(packet_of(100, 2));
+  q.enqueue(packet_of(50, 4));
+  EXPECT_EQ(q.total_bytes(), 150u);
+  EXPECT_EQ(q.queued_bytes(2), 100u);
+  EXPECT_EQ(q.queued_bytes(4), 50u);
+  q.dequeue();  // priority 4 first
+  EXPECT_EQ(q.total_bytes(), 100u);
+  EXPECT_EQ(q.queued_bytes(4), 0u);
+  EXPECT_EQ(q.total_packets(), 1u);
+}
+
+TEST(PriorityQueueSet, OutOfRangePriorityClampsToTop) {
+  PriorityQueueSet q;
+  auto p = packet_of(10);
+  p->priority = 200;  // bogus
+  EXPECT_TRUE(q.enqueue(std::move(p)));
+  EXPECT_EQ(q.queued_bytes(kMaxPriorities - 1), 10u);
+}
+
+TEST(PriorityQueueSet, EmptyAfterDrain) {
+  PriorityQueueSet q;
+  EXPECT_TRUE(q.empty());
+  q.enqueue(packet_of(10));
+  EXPECT_FALSE(q.empty());
+  q.dequeue();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace eden::netsim

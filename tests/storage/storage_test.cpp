@@ -1,0 +1,147 @@
+// The storage substrate: server admission/service, client windows,
+// reject/retry, and the IO asymmetry that drives Figure 11.
+#include "storage/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/testbed.h"
+
+namespace eden::storage {
+namespace {
+
+constexpr std::uint64_t kGbps = 1000ULL * 1000 * 1000;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    client_node_ = &bed_.add_host("client");
+    server_node_ = &bed_.add_host("server");
+    auto& sw = bed_.add_switch("sw");
+    bed_.connect(*client_node_, sw, 10 * kGbps, 1000);
+    bed_.connect(*server_node_, sw, 1 * kGbps, 1000);
+    bed_.routing().install_dest_routes();
+    bed_.finalize();
+    client_host_ = bed_.host_by_name("client");
+    server_host_ = bed_.host_by_name("server");
+  }
+
+  experiments::Testbed bed_;
+  netsim::HostNode* client_node_ = nullptr;
+  netsim::HostNode* server_node_ = nullptr;
+  experiments::TestHost* client_host_ = nullptr;
+  experiments::TestHost* server_host_ = nullptr;
+};
+
+TEST_F(StorageTest, ReadsCompleteEndToEnd) {
+  StorageServer server(bed_.network(), *server_host_->stack);
+  StorageClientConfig cfg;
+  cfg.tenant = 1;
+  cfg.kind = kIoRead;
+  cfg.io_bytes = 64 * 1024;
+  cfg.window = 4;
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  client.start();
+  bed_.run_for(200 * netsim::kMillisecond);
+  EXPECT_GT(client.completed_ios(), 10u);
+  // Responses of the last few served IOs may still be in flight.
+  EXPECT_GE(server.served_reads(), client.completed_ios());
+  EXPECT_LE(server.served_reads(), client.completed_ios() + 16);
+  EXPECT_EQ(server.served_writes(), 0u);
+}
+
+TEST_F(StorageTest, WritesCompleteEndToEnd) {
+  StorageServer server(bed_.network(), *server_host_->stack);
+  StorageClientConfig cfg;
+  cfg.tenant = 2;
+  cfg.kind = kIoWrite;
+  cfg.io_bytes = 64 * 1024;
+  cfg.window = 4;
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  client.start();
+  bed_.run_for(200 * netsim::kMillisecond);
+  EXPECT_GT(client.completed_ios(), 10u);
+  EXPECT_GE(server.served_writes(), client.completed_ios());
+}
+
+TEST_F(StorageTest, ReadThroughputBoundedByServerLink) {
+  StorageServer server(bed_.network(), *server_host_->stack);
+  StorageClientConfig cfg;
+  cfg.kind = kIoRead;
+  cfg.io_bytes = 64 * 1024;
+  cfg.window = 32;
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  client.start();
+  bed_.run_for(netsim::kSecond);
+  const double mbps =
+      client.throughput_mbps(200 * netsim::kMillisecond, netsim::kSecond);
+  // 1 Gbps link = 125 MB/s ceiling; expect to get most of it but never
+  // exceed it.
+  EXPECT_GT(mbps, 80.0);
+  EXPECT_LE(mbps, 126.0);
+}
+
+TEST_F(StorageTest, BoundedQueueRejectsFloods) {
+  StorageServerConfig server_cfg;
+  server_cfg.queue_limit = 4;
+  server_cfg.disk_rate_bps = 100 * 1000 * 1000;  // slow disk
+  StorageServer server(bed_.network(), *server_host_->stack, server_cfg);
+  StorageClientConfig cfg;
+  cfg.kind = kIoRead;
+  cfg.io_bytes = 64 * 1024;
+  cfg.window = 64;  // way beyond the queue
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  client.start();
+  bed_.run_for(300 * netsim::kMillisecond);
+  EXPECT_GT(server.rejected(), 0u);
+  EXPECT_GT(client.rejections_seen(), 0u);
+  EXPECT_GT(client.completed_ios(), 0u);  // retries eventually succeed
+}
+
+TEST_F(StorageTest, WindowLimitsOutstanding) {
+  StorageServerConfig server_cfg;
+  server_cfg.queue_limit = 1000;
+  StorageServer server(bed_.network(), *server_host_->stack, server_cfg);
+  StorageClientConfig cfg;
+  cfg.kind = kIoRead;
+  cfg.io_bytes = 64 * 1024;
+  cfg.window = 2;
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  client.start();
+  bed_.run_for(50 * netsim::kMillisecond);
+  // With a window of 2 the queue can never hold more than 2 of this
+  // client's IOs.
+  EXPECT_LE(server.queue_depth(), 2u);
+}
+
+TEST_F(StorageTest, ThroughputWindowingIsAccurate) {
+  StorageServer server(bed_.network(), *server_host_->stack);
+  StorageClientConfig cfg;
+  cfg.kind = kIoRead;
+  cfg.io_bytes = 64 * 1024;
+  cfg.window = 8;
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  client.start();
+  bed_.run_for(400 * netsim::kMillisecond);
+  // Empty window -> zero; before-start window -> zero.
+  EXPECT_EQ(client.throughput_mbps(100, 100), 0.0);
+  EXPECT_GT(client.throughput_mbps(0, 400 * netsim::kMillisecond), 0.0);
+}
+
+TEST_F(StorageTest, StageClassifiesOps) {
+  StorageClientConfig cfg;
+  cfg.kind = kIoRead;
+  cfg.server = server_node_->id();
+  StorageClient client(bed_.network(), *client_host_->stack, cfg);
+  core::ClassRegistry& registry = client_host_->enclave->registry();
+  EXPECT_NE(registry.find("storage.ops.READ"), core::kInvalidClass);
+  EXPECT_NE(registry.find("storage.ops.WRITE"), core::kInvalidClass);
+}
+
+}  // namespace
+}  // namespace eden::storage

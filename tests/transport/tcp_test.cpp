@@ -1,0 +1,224 @@
+// TCP behaviour over the simulated network: delivery, congestion
+// response, loss recovery and — critically for Figure 10 — sensitivity
+// to packet reordering.
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "netsim/routing.h"
+#include "transport/tcp.h"
+
+namespace eden::transport {
+namespace {
+
+constexpr std::uint64_t kGbps = 1000ULL * 1000 * 1000;
+
+// Two hosts on a direct link, sender/receiver wired up by hand (no
+// Eden host stack: this isolates the transport).
+class TcpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Deep queues: these tests exercise protocol behaviour, not buffer
+    // sizing, so the only losses are the ones injected via drop_next_.
+    netsim::QueueConfig deep;
+    deep.per_queue_bytes = 8 * 1024 * 1024;
+    build(1 * kGbps, 10 * netsim::kMicrosecond, deep);
+  }
+
+  void build(std::uint64_t rate, netsim::SimTime delay,
+             netsim::QueueConfig qc = {}) {
+    net_ = std::make_unique<netsim::Network>();
+    a_ = &net_->add_host("a");
+    b_ = &net_->add_host("b");
+    net_->connect(*a_, *b_, rate, delay, qc);
+
+    sender_ = std::make_unique<TcpSender>(net_->scheduler(), TcpConfig{},
+                                          /*flow=*/1, a_->id(), b_->id(),
+                                          1000, 2000);
+    receiver_ = std::make_unique<TcpReceiver>(1, b_->id(), a_->id(), 2000,
+                                              1000);
+    sender_->set_transmit(
+        [this](netsim::PacketPtr p) { a_->transmit(std::move(p)); });
+    receiver_->set_transmit(
+        [this](netsim::PacketPtr p) { b_->transmit(std::move(p)); });
+    a_->set_deliver([this](netsim::PacketPtr p) { sender_->on_ack(*p); });
+    b_->set_deliver([this](netsim::PacketPtr p) {
+      if (!drop_next_.empty() && drop_next_.front() == rx_count_) {
+        drop_next_.pop_front();
+        ++rx_count_;
+        return;  // simulate loss
+      }
+      ++rx_count_;
+      receiver_->on_data(*p);
+    });
+  }
+
+  std::unique_ptr<netsim::Network> net_;
+  netsim::HostNode* a_ = nullptr;
+  netsim::HostNode* b_ = nullptr;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+  std::deque<std::uint64_t> drop_next_;  // rx indices to drop
+  std::uint64_t rx_count_ = 0;
+};
+
+TEST_F(TcpFixture, DeliversAllBytesInOrder) {
+  constexpr std::uint64_t kBytes = 1000000;
+  receiver_->expect(kBytes);
+  bool done = false;
+  receiver_->on_complete = [&] { done = true; };
+  sender_->start(kBytes);
+  net_->scheduler().run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(receiver_->delivered_bytes(), kBytes);
+  EXPECT_TRUE(sender_->complete());
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+  EXPECT_EQ(sender_->stats().fast_retransmits, 0u);
+}
+
+TEST_F(TcpFixture, CompletionTimeTracksLinkRate) {
+  // 10 MB at 1 Gbps is at least 80 ms of serialization.
+  constexpr std::uint64_t kBytes = 10 * 1000 * 1000;
+  receiver_->expect(kBytes);
+  sender_->start(kBytes);
+  net_->scheduler().run();
+  EXPECT_TRUE(sender_->complete());
+  const double seconds =
+      netsim::to_seconds(sender_->stats().completion_time -
+                         sender_->stats().first_send_time);
+  EXPECT_GT(seconds, 0.080);
+  EXPECT_LT(seconds, 0.200);  // and not wildly slower
+}
+
+TEST_F(TcpFixture, SlowStartGrowsCwnd) {
+  sender_->start(2 * 1000 * 1000);
+  net_->scheduler().run_until(20 * netsim::kMillisecond);
+  EXPECT_GT(sender_->cwnd_segments(), TcpConfig{}.initial_cwnd_segments);
+}
+
+TEST_F(TcpFixture, SingleLossRecoversByFastRetransmit) {
+  drop_next_ = {20};  // drop the 21st received packet
+  constexpr std::uint64_t kBytes = 1000000;
+  receiver_->expect(kBytes);
+  sender_->start(kBytes);
+  net_->scheduler().run();
+  EXPECT_EQ(receiver_->delivered_bytes(), kBytes);
+  EXPECT_GE(sender_->stats().fast_retransmits, 1u);
+  EXPECT_EQ(sender_->stats().timeouts, 0u);
+}
+
+TEST_F(TcpFixture, BurstLossFallsBackToTimeout) {
+  // Drop a whole window's worth right at the start: no dupacks arrive,
+  // the RTO must fire.
+  for (std::uint64_t i = 0; i < 10; ++i) drop_next_.push_back(i);
+  constexpr std::uint64_t kBytes = 100000;
+  receiver_->expect(kBytes);
+  sender_->start(kBytes);
+  net_->scheduler().run();
+  EXPECT_EQ(receiver_->delivered_bytes(), kBytes);
+  EXPECT_GE(sender_->stats().timeouts, 1u);
+}
+
+TEST_F(TcpFixture, DupAcksAreCounted) {
+  drop_next_ = {5};
+  receiver_->expect(500000);
+  sender_->start(500000);
+  net_->scheduler().run();
+  EXPECT_GT(sender_->stats().dup_acks, 0u);
+}
+
+TEST_F(TcpFixture, ReceiverBuffersOutOfOrderSegments) {
+  // Deliver segments to the receiver out of order by hand.
+  netsim::Packet p;
+  p.flow_id = 1;
+  p.payload_bytes = 100;
+  p.seq = 100;  // second segment first
+  receiver_->on_data(p);
+  EXPECT_EQ(receiver_->delivered_bytes(), 0u);
+  EXPECT_EQ(receiver_->ooo_segments(), 1u);
+  p.seq = 0;
+  receiver_->on_data(p);
+  EXPECT_EQ(receiver_->delivered_bytes(), 200u);  // hole filled
+}
+
+TEST_F(TcpFixture, DuplicateDataIsIdempotent) {
+  netsim::Packet p;
+  p.flow_id = 1;
+  p.payload_bytes = 100;
+  p.seq = 0;
+  receiver_->on_data(p);
+  receiver_->on_data(p);  // duplicate
+  EXPECT_EQ(receiver_->delivered_bytes(), 100u);
+}
+
+TEST_F(TcpFixture, StartCanBeCalledRepeatedly) {
+  receiver_->expect(200000);
+  bool done = false;
+  receiver_->on_complete = [&] { done = true; };
+  sender_->start(100000);
+  net_->scheduler().run_until(5 * netsim::kMillisecond);
+  sender_->start(100000);  // stream more data
+  net_->scheduler().run();
+  EXPECT_TRUE(done);
+}
+
+// Reordering sensitivity: the Figure 10 mechanism in isolation. Two
+// parallel paths with very different rates and per-packet spraying vs
+// a single path of the same aggregate capacity.
+TEST(TcpReordering, PerPacketSprayOverUnequalPathsHurtsThroughput) {
+  // Large enough to leave slow start far behind on the pinned path.
+  constexpr std::uint64_t kBytes = 32 * 1000 * 1000;
+
+  auto run_case = [&](bool sprayed) -> double {
+    netsim::Network net;
+    auto& h1 = net.add_host("h1");
+    auto& h2 = net.add_host("h2");
+    auto& s1 = net.add_switch("s1");
+    if (sprayed) s1.set_ecmp_mode(netsim::EcmpMode::per_packet_random);
+    auto& fast = net.add_switch("fast");
+    auto& slow = net.add_switch("slow");
+    auto& s2 = net.add_switch("s2");
+    netsim::QueueConfig qc;
+    qc.per_queue_bytes = 1024 * 1024;
+    net.connect(h1, s1, 20 * kGbps, 1000, qc);
+    net.connect(s1, fast, 10 * kGbps, 1000, qc);
+    net.connect(fast, s2, 10 * kGbps, 1000, qc);
+    net.connect(s1, slow, 1 * kGbps, 1000, qc);
+    net.connect(slow, s2, 1 * kGbps, 1000, qc);
+    net.connect(s2, h2, 20 * kGbps, 1000, qc);
+    netsim::Routing routing(net);
+    routing.install_dest_routes();
+    if (!sprayed) {
+      // Pin everything to the fast path by restricting the route.
+      s1.install_route(h2.id(), {1});
+    }
+
+    TcpSender sender(net.scheduler(), TcpConfig{}, 1, h1.id(), h2.id(), 1,
+                     2);
+    TcpReceiver receiver(1, h2.id(), h1.id(), 2, 1);
+    sender.set_transmit(
+        [&](netsim::PacketPtr p) { h1.transmit(std::move(p)); });
+    receiver.set_transmit(
+        [&](netsim::PacketPtr p) { h2.transmit(std::move(p)); });
+    h1.set_deliver([&](netsim::PacketPtr p) { sender.on_ack(*p); });
+    h2.set_deliver([&](netsim::PacketPtr p) { receiver.on_data(*p); });
+    receiver.expect(kBytes);
+    sender.start(kBytes);
+    net.scheduler().run_until(4 * netsim::kSecond);
+    if (!sender.complete()) return 0.0;
+    return static_cast<double>(kBytes) * 8.0 /
+           netsim::to_seconds(sender.stats().completion_time -
+                              sender.stats().first_send_time) /
+           1e6;
+  };
+
+  const double pinned_mbps = run_case(false);
+  const double sprayed_mbps = run_case(true);
+  // Pinned to the 10G path: multi-Gbps. Sprayed 50/50 across 10G+1G:
+  // reordering and the slow path drag it far down.
+  EXPECT_GT(pinned_mbps, 3000.0);
+  EXPECT_LT(sprayed_mbps, pinned_mbps / 2);
+  EXPECT_GT(sprayed_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace eden::transport

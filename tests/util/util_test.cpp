@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace eden::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(3);
+  int counts[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / kDraws, 250.0, 5.0);
+}
+
+TEST(Rng, WeightedChoiceFollowsWeights) {
+  Rng rng(17);
+  const double weights[] = {1.0, 9.0};
+  int hits[2] = {};
+  for (int i = 0; i < 100000; ++i) ++hits[rng.weighted_choice(weights)];
+  EXPECT_NEAR(static_cast<double>(hits[1]) / (hits[0] + hits[1]), 0.9, 0.02);
+}
+
+TEST(Rng, WeightedChoiceHandlesZeroWeight) {
+  Rng rng(19);
+  const double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_choice(weights), 1u);
+  }
+}
+
+TEST(Summary, MeanAndVariance) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Rng rng(23);
+  Summary small, large;
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.ci95(), large.ci95());
+}
+
+TEST(Percentiles, QuantilesInterpolate) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_NEAR(p.quantile(0.5), 50.5, 0.01);
+  EXPECT_NEAR(p.p95(), 95.05, 0.01);
+}
+
+TEST(Percentiles, UnsortedInputHandled) {
+  Percentiles p;
+  p.add(30);
+  p.add(10);
+  p.add(20);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 20.0);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(5);
+  EXPECT_DOUBLE_EQ(p.p95(), 5.0);
+  p.add(1);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.add_row({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"b", "22.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("alpha |   1.0"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(FmtFormatsDecimals, Basic) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace eden::util

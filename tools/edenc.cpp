@@ -1,0 +1,167 @@
+// edenc — the Eden action-function compiler CLI.
+//
+// Compiles an EAL source file against the enclave schema and prints the
+// disassembly, derived concurrency mode and state usage; optionally
+// emits the portable bytecode and dry-runs the program against zeroed
+// state with the reference evaluator (the paper's "run and debug
+// locally without invoking the enclave", Section 6).
+//
+// Usage:
+//   edenc FILE.eal [--emit OUT.edbc] [--run] [--global name[:array]]...
+//
+// Global state fields referenced by the program are declared with
+// --global; plain names are read-only scalars, ":array" suffixes make
+// plain arrays, "name:a,b,c" makes a record array with those fields.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/enclave_schema.h"
+#include "lang/ast_eval.h"
+#include "lang/compiler.h"
+#include "lang/disasm.h"
+#include "lang/parser.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: edenc FILE.eal [--emit OUT.edbc] [--run]\n"
+               "             [--global NAME | --global NAME:array |\n"
+               "              --global NAME:f1,f2,...]...\n");
+  return 2;
+}
+
+eden::lang::FieldDef parse_global(const std::string& spec) {
+  eden::lang::FieldDef f;
+  const std::size_t colon = spec.find(':');
+  f.name = spec.substr(0, colon);
+  f.access = eden::lang::Access::read_write;
+  if (colon == std::string::npos) {
+    f.kind = eden::lang::FieldKind::scalar;
+    return f;
+  }
+  const std::string rest = spec.substr(colon + 1);
+  if (rest == "array") {
+    f.kind = eden::lang::FieldKind::array;
+    return f;
+  }
+  f.kind = eden::lang::FieldKind::record_array;
+  std::stringstream ss(rest);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    if (!field.empty()) f.record_fields.push_back(field);
+  }
+  return f;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eden;
+
+  std::string input_path;
+  std::string emit_path;
+  bool run = false;
+  std::vector<lang::FieldDef> globals;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emit" && i + 1 < argc) {
+      emit_path = argv[++i];
+    } else if (arg == "--run") {
+      run = true;
+    } else if (arg == "--global" && i + 1 < argc) {
+      globals.push_back(parse_global(argv[++i]));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (input_path.empty()) return usage();
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "edenc: cannot open %s\n", input_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  try {
+    const lang::StateSchema schema = core::make_enclave_schema(globals);
+    const lang::Program ast = lang::parse(source);
+    const lang::CompiledProgram program =
+        lang::compile(ast, schema, {}, input_path);
+
+    std::printf("%s: %zu instruction(s), %zu function(s)\n",
+                input_path.c_str(), program.code.size(),
+                program.functions.size());
+    std::printf("concurrency: %s\n",
+                std::string(lang::concurrency_mode_name(program.concurrency))
+                    .c_str());
+    for (int s = 0; s < lang::kNumScopes; ++s) {
+      const auto scope = static_cast<lang::Scope>(s);
+      std::printf("%s: reads scalars %#llx arrays %#llx, "
+                  "writes scalars %#llx arrays %#llx\n",
+                  std::string(lang::scope_name(scope)).c_str(),
+                  static_cast<unsigned long long>(
+                      program.usage.scalar_read[s]),
+                  static_cast<unsigned long long>(program.usage.array_read[s]),
+                  static_cast<unsigned long long>(
+                      program.usage.scalar_write[s]),
+                  static_cast<unsigned long long>(
+                      program.usage.array_write[s]));
+    }
+    std::printf("\n%s", lang::disassemble(program).c_str());
+
+    if (!emit_path.empty()) {
+      const std::vector<std::uint8_t> bytes = program.serialize();
+      std::ofstream out(emit_path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      std::printf("\nwrote %zu bytes of bytecode to %s\n", bytes.size(),
+                  emit_path.c_str());
+    }
+
+    if (run) {
+      lang::StateBlock pkt =
+          lang::StateBlock::from_schema(schema, lang::Scope::packet);
+      lang::StateBlock msg =
+          lang::StateBlock::from_schema(schema, lang::Scope::message);
+      lang::StateBlock glb =
+          lang::StateBlock::from_schema(schema, lang::Scope::global);
+      util::Rng rng(1);
+      lang::AstEvalOptions options;
+      options.max_nodes = 10'000'000;
+      const lang::ExecResult r =
+          lang::ast_eval(ast, schema, &pkt, &msg, &glb, rng, 0, options);
+      std::printf("\ndry run (reference evaluator, zeroed state):\n");
+      std::printf("  status: %s\n",
+                  std::string(lang::exec_status_name(r.status)).c_str());
+      std::printf("  result: %lld, nodes evaluated: %llu\n",
+                  static_cast<long long>(r.value),
+                  static_cast<unsigned long long>(r.steps));
+      std::printf("  packet state after:");
+      for (std::size_t i = 0; i < pkt.scalars.size(); ++i) {
+        if (pkt.scalars[i] != 0) {
+          std::printf(" [%zu]=%lld", i,
+                      static_cast<long long>(pkt.scalars[i]));
+        }
+      }
+      std::printf("\n");
+    }
+  } catch (const lang::LangError& e) {
+    std::fprintf(stderr, "edenc: %s: %s\n", input_path.c_str(), e.what());
+    return 1;
+  }
+  return 0;
+}
