@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_wcmp.dir/fig10_wcmp.cpp.o"
+  "CMakeFiles/fig10_wcmp.dir/fig10_wcmp.cpp.o.d"
+  "fig10_wcmp"
+  "fig10_wcmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_wcmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

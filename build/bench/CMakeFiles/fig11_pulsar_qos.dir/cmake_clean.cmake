@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pulsar_qos.dir/fig11_pulsar_qos.cpp.o"
+  "CMakeFiles/fig11_pulsar_qos.dir/fig11_pulsar_qos.cpp.o.d"
+  "fig11_pulsar_qos"
+  "fig11_pulsar_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pulsar_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_flow_scheduling.dir/fig9_flow_scheduling.cpp.o"
+  "CMakeFiles/fig9_flow_scheduling.dir/fig9_flow_scheduling.cpp.o.d"
+  "fig9_flow_scheduling"
+  "fig9_flow_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_flow_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

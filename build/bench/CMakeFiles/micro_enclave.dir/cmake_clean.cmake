@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_enclave.dir/micro_enclave.cpp.o"
+  "CMakeFiles/micro_enclave.dir/micro_enclave.cpp.o.d"
+  "micro_enclave"
+  "micro_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memcached_lb.dir/memcached_lb.cpp.o"
+  "CMakeFiles/memcached_lb.dir/memcached_lb.cpp.o.d"
+  "memcached_lb"
+  "memcached_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memcached_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

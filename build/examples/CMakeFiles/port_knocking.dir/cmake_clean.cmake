@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_knocking.dir/port_knocking.cpp.o"
+  "CMakeFiles/port_knocking.dir/port_knocking.cpp.o.d"
+  "port_knocking"
+  "port_knocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_knocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

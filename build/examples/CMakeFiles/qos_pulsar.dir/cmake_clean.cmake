@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_pulsar.dir/qos_pulsar.cpp.o"
+  "CMakeFiles/qos_pulsar.dir/qos_pulsar.cpp.o.d"
+  "qos_pulsar"
+  "qos_pulsar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_pulsar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

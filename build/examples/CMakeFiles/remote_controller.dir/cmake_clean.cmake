@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_controller.dir/remote_controller.cpp.o"
+  "CMakeFiles/remote_controller.dir/remote_controller.cpp.o.d"
+  "remote_controller"
+  "remote_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

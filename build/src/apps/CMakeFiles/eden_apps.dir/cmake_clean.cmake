@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_apps.dir/memcached_stage.cpp.o"
+  "CMakeFiles/eden_apps.dir/memcached_stage.cpp.o.d"
+  "CMakeFiles/eden_apps.dir/workload.cpp.o"
+  "CMakeFiles/eden_apps.dir/workload.cpp.o.d"
+  "libeden_apps.a"
+  "libeden_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/class_name.cpp" "src/core/CMakeFiles/eden_core.dir/class_name.cpp.o" "gcc" "src/core/CMakeFiles/eden_core.dir/class_name.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/eden_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/eden_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/enclave.cpp" "src/core/CMakeFiles/eden_core.dir/enclave.cpp.o" "gcc" "src/core/CMakeFiles/eden_core.dir/enclave.cpp.o.d"
+  "/root/repo/src/core/enclave_schema.cpp" "src/core/CMakeFiles/eden_core.dir/enclave_schema.cpp.o" "gcc" "src/core/CMakeFiles/eden_core.dir/enclave_schema.cpp.o.d"
+  "/root/repo/src/core/stage.cpp" "src/core/CMakeFiles/eden_core.dir/stage.cpp.o" "gcc" "src/core/CMakeFiles/eden_core.dir/stage.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/eden_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/eden_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/eden_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/eden_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_core.dir/class_name.cpp.o"
+  "CMakeFiles/eden_core.dir/class_name.cpp.o.d"
+  "CMakeFiles/eden_core.dir/controller.cpp.o"
+  "CMakeFiles/eden_core.dir/controller.cpp.o.d"
+  "CMakeFiles/eden_core.dir/enclave.cpp.o"
+  "CMakeFiles/eden_core.dir/enclave.cpp.o.d"
+  "CMakeFiles/eden_core.dir/enclave_schema.cpp.o"
+  "CMakeFiles/eden_core.dir/enclave_schema.cpp.o.d"
+  "CMakeFiles/eden_core.dir/stage.cpp.o"
+  "CMakeFiles/eden_core.dir/stage.cpp.o.d"
+  "CMakeFiles/eden_core.dir/wire.cpp.o"
+  "CMakeFiles/eden_core.dir/wire.cpp.o.d"
+  "libeden_core.a"
+  "libeden_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/fig10_wcmp.cpp" "src/experiments/CMakeFiles/eden_experiments.dir/fig10_wcmp.cpp.o" "gcc" "src/experiments/CMakeFiles/eden_experiments.dir/fig10_wcmp.cpp.o.d"
+  "/root/repo/src/experiments/fig11_pulsar.cpp" "src/experiments/CMakeFiles/eden_experiments.dir/fig11_pulsar.cpp.o" "gcc" "src/experiments/CMakeFiles/eden_experiments.dir/fig11_pulsar.cpp.o.d"
+  "/root/repo/src/experiments/fig12_overheads.cpp" "src/experiments/CMakeFiles/eden_experiments.dir/fig12_overheads.cpp.o" "gcc" "src/experiments/CMakeFiles/eden_experiments.dir/fig12_overheads.cpp.o.d"
+  "/root/repo/src/experiments/fig9_scheduling.cpp" "src/experiments/CMakeFiles/eden_experiments.dir/fig9_scheduling.cpp.o" "gcc" "src/experiments/CMakeFiles/eden_experiments.dir/fig9_scheduling.cpp.o.d"
+  "/root/repo/src/experiments/testbed.cpp" "src/experiments/CMakeFiles/eden_experiments.dir/testbed.cpp.o" "gcc" "src/experiments/CMakeFiles/eden_experiments.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hoststack/CMakeFiles/eden_hoststack.dir/DependInfo.cmake"
+  "/root/repo/build/src/functions/CMakeFiles/eden_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/eden_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eden_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eden_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eden_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/eden_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/eden_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

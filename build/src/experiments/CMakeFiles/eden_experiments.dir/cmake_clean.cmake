@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_experiments.dir/fig10_wcmp.cpp.o"
+  "CMakeFiles/eden_experiments.dir/fig10_wcmp.cpp.o.d"
+  "CMakeFiles/eden_experiments.dir/fig11_pulsar.cpp.o"
+  "CMakeFiles/eden_experiments.dir/fig11_pulsar.cpp.o.d"
+  "CMakeFiles/eden_experiments.dir/fig12_overheads.cpp.o"
+  "CMakeFiles/eden_experiments.dir/fig12_overheads.cpp.o.d"
+  "CMakeFiles/eden_experiments.dir/fig9_scheduling.cpp.o"
+  "CMakeFiles/eden_experiments.dir/fig9_scheduling.cpp.o.d"
+  "CMakeFiles/eden_experiments.dir/testbed.cpp.o"
+  "CMakeFiles/eden_experiments.dir/testbed.cpp.o.d"
+  "libeden_experiments.a"
+  "libeden_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/functions/firewall.cpp" "src/functions/CMakeFiles/eden_functions.dir/firewall.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/firewall.cpp.o.d"
+  "/root/repo/src/functions/function.cpp" "src/functions/CMakeFiles/eden_functions.dir/function.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/function.cpp.o.d"
+  "/root/repo/src/functions/misc.cpp" "src/functions/CMakeFiles/eden_functions.dir/misc.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/misc.cpp.o.d"
+  "/root/repo/src/functions/pulsar.cpp" "src/functions/CMakeFiles/eden_functions.dir/pulsar.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/pulsar.cpp.o.d"
+  "/root/repo/src/functions/registry.cpp" "src/functions/CMakeFiles/eden_functions.dir/registry.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/registry.cpp.o.d"
+  "/root/repo/src/functions/scheduling.cpp" "src/functions/CMakeFiles/eden_functions.dir/scheduling.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/scheduling.cpp.o.d"
+  "/root/repo/src/functions/wcmp.cpp" "src/functions/CMakeFiles/eden_functions.dir/wcmp.cpp.o" "gcc" "src/functions/CMakeFiles/eden_functions.dir/wcmp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eden_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eden_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/eden_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

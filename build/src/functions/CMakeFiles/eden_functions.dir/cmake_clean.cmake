@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_functions.dir/firewall.cpp.o"
+  "CMakeFiles/eden_functions.dir/firewall.cpp.o.d"
+  "CMakeFiles/eden_functions.dir/function.cpp.o"
+  "CMakeFiles/eden_functions.dir/function.cpp.o.d"
+  "CMakeFiles/eden_functions.dir/misc.cpp.o"
+  "CMakeFiles/eden_functions.dir/misc.cpp.o.d"
+  "CMakeFiles/eden_functions.dir/pulsar.cpp.o"
+  "CMakeFiles/eden_functions.dir/pulsar.cpp.o.d"
+  "CMakeFiles/eden_functions.dir/registry.cpp.o"
+  "CMakeFiles/eden_functions.dir/registry.cpp.o.d"
+  "CMakeFiles/eden_functions.dir/scheduling.cpp.o"
+  "CMakeFiles/eden_functions.dir/scheduling.cpp.o.d"
+  "CMakeFiles/eden_functions.dir/wcmp.cpp.o"
+  "CMakeFiles/eden_functions.dir/wcmp.cpp.o.d"
+  "libeden_functions.a"
+  "libeden_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_hoststack.dir/host_stack.cpp.o"
+  "CMakeFiles/eden_hoststack.dir/host_stack.cpp.o.d"
+  "CMakeFiles/eden_hoststack.dir/nic.cpp.o"
+  "CMakeFiles/eden_hoststack.dir/nic.cpp.o.d"
+  "CMakeFiles/eden_hoststack.dir/token_bucket.cpp.o"
+  "CMakeFiles/eden_hoststack.dir/token_bucket.cpp.o.d"
+  "libeden_hoststack.a"
+  "libeden_hoststack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_hoststack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast_eval.cpp" "src/lang/CMakeFiles/eden_lang.dir/ast_eval.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/ast_eval.cpp.o.d"
+  "/root/repo/src/lang/bytecode.cpp" "src/lang/CMakeFiles/eden_lang.dir/bytecode.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/bytecode.cpp.o.d"
+  "/root/repo/src/lang/compiler.cpp" "src/lang/CMakeFiles/eden_lang.dir/compiler.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/compiler.cpp.o.d"
+  "/root/repo/src/lang/disasm.cpp" "src/lang/CMakeFiles/eden_lang.dir/disasm.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/disasm.cpp.o.d"
+  "/root/repo/src/lang/interpreter.cpp" "src/lang/CMakeFiles/eden_lang.dir/interpreter.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/interpreter.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/lang/CMakeFiles/eden_lang.dir/lexer.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/eden_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/lang/state_schema.cpp" "src/lang/CMakeFiles/eden_lang.dir/state_schema.cpp.o" "gcc" "src/lang/CMakeFiles/eden_lang.dir/state_schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

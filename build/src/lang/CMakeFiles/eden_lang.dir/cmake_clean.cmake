@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_lang.dir/ast_eval.cpp.o"
+  "CMakeFiles/eden_lang.dir/ast_eval.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/bytecode.cpp.o"
+  "CMakeFiles/eden_lang.dir/bytecode.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/compiler.cpp.o"
+  "CMakeFiles/eden_lang.dir/compiler.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/disasm.cpp.o"
+  "CMakeFiles/eden_lang.dir/disasm.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/interpreter.cpp.o"
+  "CMakeFiles/eden_lang.dir/interpreter.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/lexer.cpp.o"
+  "CMakeFiles/eden_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/parser.cpp.o"
+  "CMakeFiles/eden_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/eden_lang.dir/state_schema.cpp.o"
+  "CMakeFiles/eden_lang.dir/state_schema.cpp.o.d"
+  "libeden_lang.a"
+  "libeden_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event_queue.cpp" "src/netsim/CMakeFiles/eden_netsim.dir/event_queue.cpp.o" "gcc" "src/netsim/CMakeFiles/eden_netsim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/eden_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/eden_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/node.cpp" "src/netsim/CMakeFiles/eden_netsim.dir/node.cpp.o" "gcc" "src/netsim/CMakeFiles/eden_netsim.dir/node.cpp.o.d"
+  "/root/repo/src/netsim/queue.cpp" "src/netsim/CMakeFiles/eden_netsim.dir/queue.cpp.o" "gcc" "src/netsim/CMakeFiles/eden_netsim.dir/queue.cpp.o.d"
+  "/root/repo/src/netsim/routing.cpp" "src/netsim/CMakeFiles/eden_netsim.dir/routing.cpp.o" "gcc" "src/netsim/CMakeFiles/eden_netsim.dir/routing.cpp.o.d"
+  "/root/repo/src/netsim/switch_node.cpp" "src/netsim/CMakeFiles/eden_netsim.dir/switch_node.cpp.o" "gcc" "src/netsim/CMakeFiles/eden_netsim.dir/switch_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

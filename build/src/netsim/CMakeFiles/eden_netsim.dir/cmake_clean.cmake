@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_netsim.dir/event_queue.cpp.o"
+  "CMakeFiles/eden_netsim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/eden_netsim.dir/network.cpp.o"
+  "CMakeFiles/eden_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/eden_netsim.dir/node.cpp.o"
+  "CMakeFiles/eden_netsim.dir/node.cpp.o.d"
+  "CMakeFiles/eden_netsim.dir/queue.cpp.o"
+  "CMakeFiles/eden_netsim.dir/queue.cpp.o.d"
+  "CMakeFiles/eden_netsim.dir/routing.cpp.o"
+  "CMakeFiles/eden_netsim.dir/routing.cpp.o.d"
+  "CMakeFiles/eden_netsim.dir/switch_node.cpp.o"
+  "CMakeFiles/eden_netsim.dir/switch_node.cpp.o.d"
+  "libeden_netsim.a"
+  "libeden_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

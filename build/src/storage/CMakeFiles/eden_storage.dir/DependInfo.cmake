@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/storage.cpp" "src/storage/CMakeFiles/eden_storage.dir/storage.cpp.o" "gcc" "src/storage/CMakeFiles/eden_storage.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hoststack/CMakeFiles/eden_hoststack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eden_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/eden_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/eden_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/eden_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

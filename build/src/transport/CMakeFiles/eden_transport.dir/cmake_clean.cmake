@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_transport.dir/tcp.cpp.o"
+  "CMakeFiles/eden_transport.dir/tcp.cpp.o.d"
+  "libeden_transport.a"
+  "libeden_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

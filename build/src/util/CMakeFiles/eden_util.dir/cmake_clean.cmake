@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_util.dir/rng.cpp.o"
+  "CMakeFiles/eden_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eden_util.dir/stats.cpp.o"
+  "CMakeFiles/eden_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eden_util.dir/table.cpp.o"
+  "CMakeFiles/eden_util.dir/table.cpp.o.d"
+  "libeden_util.a"
+  "libeden_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lang/ast_eval_test.cpp" "tests/CMakeFiles/lang_test.dir/lang/ast_eval_test.cpp.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang/ast_eval_test.cpp.o.d"
+  "/root/repo/tests/lang/compiler_test.cpp" "tests/CMakeFiles/lang_test.dir/lang/compiler_test.cpp.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang/compiler_test.cpp.o.d"
+  "/root/repo/tests/lang/interpreter_test.cpp" "tests/CMakeFiles/lang_test.dir/lang/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang/interpreter_test.cpp.o.d"
+  "/root/repo/tests/lang/lexer_test.cpp" "tests/CMakeFiles/lang_test.dir/lang/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang/lexer_test.cpp.o.d"
+  "/root/repo/tests/lang/parser_test.cpp" "tests/CMakeFiles/lang_test.dir/lang/parser_test.cpp.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang/parser_test.cpp.o.d"
+  "/root/repo/tests/lang/robustness_test.cpp" "tests/CMakeFiles/lang_test.dir/lang/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/lang_test.dir/lang/robustness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/eden_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/functions/CMakeFiles/eden_functions.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eden_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/eden_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eden_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

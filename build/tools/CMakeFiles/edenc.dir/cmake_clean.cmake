@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edenc.dir/edenc.cpp.o"
+  "CMakeFiles/edenc.dir/edenc.cpp.o.d"
+  "edenc"
+  "edenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
