@@ -1,13 +1,26 @@
 // Microbenchmarks of the EAL toolchain: interpreter dispatch, the
 // paper's action functions interpreted vs their native twins, the
 // tail-call-optimization ablation, compile and serialize costs.
+//
+// Besides the google-benchmark suite, main() runs a fixed-format sweep
+// of every Table-1 function at -O0, -O1 and native and writes the
+// results to BENCH_interpreter.json (override with --json=PATH), so the
+// optimizer's speedup is tracked as a build artifact.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/enclave_schema.h"
+#include "functions/registry.h"
 #include "functions/scheduling.h"
 #include "functions/wcmp.h"
 #include "lang/compiler.h"
 #include "lang/interpreter.h"
+#include "lang/optimizer.h"
 
 namespace {
 
@@ -19,11 +32,12 @@ struct ProgramFixture {
   lang::StateBlock packet, message, global;
   lang::Interpreter interp;
 
-  ProgramFixture(const functions::NetworkFunction& fn,
-                 bool tco = true)
+  ProgramFixture(const functions::NetworkFunction& fn, bool tco = true,
+                 lang::OptLevel level = lang::OptLevel::O0)
       : schema(core::make_enclave_schema(fn.global_fields())) {
     lang::CompileOptions options;
     options.tail_call_optimization = tco;
+    options.opt_level = level;
     program = lang::compile_source(fn.source(), schema, options, fn.name());
     packet = lang::StateBlock::from_schema(schema, lang::Scope::packet);
     message = lang::StateBlock::from_schema(schema, lang::Scope::message);
@@ -33,12 +47,16 @@ struct ProgramFixture {
 
 void BM_Interpret_ArithmeticLoop(benchmark::State& state) {
   // Pure dispatch cost: a counted loop of arithmetic, no state access.
+  // The benchmark argument is the optimization level.
   lang::StateSchema schema;
+  lang::CompileOptions options;
+  options.opt_level = state.range(0) == 0 ? lang::OptLevel::O0
+                                          : lang::OptLevel::O1;
   const auto program = lang::compile_source(R"(fun(p) ->
       let i = 0 in
       let acc = 0 in
       (while i < 100 do acc <- acc + i * 3 - 1; i <- i + 1 done; acc))",
-                                            schema);
+                                            schema, options);
   lang::Interpreter interp;
   for (auto _ : state) {
     auto r = interp.execute(program, nullptr, nullptr, nullptr);
@@ -46,11 +64,13 @@ void BM_Interpret_ArithmeticLoop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 100);  // loop iterations
 }
-BENCHMARK(BM_Interpret_ArithmeticLoop);
+BENCHMARK(BM_Interpret_ArithmeticLoop)->Arg(0)->Arg(1);
 
 void BM_Pias_Interpreted(benchmark::State& state) {
   functions::PiasFunction pias;
-  ProgramFixture fx(pias);
+  ProgramFixture fx(pias, /*tco=*/true,
+                    state.range(0) == 0 ? lang::OptLevel::O0
+                                        : lang::OptLevel::O1);
   fx.global.arrays[0].stride = 2;
   fx.global.arrays[0].data = {10240, 7, 1048576, 5};
   fx.packet.scalars[core::PacketSlot::size] = 1514;
@@ -62,7 +82,7 @@ void BM_Pias_Interpreted(benchmark::State& state) {
     benchmark::DoNotOptimize(r.status);
   }
 }
-BENCHMARK(BM_Pias_Interpreted);
+BENCHMARK(BM_Pias_Interpreted)->Arg(0)->Arg(1);
 
 void BM_Pias_Interpreted_NoTCO(benchmark::State& state) {
   functions::PiasFunction pias;
@@ -101,7 +121,9 @@ BENCHMARK(BM_Pias_NativeTwin);
 
 void BM_Wcmp_Interpreted(benchmark::State& state) {
   functions::WcmpFunction wcmp;
-  ProgramFixture fx(wcmp);
+  ProgramFixture fx(wcmp, /*tco=*/true,
+                    state.range(0) == 0 ? lang::OptLevel::O0
+                                        : lang::OptLevel::O1);
   fx.global.arrays[0].stride = 3;
   fx.global.arrays[0].data = {2, 11, 909, 2, 12, 91};  // dst,label,weight
   fx.packet.scalars[core::PacketSlot::dst] = 2;
@@ -111,7 +133,7 @@ void BM_Wcmp_Interpreted(benchmark::State& state) {
     benchmark::DoNotOptimize(r.status);
   }
 }
-BENCHMARK(BM_Wcmp_Interpreted);
+BENCHMARK(BM_Wcmp_Interpreted)->Arg(0)->Arg(1);
 
 void BM_Compile_Pias(benchmark::State& state) {
   functions::PiasFunction pias;
@@ -122,6 +144,17 @@ void BM_Compile_Pias(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Compile_Pias);
+
+void BM_Optimize_Pias(benchmark::State& state) {
+  functions::PiasFunction pias;
+  const auto schema = core::make_enclave_schema(pias.global_fields());
+  const auto program = lang::compile_source(pias.source(), schema);
+  for (auto _ : state) {
+    auto optimized = lang::optimize(program, lang::OptLevel::O1);
+    benchmark::DoNotOptimize(optimized.code.size());
+  }
+}
+BENCHMARK(BM_Optimize_Pias);
 
 void BM_Serialize_RoundTrip(benchmark::State& state) {
   functions::PiasFunction pias;
@@ -134,6 +167,182 @@ void BM_Serialize_RoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_Serialize_RoundTrip);
 
+// --- Table-1 sweep: -O0 vs -O1 vs native, emitted as JSON ---------------
+
+struct SweepState {
+  lang::StateBlock packet, message, global;
+};
+
+// Plausible inputs shared by every function (mirrors the differential
+// test sweep): a full-size packet, a mid-flight message and three
+// records of global table content.
+SweepState make_inputs(const lang::StateSchema& schema) {
+  SweepState s;
+  s.packet = lang::StateBlock::from_schema(schema, lang::Scope::packet);
+  s.message = lang::StateBlock::from_schema(schema, lang::Scope::message);
+  s.global = lang::StateBlock::from_schema(schema, lang::Scope::global);
+  util::Rng vary(4242);
+  s.packet.scalars[core::PacketSlot::size] = 1460;
+  s.packet.scalars[core::PacketSlot::dst] = vary.range(0, 3);
+  s.packet.scalars[core::PacketSlot::dst_port] = vary.range(1000, 1005);
+  s.packet.scalars[core::PacketSlot::tenant] = vary.range(0, 2);
+  s.packet.scalars[core::PacketSlot::msg_type] = vary.range(1, 2);
+  s.packet.scalars[core::PacketSlot::msg_size] = vary.range(0, 100000);
+  s.packet.scalars[core::PacketSlot::flow_size] = vary.range(0, 3000000);
+  s.packet.scalars[core::PacketSlot::app_priority] = vary.range(0, 2);
+  s.packet.scalars[core::PacketSlot::key_hash] = vary.range(0, 1 << 20);
+  s.message.scalars[core::MessageSlot::size] = vary.range(0, 100000);
+  s.message.scalars[core::MessageSlot::priority] = vary.range(0, 2);
+  for (auto& arr : s.global.arrays) {
+    for (int r = 0; r < 3 * arr.stride; ++r) {
+      arr.data.push_back(vary.range(1, 1000));
+    }
+  }
+  for (auto& scalar : s.global.scalars) scalar = vary.range(0, 2);
+  return s;
+}
+
+// Best-of-three batches of a packet-processing loop, ns per packet.
+// State evolves across iterations (identically for every variant of the
+// same function, since the programs are semantically equal).
+template <typename RunFn>
+double time_ns_per_run(RunFn&& run) {
+  constexpr int kWarmup = 5000;
+  constexpr int kBatch = 50000;
+  constexpr int kRepeats = 3;
+  for (int i = 0; i < kWarmup; ++i) run();
+  double best = 1e30;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kBatch; ++i) run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        kBatch;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+int run_table1_sweep(const std::string& json_path) {
+  struct Row {
+    std::string name;
+    double o0_ns = 0, o1_ns = 0, native_ns = 0;
+    std::string status = "ok";
+  };
+  std::vector<Row> rows;
+
+  for (const auto& fn : functions::all_functions()) {
+    Row row;
+    row.name = fn->name();
+    const lang::StateSchema schema =
+        core::make_enclave_schema(fn->global_fields());
+    const auto o0 = lang::compile_source(fn->source(), schema, {},
+                                         fn->name());
+    auto o1 = lang::optimize(o0, lang::OptLevel::O1);
+    lang::verify_program(o1, schema, lang::ExecLimits{});
+    o1.preverified = true;  // the enclave install path the data plane uses
+
+    // Each variant mutates its own copy of identical initial state.
+    SweepState s0 = make_inputs(schema);
+    SweepState s1 = s0, sn = s0;
+
+    lang::Interpreter i0(lang::ExecLimits{}, 7), i1(lang::ExecLimits{}, 7);
+    const auto first =
+        i0.execute(o0, &s0.packet, &s0.message, &s0.global).status;
+    if (first != lang::ExecStatus::ok) {
+      row.status = lang::exec_status_name(first);
+      rows.push_back(row);
+      continue;
+    }
+
+    row.o0_ns = time_ns_per_run([&] {
+      auto r = i0.execute(o0, &s0.packet, &s0.message, &s0.global);
+      benchmark::DoNotOptimize(r.status);
+    });
+    row.o1_ns = time_ns_per_run([&] {
+      auto r = i1.execute(o1, &s1.packet, &s1.message, &s1.global);
+      benchmark::DoNotOptimize(r.status);
+    });
+    auto native = fn->native();
+    util::Rng rng(7);
+    core::NativeCtx ctx{rng, 0};
+    row.native_ns = time_ns_per_run([&] {
+      auto status = native(sn.packet, &sn.message, &sn.global, ctx);
+      benchmark::DoNotOptimize(status);
+    });
+    rows.push_back(row);
+  }
+
+  double log_sum = 0;
+  int measured = 0;
+  for (const Row& r : rows) {
+    if (r.status == "ok" && r.o1_ns > 0) {
+      log_sum += std::log(r.o0_ns / r.o1_ns);
+      ++measured;
+    }
+  }
+  const double geomean =
+      measured > 0 ? std::exp(log_sum / measured) : 0.0;
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"table1_interpreter\",\n");
+  // Must mirror the EDEN_THREADED gate in src/lang/interpreter.cpp.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(EDEN_NO_COMPUTED_GOTO)
+  std::fprintf(out, "  \"dispatch\": \"threaded\",\n");
+#else
+  std::fprintf(out, "  \"dispatch\": \"switch\",\n");
+#endif
+  std::fprintf(out, "  \"functions\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"status\": \"%s\", "
+                 "\"o0_ns\": %.1f, \"o1_ns\": %.1f, \"native_ns\": %.1f, "
+                 "\"speedup_o1\": %.3f, \"interp_penalty_o1\": %.2f}%s\n",
+                 r.name.c_str(), r.status.c_str(), r.o0_ns, r.o1_ns,
+                 r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0,
+                 r.native_ns > 0 ? r.o1_ns / r.native_ns : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"geomean_speedup_o1\": %.3f\n}\n", geomean);
+  std::fclose(out);
+
+  std::printf("\nTable-1 sweep (%d functions measured): "
+              "geomean -O1 speedup %.2fx, written to %s\n",
+              measured, geomean, json_path.c_str());
+  for (const Row& r : rows) {
+    std::printf("  %-16s %-12s o0 %7.1f ns  o1 %7.1f ns  native %6.1f ns"
+                "  speedup %.2fx\n",
+                r.name.c_str(), r.status.c_str(), r.o0_ns, r.o1_ns,
+                r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0);
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_interpreter.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_table1_sweep(json_path);
+}

@@ -3,6 +3,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "lang/optimizer.h"
+
 namespace eden::core {
 
 namespace {
@@ -98,8 +100,16 @@ ActionId Enclave::install_action(const std::string& name,
   entry->mode = program.concurrency;
   entry->touches_message =
       program.usage.touches_scope(lang::Scope::message);
-  entry->program = std::move(program);
   entry->schema = make_enclave_schema(std::move(global_fields));
+  // Install-time lowering: reject malformed bytecode up front (it may
+  // have arrived over the wire), optimize, and verify the result so the
+  // data path can take the pre-verified dispatch. The second verify
+  // doubles as a regression guard on the optimizer itself.
+  lang::verify_program(program, entry->schema, config_.exec_limits);
+  program = lang::optimize(std::move(program), config_.opt_level);
+  lang::verify_program(program, entry->schema, config_.exec_limits);
+  program.preverified = true;
+  entry->program = std::move(program);
   entry->global_state =
       lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
   const ActionId id = entry->id;

@@ -76,6 +76,10 @@ struct EnclaveConfig {
   std::size_t max_messages_per_action = 65536;
   lang::ExecLimits exec_limits;
   std::uint64_t rng_seed = 42;
+  // Installed bytecode is optimized to this level (lang/optimizer.h)
+  // and statically pre-verified against the action's schema, letting
+  // the data path run the interpreter's pre-verified fast dispatch.
+  lang::OptLevel opt_level = lang::OptLevel::O1;
 
   // The OS-resident enclave: ample resources, no cycle cap — the paper
   // deliberately leaves the budget to the administrator (Section 6).
@@ -129,6 +133,11 @@ class Enclave {
 
   // Installs a compiled action. `global_fields` must be the fields the
   // program was compiled against (they size the global state block).
+  // Runs the bytecode optimizer at config.opt_level and statically
+  // verifies the result against the action schema and this enclave's
+  // execution limits (install-time verification, so the per-packet path
+  // skips the structural checks). Throws lang::LangError if the program
+  // fails verification.
   ActionId install_action(const std::string& name,
                           lang::CompiledProgram program,
                           std::vector<lang::FieldDef> global_fields = {});

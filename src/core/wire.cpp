@@ -265,11 +265,14 @@ Response apply_checked(Enclave& enclave,
       lang::CompiledProgram program;
       try {
         program = lang::CompiledProgram::deserialize(bytecode);
+        // install_action re-verifies the deserialized program against
+        // the enclave's schema and limits; a malformed one is rejected
+        // here instead of trapping per-packet.
+        return ok(enclave.install_action(name, std::move(program),
+                                         std::move(fields)));
       } catch (const lang::LangError& e) {
         return fail(Status::rejected, e.what());
       }
-      return ok(enclave.install_action(name, std::move(program),
-                                       std::move(fields)));
     }
     case Command::remove_action: {
       const auto id = resolve_action(r.str());

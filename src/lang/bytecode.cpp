@@ -41,6 +41,35 @@ std::string_view op_name(Op op) {
     case Op::max2: return "max";
     case Op::abs1: return "abs";
     case Op::halt: return "halt";
+    case Op::add_imm: return "add_imm";
+    case Op::mul_imm: return "mul_imm";
+    case Op::tee_local: return "tee_local";
+    case Op::load_local2: return "load_local2";
+    case Op::load_state_push: return "load_state_push";
+    case Op::cmp_eq_imm: return "cmp_eq_imm";
+    case Op::cmp_ne_imm: return "cmp_ne_imm";
+    case Op::cmp_lt_imm: return "cmp_lt_imm";
+    case Op::cmp_le_imm: return "cmp_le_imm";
+    case Op::cmp_gt_imm: return "cmp_gt_imm";
+    case Op::cmp_ge_imm: return "cmp_ge_imm";
+    case Op::cmp_eq_jz: return "cmp_eq_jz";
+    case Op::cmp_ne_jz: return "cmp_ne_jz";
+    case Op::cmp_lt_jz: return "cmp_lt_jz";
+    case Op::cmp_le_jz: return "cmp_le_jz";
+    case Op::cmp_gt_jz: return "cmp_gt_jz";
+    case Op::cmp_ge_jz: return "cmp_ge_jz";
+    case Op::cmp_eq_imm_jz: return "cmp_eq_imm_jz";
+    case Op::cmp_ne_imm_jz: return "cmp_ne_imm_jz";
+    case Op::cmp_lt_imm_jz: return "cmp_lt_imm_jz";
+    case Op::cmp_le_imm_jz: return "cmp_le_imm_jz";
+    case Op::cmp_gt_imm_jz: return "cmp_gt_imm_jz";
+    case Op::cmp_ge_imm_jz: return "cmp_ge_imm_jz";
+    case Op::push_jmp: return "push_jmp";
+    case Op::inc_local: return "inc_local";
+    case Op::store_local2: return "store_local2";
+    case Op::array_load_off: return "array_load_off";
+    case Op::array_load_mul: return "array_load_mul";
+    case Op::array_load_rec: return "array_load_rec";
   }
   return "?";
 }
@@ -57,14 +86,25 @@ std::string_view concurrency_mode_name(ConcurrencyMode mode) {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43424445;  // "EDBC" little-endian
-constexpr std::uint32_t kVersion = 1;
+// Version 1: base opcode tier only (push..halt). Version 2: adds the
+// fused superinstruction tier. Unoptimized programs keep emitting
+// version 1 so pre-optimizer consumers still read them.
+constexpr std::uint32_t kBaseVersion = 1;
+constexpr std::uint32_t kFusedVersion = 2;
 
 }  // namespace
 
 std::vector<std::uint8_t> CompiledProgram::serialize() const {
+  std::uint32_t version = kBaseVersion;
+  for (const auto& instr : code) {
+    if (is_fused_op(instr.op)) {
+      version = kFusedVersion;
+      break;
+    }
+  }
   util::ByteWriter w;
   w.u32(kMagic);
-  w.u32(kVersion);
+  w.u32(version);
   w.str(source_name);
   w.u8(static_cast<std::uint8_t>(concurrency));
   for (int s = 0; s < kNumScopes; ++s) {
@@ -94,9 +134,13 @@ CompiledProgram CompiledProgram::deserialize(
   try {
     util::ByteReader r(bytes);
     if (r.u32() != kMagic) throw LangError("bad bytecode magic", SourceLoc{});
-    if (r.u32() != kVersion) {
+    const std::uint32_t version = r.u32();
+    if (version != kBaseVersion && version != kFusedVersion) {
       throw LangError("unsupported bytecode version", SourceLoc{});
     }
+    const std::uint8_t max_op = version == kBaseVersion
+                                    ? static_cast<std::uint8_t>(Op::halt)
+                                    : kMaxOpByte;
     CompiledProgram p;
     p.source_name = r.str();
     const std::uint8_t mode = r.u8();
@@ -125,7 +169,7 @@ CompiledProgram CompiledProgram::deserialize(
     for (std::uint32_t i = 0; i < ninstr; ++i) {
       Instr instr;
       const std::uint8_t op = r.u8();
-      if (op > static_cast<std::uint8_t>(Op::halt)) {
+      if (op > max_op) {
         throw LangError("invalid opcode in bytecode stream", SourceLoc{});
       }
       instr.op = static_cast<Op>(op);

@@ -8,6 +8,7 @@
 #include <set>
 #include <utility>
 
+#include "lang/optimizer.h"
 #include "lang/parser.h"
 
 namespace eden::lang {
@@ -879,7 +880,7 @@ CompiledProgram compile(const Program& program, const StateSchema& schema,
                         const CompileOptions& options,
                         std::string source_name) {
   Compiler compiler(program, schema, options, std::move(source_name));
-  return compiler.run();
+  return optimize(compiler.run(), options.opt_level);
 }
 
 CompiledProgram compile_source(std::string_view source,

@@ -28,8 +28,14 @@ std::string disassemble(const CompiledProgram& program) {
         break;
       case Op::load_local:
       case Op::store_local:
+      case Op::tee_local:
         std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d]\n", i,
                       std::string(op_name(instr.op)).c_str(), instr.a);
+        break;
+      case Op::load_local2:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d], local[%lld]\n",
+                      i, std::string(op_name(instr.op)).c_str(), instr.a,
+                      static_cast<long long>(instr.imm));
         break;
       case Op::load_state:
       case Op::store_state:
@@ -41,11 +47,76 @@ std::string disassemble(const CompiledProgram& program) {
                       std::string(scope_name(operand_scope(instr.a))).c_str(),
                       operand_slot(instr.a));
         break;
+      case Op::load_state_push:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s %s.%u, %lld\n", i,
+                      std::string(op_name(instr.op)).c_str(),
+                      std::string(scope_name(operand_scope(instr.a))).c_str(),
+                      operand_slot(instr.a),
+                      static_cast<long long>(instr.imm));
+        break;
       case Op::jmp:
       case Op::jz:
       case Op::jnz:
+      case Op::cmp_eq_jz:
+      case Op::cmp_ne_jz:
+      case Op::cmp_lt_jz:
+      case Op::cmp_le_jz:
+      case Op::cmp_gt_jz:
+      case Op::cmp_ge_jz:
         std::snprintf(buf, sizeof buf, "%4zu  %-12s -> %d\n", i,
                       std::string(op_name(instr.op)).c_str(), instr.a);
+        break;
+      case Op::cmp_eq_imm_jz:
+      case Op::cmp_ne_imm_jz:
+      case Op::cmp_lt_imm_jz:
+      case Op::cmp_le_imm_jz:
+      case Op::cmp_gt_imm_jz:
+      case Op::cmp_ge_imm_jz:
+      case Op::push_jmp:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s %lld -> %d\n", i,
+                      std::string(op_name(instr.op)).c_str(),
+                      static_cast<long long>(instr.imm), instr.a);
+        break;
+      case Op::inc_local:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d], %lld\n", i,
+                      std::string(op_name(instr.op)).c_str(), instr.a,
+                      static_cast<long long>(instr.imm));
+        break;
+      case Op::store_local2:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d], local[%lld]\n",
+                      i, std::string(op_name(instr.op)).c_str(), instr.a,
+                      static_cast<long long>(instr.imm));
+        break;
+      case Op::array_load_off:
+      case Op::array_load_mul:
+        std::snprintf(buf, sizeof buf, "%4zu  %-14s %s.%u, %lld\n", i,
+                      std::string(op_name(instr.op)).c_str(),
+                      std::string(scope_name(operand_scope(instr.a))).c_str(),
+                      operand_slot(instr.a),
+                      static_cast<long long>(instr.imm));
+        break;
+      case Op::array_load_rec:
+        std::snprintf(
+            buf, sizeof buf, "%4zu  %-14s %s.%u, *%llu+%llu\n", i,
+            std::string(op_name(instr.op)).c_str(),
+            std::string(scope_name(operand_scope(instr.a))).c_str(),
+            operand_slot(instr.a),
+            static_cast<unsigned long long>(
+                static_cast<std::uint64_t>(instr.imm) >> 32),
+            static_cast<unsigned long long>(
+                static_cast<std::uint64_t>(instr.imm) & 0xffffffffull));
+        break;
+      case Op::add_imm:
+      case Op::mul_imm:
+      case Op::cmp_eq_imm:
+      case Op::cmp_ne_imm:
+      case Op::cmp_lt_imm:
+      case Op::cmp_le_imm:
+      case Op::cmp_gt_imm:
+      case Op::cmp_ge_imm:
+        std::snprintf(buf, sizeof buf, "%4zu  %-12s %lld\n", i,
+                      std::string(op_name(instr.op)).c_str(),
+                      static_cast<long long>(instr.imm));
         break;
       case Op::call:
         std::snprintf(

@@ -2,6 +2,17 @@
 
 #include <chrono>
 
+// Threaded (computed-goto) dispatch on GCC/Clang; portable switch
+// fallback elsewhere or with -DEDEN_NO_COMPUTED_GOTO. Both paths share
+// the same opcode bodies via the EDEN_CASE / EDEN_NEXT macros below, so
+// they cannot drift apart semantically.
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(EDEN_NO_COMPUTED_GOTO)
+#define EDEN_THREADED 1
+#else
+#define EDEN_THREADED 0
+#endif
+
 namespace eden::lang {
 
 std::string_view exec_status_name(ExecStatus status) {
@@ -50,7 +61,10 @@ inline std::int64_t wrap_neg(std::int64_t a) {
 
 Interpreter::Interpreter(ExecLimits limits, std::uint64_t rng_seed)
     : limits_(limits), rng_(rng_seed) {
-  stack_.resize(limits_.max_operand_stack);
+  // One extra slot in front of the operand stack: the top-of-stack
+  // register scheme below unconditionally flushes `tos` into
+  // spill[sp - 1], which for sp == 0 lands in this scratch slot.
+  stack_.resize(static_cast<std::size_t>(limits_.max_operand_stack) + 1);
   locals_.resize(limits_.max_locals);
   frames_.reserve(limits_.max_call_depth);
 }
@@ -58,6 +72,27 @@ Interpreter::Interpreter(ExecLimits limits, std::uint64_t rng_seed)
 ExecResult Interpreter::execute(const CompiledProgram& program,
                                 StateBlock* packet, StateBlock* message,
                                 StateBlock* global) {
+  if (program.preverified) {
+    return execute_impl<true>(program, packet, message, global);
+  }
+  return execute_impl<false>(program, packet, message, global);
+}
+
+// Operand-stack representation: the stack holds `sp` elements; elements
+// [0, sp-2] live in spill[0..sp-2] and the top element lives in the
+// `tos` register. spill[j] for j >= sp-1 is stale. spill points one
+// past a scratch slot so the branch-free flush spill[sp-1] = tos is
+// in-bounds even at sp == 0.
+//
+// Trusted mode (program.preverified) skips only checks that
+// verify_program establishes statically: per-dispatch pc bounds, opcode
+// range, state-operand scope, function index and nargs <= nlocals. All
+// data-dependent guards — operand-stack depth, locals bounds, array
+// bounds, call depth, fuel, null state blocks — run in both modes.
+template <bool Trusted>
+ExecResult Interpreter::execute_impl(const CompiledProgram& program,
+                                     StateBlock* packet, StateBlock* message,
+                                     StateBlock* global) {
   ExecResult result;
   if (program.functions.empty() || program.code.empty()) {
     result.status = ExecStatus::invalid_program;
@@ -65,356 +100,634 @@ ExecResult Interpreter::execute(const CompiledProgram& program,
   }
 
   StateBlock* blocks[kNumScopes] = {packet, message, global};
-  const Instr* code = program.code.data();
+  const Instr* const code = program.code.data();
   const std::size_t code_size = program.code.size();
+  const std::uint32_t stack_cap = limits_.max_operand_stack;
+  std::int64_t* const spill = stack_.data() + 1;
+  std::int64_t* const locals = locals_.data();
 
   std::uint32_t pc = program.functions[0].addr;
-  std::uint32_t sp = 0;  // operand stack pointer (next free)
+  std::uint32_t sp = 0;
+  std::int64_t tos = 0;
+  std::uint32_t base = 0;  // locals base of the current frame
   std::uint32_t locals_size = program.functions[0].nlocals;
   if (locals_size > limits_.max_locals) {
     result.status = ExecStatus::local_overflow;
     return result;
   }
-  for (std::uint32_t i = 0; i < locals_size; ++i) locals_[i] = 0;
+  for (std::uint32_t i = 0; i < locals_size; ++i) locals[i] = 0;
   frames_.clear();
 
   result.max_locals = locals_size;
   const std::uint64_t max_steps = limits_.max_steps;
+  std::uint64_t steps = 0;
+  std::uint32_t max_stack = 0;
+  Instr instr{};
+  std::uint8_t opb = 0;
 
-  auto fail = [&](ExecStatus status) {
-    result.status = status;
-    return result;
-  };
-
-#define EDEN_NEED(n)                                   \
-  do {                                                 \
-    if (sp < (n)) return fail(ExecStatus::stack_underflow); \
+#define EDEN_FAIL(st)                 \
+  do {                                \
+    result.status = ExecStatus::st;   \
+    goto exec_done;                   \
   } while (0)
 
+#define EDEN_NEED(n)                                 \
+  do {                                               \
+    if (sp < (n)) EDEN_FAIL(stack_underflow);        \
+  } while (0)
+
+#define EDEN_PUSH(v)                                          \
+  do {                                                        \
+    if (sp >= stack_cap) EDEN_FAIL(stack_overflow);           \
+    spill[static_cast<std::ptrdiff_t>(sp) - 1] = tos;         \
+    tos = (v);                                                \
+    ++sp;                                                     \
+    if (sp > max_stack) max_stack = sp;                       \
+  } while (0)
+
+#define EDEN_DROP()                                           \
+  do {                                                        \
+    --sp;                                                     \
+    tos = spill[static_cast<std::ptrdiff_t>(sp) - 1];         \
+  } while (0)
+
+#define EDEN_BINOP(expr)                                             \
+  do {                                                               \
+    EDEN_NEED(2);                                                    \
+    const std::int64_t rhs = tos;                                    \
+    const std::int64_t lhs = spill[static_cast<std::ptrdiff_t>(sp) - 2]; \
+    tos = (expr);                                                    \
+    --sp;                                                            \
+  } while (0)
+
+// Fetch order matches the original interpreter exactly: pc bounds, then
+// fuel, then decode. Fused ops charge the step count of the sequence
+// they replaced (kOpStepCost) so Fig. 12-style accounting is stable
+// across optimization levels.
+#define EDEN_FETCH()                                                      \
+  do {                                                                    \
+    if constexpr (!Trusted) {                                             \
+      if (pc >= code_size) EDEN_FAIL(invalid_program);                    \
+    }                                                                     \
+    if (max_steps != 0 && steps >= max_steps) EDEN_FAIL(fuel_exhausted);  \
+    instr = code[pc++];                                                   \
+    opb = static_cast<std::uint8_t>(instr.op);                            \
+    if constexpr (!Trusted) {                                             \
+      if (opb >= kNumOpcodes) EDEN_FAIL(invalid_program);                 \
+    }                                                                     \
+    steps += kOpStepCost[opb];                                            \
+  } while (0)
+
+#if EDEN_THREADED
+#define EDEN_CASE(name) L_##name:
+#define EDEN_NEXT()                \
+  do {                             \
+    EDEN_FETCH();                  \
+    goto* jump_table[opb];         \
+  } while (0)
+
+  static const void* const jump_table[] = {
+#define EDEN_OP_LABEL(name, cost) &&L_##name,
+      EDEN_OPCODE_LIST(EDEN_OP_LABEL)
+#undef EDEN_OP_LABEL
+  };
+  static_assert(sizeof(jump_table) / sizeof(jump_table[0]) == kNumOpcodes);
+  EDEN_NEXT();
+#else
+#define EDEN_CASE(name) case Op::name:
+#define EDEN_NEXT() break
+
   for (;;) {
-    if (pc >= code_size) return fail(ExecStatus::invalid_program);
-    if (max_steps != 0 && result.steps >= max_steps) {
-      return fail(ExecStatus::fuel_exhausted);
-    }
-    ++result.steps;
-    const Instr instr = code[pc++];
-
+    EDEN_FETCH();
     switch (instr.op) {
-      case Op::push:
-        if (sp >= limits_.max_operand_stack) {
-          return fail(ExecStatus::stack_overflow);
-        }
-        stack_[sp++] = instr.imm;
-        if (sp > result.max_stack) result.max_stack = sp;
-        break;
+#endif
 
-      case Op::pop:
-        EDEN_NEED(1);
-        --sp;
-        break;
-
-      case Op::dup:
-        EDEN_NEED(1);
-        if (sp >= limits_.max_operand_stack) {
-          return fail(ExecStatus::stack_overflow);
-        }
-        stack_[sp] = stack_[sp - 1];
-        ++sp;
-        if (sp > result.max_stack) result.max_stack = sp;
-        break;
-
-      case Op::load_local: {
-        const std::uint32_t base =
-            frames_.empty() ? 0 : frames_.back().locals_base;
-        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
-        if (slot >= locals_size) return fail(ExecStatus::invalid_program);
-        if (sp >= limits_.max_operand_stack) {
-          return fail(ExecStatus::stack_overflow);
-        }
-        stack_[sp++] = locals_[slot];
-        if (sp > result.max_stack) result.max_stack = sp;
-        break;
+      EDEN_CASE(push) {
+        EDEN_PUSH(instr.imm);
       }
+      EDEN_NEXT();
 
-      case Op::store_local: {
+      EDEN_CASE(pop) {
         EDEN_NEED(1);
-        const std::uint32_t base =
-            frames_.empty() ? 0 : frames_.back().locals_base;
-        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
-        if (slot >= locals_size) return fail(ExecStatus::invalid_program);
-        locals_[slot] = stack_[--sp];
-        break;
+        EDEN_DROP();
       }
+      EDEN_NEXT();
 
-      case Op::load_state: {
+      EDEN_CASE(dup) {
+        EDEN_NEED(1);
+        EDEN_PUSH(tos);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(load_local) {
+        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
+        if (slot >= locals_size) EDEN_FAIL(invalid_program);
+        EDEN_PUSH(locals[slot]);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(store_local) {
+        EDEN_NEED(1);
+        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
+        if (slot >= locals_size) EDEN_FAIL(invalid_program);
+        locals[slot] = tos;
+        EDEN_DROP();
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(load_state) {
         const auto scope_index =
             static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
-        if (scope_index >= kNumScopes) {
-          return fail(ExecStatus::invalid_program);
+        if constexpr (!Trusted) {
+          if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {
+            EDEN_FAIL(invalid_program);
+          }
         }
         StateBlock* block = blocks[scope_index];
         const std::uint16_t slot = operand_slot(instr.a);
         if (block == nullptr || slot >= block->scalars.size()) {
-          return fail(ExecStatus::bad_state_slot);
+          EDEN_FAIL(bad_state_slot);
         }
-        if (sp >= limits_.max_operand_stack) {
-          return fail(ExecStatus::stack_overflow);
-        }
-        stack_[sp++] = block->scalars[slot];
-        if (sp > result.max_stack) result.max_stack = sp;
-        break;
+        EDEN_PUSH(block->scalars[slot]);
       }
+      EDEN_NEXT();
 
-      case Op::store_state: {
+      EDEN_CASE(store_state) {
         EDEN_NEED(1);
         const auto scope_index =
             static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
-        if (scope_index >= kNumScopes) {
-          return fail(ExecStatus::invalid_program);
+        if constexpr (!Trusted) {
+          if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {
+            EDEN_FAIL(invalid_program);
+          }
         }
         StateBlock* block = blocks[scope_index];
         const std::uint16_t slot = operand_slot(instr.a);
         if (block == nullptr || slot >= block->scalars.size()) {
-          return fail(ExecStatus::bad_state_slot);
+          EDEN_FAIL(bad_state_slot);
         }
-        block->scalars[slot] = stack_[--sp];
-        break;
+        block->scalars[slot] = tos;
+        EDEN_DROP();
       }
+      EDEN_NEXT();
 
-      case Op::array_load: {
+      EDEN_CASE(array_load) {
         EDEN_NEED(1);
         const auto scope_index =
             static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
-        if (scope_index >= kNumScopes) {
-          return fail(ExecStatus::invalid_program);
+        if constexpr (!Trusted) {
+          if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {
+            EDEN_FAIL(invalid_program);
+          }
         }
         StateBlock* block = blocks[scope_index];
         const std::uint16_t slot = operand_slot(instr.a);
         if (block == nullptr || slot >= block->arrays.size()) {
-          return fail(ExecStatus::bad_state_slot);
+          EDEN_FAIL(bad_state_slot);
         }
         const ArrayValue& arr = block->arrays[slot];
-        const std::int64_t index = stack_[sp - 1];
-        if (index < 0 ||
-            index >= static_cast<std::int64_t>(arr.data.size())) {
-          return fail(ExecStatus::out_of_bounds);
+        if (tos < 0 || tos >= static_cast<std::int64_t>(arr.data.size())) {
+          EDEN_FAIL(out_of_bounds);
         }
-        stack_[sp - 1] = arr.data[static_cast<std::size_t>(index)];
-        break;
+        tos = arr.data[static_cast<std::size_t>(tos)];
       }
+      EDEN_NEXT();
 
-      case Op::array_store: {
+      EDEN_CASE(array_store) {
         EDEN_NEED(2);
         const auto scope_index =
             static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
-        if (scope_index >= kNumScopes) {
-          return fail(ExecStatus::invalid_program);
+        if constexpr (!Trusted) {
+          if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {
+            EDEN_FAIL(invalid_program);
+          }
         }
         StateBlock* block = blocks[scope_index];
         const std::uint16_t slot = operand_slot(instr.a);
         if (block == nullptr || slot >= block->arrays.size()) {
-          return fail(ExecStatus::bad_state_slot);
+          EDEN_FAIL(bad_state_slot);
         }
         ArrayValue& arr = block->arrays[slot];
-        const std::int64_t value = stack_[--sp];
-        const std::int64_t index = stack_[--sp];
+        const std::int64_t value = tos;
+        const std::int64_t index =
+            spill[static_cast<std::ptrdiff_t>(sp) - 2];
+        sp -= 2;
+        tos = spill[static_cast<std::ptrdiff_t>(sp) - 1];
         if (index < 0 ||
             index >= static_cast<std::int64_t>(arr.data.size())) {
-          return fail(ExecStatus::out_of_bounds);
+          EDEN_FAIL(out_of_bounds);
         }
         arr.data[static_cast<std::size_t>(index)] = value;
-        break;
       }
+      EDEN_NEXT();
 
-      case Op::array_len: {
+      EDEN_CASE(array_len) {
         const auto scope_index =
             static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
-        if (scope_index >= kNumScopes) {
-          return fail(ExecStatus::invalid_program);
+        if constexpr (!Trusted) {
+          if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {
+            EDEN_FAIL(invalid_program);
+          }
         }
         StateBlock* block = blocks[scope_index];
         const std::uint16_t slot = operand_slot(instr.a);
         if (block == nullptr || slot >= block->arrays.size()) {
-          return fail(ExecStatus::bad_state_slot);
+          EDEN_FAIL(bad_state_slot);
         }
-        if (sp >= limits_.max_operand_stack) {
-          return fail(ExecStatus::stack_overflow);
-        }
-        stack_[sp++] = block->arrays[slot].element_count();
-        if (sp > result.max_stack) result.max_stack = sp;
-        break;
+        EDEN_PUSH(block->arrays[slot].element_count());
       }
+      EDEN_NEXT();
 
-      case Op::add:
-        EDEN_NEED(2);
-        stack_[sp - 2] = wrap_add(stack_[sp - 2], stack_[sp - 1]);
-        --sp;
-        break;
-      case Op::sub:
-        EDEN_NEED(2);
-        stack_[sp - 2] = wrap_sub(stack_[sp - 2], stack_[sp - 1]);
-        --sp;
-        break;
-      case Op::mul:
-        EDEN_NEED(2);
-        stack_[sp - 2] = wrap_mul(stack_[sp - 2], stack_[sp - 1]);
-        --sp;
-        break;
-      case Op::div_: {
-        EDEN_NEED(2);
-        const std::int64_t b = stack_[sp - 1];
-        const std::int64_t a = stack_[sp - 2];
-        if (b == 0) return fail(ExecStatus::div_by_zero);
-        stack_[sp - 2] = (b == -1) ? wrap_neg(a) : a / b;
-        --sp;
-        break;
+      EDEN_CASE(add) {
+        EDEN_BINOP(wrap_add(lhs, rhs));
       }
-      case Op::mod_: {
-        EDEN_NEED(2);
-        const std::int64_t b = stack_[sp - 1];
-        const std::int64_t a = stack_[sp - 2];
-        if (b == 0) return fail(ExecStatus::div_by_zero);
-        stack_[sp - 2] = (b == -1) ? 0 : a % b;
-        --sp;
-        break;
+      EDEN_NEXT();
+
+      EDEN_CASE(sub) {
+        EDEN_BINOP(wrap_sub(lhs, rhs));
       }
-      case Op::neg:
+      EDEN_NEXT();
+
+      EDEN_CASE(mul) {
+        EDEN_BINOP(wrap_mul(lhs, rhs));
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(div_) {
+        EDEN_NEED(2);
+        const std::int64_t rhs = tos;
+        const std::int64_t lhs = spill[static_cast<std::ptrdiff_t>(sp) - 2];
+        if (rhs == 0) EDEN_FAIL(div_by_zero);
+        tos = (rhs == -1) ? wrap_neg(lhs) : lhs / rhs;
+        --sp;
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(mod_) {
+        EDEN_NEED(2);
+        const std::int64_t rhs = tos;
+        const std::int64_t lhs = spill[static_cast<std::ptrdiff_t>(sp) - 2];
+        if (rhs == 0) EDEN_FAIL(div_by_zero);
+        tos = (rhs == -1) ? 0 : lhs % rhs;
+        --sp;
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(neg) {
         EDEN_NEED(1);
-        stack_[sp - 1] = wrap_neg(stack_[sp - 1]);
-        break;
+        tos = wrap_neg(tos);
+      }
+      EDEN_NEXT();
 
-      case Op::cmp_eq:
-        EDEN_NEED(2);
-        stack_[sp - 2] = stack_[sp - 2] == stack_[sp - 1] ? 1 : 0;
-        --sp;
-        break;
-      case Op::cmp_ne:
-        EDEN_NEED(2);
-        stack_[sp - 2] = stack_[sp - 2] != stack_[sp - 1] ? 1 : 0;
-        --sp;
-        break;
-      case Op::cmp_lt:
-        EDEN_NEED(2);
-        stack_[sp - 2] = stack_[sp - 2] < stack_[sp - 1] ? 1 : 0;
-        --sp;
-        break;
-      case Op::cmp_le:
-        EDEN_NEED(2);
-        stack_[sp - 2] = stack_[sp - 2] <= stack_[sp - 1] ? 1 : 0;
-        --sp;
-        break;
-      case Op::cmp_gt:
-        EDEN_NEED(2);
-        stack_[sp - 2] = stack_[sp - 2] > stack_[sp - 1] ? 1 : 0;
-        --sp;
-        break;
-      case Op::cmp_ge:
-        EDEN_NEED(2);
-        stack_[sp - 2] = stack_[sp - 2] >= stack_[sp - 1] ? 1 : 0;
-        --sp;
-        break;
-      case Op::logical_not:
+      EDEN_CASE(cmp_eq) {
+        EDEN_BINOP(lhs == rhs ? 1 : 0);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(cmp_ne) {
+        EDEN_BINOP(lhs != rhs ? 1 : 0);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(cmp_lt) {
+        EDEN_BINOP(lhs < rhs ? 1 : 0);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(cmp_le) {
+        EDEN_BINOP(lhs <= rhs ? 1 : 0);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(cmp_gt) {
+        EDEN_BINOP(lhs > rhs ? 1 : 0);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(cmp_ge) {
+        EDEN_BINOP(lhs >= rhs ? 1 : 0);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(logical_not) {
         EDEN_NEED(1);
-        stack_[sp - 1] = stack_[sp - 1] == 0 ? 1 : 0;
-        break;
+        tos = tos == 0 ? 1 : 0;
+      }
+      EDEN_NEXT();
 
-      case Op::jmp:
+      EDEN_CASE(jmp) {
         pc = static_cast<std::uint32_t>(instr.a);
-        break;
-      case Op::jz:
-        EDEN_NEED(1);
-        if (stack_[--sp] == 0) pc = static_cast<std::uint32_t>(instr.a);
-        break;
-      case Op::jnz:
-        EDEN_NEED(1);
-        if (stack_[--sp] != 0) pc = static_cast<std::uint32_t>(instr.a);
-        break;
+      }
+      EDEN_NEXT();
 
-      case Op::call: {
+      EDEN_CASE(jz) {
+        EDEN_NEED(1);
+        const std::int64_t v = tos;
+        EDEN_DROP();
+        if (v == 0) pc = static_cast<std::uint32_t>(instr.a);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(jnz) {
+        EDEN_NEED(1);
+        const std::int64_t v = tos;
+        EDEN_DROP();
+        if (v != 0) pc = static_cast<std::uint32_t>(instr.a);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(call) {
         const auto findex = static_cast<std::size_t>(instr.a);
-        if (findex >= program.functions.size()) {
-          return fail(ExecStatus::invalid_program);
+        if constexpr (!Trusted) {
+          if (findex >= program.functions.size()) {
+            EDEN_FAIL(invalid_program);
+          }
         }
         const FunctionInfo& fn = program.functions[findex];
+        if constexpr (!Trusted) {
+          // A deserialized program may lie about its frame layout; args
+          // beyond nlocals would smash the next frame's slots.
+          if (fn.nargs > fn.nlocals) EDEN_FAIL(invalid_program);
+        }
         EDEN_NEED(fn.nargs);
         if (frames_.size() >= limits_.max_call_depth) {
-          return fail(ExecStatus::call_depth_exceeded);
+          EDEN_FAIL(call_depth_exceeded);
         }
-        const std::uint32_t base = locals_size;
-        const std::uint32_t new_size = base + fn.nlocals;
-        if (new_size > limits_.max_locals) {
-          return fail(ExecStatus::local_overflow);
-        }
-        for (std::uint32_t i = 0; i < fn.nlocals; ++i) {
-          locals_[base + i] = 0;
-        }
+        const std::uint32_t fbase = locals_size;
+        const std::uint32_t new_size = fbase + fn.nlocals;
+        if (new_size > limits_.max_locals) EDEN_FAIL(local_overflow);
+        spill[static_cast<std::ptrdiff_t>(sp) - 1] = tos;  // flush cache
+        for (std::uint32_t i = 0; i < fn.nlocals; ++i) locals[fbase + i] = 0;
         sp -= fn.nargs;
         for (std::uint32_t i = 0; i < fn.nargs; ++i) {
-          locals_[base + i] = stack_[sp + i];
+          locals[fbase + i] = spill[sp + i];
         }
-        frames_.push_back(Frame{pc, base, locals_size});
+        tos = spill[static_cast<std::ptrdiff_t>(sp) - 1];
+        frames_.push_back(Frame{pc, fbase, locals_size});
+        base = fbase;
         locals_size = new_size;
         if (locals_size > result.max_locals) result.max_locals = locals_size;
         if (frames_.size() > result.max_depth) {
           result.max_depth = static_cast<std::uint32_t>(frames_.size());
         }
         pc = fn.addr;
-        break;
       }
+      EDEN_NEXT();
 
-      case Op::ret: {
+      EDEN_CASE(ret) {
         EDEN_NEED(1);
-        if (frames_.empty()) return fail(ExecStatus::invalid_program);
+        if (frames_.empty()) EDEN_FAIL(invalid_program);
         const Frame frame = frames_.back();
         frames_.pop_back();
         locals_size = frame.caller_locals_size;
+        base = frames_.empty() ? 0 : frames_.back().locals_base;
         pc = frame.return_pc;
-        // Return value stays on top of the operand stack.
-        break;
+        // Return value stays cached in tos.
       }
+      EDEN_NEXT();
 
-      case Op::rand_below: {
+      EDEN_CASE(rand_below) {
         EDEN_NEED(1);
-        const std::int64_t n = stack_[sp - 1];
-        if (n <= 0) return fail(ExecStatus::bad_rand_bound);
-        stack_[sp - 1] = static_cast<std::int64_t>(
-            rng_.below(static_cast<std::uint64_t>(n)));
-        break;
+        if (tos <= 0) EDEN_FAIL(bad_rand_bound);
+        tos = static_cast<std::int64_t>(
+            rng_.below(static_cast<std::uint64_t>(tos)));
       }
+      EDEN_NEXT();
 
-      case Op::clock_ns:
-        if (sp >= limits_.max_operand_stack) {
-          return fail(ExecStatus::stack_overflow);
-        }
-        stack_[sp++] = clock_fn_ != nullptr ? clock_fn_(clock_ctx_)
-                                            : default_clock(nullptr);
-        if (sp > result.max_stack) result.max_stack = sp;
-        break;
+      EDEN_CASE(clock_ns) {
+        EDEN_PUSH(clock_fn_ != nullptr ? clock_fn_(clock_ctx_)
+                                       : default_clock(nullptr));
+      }
+      EDEN_NEXT();
 
-      case Op::min2:
-        EDEN_NEED(2);
-        stack_[sp - 2] =
-            stack_[sp - 2] < stack_[sp - 1] ? stack_[sp - 2] : stack_[sp - 1];
-        --sp;
-        break;
-      case Op::max2:
-        EDEN_NEED(2);
-        stack_[sp - 2] =
-            stack_[sp - 2] > stack_[sp - 1] ? stack_[sp - 2] : stack_[sp - 1];
-        --sp;
-        break;
-      case Op::abs1:
+      EDEN_CASE(min2) {
+        EDEN_BINOP(lhs < rhs ? lhs : rhs);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(max2) {
+        EDEN_BINOP(lhs > rhs ? lhs : rhs);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(abs1) {
         EDEN_NEED(1);
-        if (stack_[sp - 1] < 0) stack_[sp - 1] = wrap_neg(stack_[sp - 1]);
-        break;
+        if (tos < 0) tos = wrap_neg(tos);
+      }
+      EDEN_NEXT();
 
-      case Op::halt:
-        result.value = sp > 0 ? stack_[sp - 1] : 0;
+      EDEN_CASE(halt) {
+        result.value = sp > 0 ? tos : 0;
         result.status = ExecStatus::ok;
-        return result;
+        goto exec_done;
+      }
+      EDEN_NEXT();
+
+      // ---- Fused superinstructions (optimizer output) ----
+
+      EDEN_CASE(add_imm) {
+        EDEN_NEED(1);
+        tos = wrap_add(tos, instr.imm);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(mul_imm) {
+        EDEN_NEED(1);
+        tos = wrap_mul(tos, instr.imm);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(tee_local) {
+        EDEN_NEED(1);
+        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
+        if (slot >= locals_size) EDEN_FAIL(invalid_program);
+        locals[slot] = tos;
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(load_local2) {
+        const std::uint32_t first =
+            base + static_cast<std::uint32_t>(instr.a);
+        if (first >= locals_size) EDEN_FAIL(invalid_program);
+        EDEN_PUSH(locals[first]);
+        const std::uint32_t second =
+            base + static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(instr.imm));
+        if (second >= locals_size) EDEN_FAIL(invalid_program);
+        EDEN_PUSH(locals[second]);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(load_state_push) {
+        const auto scope_index =
+            static_cast<std::uint32_t>((instr.a >> 16) & 0xff);
+        if constexpr (!Trusted) {
+          if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {
+            EDEN_FAIL(invalid_program);
+          }
+        }
+        StateBlock* block = blocks[scope_index];
+        const std::uint16_t slot = operand_slot(instr.a);
+        if (block == nullptr || slot >= block->scalars.size()) {
+          EDEN_FAIL(bad_state_slot);
+        }
+        EDEN_PUSH(block->scalars[slot]);
+        EDEN_PUSH(instr.imm);
+      }
+      EDEN_NEXT();
+
+#define EDEN_CMP_IMM(name, cmpop)                  \
+  EDEN_CASE(name) {                                \
+    EDEN_NEED(1);                                  \
+    tos = (tos cmpop instr.imm) ? 1 : 0;           \
+  }                                                \
+  EDEN_NEXT();
+
+      EDEN_CMP_IMM(cmp_eq_imm, ==)
+      EDEN_CMP_IMM(cmp_ne_imm, !=)
+      EDEN_CMP_IMM(cmp_lt_imm, <)
+      EDEN_CMP_IMM(cmp_le_imm, <=)
+      EDEN_CMP_IMM(cmp_gt_imm, >)
+      EDEN_CMP_IMM(cmp_ge_imm, >=)
+#undef EDEN_CMP_IMM
+
+// cmp; jz — pops both operands, branches when the comparison is false.
+#define EDEN_CMP_JZ(name, cmpop)                                         \
+  EDEN_CASE(name) {                                                      \
+    EDEN_NEED(2);                                                        \
+    const std::int64_t rhs = tos;                                        \
+    const std::int64_t lhs = spill[static_cast<std::ptrdiff_t>(sp) - 2]; \
+    sp -= 2;                                                             \
+    tos = spill[static_cast<std::ptrdiff_t>(sp) - 1];                    \
+    if (!(lhs cmpop rhs)) pc = static_cast<std::uint32_t>(instr.a);      \
+  }                                                                      \
+  EDEN_NEXT();
+
+      EDEN_CMP_JZ(cmp_eq_jz, ==)
+      EDEN_CMP_JZ(cmp_ne_jz, !=)
+      EDEN_CMP_JZ(cmp_lt_jz, <)
+      EDEN_CMP_JZ(cmp_le_jz, <=)
+      EDEN_CMP_JZ(cmp_gt_jz, >)
+      EDEN_CMP_JZ(cmp_ge_jz, >=)
+#undef EDEN_CMP_JZ
+
+// push imm; cmp; jz — pops one operand, compares against the
+// immediate, branches when false.
+#define EDEN_CMP_IMM_JZ(name, cmpop)                                 \
+  EDEN_CASE(name) {                                                  \
+    EDEN_NEED(1);                                                    \
+    const std::int64_t v = tos;                                      \
+    EDEN_DROP();                                                     \
+    if (!(v cmpop instr.imm)) pc = static_cast<std::uint32_t>(instr.a); \
+  }                                                                  \
+  EDEN_NEXT();
+
+      EDEN_CMP_IMM_JZ(cmp_eq_imm_jz, ==)
+      EDEN_CMP_IMM_JZ(cmp_ne_imm_jz, !=)
+      EDEN_CMP_IMM_JZ(cmp_lt_imm_jz, <)
+      EDEN_CMP_IMM_JZ(cmp_le_imm_jz, <=)
+      EDEN_CMP_IMM_JZ(cmp_gt_imm_jz, >)
+      EDEN_CMP_IMM_JZ(cmp_ge_imm_jz, >=)
+#undef EDEN_CMP_IMM_JZ
+
+      EDEN_CASE(push_jmp) {
+        EDEN_PUSH(instr.imm);
+        pc = static_cast<std::uint32_t>(instr.a);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(inc_local) {
+        // load_local a; add_imm k; store_local a — the slot check covers
+        // both ends of the source pair; the stack is never touched.
+        const std::uint32_t slot = base + static_cast<std::uint32_t>(instr.a);
+        if (slot >= locals_size) EDEN_FAIL(invalid_program);
+        locals[slot] = wrap_add(locals[slot], instr.imm);
+      }
+      EDEN_NEXT();
+
+      EDEN_CASE(store_local2) {
+        EDEN_NEED(1);
+        const std::uint32_t first =
+            base + static_cast<std::uint32_t>(instr.a);
+        if (first >= locals_size) EDEN_FAIL(invalid_program);
+        locals[first] = tos;
+        EDEN_DROP();
+        EDEN_NEED(1);
+        const std::uint32_t second =
+            base + static_cast<std::uint32_t>(
+                       static_cast<std::int32_t>(instr.imm));
+        if (second >= locals_size) EDEN_FAIL(invalid_program);
+        locals[second] = tos;
+        EDEN_DROP();
+      }
+      EDEN_NEXT();
+
+// Record-array loads with the index arithmetic folded in: the index on
+// top of the stack is transformed exactly as the replaced add/mul
+// sequence would (same wrapping), then bounds-checked as array_load.
+#define EDEN_ARRAY_LOAD_IDX(name, idx_expr)                               \
+  EDEN_CASE(name) {                                                      \
+    EDEN_NEED(1);                                                        \
+    const auto scope_index =                                             \
+        static_cast<std::uint32_t>((instr.a >> 16) & 0xff);              \
+    if constexpr (!Trusted) {                                            \
+      if (scope_index >= static_cast<std::uint32_t>(kNumScopes)) {       \
+        EDEN_FAIL(invalid_program);                                      \
+      }                                                                  \
+    }                                                                    \
+    StateBlock* block = blocks[scope_index];                             \
+    const std::uint16_t slot = operand_slot(instr.a);                    \
+    if (block == nullptr || slot >= block->arrays.size()) {              \
+      EDEN_FAIL(bad_state_slot);                                         \
+    }                                                                    \
+    const ArrayValue& arr = block->arrays[slot];                         \
+    const std::int64_t idx = (idx_expr);                                 \
+    if (idx < 0 || idx >= static_cast<std::int64_t>(arr.data.size())) {  \
+      EDEN_FAIL(out_of_bounds);                                          \
+    }                                                                    \
+    tos = arr.data[static_cast<std::size_t>(idx)];                       \
+  }                                                                      \
+  EDEN_NEXT();
+
+      EDEN_ARRAY_LOAD_IDX(array_load_off, wrap_add(tos, instr.imm))
+      EDEN_ARRAY_LOAD_IDX(array_load_mul, wrap_mul(tos, instr.imm))
+      EDEN_ARRAY_LOAD_IDX(
+          array_load_rec,
+          wrap_add(wrap_mul(tos, static_cast<std::int64_t>(
+                                     static_cast<std::uint64_t>(instr.imm) >>
+                                     32)),
+                   static_cast<std::int64_t>(
+                       static_cast<std::uint64_t>(instr.imm) &
+                       0xffffffffull)))
+#undef EDEN_ARRAY_LOAD_IDX
+
+#if !EDEN_THREADED
+      default:
+        EDEN_FAIL(invalid_program);
     }
   }
+#endif
+
+exec_done:
+  result.steps = steps;
+  result.max_stack = max_stack;
+  return result;
+
+#undef EDEN_CASE
+#undef EDEN_NEXT
+#undef EDEN_FETCH
+#undef EDEN_BINOP
+#undef EDEN_DROP
+#undef EDEN_PUSH
 #undef EDEN_NEED
+#undef EDEN_FAIL
 }
+
+template ExecResult Interpreter::execute_impl<false>(const CompiledProgram&,
+                                                     StateBlock*, StateBlock*,
+                                                     StateBlock*);
+template ExecResult Interpreter::execute_impl<true>(const CompiledProgram&,
+                                                    StateBlock*, StateBlock*,
+                                                    StateBlock*);
 
 }  // namespace eden::lang

@@ -6,6 +6,7 @@
 
 #include "core/controller.h"
 #include "functions/scheduling.h"
+#include "lang/optimizer.h"
 
 namespace eden::core::wire {
 namespace {
@@ -121,6 +122,47 @@ TEST_F(WireTest, FlowRulesOverTheWire) {
   // Malformed class names are rejected.
   EXPECT_EQ(remote_.add_flow_rule(rule, "not-a-class").status,
             Status::rejected);
+}
+
+TEST_F(WireTest, PreOptimizedProgramInstallsAndRuns) {
+  // A controller may optimize before shipping: the fused-opcode program
+  // (wire format v2) must survive serialization, install-time
+  // verification and execution on the remote enclave.
+  const auto o1 = lang::optimize(
+      controller_.compile(
+          "express",
+          "fun(p, m, g) -> p.priority <- (if p.size <= 500 then 7 else 1)",
+          {}),
+      lang::OptLevel::O1);
+  bool has_fused = false;
+  for (const auto& instr : o1.code) has_fused |= lang::is_fused_op(instr.op);
+  ASSERT_TRUE(has_fused);
+
+  ASSERT_EQ(remote_.install_action("express", o1, {}).status, Status::ok);
+  const auto table = static_cast<TableId>(remote_.create_table("t").value);
+  ASSERT_EQ(remote_.add_rule(table, "*", "express").status, Status::ok);
+
+  netsim::Packet small;
+  small.size_bytes = 100;
+  enclave_.process(small);
+  EXPECT_EQ(small.priority, 7);
+
+  netsim::Packet big;
+  big.size_bytes = 1500;
+  enclave_.process(big);
+  EXPECT_EQ(big.priority, 1);
+}
+
+TEST_F(WireTest, StructurallyInvalidProgramRejected) {
+  // Install-time verification runs on the receiving enclave: a program
+  // whose branch escapes the code is rejected over the wire, not
+  // installed to trap later on the data path.
+  lang::CompiledProgram bad;
+  bad.code = {{lang::Op::jmp, 1000, 0}, {lang::Op::halt, 0, 0}};
+  bad.functions.push_back({"main", 0, 0, 0});
+  const Response r = remote_.install_action("bad", bad, {});
+  EXPECT_EQ(r.status, Status::rejected);
+  EXPECT_FALSE(enclave_.find_action("bad").has_value());
 }
 
 TEST_F(WireTest, CorruptFramesNeverThrow) {

@@ -24,13 +24,14 @@
 #include "lang/ast_eval.h"
 #include "lang/compiler.h"
 #include "lang/disasm.h"
+#include "lang/optimizer.h"
 #include "lang/parser.h"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: edenc FILE.eal [--emit OUT.edbc] [--run]\n"
+               "usage: edenc FILE.eal [-O0|-O1] [--emit OUT.edbc] [--run]\n"
                "             [--global NAME | --global NAME:array |\n"
                "              --global NAME:f1,f2,...]...\n");
   return 2;
@@ -67,6 +68,7 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string emit_path;
   bool run = false;
+  lang::OptLevel opt_level = lang::OptLevel::O1;
   std::vector<lang::FieldDef> globals;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,9 +77,13 @@ int main(int argc, char** argv) {
       emit_path = argv[++i];
     } else if (arg == "--run") {
       run = true;
+    } else if (arg == "-O0") {
+      opt_level = lang::OptLevel::O0;
+    } else if (arg == "-O1") {
+      opt_level = lang::OptLevel::O1;
     } else if (arg == "--global" && i + 1 < argc) {
       globals.push_back(parse_global(argv[++i]));
-    } else if (arg.rfind("--", 0) == 0) {
+    } else if (arg.rfind("-", 0) == 0) {
       return usage();
     } else if (input_path.empty()) {
       input_path = arg;
@@ -99,8 +105,14 @@ int main(int argc, char** argv) {
   try {
     const lang::StateSchema schema = core::make_enclave_schema(globals);
     const lang::Program ast = lang::parse(source);
-    const lang::CompiledProgram program =
+    // Compile at O0 first so the raw translation can be shown, then run
+    // the optimizer stage explicitly (the same pipeline an enclave's
+    // install_action applies).
+    const lang::CompiledProgram unoptimized =
         lang::compile(ast, schema, {}, input_path);
+    lang::OptStats opt_stats;
+    const lang::CompiledProgram program =
+        lang::optimize(unoptimized, opt_level, &opt_stats);
 
     std::printf("%s: %zu instruction(s), %zu function(s)\n",
                 input_path.c_str(), program.code.size(),
@@ -108,6 +120,13 @@ int main(int argc, char** argv) {
     std::printf("concurrency: %s\n",
                 std::string(lang::concurrency_mode_name(program.concurrency))
                     .c_str());
+    if (opt_level != lang::OptLevel::O0) {
+      std::printf("optimizer: %zu -> %zu instruction(s) "
+                  "(%zu folded, %zu dead, %zu jumps threaded, %zu fused)\n",
+                  opt_stats.instructions_before, opt_stats.instructions_after,
+                  opt_stats.constants_folded, opt_stats.dead_eliminated,
+                  opt_stats.jumps_threaded, opt_stats.fused);
+    }
     for (int s = 0; s < lang::kNumScopes; ++s) {
       const auto scope = static_cast<lang::Scope>(s);
       std::printf("%s: reads scalars %#llx arrays %#llx, "
@@ -121,7 +140,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       program.usage.array_write[s]));
     }
-    std::printf("\n%s", lang::disassemble(program).c_str());
+    if (opt_level != lang::OptLevel::O0 &&
+        program.code.size() != unoptimized.code.size()) {
+      std::printf("\n; ---- before optimization (-O0) ----\n%s",
+                  lang::disassemble(unoptimized).c_str());
+      std::printf("\n; ---- after optimization (-O1) ----\n%s",
+                  lang::disassemble(program).c_str());
+    } else {
+      std::printf("\n%s", lang::disassemble(program).c_str());
+    }
 
     if (!emit_path.empty()) {
       const std::vector<std::uint8_t> bytes = program.serialize();
