@@ -1,9 +1,12 @@
 // Tiny argument helpers shared by the figure harnesses.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace eden::bench {
 
@@ -23,6 +26,42 @@ inline long int_arg(int argc, char** argv, const char* name,
     }
   }
   return default_value;
+}
+
+inline std::string str_arg(int argc, char** argv, const char* name,
+                           const char* default_value) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return default_value;
+}
+
+inline bool write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+// Wraps per-run telemetry dumps (each already a JSON object) into one
+// document: {"runs":[{"label":...,"telemetry":{...}}]}.
+inline std::string combine_telemetry_runs(
+    const std::vector<std::pair<std::string, std::string>>& runs) {
+  std::string out = "{\"runs\":[";
+  bool first = true;
+  for (const auto& [label, json] : runs) {
+    if (json.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":\"" + label + "\",\"telemetry\":" + json + "}";
+  }
+  out += "]}\n";
+  return out;
 }
 
 }  // namespace eden::bench

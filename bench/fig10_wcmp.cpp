@@ -3,6 +3,7 @@
 // Eden interpreter, plus the message-level WCMP ablation.
 //
 // Usage: fig10_wcmp [--quick] [--ms=SIM_MS] [--flows=N]
+//                   [--no-telemetry] [--telemetry-json=PATH]
 #include <cstdio>
 
 #include "bench/bench_args.h"
@@ -16,6 +17,10 @@ int main(int argc, char** argv) {
   const bool quick = bench::has_flag(argc, argv, "--quick");
   const long sim_ms = bench::int_arg(argc, argv, "--ms", quick ? 300 : 1000);
   const long flows = bench::int_arg(argc, argv, "--flows", 4);
+  const bool telemetry = !bench::has_flag(argc, argv, "--no-telemetry");
+  const std::string telemetry_path = bench::str_arg(
+      argc, argv, "--telemetry-json", "TELEMETRY_fig10.json");
+  std::vector<std::pair<std::string, std::string>> telemetry_runs;
 
   std::printf(
       "Figure 10: ECMP vs WCMP aggregate throughput, Figure 1 topology\n"
@@ -51,10 +56,16 @@ int main(int argc, char** argv) {
     cfg.enclave_delay = c.delay_us * netsim::kMicrosecond;
     cfg.num_flows = static_cast<int>(flows);
     cfg.duration = sim_ms * netsim::kMillisecond;
+    cfg.telemetry.enabled = telemetry;
+    cfg.telemetry.trace_sample_every = 64;
     const Fig10Result r = run_fig10(cfg);
     const std::string label = to_string(c.scheme) +
                               (c.message_level ? " (msg-level)" : "") +
                               (c.delay_us > 0 ? " (+1us/pkt)" : "");
+    if (!r.telemetry_json.empty()) {
+      telemetry_runs.emplace_back(label + "/" + to_string(c.variant),
+                                  r.telemetry_json);
+    }
     table.add_row({label, to_string(c.variant),
                    util::fmt(r.throughput_mbps, 0),
                    std::to_string(r.fast_retransmits),
@@ -64,6 +75,11 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(table.render().c_str(), stdout);
+  if (!telemetry_runs.empty() &&
+      bench::write_text_file(telemetry_path,
+                             bench::combine_telemetry_runs(telemetry_runs))) {
+    std::printf("\nWrote enclave telemetry to %s\n", telemetry_path.c_str());
+  }
   std::printf(
       "\nPaper shape: ECMP ~2 Gbps (slow path dominates), WCMP ~3x better\n"
       "but below the 11 Gbps min-cut due to in-network reordering; native\n"

@@ -3,6 +3,7 @@
 // with Pulsar's rate control charging READs by request size.
 //
 // Usage: fig11_pulsar_qos [--quick] [--ms=SIM_MS] [--native]
+//                         [--no-telemetry] [--telemetry-json=PATH]
 #include <cstdio>
 
 #include "bench/bench_args.h"
@@ -16,6 +17,10 @@ int main(int argc, char** argv) {
   const bool quick = bench::has_flag(argc, argv, "--quick");
   const bool use_native = bench::has_flag(argc, argv, "--native");
   const long sim_ms = bench::int_arg(argc, argv, "--ms", quick ? 500 : 2000);
+  const bool telemetry = !bench::has_flag(argc, argv, "--no-telemetry");
+  const std::string telemetry_path = bench::str_arg(
+      argc, argv, "--telemetry-json", "TELEMETRY_fig11.json");
+  std::vector<std::pair<std::string, std::string>> telemetry_runs;
 
   std::printf(
       "Figure 11: READ vs WRITE throughput, two tenants issuing 64KB IOs\n"
@@ -33,13 +38,23 @@ int main(int argc, char** argv) {
     cfg.mode = mode;
     cfg.use_native = use_native;
     cfg.duration = sim_ms * netsim::kMillisecond;
+    cfg.telemetry.enabled = telemetry;
+    cfg.telemetry.trace_sample_every = 64;
     const Fig11Result r = run_fig11(cfg);
     table.add_row({to_string(mode), util::fmt(r.read_mbps),
                    util::fmt(r.write_mbps),
                    std::to_string(r.rejected_requests)});
+    if (!r.telemetry_json.empty()) {
+      telemetry_runs.emplace_back(to_string(mode), r.telemetry_json);
+    }
   }
 
   std::fputs(table.render().c_str(), stdout);
+  if (!telemetry_runs.empty() &&
+      bench::write_text_file(telemetry_path,
+                             bench::combine_telemetry_runs(telemetry_runs))) {
+    std::printf("\nWrote enclave telemetry to %s\n", telemetry_path.c_str());
+  }
   std::printf(
       "\nPaper shape: isolated throughputs are equal; competing READs\n"
       "starve WRITEs (the paper reports a 72%% drop); charging READ\n"

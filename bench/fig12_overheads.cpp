@@ -3,7 +3,8 @@
 // match-action machinery, interpreter execution), plus the Section 5.4
 // interpreter footprint numbers.
 //
-// Usage: fig12_overheads [--quick] [--pias]
+// Usage: fig12_overheads [--quick] [--pias] [--no-telemetry]
+//                        [--telemetry-hist] [--telemetry-json=PATH]
 #include <cstdio>
 
 #include "bench/bench_args.h"
@@ -20,6 +21,14 @@ int main(int argc, char** argv) {
     cfg.packets = 50000;
     cfg.warmup_packets = 5000;
   }
+  // Counters and trace only by default: latency histograms would add
+  // their (sampled) instrumentation cost to the very layers this figure
+  // measures. Opt in with --telemetry-hist to see that cost.
+  cfg.telemetry.enabled = !bench::has_flag(argc, argv, "--no-telemetry");
+  cfg.telemetry.histograms = bench::has_flag(argc, argv, "--telemetry-hist");
+  cfg.telemetry.trace_sample_every = 64;
+  const std::string telemetry_path = bench::str_arg(
+      argc, argv, "--telemetry-json", "TELEMETRY_fig12.json");
 
   std::printf(
       "Figure 12: per-packet CPU cost of Eden components while running\n"
@@ -47,6 +56,15 @@ int main(int argc, char** argv) {
                  util::fmt(100 * r.interpreter_overhead_avg) + "%",
                  util::fmt(100 * r.interpreter_overhead_p95) + "%"});
   std::fputs(table.render().c_str(), stdout);
+
+  if (!r.telemetry_json.empty() &&
+      bench::write_text_file(telemetry_path, r.telemetry_json + "\n")) {
+    std::printf("\nWrote enclave telemetry to %s%s\n", telemetry_path.c_str(),
+                cfg.telemetry.histograms
+                    ? " (histograms on: enclave/interpreter rows include"
+                      " sampled instrumentation cost)"
+                    : "");
+  }
 
   std::printf(
       "\nSection 5.4 footprint of the action function:\n"

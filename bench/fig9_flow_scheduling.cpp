@@ -3,6 +3,7 @@
 // each native and through the Eden interpreter.
 //
 // Usage: fig9_flow_scheduling [--quick] [--reps=N] [--ms=SIM_MS]
+//                              [--no-telemetry] [--telemetry-json=PATH]
 #include <cstdio>
 
 #include "bench/bench_args.h"
@@ -19,6 +20,10 @@ int main(int argc, char** argv) {
   const long sim_ms = bench::int_arg(argc, argv, "--ms", quick ? 300 : 1000);
   const long load_pct = bench::int_arg(argc, argv, "--load", 70);
   const bool mining = bench::has_flag(argc, argv, "--mining");
+  const bool telemetry = !bench::has_flag(argc, argv, "--no-telemetry");
+  const std::string telemetry_path = bench::str_arg(
+      argc, argv, "--telemetry-json", "TELEMETRY_fig9.json");
+  std::vector<std::pair<std::string, std::string>> telemetry_runs;
 
   struct Case {
     SchedulingScheme scheme;
@@ -55,7 +60,15 @@ int main(int argc, char** argv) {
                             : WorkloadKind::web_search;
       cfg.duration = sim_ms * netsim::kMillisecond;
       cfg.rng_seed = 1 + static_cast<std::uint64_t>(rep);
+      // Snapshot the last repetition of each case.
+      cfg.telemetry.enabled = telemetry && rep == reps - 1;
+      cfg.telemetry.trace_sample_every = 64;
       const Fig9Result r = run_fig9(cfg);
+      if (!r.telemetry_json.empty()) {
+        telemetry_runs.emplace_back(
+            to_string(c.scheme) + std::string("/") + to_string(c.variant),
+            r.telemetry_json);
+      }
       small_avg.add(r.small_fct_us.mean());
       small_p95.add(r.small_fct_us.p95());
       mid_avg.add(r.intermediate_fct_us.mean());
@@ -71,6 +84,11 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(table.render().c_str(), stdout);
+  if (!telemetry_runs.empty() &&
+      bench::write_text_file(telemetry_path,
+                             bench::combine_telemetry_runs(telemetry_runs))) {
+    std::printf("\nWrote enclave telemetry to %s\n", telemetry_path.c_str());
+  }
   std::printf(
       "\nPaper shape: prioritization cuts small-flow FCT 25-40%%; SFF <=\n"
       "PIAS; native vs EDEN differences not significant; background\n"

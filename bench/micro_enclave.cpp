@@ -182,6 +182,35 @@ void BM_FlowClassification(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowClassification);
 
+// Telemetry cost ladder over the same SFF data path. The argument picks
+// the configuration: 0 = telemetry off, 1 = per-class counters only,
+// 2 = counters + sampled latency/steps histograms, 3 = 2 + trace ring.
+// Adjacent rungs isolate what each instrument adds per packet.
+void BM_Process_Telemetry(benchmark::State& state) {
+  core::ClassRegistry registry;
+  core::EnclaveConfig config;
+  const int rung = static_cast<int>(state.range(0));
+  config.telemetry.enabled = rung >= 1;
+  config.telemetry.histograms = rung >= 2;
+  config.telemetry.trace_sample_every = rung == 3 ? 64 : 0;
+  if (rung == 4) config.telemetry.histogram_sample_every = 1024;
+  if (rung == 5) config.telemetry.histogram_sample_every = 1;
+  core::Enclave enclave("bench", registry, config);
+  const core::ClassId cls = registry.intern("app.rs.cls");
+  functions::SffFunction sff;
+  const core::ActionId action = sff.install(enclave, false);
+  setup_thresholds(enclave, action);
+  const core::TableId table = enclave.create_table("t");
+  enclave.add_rule(table, core::ClassPattern("app.rs.cls"), action);
+  netsim::Packet packet = make_test_packet(cls);
+  for (auto _ : state) {
+    enclave.process(packet);
+    benchmark::DoNotOptimize(packet.priority);
+  }
+}
+BENCHMARK(BM_Process_Telemetry)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Arg(5);
+
 }  // namespace
 
 BENCHMARK_MAIN();

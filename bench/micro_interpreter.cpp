@@ -5,7 +5,12 @@
 // Besides the google-benchmark suite, main() runs a fixed-format sweep
 // of every Table-1 function at -O0, -O1 and native and writes the
 // results to BENCH_interpreter.json (override with --json=PATH), so the
-// optimizer's speedup is tracked as a build artifact.
+// optimizer's speedup is tracked as a build artifact. The sweep also
+// runs each function through a full enclave twice — telemetry off and
+// telemetry on (sampled histograms + trace) — to track the
+// instrumentation overhead, and dumps the telemetry-enabled enclaves'
+// aggregated snapshot to TELEMETRY_interpreter.json (override with
+// --telemetry-json=PATH). --smoke shrinks every loop for CI.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -14,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/enclave.h"
 #include "core/enclave_schema.h"
 #include "functions/registry.h"
 #include "functions/scheduling.h"
@@ -21,6 +27,7 @@
 #include "lang/compiler.h"
 #include "lang/interpreter.h"
 #include "lang/optimizer.h"
+#include "telemetry/snapshot.h"
 
 namespace {
 
@@ -202,14 +209,19 @@ SweepState make_inputs(const lang::StateSchema& schema) {
   return s;
 }
 
-// Best-of-three batches of a packet-processing loop, ns per packet.
+// Loop sizes for the sweep; --smoke shrinks them for CI smoke runs.
+int g_sweep_warmup = 5000;
+int g_sweep_batch = 50000;
+int g_sweep_repeats = 3;
+
+// Best-of-N batches of a packet-processing loop, ns per packet.
 // State evolves across iterations (identically for every variant of the
 // same function, since the programs are semantically equal).
 template <typename RunFn>
 double time_ns_per_run(RunFn&& run) {
-  constexpr int kWarmup = 5000;
-  constexpr int kBatch = 50000;
-  constexpr int kRepeats = 3;
+  const int kWarmup = g_sweep_warmup;
+  const int kBatch = g_sweep_batch;
+  const int kRepeats = g_sweep_repeats;
   for (int i = 0; i < kWarmup; ++i) run();
   double best = 1e30;
   for (int rep = 0; rep < kRepeats; ++rep) {
@@ -226,13 +238,58 @@ double time_ns_per_run(RunFn&& run) {
   return best;
 }
 
-int run_table1_sweep(const std::string& json_path) {
+// A simulator packet whose marshalled packet-scope state matches the
+// sweep inputs above, so the enclave path executes the functions on the
+// same data as the bare-interpreter path.
+netsim::Packet make_sweep_packet(const SweepState& s) {
+  netsim::Packet p;
+  const auto& sc = s.packet.scalars;
+  p.size_bytes = static_cast<std::uint32_t>(sc[core::PacketSlot::size]);
+  p.dst = static_cast<std::uint32_t>(sc[core::PacketSlot::dst]);
+  p.dst_port = static_cast<std::uint16_t>(sc[core::PacketSlot::dst_port]);
+  p.meta.msg_id = 1;  // stable key: message state persists across runs
+  p.meta.msg_type = sc[core::PacketSlot::msg_type];
+  p.meta.msg_size = sc[core::PacketSlot::msg_size];
+  p.meta.tenant = sc[core::PacketSlot::tenant];
+  p.meta.key_hash = sc[core::PacketSlot::key_hash];
+  p.meta.flow_size = sc[core::PacketSlot::flow_size];
+  p.meta.app_priority = sc[core::PacketSlot::app_priority];
+  return p;
+}
+
+// Installs `fn` as bytecode behind a match-any rule and loads the sweep
+// global state, returning the action id.
+core::ActionId install_for_sweep(core::Enclave& enclave,
+                                 const functions::NetworkFunction& fn,
+                                 const lang::StateSchema& schema,
+                                 const SweepState& s) {
+  const core::ActionId action = fn.install(enclave, /*use_native=*/false);
+  for (const lang::FieldDef& field : fn.global_fields()) {
+    const auto slot = schema.find(lang::Scope::global, field.name);
+    if (!slot) continue;
+    if (slot->kind == lang::FieldKind::scalar) {
+      enclave.set_global_scalar(action, field.name,
+                                s.global.scalars[slot->slot]);
+    } else {
+      enclave.set_global_array(action, field.name,
+                               s.global.arrays[slot->slot].data);
+    }
+  }
+  const core::TableId table = enclave.create_table("sweep");
+  enclave.add_rule(table, core::ClassPattern("*"), action);
+  return action;
+}
+
+int run_table1_sweep(const std::string& json_path,
+                     const std::string& telemetry_path) {
   struct Row {
     std::string name;
     double o0_ns = 0, o1_ns = 0, native_ns = 0;
+    double enclave_o1_ns = 0, enclave_tele_ns = 0;
     std::string status = "ok";
   };
   std::vector<Row> rows;
+  std::vector<telemetry::EnclaveTelemetry> telemetry_snapshots;
 
   for (const auto& fn : functions::all_functions()) {
     Row row;
@@ -273,19 +330,63 @@ int run_table1_sweep(const std::string& json_path) {
       auto status = native(sn.packet, &sn.message, &sn.global, ctx);
       benchmark::DoNotOptimize(status);
     });
+
+    // Full enclave path (classify -> match -> marshal -> interpret at
+    // the install-time -O1), telemetry off vs on. The delta is the
+    // Table-1 acceptance number for the instrumentation cost. The two
+    // variants' timed batches are interleaved so clock-frequency drift
+    // and scheduler noise hit both sides equally; each keeps its best.
+    core::ClassRegistry registry;
+    core::EnclaveConfig ec_plain;
+    core::EnclaveConfig ec_tele;
+    ec_tele.telemetry.enabled = true;
+    ec_tele.telemetry.trace_sample_every = 64;
+    core::Enclave plain(std::string("sweep.") + fn->name() + ".plain",
+                        registry, ec_plain);
+    core::Enclave tele(std::string("sweep.") + fn->name() + ".tele",
+                       registry, ec_tele);
+    install_for_sweep(plain, *fn, schema, make_inputs(schema));
+    install_for_sweep(tele, *fn, schema, make_inputs(schema));
+    netsim::Packet pkt_plain = make_sweep_packet(make_inputs(schema));
+    netsim::Packet pkt_tele = pkt_plain;
+    row.enclave_o1_ns = 1e30;
+    row.enclave_tele_ns = 1e30;
+    for (int round = 0; round < 5; ++round) {
+      const double ns_plain = time_ns_per_run([&] {
+        pkt_plain.drop_mark = false;
+        benchmark::DoNotOptimize(plain.process(pkt_plain));
+      });
+      if (ns_plain < row.enclave_o1_ns) row.enclave_o1_ns = ns_plain;
+      const double ns_tele = time_ns_per_run([&] {
+        pkt_tele.drop_mark = false;
+        benchmark::DoNotOptimize(tele.process(pkt_tele));
+      });
+      if (ns_tele < row.enclave_tele_ns) row.enclave_tele_ns = ns_tele;
+    }
+    telemetry_snapshots.push_back(tele.telemetry_snapshot());
     rows.push_back(row);
   }
 
   double log_sum = 0;
   int measured = 0;
+  double tele_log_sum = 0;
+  int tele_measured = 0;
   for (const Row& r : rows) {
     if (r.status == "ok" && r.o1_ns > 0) {
       log_sum += std::log(r.o0_ns / r.o1_ns);
       ++measured;
     }
+    if (r.status == "ok" && r.enclave_o1_ns > 0 && r.enclave_tele_ns > 0) {
+      tele_log_sum += std::log(r.enclave_tele_ns / r.enclave_o1_ns);
+      ++tele_measured;
+    }
   }
   const double geomean =
       measured > 0 ? std::exp(log_sum / measured) : 0.0;
+  // Geomean ratio of enclave ns/packet with telemetry on vs off, minus
+  // one: 0.03 = 3% instrumentation overhead. Acceptance target: <5%.
+  const double geomean_tele_overhead =
+      tele_measured > 0 ? std::exp(tele_log_sum / tele_measured) - 1.0 : 0.0;
 
   std::FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
@@ -306,23 +407,47 @@ int run_table1_sweep(const std::string& json_path) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"status\": \"%s\", "
                  "\"o0_ns\": %.1f, \"o1_ns\": %.1f, \"native_ns\": %.1f, "
-                 "\"speedup_o1\": %.3f, \"interp_penalty_o1\": %.2f}%s\n",
+                 "\"speedup_o1\": %.3f, \"interp_penalty_o1\": %.2f, "
+                 "\"enclave_o1_ns\": %.1f, \"enclave_tele_ns\": %.1f, "
+                 "\"tele_overhead\": %.4f}%s\n",
                  r.name.c_str(), r.status.c_str(), r.o0_ns, r.o1_ns,
                  r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0,
                  r.native_ns > 0 ? r.o1_ns / r.native_ns : 0.0,
+                 r.enclave_o1_ns, r.enclave_tele_ns,
+                 r.enclave_o1_ns > 0
+                     ? r.enclave_tele_ns / r.enclave_o1_ns - 1.0
+                     : 0.0,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "  ],\n  \"geomean_speedup_o1\": %.3f\n}\n", geomean);
+  std::fprintf(out,
+               "  ],\n  \"geomean_speedup_o1\": %.3f,\n"
+               "  \"geomean_telemetry_overhead\": %.4f\n}\n",
+               geomean, geomean_tele_overhead);
   std::fclose(out);
 
+  if (!telemetry_snapshots.empty()) {
+    const std::string dump =
+        telemetry::to_json(
+            telemetry::aggregate(std::move(telemetry_snapshots))) +
+        "\n";
+    std::FILE* tf = std::fopen(telemetry_path.c_str(), "w");
+    if (tf != nullptr) {
+      std::fwrite(dump.data(), 1, dump.size(), tf);
+      std::fclose(tf);
+    }
+  }
+
   std::printf("\nTable-1 sweep (%d functions measured): "
-              "geomean -O1 speedup %.2fx, written to %s\n",
-              measured, geomean, json_path.c_str());
+              "geomean -O1 speedup %.2fx, telemetry overhead %+.1f%%,\n"
+              "written to %s (telemetry dump: %s)\n",
+              measured, geomean, 100.0 * geomean_tele_overhead,
+              json_path.c_str(), telemetry_path.c_str());
   for (const Row& r : rows) {
     std::printf("  %-16s %-12s o0 %7.1f ns  o1 %7.1f ns  native %6.1f ns"
-                "  speedup %.2fx\n",
+                "  speedup %.2fx  enclave %7.1f ns  +tele %7.1f ns\n",
                 r.name.c_str(), r.status.c_str(), r.o0_ns, r.o1_ns,
-                r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0);
+                r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0,
+                r.enclave_o1_ns, r.enclave_tele_ns);
   }
   return 0;
 }
@@ -331,18 +456,32 @@ int run_table1_sweep(const std::string& json_path) {
 
 int main(int argc, char** argv) {
   std::string json_path = "BENCH_interpreter.json";
-  for (int i = 1; i < argc; ++i) {
+  std::string telemetry_path = "TELEMETRY_interpreter.json";
+  // Strip our own flags before handing argv to google-benchmark.
+  for (int i = 1; i < argc;) {
     const std::string arg = argv[i];
+    bool consumed = true;
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--telemetry-json=", 0) == 0) {
+      telemetry_path = arg.substr(17);
+    } else if (arg == "--smoke") {
+      g_sweep_warmup = 50;
+      g_sweep_batch = 500;
+      g_sweep_repeats = 1;
+    } else {
+      consumed = false;
+    }
+    if (consumed) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else {
+      ++i;
     }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return run_table1_sweep(json_path);
+  return run_table1_sweep(json_path, telemetry_path);
 }

@@ -94,4 +94,13 @@ std::vector<std::int64_t> Controller::priority_thresholds(
   return thresholds;
 }
 
+telemetry::AggregateTelemetry Controller::collect_telemetry() const {
+  std::vector<telemetry::EnclaveTelemetry> snapshots;
+  snapshots.reserve(enclaves_.size());
+  for (const Enclave* enclave : enclaves_) {
+    snapshots.push_back(enclave->telemetry_snapshot());
+  }
+  return telemetry::aggregate(std::move(snapshots));
+}
+
 }  // namespace eden::core

@@ -57,6 +57,15 @@ class Controller {
 
   ClassRegistry& registry() { return registry_; }
 
+  // --- Telemetry ----------------------------------------------------------
+
+  // Pulls a telemetry snapshot from every registered enclave and merges
+  // them by action / class name: the stats read-back half of the
+  // enclave API, giving the controller the global visibility the paper
+  // assumes (Section 3.2). Render with telemetry::to_json /
+  // telemetry::to_prometheus.
+  telemetry::AggregateTelemetry collect_telemetry() const;
+
   // --- Control-plane computations -----------------------------------------
 
   // Weighted paths between two hosts: weight proportional to the path's

@@ -21,6 +21,11 @@ struct ThreadState {
   lang::StateBlock message_block;       // scratch copy; committed on success
   lang::StateBlock message_checkpoint;  // last good state within a batch
   util::Rng rng;
+  // Per-thread trace and histogram pacing (1-in-N executions); plain
+  // countdowns here are cheaper than the ring's shared atomic ticket or
+  // a thread_local on the per-packet path — ThreadState is already hot.
+  std::uint32_t trace_countdown = 1;
+  std::uint32_t hist_countdown = 1;
 
   ThreadState(const EnclaveConfig& config, const lang::StateSchema& schema)
       : interp(config.exec_limits, config.rng_seed),
@@ -86,7 +91,22 @@ Enclave::Enclave(std::string name, ClassRegistry& registry,
       registry_(registry),
       config_(config),
       base_schema_(make_enclave_schema()),
-      instance_id_(g_enclave_instance_counter.fetch_add(1)) {}
+      instance_id_(g_enclave_instance_counter.fetch_add(1)) {
+  if (config_.telemetry.enabled) {
+    if (config_.telemetry.max_classes > 0) {
+      // +2: an "unclassified" slot and an overflow slot past max_classes.
+      class_counters_ = std::make_unique<ClassCounters[]>(
+          config_.telemetry.max_classes + 2);
+    }
+    if (config_.telemetry.trace_sample_every > 0) {
+      trace_ = std::make_unique<telemetry::TraceRing>(
+          config_.telemetry.trace_capacity,
+          config_.telemetry.trace_sample_every);
+    }
+    // Calibrate the latency tick clock now, not inside a timed region.
+    if (config_.telemetry.histograms) telemetry::warm_clock();
+  }
+}
 
 Enclave::~Enclave() = default;
 
@@ -113,6 +133,7 @@ ActionId Enclave::install_action(const std::string& name,
   entry->global_state =
       lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
   const ActionId id = entry->id;
+  attach_instruments(*entry);
   actions_.push_back(std::move(entry));
   return id;
 }
@@ -131,8 +152,21 @@ ActionId Enclave::install_native_action(
   entry->global_state =
       lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
   const ActionId id = entry->id;
+  attach_instruments(*entry);
   actions_.push_back(std::move(entry));
   return id;
+}
+
+// Resolves the action's histogram instruments once at install time, so
+// the data path records through raw pointers (null = histograms off).
+// Reinstalling an action under the same name reuses its series.
+void Enclave::attach_instruments(ActionEntry& entry) {
+  if (!config_.telemetry.enabled || !config_.telemetry.histograms) return;
+  const telemetry::Labels labels{{"enclave", name_}, {"action", entry.name}};
+  entry.latency_hist = &metrics_.histogram("eden_action_latency_ns", labels);
+  if (!entry.native) {
+    entry.steps_hist = &metrics_.histogram("eden_action_steps", labels);
+  }
 }
 
 void Enclave::remove_action(ActionId id) {
@@ -277,14 +311,15 @@ std::shared_ptr<Enclave::MessageEntry> Enclave::message_entry(
         lang::StateBlock::from_schema(entry.schema, lang::Scope::message);
     init_message_state(p, slot->block);
     entry.creation_order.push_back(key);
-    ++stats_.message_entries_created;
+    counters_.message_entries_created.fetch_add(1, std::memory_order_relaxed);
     // Insertion-order eviction keeps the store bounded; shared_ptr keeps
     // an evicted entry alive until any in-flight execution finishes.
     while (entry.messages.size() > config_.max_messages_per_action &&
            !entry.creation_order.empty()) {
       entry.messages.erase(entry.creation_order.front());
       entry.creation_order.pop_front();
-      ++stats_.message_entries_evicted;
+      counters_.message_entries_evicted.fetch_add(1,
+                                                  std::memory_order_relaxed);
     }
   }
   return slot;
@@ -305,30 +340,58 @@ void Enclave::classify_flow(netsim::Packet& packet) const {
   }
 }
 
-const Enclave::MatchRule* Enclave::match_in_table(
+Enclave::TableMatch Enclave::match_in_table(
     Table& table, const netsim::Packet& packet) const {
   for (const MatchRule& rule : table.rules) {
-    if (rule.pattern.match_any()) return &rule;
+    if (rule.pattern.match_any()) {
+      // Attribute a match-any hit to the packet's primary class, if the
+      // packet carries one.
+      return {&rule,
+              packet.classes.size() > 0 ? packet.classes[0] : kInvalidClass};
+    }
     for (std::size_t i = 0; i < packet.classes.size(); ++i) {
-      if (rule.pattern.matches(packet.classes[i], registry_)) return &rule;
+      if (rule.pattern.matches(packet.classes[i], registry_)) {
+        return {&rule, packet.classes[i]};
+      }
     }
   }
-  return nullptr;
+  return {};
+}
+
+// Per-class counter slot, or null when per-class telemetry is off.
+// Classes interned past max_classes share the overflow slot.
+Enclave::ClassCounters* Enclave::class_counter(ClassId cls) {
+  if (class_counters_ == nullptr) return nullptr;
+  const std::size_t n = config_.telemetry.max_classes;
+  const std::size_t idx = cls == kInvalidClass ? n : (cls < n ? cls : n + 1);
+  return &class_counters_[idx];
 }
 
 bool Enclave::process(netsim::Packet& packet) {
-  ++stats_.packets;
+  counters_.packets.fetch_add(1, std::memory_order_relaxed);
   classify_flow(packet);
 
   for (Table& table : tables_) {
-    const MatchRule* hit = match_in_table(table, packet);
-    if (hit == nullptr) continue;
-    ActionEntry* entry = actions_[hit->action].get();
+    const TableMatch hit = match_in_table(table, packet);
+    if (hit.rule == nullptr) continue;
+    ActionEntry* entry = actions_[hit.rule->action].get();
     if (entry == nullptr) continue;
-    ++stats_.matched;
+    // With per-class telemetry on, the class slot is the sole counter
+    // for this packet and stats() folds the slots back into the totals;
+    // matching costs the same single fetch_add either way.
+    ClassCounters* cls = class_counter(hit.cls);
+    if (cls != nullptr) {
+      cls->matched.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.matched.fetch_add(1, std::memory_order_relaxed);
+    }
     run_action(*entry, packet);
     if (packet.drop_mark) {
-      ++stats_.dropped_by_action;
+      if (cls != nullptr) {
+        cls->dropped.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counters_.dropped_by_action.fetch_add(1, std::memory_order_relaxed);
+      }
       return false;
     }
   }
@@ -345,7 +408,7 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
     return kept;
   }
 
-  stats_.packets += batch.size();
+  counters_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
   Table* table = tables_.empty() ? nullptr : &tables_.front();
 
   // Pre-process: classify, match, and split by (action, message) so the
@@ -354,14 +417,25 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   std::map<std::pair<ActionEntry*, std::int64_t>,
            std::vector<netsim::Packet*>>
       groups;
+  // Matched packets with their class-counter slot, kept only when
+  // per-class telemetry is on, so drops can be attributed after the
+  // groups run.
+  std::vector<std::pair<netsim::Packet*, ClassCounters*>> matched_classes;
   for (const netsim::PacketPtr& p : batch) {
     classify_flow(*p);
     if (table == nullptr) continue;
-    const MatchRule* hit = match_in_table(*table, *p);
-    if (hit == nullptr) continue;
-    ActionEntry* entry = actions_[hit->action].get();
+    const TableMatch hit = match_in_table(*table, *p);
+    if (hit.rule == nullptr) continue;
+    ActionEntry* entry = actions_[hit.rule->action].get();
     if (entry == nullptr) continue;
-    ++stats_.matched;
+    // Sole matched/dropped accounting when per-class telemetry is on
+    // (stats() folds the slots back into the totals).
+    if (ClassCounters* cls = class_counter(hit.cls); cls != nullptr) {
+      cls->matched.fetch_add(1, std::memory_order_relaxed);
+      matched_classes.emplace_back(p.get(), cls);
+    } else {
+      counters_.matched.fetch_add(1, std::memory_order_relaxed);
+    }
     const std::int64_t key =
         entry->touches_message ? message_key(*p) : 0;
     groups[{entry, key}].push_back(p.get());
@@ -372,11 +446,14 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
 
   std::size_t kept = 0;
   for (const netsim::PacketPtr& p : batch) {
-    if (p->drop_mark) {
-      ++stats_.dropped_by_action;
-    } else {
+    if (!p->drop_mark) {
       ++kept;
+    } else if (class_counters_ == nullptr) {
+      counters_.dropped_by_action.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  for (const auto& [p, cls] : matched_classes) {
+    if (p->drop_mark) cls->dropped.fetch_add(1, std::memory_order_relaxed);
   }
   return kept;
 }
@@ -433,10 +510,27 @@ void Enclave::run_action_batch(ActionEntry& entry,
   if (!entry.native) ts.interp.set_clock(clock_fn_, clock_ctx_);
   bool msg_dirty = false;
 
+  // Telemetry is pay-for-what-you-enable: with histograms off the
+  // per-packet cost is the relaxed counter adds; with them on, the
+  // not-sampled packets add a thread-local counter check and only every
+  // histogram_sample_every-th execution is actually timed.
+  const std::uint32_t hist_every =
+      entry.latency_hist != nullptr ? config_.telemetry.histogram_sample_every
+                                    : 0;
+  telemetry::TraceRing* ring = trace_.get();
+
   for (netsim::Packet* packet : packets) {
     load_packet_state(*packet, ts.packet_block);
 
+    bool sampled = false;
+    if (hist_every != 0 && --ts.hist_countdown == 0) {
+      ts.hist_countdown = hist_every;
+      sampled = true;
+    }
+    const std::uint64_t t0 = sampled ? telemetry::now_ticks() : 0;
+
     lang::ExecStatus status;
+    std::uint64_t steps = 0;
     if (entry.native) {
       NativeCtx ctx{ts.rng,
                     clock_fn_ != nullptr ? clock_fn_(clock_ctx_) : 0};
@@ -446,15 +540,40 @@ void Enclave::run_action_batch(ActionEntry& entry,
       const lang::ExecResult result = ts.interp.execute(
           entry.program, &ts.packet_block, msg_block, &entry.global_state);
       status = result.status;
-      entry.stats.steps += result.steps;
+      steps = result.steps;
+      entry.counters.steps.fetch_add(steps, std::memory_order_relaxed);
     }
 
-    ++entry.stats.executions;
+    if (sampled) {
+      entry.latency_hist->record(
+          telemetry::ticks_to_ns(telemetry::now_ticks() - t0));
+      if (entry.steps_hist != nullptr) entry.steps_hist->record(steps);
+    }
+    entry.counters.executions.fetch_add(1, std::memory_order_relaxed);
+
+    if (ring != nullptr && --ts.trace_countdown == 0) {
+      ts.trace_countdown = ring->sample_every();
+      telemetry::TraceRecord rec;
+      rec.ts_ns = clock_fn_ != nullptr
+                      ? clock_fn_(clock_ctx_)
+                      : static_cast<std::int64_t>(
+                            telemetry::ticks_to_ns(telemetry::now_ticks()));
+      rec.class_id =
+          packet->classes.size() > 0 ? packet->classes[0] : kInvalidClass;
+      rec.action_id = entry.id;
+      rec.status = static_cast<std::uint8_t>(status);
+      rec.steps = steps;
+      rec.meta = packet->meta;
+      ring->push(rec);
+    }
+
     if (status != lang::ExecStatus::ok) {
       // A faulty execution terminates without touching the packet or
       // the message state (Section 3.4.3): rewind to the last good
       // checkpoint so the next packet of the batch starts clean.
-      ++entry.stats.errors;
+      entry.counters.errors.fetch_add(1, std::memory_order_relaxed);
+      entry.counters.by_status[static_cast<std::size_t>(status)].fetch_add(
+          1, std::memory_order_relaxed);
       if (msg_entry != nullptr && writes_message) {
         ts.message_block = ts.message_checkpoint;
       }
@@ -472,9 +591,122 @@ void Enclave::run_action_batch(ActionEntry& entry,
   }
 }
 
+EnclaveStats Enclave::stats() const {
+  EnclaveStats s;
+  s.packets = counters_.packets.load(std::memory_order_relaxed);
+  s.matched = counters_.matched.load(std::memory_order_relaxed);
+  s.dropped_by_action =
+      counters_.dropped_by_action.load(std::memory_order_relaxed);
+  // With per-class telemetry on, matched/dropped live in the class
+  // slots (the data path increments exactly one counter per packet
+  // either way); fold them back into the totals here.
+  if (class_counters_ != nullptr) {
+    const std::size_t n = config_.telemetry.max_classes;
+    for (std::size_t i = 0; i < n + 2; ++i) {
+      s.matched += class_counters_[i].matched.load(std::memory_order_relaxed);
+      s.dropped_by_action +=
+          class_counters_[i].dropped.load(std::memory_order_relaxed);
+    }
+  }
+  s.message_entries_created =
+      counters_.message_entries_created.load(std::memory_order_relaxed);
+  s.message_entries_evicted =
+      counters_.message_entries_evicted.load(std::memory_order_relaxed);
+  return s;
+}
+
 ActionStats Enclave::action_stats(ActionId id) const {
   const ActionEntry& entry = checked_action(id);
-  return entry.stats;
+  ActionStats s;
+  s.executions = entry.counters.executions.load(std::memory_order_relaxed);
+  s.errors = entry.counters.errors.load(std::memory_order_relaxed);
+  s.steps = entry.counters.steps.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < s.errors_by_status.size(); ++i) {
+    s.errors_by_status[i] =
+        entry.counters.by_status[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::string Enclave::class_display_name(ClassId cls) const {
+  if (cls == kInvalidClass) return "(unclassified)";
+  if (cls >= registry_.size()) return "(unknown)";
+  return registry_.name(cls).full();
+}
+
+telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
+  telemetry::EnclaveTelemetry t;
+  t.enclave = name_;
+  t.telemetry_enabled = config_.telemetry.enabled;
+
+  const EnclaveStats s = stats();
+  t.packets = s.packets;
+  t.matched = s.matched;
+  t.dropped_by_action = s.dropped_by_action;
+  t.message_entries_created = s.message_entries_created;
+  t.message_entries_evicted = s.message_entries_evicted;
+
+  for (const auto& entry : actions_) {
+    if (entry == nullptr) continue;
+    telemetry::ActionTelemetry a;
+    a.name = entry->name;
+    a.native = entry->native;
+    const ActionStats as = action_stats(entry->id);
+    a.executions = as.executions;
+    a.errors = as.errors;
+    a.steps = as.steps;
+    a.errors_by_status = as.errors_by_status;
+    if (entry->latency_hist != nullptr) {
+      a.has_histograms = true;
+      a.latency_ns = entry->latency_hist->snapshot();
+      if (entry->steps_hist != nullptr) {
+        a.steps_hist = entry->steps_hist->snapshot();
+      }
+    }
+    t.actions.push_back(std::move(a));
+  }
+
+  if (class_counters_ != nullptr) {
+    const std::size_t n = config_.telemetry.max_classes;
+    for (std::size_t i = 0; i < n + 2; ++i) {
+      const std::uint64_t matched =
+          class_counters_[i].matched.load(std::memory_order_relaxed);
+      const std::uint64_t dropped =
+          class_counters_[i].dropped.load(std::memory_order_relaxed);
+      if (matched == 0 && dropped == 0) continue;
+      telemetry::ClassTelemetry c;
+      c.matched = matched;
+      c.dropped = dropped;
+      if (i == n) {
+        c.name = "(unclassified)";
+      } else if (i == n + 1) {
+        c.name = "(overflow)";
+      } else {
+        c.name = class_display_name(static_cast<ClassId>(i));
+      }
+      t.classes.push_back(std::move(c));
+    }
+  }
+
+  if (trace_ != nullptr) {
+    t.trace_sampled = trace_->total_recorded();
+    t.trace_sample_every = trace_->sample_every();
+    for (const telemetry::TraceRecord& r : trace_->snapshot()) {
+      telemetry::TraceEntry e;
+      e.ts_ns = r.ts_ns;
+      e.class_name = class_display_name(r.class_id);
+      const bool live =
+          r.action_id < actions_.size() && actions_[r.action_id] != nullptr;
+      e.action = live ? actions_[r.action_id]->name
+                      : "#" + std::to_string(r.action_id);
+      e.status = std::string(
+          lang::exec_status_name(static_cast<lang::ExecStatus>(r.status)));
+      e.steps = r.steps;
+      e.meta = r.meta;
+      t.trace.push_back(std::move(e));
+    }
+  }
+  return t;
 }
 
 std::optional<std::int64_t> Enclave::peek_message_state(

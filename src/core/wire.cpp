@@ -142,6 +142,10 @@ std::vector<std::uint8_t> encode_read_global_scalar(
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_get_telemetry() {
+  return header(Command::get_telemetry).take();
+}
+
 std::vector<std::uint8_t> encode_get_stage_info() {
   return header(Command::get_stage_info).take();
 }
@@ -244,7 +248,7 @@ Response apply_checked(Enclave& enclave,
   if (r.u32() != kMagic) return fail(Status::bad_request, "bad magic");
   const std::uint8_t raw_cmd = r.u8();
   if (raw_cmd < 1 ||
-      raw_cmd > static_cast<std::uint8_t>(Command::read_global_scalar)) {
+      raw_cmd > static_cast<std::uint8_t>(Command::get_telemetry)) {
     return fail(Status::bad_request, "unknown command");
   }
   const auto cmd = static_cast<Command>(raw_cmd);
@@ -359,6 +363,13 @@ Response apply_checked(Enclave& enclave,
       } catch (const std::invalid_argument& e) {
         return fail(Status::rejected, e.what());
       }
+    }
+    case Command::get_telemetry: {
+      const std::string json = telemetry::to_json(
+          telemetry::aggregate({enclave.telemetry_snapshot()}));
+      Response resp;
+      resp.payload.assign(json.begin(), json.end());
+      return resp;
     }
   }
   return fail(Status::bad_request, "unhandled command");
@@ -485,6 +496,16 @@ Response RemoteEnclave::add_flow_rule(const FlowClassifierRule& rule,
 Response RemoteEnclave::read_global_scalar(const std::string& action_name,
                                            const std::string& field) {
   return roundtrip(encode_read_global_scalar(action_name, field));
+}
+
+Response RemoteEnclave::get_telemetry() {
+  return roundtrip(encode_get_telemetry());
+}
+
+std::string RemoteEnclave::get_telemetry_json() {
+  const Response r = get_telemetry();
+  if (r.status != Status::ok) return {};
+  return std::string(r.payload.begin(), r.payload.end());
 }
 
 std::optional<StageInfo> RemoteStage::get_stage_info() {

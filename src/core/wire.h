@@ -33,6 +33,9 @@ enum class Command : std::uint8_t {
   add_flow_rule,
   clear_flow_rules,
   read_global_scalar,
+  // Stats read-back: the enclave returns its telemetry snapshot as
+  // JSON in Response::payload.
+  get_telemetry,
   // Stage API (Table 3).
   get_stage_info,
   create_stage_rule,
@@ -77,6 +80,7 @@ std::vector<std::uint8_t> encode_add_flow_rule(const FlowClassifierRule& rule,
 std::vector<std::uint8_t> encode_clear_flow_rules();
 std::vector<std::uint8_t> encode_read_global_scalar(
     const std::string& action_name, const std::string& field);
+std::vector<std::uint8_t> encode_get_telemetry();
 
 // Stage API command encoders (Table 3: S0 get_stage_info,
 // S1 create_rule, S2 remove_rule).
@@ -134,6 +138,11 @@ class RemoteEnclave {
                          const std::string& class_name);
   Response read_global_scalar(const std::string& action_name,
                               const std::string& field);
+  // Stats read-back (the telemetry half of the enclave API): the
+  // enclave's telemetry snapshot as JSON in Response::payload. The
+  // string overload returns the JSON directly, empty on failure.
+  Response get_telemetry();
+  std::string get_telemetry_json();
 
  private:
   Response roundtrip(std::vector<std::uint8_t> frame);

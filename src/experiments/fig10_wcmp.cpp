@@ -40,6 +40,7 @@ Fig10Result run_fig10(const Fig10Config& config) {
 
   core::EnclaveConfig ec;
   ec.rng_seed = config.rng_seed;
+  ec.telemetry = config.telemetry;
   bed.finalize(ec);
   TestHost& sender_host = *bed.host_by_name("h1");
 
@@ -112,6 +113,10 @@ Fig10Result run_fig10(const Fig10Config& config) {
   }
   result.interpreted_packets =
       sender_host.enclave->action_stats(action).executions;
+  if (config.telemetry.enabled) {
+    result.telemetry_json =
+        telemetry::to_json(bed.controller().collect_telemetry());
+  }
   return result;
 }
 

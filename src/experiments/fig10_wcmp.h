@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/enclave.h"
 #include "netsim/sim_time.h"
 
 namespace eden::experiments {
@@ -32,6 +33,7 @@ struct Fig10Config {
   // Per-packet enclave processing latency, modelling a slower NIC-
   // resident interpreter (ablation; 0 = instantaneous).
   netsim::SimTime enclave_delay = 0;
+  core::TelemetryConfig telemetry;
 };
 
 struct Fig10Result {
@@ -40,6 +42,7 @@ struct Fig10Result {
   std::uint64_t timeouts = 0;
   std::uint64_t ooo_segments = 0;   // receiver out-of-order arrivals
   std::uint64_t interpreted_packets = 0;  // enclave action executions
+  std::string telemetry_json;  // set when config.telemetry.enabled
 };
 
 Fig10Result run_fig10(const Fig10Config& config);

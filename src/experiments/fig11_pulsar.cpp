@@ -40,8 +40,12 @@ Fig11Result run_fig11(const Fig11Config& config) {
   const bool run_reads = config.mode != PulsarMode::isolated;
   (void)run_reads;
 
-  auto run_once = [&config](bool with_reads,
-                            bool with_writes) -> Fig11Result {
+  // Enclave snapshots survive the per-run testbeds so `isolated` mode
+  // can aggregate across both simulations.
+  std::vector<telemetry::EnclaveTelemetry> snapshots;
+
+  auto run_once = [&config, &snapshots](bool with_reads,
+                                        bool with_writes) -> Fig11Result {
     Testbed bed;
     auto& reader = bed.add_host("reader");
     auto& writer = bed.add_host("writer");
@@ -56,6 +60,7 @@ Fig11Result run_fig11(const Fig11Config& config) {
 
     core::EnclaveConfig ec;
     ec.rng_seed = config.rng_seed;
+    ec.telemetry = config.telemetry;
     bed.finalize(ec);
 
     TestHost& reader_host = *bed.host_by_name("reader");
@@ -98,6 +103,11 @@ Fig11Result run_fig11(const Fig11Config& config) {
     r.read_mbps = read_client.throughput_mbps(from, to);
     r.write_mbps = write_client.throughput_mbps(from, to);
     r.rejected_requests = storage_server.rejected();
+    if (config.telemetry.enabled) {
+      for (const core::Enclave* e : bed.controller().enclaves()) {
+        snapshots.push_back(e->telemetry_snapshot());
+      }
+    }
     return r;
   };
 
@@ -110,6 +120,10 @@ Fig11Result run_fig11(const Fig11Config& config) {
                                writes.rejected_requests;
   } else {
     result = run_once(true, true);
+  }
+  if (config.telemetry.enabled) {
+    result.telemetry_json =
+        telemetry::to_json(telemetry::aggregate(std::move(snapshots)));
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/enclave.h"
 #include "netsim/sim_time.h"
 
 namespace eden::experiments {
@@ -29,12 +30,15 @@ struct Fig11Config {
   netsim::SimTime duration = 2 * netsim::kSecond;
   netsim::SimTime warmup = 250 * netsim::kMillisecond;
   std::uint64_t rng_seed = 1;
+  core::TelemetryConfig telemetry;
 };
 
 struct Fig11Result {
   double read_mbps = 0.0;
   double write_mbps = 0.0;
   std::uint64_t rejected_requests = 0;
+  // Aggregated across both simulations in `isolated` mode.
+  std::string telemetry_json;  // set when config.telemetry.enabled
 };
 
 Fig11Result run_fig11(const Fig11Config& config);

@@ -101,8 +101,10 @@ Fig12Result run_fig12(const Fig12Config& config) {
   // Two enclaves: one with the native no-op twin (isolates match-action
   // + marshalling cost), one with the bytecode program (adds pure
   // interpretation).
-  core::Enclave native_enclave("fig12.native", registry);
-  core::Enclave eden_enclave("fig12.eden", registry);
+  core::EnclaveConfig enclave_config;
+  enclave_config.telemetry = config.telemetry;
+  core::Enclave native_enclave("fig12.native", registry, enclave_config);
+  core::Enclave eden_enclave("fig12.eden", registry, enclave_config);
 
   const functions::PiasFunction pias;
   const functions::SffFunction sff;
@@ -214,6 +216,11 @@ Fig12Result run_fig12(const Fig12Config& config) {
     result.operand_stack_bytes = r.max_stack * 8ULL;
     result.locals_bytes = r.max_locals * 8ULL;
     result.bytecode_instructions = program.code.size();
+  }
+  if (config.telemetry.enabled) {
+    // No controller here: the two standalone enclaves aggregate by hand.
+    result.telemetry_json = telemetry::to_json(telemetry::aggregate(
+        {native_enclave.telemetry_snapshot(), eden_enclave.telemetry_snapshot()}));
   }
   return result;
 }

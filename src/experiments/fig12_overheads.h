@@ -15,6 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "core/enclave.h"
 
 namespace eden::experiments {
 
@@ -28,6 +31,11 @@ struct Fig12Config {
   std::uint64_t batch = 256;        // packets per timing sample
   std::uint64_t warmup_packets = 20000;
   bool use_pias = false;            // measure PIAS instead of SFF
+  // Enclave telemetry knobs. Note: fig12 measures per-packet cost, so
+  // enabling histograms perturbs the enclave/interpreter layers by the
+  // (sampled) instrumentation cost — that cost is itself a Table-1
+  // acceptance number, so the default stays off here.
+  core::TelemetryConfig telemetry;
 };
 
 struct Fig12Result {
@@ -45,6 +53,8 @@ struct Fig12Result {
   std::uint64_t operand_stack_bytes = 0;
   std::uint64_t locals_bytes = 0;
   std::uint64_t bytecode_instructions = 0;
+
+  std::string telemetry_json;  // set when config.telemetry.enabled
 };
 
 Fig12Result run_fig12(const Fig12Config& config);

@@ -86,6 +86,7 @@ Fig9Result run_fig9(const Fig9Config& config) {
 
   core::EnclaveConfig ec;
   ec.rng_seed = config.rng_seed;
+  ec.telemetry = config.telemetry;
   bed.finalize(ec);
 
   TestHost& client_host = *bed.host_by_name("client");
@@ -207,6 +208,10 @@ Fig9Result run_fig9(const Fig9Config& config) {
   if (scheduling_active) {
     result.interpreter_errors =
         worker_host.enclave->action_stats(sender_actions[0]).errors;
+  }
+  if (config.telemetry.enabled) {
+    result.telemetry_json =
+        telemetry::to_json(bed.controller().collect_telemetry());
   }
   return result;
 }

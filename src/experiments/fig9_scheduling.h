@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/enclave.h"
 #include "netsim/sim_time.h"
 #include "util/stats.h"
 
@@ -37,6 +38,9 @@ struct Fig9Config {
   // deep dynamic buffer across ports; a few hundred KB per class is the
   // comparable static setting.
   std::uint32_t queue_bytes = 512 * 1024;
+  // Enclave telemetry knobs; with `enabled` set the result carries a
+  // deployment-wide telemetry JSON dump.
+  core::TelemetryConfig telemetry;
 };
 
 struct Fig9Result {
@@ -45,6 +49,7 @@ struct Fig9Result {
   std::uint64_t completed_flows = 0;
   double background_mbps = 0.0;  // background goodput during measurement
   std::uint64_t interpreter_errors = 0;
+  std::string telemetry_json;  // set when config.telemetry.enabled
 };
 
 Fig9Result run_fig9(const Fig9Config& config);

@@ -9,6 +9,7 @@
 // an ExecStatus instead.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,10 @@ enum class ExecStatus : std::uint8_t {
   bad_rand_bound,       // rand(n) with n <= 0
   invalid_program,      // malformed bytecode (bad pc, bad function index)
 };
+
+// Number of ExecStatus values (for per-status breakdown tables).
+inline constexpr std::size_t kNumExecStatus =
+    static_cast<std::size_t>(ExecStatus::invalid_program) + 1;
 
 std::string_view exec_status_name(ExecStatus status);
 

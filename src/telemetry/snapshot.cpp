@@ -1,0 +1,361 @@
+#include "telemetry/snapshot.h"
+
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+namespace eden::telemetry {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void merge_action(std::map<std::string, ActionTelemetry>& into,
+                  const ActionTelemetry& a) {
+  auto [it, fresh] = into.try_emplace(a.name, a);
+  if (fresh) return;
+  ActionTelemetry& t = it->second;
+  t.executions += a.executions;
+  t.errors += a.errors;
+  t.steps += a.steps;
+  for (std::size_t i = 0; i < t.errors_by_status.size(); ++i) {
+    t.errors_by_status[i] += a.errors_by_status[i];
+  }
+  if (a.has_histograms) {
+    t.has_histograms = true;
+    t.latency_ns.merge(a.latency_ns);
+    t.steps_hist.merge(a.steps_hist);
+  }
+}
+
+void merge_class(std::map<std::string, ClassTelemetry>& into,
+                 const ClassTelemetry& c) {
+  ClassTelemetry& t = into.try_emplace(c.name).first->second;
+  t.name = c.name;
+  t.matched += c.matched;
+  t.dropped += c.dropped;
+}
+
+void append_histogram_json(std::string& out, const char* key,
+                           const HistogramSnapshot& h) {
+  out += '"';
+  out += key;
+  out += "\":{\"count\":";
+  out += std::to_string(h.count);
+  out += ",\"sum\":";
+  out += std::to_string(h.sum);
+  out += ",\"mean\":";
+  out += std::to_string(h.mean());
+  out += ",\"p50\":";
+  out += std::to_string(h.p50());
+  out += ",\"p95\":";
+  out += std::to_string(h.p95());
+  out += ",\"p99\":";
+  out += std::to_string(h.p99());
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+    if (h.counts[k] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "[";
+    out += std::to_string(bucket_upper_bound(k));
+    out += ',';
+    out += std::to_string(h.counts[k]);
+    out += ']';
+  }
+  out += "]}";
+}
+
+void append_action_json(std::string& out, const ActionTelemetry& a) {
+  out += "{\"name\":\"";
+  out += json_escape(a.name);
+  out += "\",\"native\":";
+  out += a.native ? "true" : "false";
+  out += ",\"executions\":";
+  out += std::to_string(a.executions);
+  out += ",\"errors\":";
+  out += std::to_string(a.errors);
+  out += ",\"steps\":";
+  out += std::to_string(a.steps);
+  out += ",\"errors_by_status\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < a.errors_by_status.size(); ++i) {
+    if (a.errors_by_status[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(
+        lang::exec_status_name(static_cast<lang::ExecStatus>(i)));
+    out += "\":";
+    out += std::to_string(a.errors_by_status[i]);
+  }
+  out += '}';
+  if (a.has_histograms) {
+    out += ',';
+    append_histogram_json(out, "latency_ns", a.latency_ns);
+    if (!a.native) {
+      out += ',';
+      append_histogram_json(out, "steps_hist", a.steps_hist);
+    }
+  }
+  out += '}';
+}
+
+void append_class_json(std::string& out, const ClassTelemetry& c) {
+  out += "{\"class\":\"";
+  out += json_escape(c.name);
+  out += "\",\"matched\":";
+  out += std::to_string(c.matched);
+  out += ",\"dropped\":";
+  out += std::to_string(c.dropped);
+  out += '}';
+}
+
+void append_trace_json(std::string& out, const TraceEntry& t) {
+  out += "{\"ts_ns\":";
+  out += std::to_string(t.ts_ns);
+  out += ",\"class\":\"";
+  out += json_escape(t.class_name);
+  out += "\",\"action\":\"";
+  out += json_escape(t.action);
+  out += "\",\"status\":\"";
+  out += json_escape(t.status);
+  out += "\",\"steps\":";
+  out += std::to_string(t.steps);
+  out += ",\"meta\":{\"msg_id\":";
+  out += std::to_string(t.meta.msg_id);
+  out += ",\"msg_type\":";
+  out += std::to_string(t.meta.msg_type);
+  out += ",\"msg_size\":";
+  out += std::to_string(t.meta.msg_size);
+  out += ",\"tenant\":";
+  out += std::to_string(t.meta.tenant);
+  out += ",\"key_hash\":";
+  out += std::to_string(t.meta.key_hash);
+  out += ",\"flow_size\":";
+  out += std::to_string(t.meta.flow_size);
+  out += ",\"app_priority\":";
+  out += std::to_string(t.meta.app_priority);
+  out += "}}";
+}
+
+template <typename T, typename Fn>
+void append_array(std::string& out, const std::vector<T>& items, Fn&& fn) {
+  out += '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ',';
+    fn(out, items[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+AggregateTelemetry aggregate(std::vector<EnclaveTelemetry> enclaves) {
+  AggregateTelemetry agg;
+  std::map<std::string, ActionTelemetry> actions;
+  std::map<std::string, ClassTelemetry> classes;
+  for (const EnclaveTelemetry& e : enclaves) {
+    agg.packets += e.packets;
+    agg.matched += e.matched;
+    agg.dropped_by_action += e.dropped_by_action;
+    for (const ActionTelemetry& a : e.actions) merge_action(actions, a);
+    for (const ClassTelemetry& c : e.classes) merge_class(classes, c);
+  }
+  for (auto& [name, a] : actions) agg.actions.push_back(std::move(a));
+  for (auto& [name, c] : classes) agg.classes.push_back(std::move(c));
+  agg.enclaves = std::move(enclaves);
+  return agg;
+}
+
+std::string to_json(const AggregateTelemetry& agg) {
+  std::string out = "{\"enclaves\":[";
+  for (std::size_t i = 0; i < agg.enclaves.size(); ++i) {
+    const EnclaveTelemetry& e = agg.enclaves[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"";
+    out += json_escape(e.enclave);
+    out += "\",\"telemetry_enabled\":";
+    out += e.telemetry_enabled ? "true" : "false";
+    out += ",\"packets\":";
+    out += std::to_string(e.packets);
+    out += ",\"matched\":";
+    out += std::to_string(e.matched);
+    out += ",\"dropped_by_action\":";
+    out += std::to_string(e.dropped_by_action);
+    out += ",\"message_entries_created\":";
+    out += std::to_string(e.message_entries_created);
+    out += ",\"message_entries_evicted\":";
+    out += std::to_string(e.message_entries_evicted);
+    out += ",\"actions\":";
+    append_array(out, e.actions, [](std::string& o, const ActionTelemetry& a) {
+      append_action_json(o, a);
+    });
+    out += ",\"classes\":";
+    append_array(out, e.classes, [](std::string& o, const ClassTelemetry& c) {
+      append_class_json(o, c);
+    });
+    out += ",\"trace_sampled\":";
+    out += std::to_string(e.trace_sampled);
+    out += ",\"trace_sample_every\":";
+    out += std::to_string(e.trace_sample_every);
+    out += ",\"trace\":";
+    append_array(out, e.trace, [](std::string& o, const TraceEntry& t) {
+      append_trace_json(o, t);
+    });
+    out += '}';
+  }
+  out += "],\"total\":{\"packets\":";
+  out += std::to_string(agg.packets);
+  out += ",\"matched\":";
+  out += std::to_string(agg.matched);
+  out += ",\"dropped_by_action\":";
+  out += std::to_string(agg.dropped_by_action);
+  out += ",\"actions\":";
+  append_array(out, agg.actions, [](std::string& o, const ActionTelemetry& a) {
+    append_action_json(o, a);
+  });
+  out += ",\"classes\":";
+  append_array(out, agg.classes, [](std::string& o, const ClassTelemetry& c) {
+    append_class_json(o, c);
+  });
+  out += "}}";
+  return out;
+}
+
+std::string to_prometheus(const AggregateTelemetry& agg) {
+  std::string out;
+  auto series = [&](const char* name, const Labels& labels,
+                    std::uint64_t value) {
+    out += name;
+    out += render_labels(labels);
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+
+  out += "# TYPE eden_enclave_packets_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    series("eden_enclave_packets_total", {{"enclave", e.enclave}}, e.packets);
+  }
+  out += "# TYPE eden_enclave_matched_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    series("eden_enclave_matched_total", {{"enclave", e.enclave}}, e.matched);
+  }
+  out += "# TYPE eden_enclave_dropped_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    series("eden_enclave_dropped_total", {{"enclave", e.enclave}},
+           e.dropped_by_action);
+  }
+  out += "# TYPE eden_enclave_message_entries_created_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    series("eden_enclave_message_entries_created_total",
+           {{"enclave", e.enclave}}, e.message_entries_created);
+  }
+  out += "# TYPE eden_enclave_message_entries_evicted_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    series("eden_enclave_message_entries_evicted_total",
+           {{"enclave", e.enclave}}, e.message_entries_evicted);
+  }
+
+  out += "# TYPE eden_class_matched_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ClassTelemetry& c : e.classes) {
+      series("eden_class_matched_total",
+             {{"enclave", e.enclave}, {"class", c.name}}, c.matched);
+    }
+  }
+  out += "# TYPE eden_class_dropped_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ClassTelemetry& c : e.classes) {
+      series("eden_class_dropped_total",
+             {{"enclave", e.enclave}, {"class", c.name}}, c.dropped);
+    }
+  }
+
+  out += "# TYPE eden_action_executions_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ActionTelemetry& a : e.actions) {
+      series("eden_action_executions_total",
+             {{"enclave", e.enclave}, {"action", a.name}}, a.executions);
+    }
+  }
+  out += "# TYPE eden_action_steps_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ActionTelemetry& a : e.actions) {
+      if (a.native) continue;
+      series("eden_action_steps_total",
+             {{"enclave", e.enclave}, {"action", a.name}}, a.steps);
+    }
+  }
+  out += "# TYPE eden_action_errors_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ActionTelemetry& a : e.actions) {
+      for (std::size_t i = 0; i < a.errors_by_status.size(); ++i) {
+        if (a.errors_by_status[i] == 0) continue;
+        series("eden_action_errors_total",
+               {{"enclave", e.enclave},
+                {"action", a.name},
+                {"status",
+                 std::string(lang::exec_status_name(
+                     static_cast<lang::ExecStatus>(i)))}},
+               a.errors_by_status[i]);
+      }
+    }
+  }
+
+  bool histogram_header = false;
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ActionTelemetry& a : e.actions) {
+      if (!a.has_histograms) continue;
+      if (!histogram_header) {
+        out += "# TYPE eden_action_latency_ns histogram\n";
+        histogram_header = true;
+      }
+      append_histogram_exposition(
+          out, "eden_action_latency_ns",
+          render_labels({{"enclave", e.enclave}, {"action", a.name}}),
+          a.latency_ns);
+    }
+  }
+  histogram_header = false;
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    for (const ActionTelemetry& a : e.actions) {
+      if (!a.has_histograms || a.native) continue;
+      if (!histogram_header) {
+        out += "# TYPE eden_action_steps histogram\n";
+        histogram_header = true;
+      }
+      append_histogram_exposition(
+          out, "eden_action_steps",
+          render_labels({{"enclave", e.enclave}, {"action", a.name}}),
+          a.steps_hist);
+    }
+  }
+  return out;
+}
+
+}  // namespace eden::telemetry

@@ -1,0 +1,95 @@
+// Structured telemetry snapshots and their exposition formats.
+//
+// The enclave serializes its counters, histograms and trace ring into
+// an EnclaveTelemetry value (names already resolved — class ids become
+// "stage.ruleset.class" strings, statuses become their lang names), the
+// controller pulls one from every registered enclave, and aggregate()
+// merges them by action and class name so a deployment-wide view needs
+// no shared state. Two renderings: Prometheus text exposition for
+// scraping, and a JSON dump the benches write next to their results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/interpreter.h"
+#include "netsim/packet.h"
+#include "telemetry/metrics.h"
+
+namespace eden::telemetry {
+
+struct ActionTelemetry {
+  std::string name;
+  bool native = false;
+  std::uint64_t executions = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t steps = 0;  // weighted interpreter steps (bytecode only)
+  // errors split by lang::ExecStatus (the ok slot stays zero).
+  std::array<std::uint64_t, lang::kNumExecStatus> errors_by_status{};
+  // Histograms are present only when the enclave ran with them enabled;
+  // counts reflect the sampled executions, not `executions`.
+  bool has_histograms = false;
+  HistogramSnapshot latency_ns;
+  HistogramSnapshot steps_hist;
+};
+
+struct ClassTelemetry {
+  std::string name;  // fully qualified "stage.ruleset.class"
+  std::uint64_t matched = 0;
+  std::uint64_t dropped = 0;
+};
+
+// One trace-ring record with ids resolved to names.
+struct TraceEntry {
+  std::int64_t ts_ns = 0;
+  std::string class_name;
+  std::string action;
+  std::string status;
+  std::uint64_t steps = 0;
+  netsim::PacketMeta meta;
+};
+
+struct EnclaveTelemetry {
+  std::string enclave;
+  bool telemetry_enabled = false;
+
+  // EnclaveStats mirror.
+  std::uint64_t packets = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t dropped_by_action = 0;
+  std::uint64_t message_entries_created = 0;
+  std::uint64_t message_entries_evicted = 0;
+
+  std::vector<ActionTelemetry> actions;
+  std::vector<ClassTelemetry> classes;
+
+  std::vector<TraceEntry> trace;       // oldest to newest
+  std::uint64_t trace_sampled = 0;     // records ever pushed to the ring
+  std::uint32_t trace_sample_every = 0;
+};
+
+// Deployment-wide view: the per-enclave snapshots plus cross-enclave
+// merges keyed by action / class name (histogram counts add bucket-wise;
+// the controller ships identical programs everywhere, so same-named
+// actions are the same function).
+struct AggregateTelemetry {
+  std::vector<EnclaveTelemetry> enclaves;
+  std::vector<ActionTelemetry> actions;
+  std::vector<ClassTelemetry> classes;
+  std::uint64_t packets = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t dropped_by_action = 0;
+};
+
+AggregateTelemetry aggregate(std::vector<EnclaveTelemetry> enclaves);
+
+// Prometheus text exposition (per-enclave series; histograms with
+// cumulative le= buckets).
+std::string to_prometheus(const AggregateTelemetry& agg);
+
+// JSON dump: {"enclaves": [...], "total": {...}}.
+std::string to_json(const AggregateTelemetry& agg);
+
+}  // namespace eden::telemetry

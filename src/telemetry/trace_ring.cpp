@@ -1,0 +1,27 @@
+#include "telemetry/trace_ring.h"
+
+namespace eden::telemetry {
+
+void TraceRing::push(const TraceRecord& record) {
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    next_ = (next_ + 1) % capacity_;
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceRecord> TraceRing::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Once full, `next_` points at the oldest record.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace eden::telemetry

@@ -1,0 +1,73 @@
+// Bounded sampling packet trace.
+//
+// The enclave records one-in-N action executions into a fixed-size
+// ring: timestamp, the packet's class, the action, the metadata the
+// stage attached (Table 2), the execution status and the weighted step
+// count. The ring answers "why did this class start dropping?" without
+// per-packet logging: the hot path pays a thread-local counter check
+// per execution, and only sampled packets take the ring's mutex (a
+// 1-in-N cold path by construction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "netsim/packet.h"
+
+namespace eden::telemetry {
+
+struct TraceRecord {
+  std::int64_t ts_ns = 0;              // enclave clock (sim time if injected)
+  std::uint32_t class_id = 0xffffffffu;  // interned class; invalid = none
+  std::uint32_t action_id = 0;
+  std::uint8_t status = 0;             // lang::ExecStatus value
+  std::uint64_t steps = 0;             // weighted interpreter steps
+  netsim::PacketMeta meta;             // metadata snapshot at execution
+};
+
+class TraceRing {
+ public:
+  // Records one in `sample_every` offered executions (0 disables
+  // sampling entirely), keeping the most recent `capacity` records.
+  TraceRing(std::size_t capacity, std::uint32_t sample_every)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        sample_every_(sample_every) {}
+
+  // Sampling decision for the next offered execution. Lock-free; the
+  // global ticket keeps the 1-in-N spacing across threads. The enclave
+  // hot path does not call this — it paces per thread with a plain
+  // countdown against sample_every() to avoid the shared atomic — but
+  // it remains the sampling primitive for callers without thread-local
+  // state of their own.
+  bool should_sample() {
+    return sample_every_ != 0 &&
+           ticket_.fetch_add(1, std::memory_order_relaxed) % sample_every_ ==
+               0;
+  }
+
+  void push(const TraceRecord& record);
+
+  // Records oldest-to-newest. Takes the ring mutex; concurrent pushes
+  // land before or after the copy, never mid-record.
+  std::vector<TraceRecord> snapshot() const;
+
+  // Total records ever pushed (>= capacity() means the ring wrapped).
+  std::uint64_t total_recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint32_t sample_every() const { return sample_every_; }
+
+ private:
+  const std::size_t capacity_;
+  const std::uint32_t sample_every_;
+  std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<std::uint64_t> recorded_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;           // overwrite position once full
+};
+
+}  // namespace eden::telemetry

@@ -5,6 +5,29 @@
 
 namespace eden::util {
 
+double log2_bucket_quantile(std::span<const std::uint64_t> counts, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    if (counts[k] == 0) continue;
+    const double next = cum + static_cast<double>(counts[k]);
+    if (next >= target) {
+      if (k == 0) return 0.0;
+      const double lower = std::ldexp(1.0, static_cast<int>(k) - 1);
+      const double upper = std::ldexp(1.0, static_cast<int>(k));
+      const double frac = (target - cum) / static_cast<double>(counts[k]);
+      return lower + frac * (upper - lower);
+    }
+    cum = next;
+  }
+  // Unreachable: the cumulative total always reaches target.
+  return std::ldexp(1.0, static_cast<int>(counts.size()));
+}
+
 void Summary::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -6,9 +6,18 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace eden::util {
+
+// Quantile estimate from log2-bucketed counts (telemetry histograms):
+// counts[0] holds the value 0, counts[k] holds values in
+// [2^(k-1), 2^k). Linearly interpolates inside the winning bucket, so
+// the estimate is exact to within one bucket width. q is clamped to
+// [0, 1]; returns 0 for an all-zero count vector.
+double log2_bucket_quantile(std::span<const std::uint64_t> counts, double q);
 
 // Online mean/variance accumulator (Welford). Suitable for streaming
 // per-packet or per-flow observations without storing them.

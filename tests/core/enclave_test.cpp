@@ -559,5 +559,222 @@ TEST_F(EnclaveTest, PerMessageActionIsThreadSafePerMessage) {
             2 * kPerThread * 1514);
 }
 
+// --- Telemetry ---------------------------------------------------------
+
+// Helpers for enclaves with a non-default (telemetry) configuration.
+EnclaveConfig telemetry_config() {
+  EnclaveConfig config;
+  config.telemetry.enabled = true;
+  config.telemetry.histogram_sample_every = 1;
+  config.telemetry.trace_sample_every = 1;
+  config.telemetry.trace_capacity = 4;
+  return config;
+}
+
+ActionId install_with_rule_in(Controller& controller, Enclave& enclave,
+                              const char* name, const char* source,
+                              const ClassPattern& pattern) {
+  const lang::CompiledProgram program = controller.compile(name, source, {});
+  const ActionId action = enclave.install_action(name, program, {});
+  const TableId table = enclave.create_table(name);
+  enclave.add_rule(table, pattern, action);
+  return action;
+}
+
+TEST_F(EnclaveTest, TelemetryOffByDefault) {
+  install_with_rule("p3", "fun(p, m, g) -> p.priority <- 3");
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  const telemetry::EnclaveTelemetry t = enclave_.telemetry_snapshot();
+  EXPECT_FALSE(t.telemetry_enabled);
+  EXPECT_EQ(t.packets, 1u);
+  EXPECT_EQ(t.matched, 1u);
+  ASSERT_EQ(t.actions.size(), 1u);
+  EXPECT_FALSE(t.actions[0].has_histograms);
+  EXPECT_TRUE(t.classes.empty());
+  EXPECT_TRUE(t.trace.empty());
+}
+
+TEST(EnclaveTelemetryTest, PerClassCountersAndStatsFold) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave enclave("tele", registry, telemetry_config());
+  const ClassId web = registry.intern("enclave.flows.web");
+  const ClassId bulk = registry.intern("enclave.flows.bulk");
+  install_with_rule_in(controller, enclave, "keep",
+                       "fun(p, m, g) -> p.priority <- 3",
+                       ClassPattern("enclave.flows.web"));
+  install_with_rule_in(controller, enclave, "drop",
+                       "fun(p, m, g) -> p.drop <- 1",
+                       ClassPattern("enclave.flows.bulk"));
+
+  netsim::Packet p = tcp_packet();
+  p.classes.add(web);
+  EXPECT_TRUE(enclave.process(p));
+  EXPECT_TRUE(enclave.process(p));
+  netsim::Packet q = tcp_packet();
+  q.classes.add(bulk);
+  q.drop_mark = false;
+  EXPECT_FALSE(enclave.process(q));
+
+  // The class slots are the sole per-packet counters with telemetry on;
+  // stats() must fold them back into the enclave totals.
+  const EnclaveStats stats = enclave.stats();
+  EXPECT_EQ(stats.packets, 3u);
+  EXPECT_EQ(stats.matched, 3u);
+  EXPECT_EQ(stats.dropped_by_action, 1u);
+
+  const telemetry::EnclaveTelemetry t = enclave.telemetry_snapshot();
+  ASSERT_EQ(t.classes.size(), 2u);
+  std::uint64_t web_matched = 0, bulk_dropped = 0;
+  for (const auto& c : t.classes) {
+    if (c.name == "enclave.flows.web") web_matched = c.matched;
+    if (c.name == "enclave.flows.bulk") bulk_dropped = c.dropped;
+  }
+  EXPECT_EQ(web_matched, 2u);
+  EXPECT_EQ(bulk_dropped, 1u);
+}
+
+TEST(EnclaveTelemetryTest, BatchPathAttributesClassesAndFolds) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave enclave("tele", registry, telemetry_config());
+  const ClassId web = registry.intern("enclave.flows.web");
+  install_with_rule_in(controller, enclave, "drop_big",
+                       "fun(p, m, g) -> if p.size > 1000 then p.drop <- 1 "
+                       "else p.priority <- 2",
+                       ClassPattern("enclave.flows.*"));
+  std::vector<netsim::PacketPtr> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(netsim::make_packet());
+    *batch.back() = tcp_packet();
+    batch.back()->classes.add(web);
+    batch.back()->size_bytes = i < 3 ? 100 : 1500;  // last one drops
+  }
+  EXPECT_EQ(enclave.process_batch(batch), 3u);
+  const EnclaveStats stats = enclave.stats();
+  EXPECT_EQ(stats.matched, 4u);
+  EXPECT_EQ(stats.dropped_by_action, 1u);
+  const telemetry::EnclaveTelemetry t = enclave.telemetry_snapshot();
+  ASSERT_EQ(t.classes.size(), 1u);
+  EXPECT_EQ(t.classes[0].matched, 4u);
+  EXPECT_EQ(t.classes[0].dropped, 1u);
+}
+
+TEST(EnclaveTelemetryTest, HistogramsRecordEverySampledExecution) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave enclave("tele", registry, telemetry_config());
+  install_with_rule_in(controller, enclave, "p3",
+                       "fun(p, m, g) -> p.priority <- 3", ClassPattern("*"));
+  netsim::Packet packet = tcp_packet();
+  for (int i = 0; i < 10; ++i) enclave.process(packet);
+  const telemetry::EnclaveTelemetry t = enclave.telemetry_snapshot();
+  ASSERT_EQ(t.actions.size(), 1u);
+  const telemetry::ActionTelemetry& a = t.actions[0];
+  EXPECT_TRUE(a.has_histograms);
+  EXPECT_EQ(a.latency_ns.count, 10u);  // sample_every = 1: all executions
+  EXPECT_EQ(a.steps_hist.count, 10u);
+  // Every run of the same program takes the same weighted steps.
+  EXPECT_EQ(a.steps_hist.sum, a.steps);
+  EXPECT_GT(a.steps, 0u);
+}
+
+TEST(EnclaveTelemetryTest, TraceRingSamplesAndWraps) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave enclave("tele", registry, telemetry_config());  // capacity 4
+  const ClassId web = registry.intern("enclave.flows.web");
+  install_with_rule_in(controller, enclave, "p3",
+                       "fun(p, m, g) -> p.priority <- 3",
+                       ClassPattern("enclave.flows.*"));
+  netsim::Packet packet = tcp_packet();
+  packet.classes.add(web);
+  for (int i = 0; i < 10; ++i) enclave.process(packet);
+  const telemetry::EnclaveTelemetry t = enclave.telemetry_snapshot();
+  EXPECT_EQ(t.trace_sampled, 10u);  // every execution offered and kept
+  EXPECT_EQ(t.trace_sample_every, 1u);
+  ASSERT_EQ(t.trace.size(), 4u);    // ring keeps the most recent 4
+  for (const auto& entry : t.trace) {
+    EXPECT_EQ(entry.action, "p3");
+    EXPECT_EQ(entry.class_name, "enclave.flows.web");
+    EXPECT_EQ(entry.status, "ok");
+    EXPECT_GT(entry.steps, 0u);
+  }
+}
+
+TEST(EnclaveTelemetryTest, ErrorBreakdownSumsByStatus) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave enclave("tele", registry, telemetry_config());
+  const ActionId div0 = install_with_rule_in(
+      controller, enclave, "div0",
+      "fun(p, m, g) -> p.priority <- 1 / (p.size - p.size)",
+      ClassPattern("*"));
+  netsim::Packet packet = tcp_packet();
+  for (int i = 0; i < 3; ++i) enclave.process(packet);
+  const ActionStats stats = enclave.action_stats(div0);
+  EXPECT_EQ(stats.errors, 3u);
+  std::uint64_t by_status_total = 0;
+  for (const std::uint64_t n : stats.errors_by_status) by_status_total += n;
+  EXPECT_EQ(by_status_total, stats.errors);
+  EXPECT_EQ(stats.errors_by_status[static_cast<std::size_t>(
+                lang::ExecStatus::div_by_zero)],
+            3u);
+}
+
+TEST(EnclaveTelemetryTest, WeightedStepsStableAcrossOptLevels) {
+  // Superinstructions charge the cost of the base ops they replace
+  // (lang::kOpStepCost), so the steps metric is comparable across
+  // optimization levels: the same program charges the same steps at
+  // -O0 and -O1 even though -O1 executes fewer instructions.
+  const char* source =
+      "fun(p, m, g) -> m.size <- m.size + p.size; "
+      "p.priority <- m.size / 1000";
+  std::uint64_t steps[2] = {0, 0};
+  for (int level = 0; level < 2; ++level) {
+    ClassRegistry registry;
+    Controller controller(registry);
+    EnclaveConfig config;
+    config.opt_level = level == 0 ? lang::OptLevel::O0 : lang::OptLevel::O1;
+    Enclave enclave("opt", registry, config);
+    const lang::CompiledProgram program =
+        controller.compile("accum", source, {});
+    const ActionId action = enclave.install_action("accum", program, {});
+    const TableId table = enclave.create_table("t");
+    enclave.add_rule(table, ClassPattern("*"), action);
+    netsim::Packet packet = tcp_packet();
+    for (int i = 0; i < 5; ++i) enclave.process(packet);
+    steps[level] = enclave.action_stats(action).steps;
+  }
+  EXPECT_GT(steps[0], 0u);
+  EXPECT_EQ(steps[0], steps[1]);
+}
+
+TEST(EnclaveTelemetryTest, ControllerCollectsAndAggregates) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave a("host0", registry, telemetry_config());
+  Enclave b("host1", registry, telemetry_config());
+  controller.register_enclave(a);
+  controller.register_enclave(b);
+  install_with_rule_in(controller, a, "p3",
+                       "fun(p, m, g) -> p.priority <- 3", ClassPattern("*"));
+  install_with_rule_in(controller, b, "p3",
+                       "fun(p, m, g) -> p.priority <- 3", ClassPattern("*"));
+  netsim::Packet packet = tcp_packet();
+  for (int i = 0; i < 2; ++i) a.process(packet);
+  for (int i = 0; i < 3; ++i) b.process(packet);
+
+  const telemetry::AggregateTelemetry agg = controller.collect_telemetry();
+  EXPECT_EQ(agg.enclaves.size(), 2u);
+  EXPECT_EQ(agg.packets, 5u);
+  EXPECT_EQ(agg.matched, 5u);
+  ASSERT_EQ(agg.actions.size(), 1u);
+  EXPECT_EQ(agg.actions[0].name, "p3");
+  EXPECT_EQ(agg.actions[0].executions, 5u);
+  EXPECT_EQ(agg.actions[0].latency_ns.count, 5u);
+}
+
 }  // namespace
 }  // namespace eden::core

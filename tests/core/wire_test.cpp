@@ -124,6 +124,25 @@ TEST_F(WireTest, FlowRulesOverTheWire) {
             Status::rejected);
 }
 
+TEST_F(WireTest, TelemetryPullOverTheWire) {
+  const auto program = controller_.compile(
+      "p6", "fun(p, m, g) -> p.priority <- 6", {});
+  remote_.install_action("p6", program, {});
+  const auto table = static_cast<TableId>(remote_.create_table("t").value);
+  remote_.add_rule(table, "*", "p6");
+  netsim::Packet packet;
+  packet.size_bytes = 100;
+  enclave_.process(packet);
+  enclave_.process(packet);
+
+  const Response r = remote_.get_telemetry();
+  ASSERT_EQ(r.status, Status::ok);
+  const std::string json = remote_.get_telemetry_json();
+  EXPECT_NE(json.find("\"name\":\"remote\""), std::string::npos);
+  EXPECT_NE(json.find("\"packets\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"p6\""), std::string::npos);
+}
+
 TEST_F(WireTest, PreOptimizedProgramInstallsAndRuns) {
   // A controller may optimize before shipping: the fused-opcode program
   // (wire format v2) must survive serialization, install-time

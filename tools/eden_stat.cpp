@@ -1,0 +1,208 @@
+// eden-stat: pretty-prints a live telemetry snapshot from a canned
+// testbed run.
+//
+// Spins up a two-host testbed (client -> switch -> server), classifies
+// the client's traffic into named classes with enclave flow rules, runs
+// PIAS over those classes plus a random ~3% dropper on the background
+// class, drives TCP traffic for a while, then pulls the controller-side
+// aggregate and renders it.
+//
+// Usage: eden-stat [--ms=SIM_MS] [--sample=N] [--trace] [--json] [--prom]
+//   --ms=N      simulated milliseconds of traffic (default 200)
+//   --sample=N  trace-ring sampling: record 1-in-N executions (default 16)
+//   --trace     also print the sampled trace entries
+//   --json      print the JSON dump instead of tables
+//   --prom      print the Prometheus text exposition instead of tables
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_args.h"
+#include "experiments/testbed.h"
+#include "functions/scheduling.h"
+#include "lang/compiler.h"
+#include "telemetry/snapshot.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace eden;
+
+constexpr std::uint16_t kResponsePort = 8000;
+constexpr std::uint16_t kBackgroundPort = 8001;
+
+// Drops ~3% of the class's packets at random — gives the dropped
+// counters and the error-free trace something to show.
+constexpr const char* kRandomDropSource = R"(
+fun(p) -> if rand(100) < 3 then p.drop <- 1 else 0
+)";
+
+void install_functions(experiments::TestHost& client,
+                       core::ClassRegistry& registry) {
+  core::Enclave& enclave = *client.enclave;
+
+  // Enclave-stage classification (Table 2, last row): port-based rules
+  // binding the client's flows to named classes.
+  core::FlowClassifierRule response;
+  response.dst_port = kResponsePort;
+  response.class_id = registry.intern("enclave.flows.response");
+  enclave.add_flow_rule(response);
+  core::FlowClassifierRule background;
+  background.dst_port = kBackgroundPort;
+  background.class_id = registry.intern("enclave.flows.background");
+  enclave.add_flow_rule(background);
+
+  const functions::PiasFunction pias;
+  const core::ActionId sched = pias.install(enclave, /*use_native=*/false);
+  const std::int64_t limits[] = {10 * 1024, 1024 * 1024};
+  const std::int64_t prios[] = {7, 5};
+  functions::push_priority_thresholds(enclave, sched, limits, prios);
+  const core::TableId sched_table = enclave.create_table("sched");
+  enclave.add_rule(sched_table, core::ClassPattern("enclave.flows.*"), sched);
+
+  const lang::StateSchema schema = core::make_enclave_schema();
+  const core::ActionId dropper = enclave.install_action(
+      "rand_drop", lang::compile_source(kRandomDropSource, schema), {});
+  const core::TableId drop_table = enclave.create_table("chaos");
+  enclave.add_rule(drop_table, core::ClassPattern("enclave.flows.background"),
+                   dropper);
+}
+
+std::string error_breakdown(const telemetry::ActionTelemetry& a) {
+  std::string out;
+  for (std::size_t i = 0; i < a.errors_by_status.size(); ++i) {
+    if (a.errors_by_status[i] == 0) continue;
+    if (!out.empty()) out += " ";
+    out += std::string(lang::exec_status_name(
+               static_cast<lang::ExecStatus>(i))) +
+           ":" + std::to_string(a.errors_by_status[i]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+void print_tables(const telemetry::AggregateTelemetry& agg, bool with_trace) {
+  util::TextTable enclaves;
+  enclaves.add_row({"enclave", "packets", "matched", "dropped",
+                    "msgs created", "msgs evicted"});
+  for (const telemetry::EnclaveTelemetry& e : agg.enclaves) {
+    enclaves.add_row({e.enclave, std::to_string(e.packets),
+                      std::to_string(e.matched),
+                      std::to_string(e.dropped_by_action),
+                      std::to_string(e.message_entries_created),
+                      std::to_string(e.message_entries_evicted)});
+  }
+  std::printf("Enclaves (aggregate: %llu packets, %llu matched, %llu "
+              "dropped)\n",
+              static_cast<unsigned long long>(agg.packets),
+              static_cast<unsigned long long>(agg.matched),
+              static_cast<unsigned long long>(agg.dropped_by_action));
+  std::fputs(enclaves.render().c_str(), stdout);
+
+  if (!agg.classes.empty()) {
+    util::TextTable classes;
+    classes.add_row({"class", "matched", "dropped"});
+    for (const telemetry::ClassTelemetry& c : agg.classes) {
+      classes.add_row({c.name, std::to_string(c.matched),
+                       std::to_string(c.dropped)});
+    }
+    std::printf("\nClasses\n");
+    std::fputs(classes.render().c_str(), stdout);
+  }
+
+  util::TextTable actions;
+  actions.add_row({"action", "kind", "execs", "errors", "steps", "p50 ns",
+                   "p95 ns", "p99 ns", "error breakdown"});
+  for (const telemetry::ActionTelemetry& a : agg.actions) {
+    const bool h = a.has_histograms && a.latency_ns.count > 0;
+    actions.add_row({a.name, a.native ? "native" : "bytecode",
+                     std::to_string(a.executions), std::to_string(a.errors),
+                     std::to_string(a.steps),
+                     h ? util::fmt(a.latency_ns.p50(), 0) : "-",
+                     h ? util::fmt(a.latency_ns.p95(), 0) : "-",
+                     h ? util::fmt(a.latency_ns.p99(), 0) : "-",
+                     error_breakdown(a)});
+  }
+  std::printf("\nActions (latency percentiles over sampled executions)\n");
+  std::fputs(actions.render().c_str(), stdout);
+
+  if (with_trace) {
+    for (const telemetry::EnclaveTelemetry& e : agg.enclaves) {
+      if (e.trace.empty()) continue;
+      util::TextTable trace;
+      trace.add_row({"ts ns", "class", "action", "status", "steps",
+                     "msg_id", "msg_size", "flow_size"});
+      for (const telemetry::TraceEntry& t : e.trace) {
+        trace.add_row({std::to_string(t.ts_ns), t.class_name, t.action,
+                       t.status, std::to_string(t.steps),
+                       std::to_string(t.meta.msg_id),
+                       std::to_string(t.meta.msg_size),
+                       std::to_string(t.meta.flow_size)});
+      }
+      std::printf("\nTrace %s (1-in-%u sampling, %llu sampled, showing "
+                  "last %zu)\n",
+                  e.enclave.c_str(), e.trace_sample_every,
+                  static_cast<unsigned long long>(e.trace_sampled),
+                  e.trace.size());
+      std::fputs(trace.render().c_str(), stdout);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace eden;
+
+  const long sim_ms = bench::int_arg(argc, argv, "--ms", 200);
+  const long sample = bench::int_arg(argc, argv, "--sample", 16);
+  const bool as_json = bench::has_flag(argc, argv, "--json");
+  const bool as_prom = bench::has_flag(argc, argv, "--prom");
+  const bool with_trace = bench::has_flag(argc, argv, "--trace");
+
+  experiments::Testbed bed;
+  auto& client = bed.add_host("client");
+  auto& server = bed.add_host("server");
+  auto& sw = bed.add_switch("tor");
+  constexpr std::uint64_t kGbps = 1000ULL * 1000 * 1000;
+  const netsim::SimTime delay = 5 * netsim::kMicrosecond;
+  bed.connect(client, sw, 10 * kGbps, delay);
+  bed.connect(server, sw, 10 * kGbps, delay);
+  bed.routing().install_dest_routes();
+
+  core::EnclaveConfig ec;
+  ec.telemetry.enabled = true;
+  // Display run: time every execution so the percentiles are exact.
+  ec.telemetry.histogram_sample_every = 1;
+  ec.telemetry.trace_sample_every =
+      sample > 0 ? static_cast<std::uint32_t>(sample) : 0;
+  bed.finalize(ec);
+
+  experiments::TestHost& client_host = *bed.host_by_name("client");
+  experiments::TestHost& server_host = *bed.host_by_name("server");
+  install_functions(client_host, bed.registry());
+
+  for (const std::uint16_t port : {kResponsePort, kBackgroundPort}) {
+    server_host.stack->listen(
+        port, [](transport::TcpReceiver&, const hoststack::FlowInfo&) {});
+  }
+  for (int i = 0; i < 4; ++i) {
+    client_host.stack->open_flow(server.id(), kResponsePort)
+        .start(256 * 1024);
+    client_host.stack->open_flow(server.id(), kBackgroundPort)
+        .start(1024 * 1024);
+  }
+
+  bed.run_for(sim_ms * netsim::kMillisecond);
+
+  const telemetry::AggregateTelemetry agg = bed.controller().collect_telemetry();
+  if (as_json) {
+    std::fputs((telemetry::to_json(agg) + "\n").c_str(), stdout);
+  } else if (as_prom) {
+    std::fputs(telemetry::to_prometheus(agg).c_str(), stdout);
+  } else {
+    std::printf("eden-stat: %ld ms of simulated traffic, 2 hosts, PIAS + "
+                "random dropper\n\n",
+                sim_ms);
+    print_tables(agg, with_trace);
+  }
+  return 0;
+}
