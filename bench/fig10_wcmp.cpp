@@ -58,6 +58,8 @@ int main(int argc, char** argv) {
     cfg.duration = sim_ms * netsim::kMillisecond;
     cfg.telemetry.enabled = telemetry;
     cfg.telemetry.trace_sample_every = 64;
+    cfg.telemetry.span_sample_every = static_cast<std::uint32_t>(
+        bench::int_arg(argc, argv, "--trace-sample-every", 0));
     const Fig10Result r = run_fig10(cfg);
     const std::string label = to_string(c.scheme) +
                               (c.message_level ? " (msg-level)" : "") +

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   cfg.telemetry.enabled = !bench::has_flag(argc, argv, "--no-telemetry");
   cfg.telemetry.histograms = bench::has_flag(argc, argv, "--telemetry-hist");
   cfg.telemetry.trace_sample_every = 64;
+  cfg.telemetry.span_sample_every = static_cast<std::uint32_t>(
+      bench::int_arg(argc, argv, "--trace-sample-every", 0));
   const std::string telemetry_path = bench::str_arg(
       argc, argv, "--telemetry-json", "TELEMETRY_fig12.json");
 

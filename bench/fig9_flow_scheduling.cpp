@@ -4,10 +4,12 @@
 //
 // Usage: fig9_flow_scheduling [--quick] [--reps=N] [--ms=SIM_MS]
 //                              [--no-telemetry] [--telemetry-json=PATH]
+//                              [--trace-sample-every=N] [--trace-json=PATH]
 #include <cstdio>
 
 #include "bench/bench_args.h"
 #include "experiments/fig9_scheduling.h"
+#include "telemetry/span.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -23,6 +25,12 @@ int main(int argc, char** argv) {
   const bool telemetry = !bench::has_flag(argc, argv, "--no-telemetry");
   const std::string telemetry_path = bench::str_arg(
       argc, argv, "--telemetry-json", "TELEMETRY_fig9.json");
+  // Lifecycle span tracing: 1-in-N message sampling (0 = off), exported
+  // as Chrome trace_event JSON after the sweep.
+  const long trace_every =
+      bench::int_arg(argc, argv, "--trace-sample-every", 0);
+  const std::string trace_path =
+      bench::str_arg(argc, argv, "--trace-json", "TRACE_fig9.json");
   std::vector<std::pair<std::string, std::string>> telemetry_runs;
 
   struct Case {
@@ -63,6 +71,7 @@ int main(int argc, char** argv) {
       // Snapshot the last repetition of each case.
       cfg.telemetry.enabled = telemetry && rep == reps - 1;
       cfg.telemetry.trace_sample_every = 64;
+      cfg.telemetry.span_sample_every = static_cast<std::uint32_t>(trace_every);
       const Fig9Result r = run_fig9(cfg);
       if (!r.telemetry_json.empty()) {
         telemetry_runs.emplace_back(
@@ -88,6 +97,14 @@ int main(int argc, char** argv) {
       bench::write_text_file(telemetry_path,
                              bench::combine_telemetry_runs(telemetry_runs))) {
     std::printf("\nWrote enclave telemetry to %s\n", telemetry_path.c_str());
+  }
+  if (trace_every > 0) {
+    const std::string trace_json = telemetry::to_trace_event_json(
+        telemetry::SpanCollector::instance().snapshot());
+    if (bench::write_text_file(trace_path, trace_json)) {
+      std::printf("Wrote lifecycle trace (Perfetto trace_event JSON) to %s\n",
+                  trace_path.c_str());
+    }
   }
   std::printf(
       "\nPaper shape: prioritization cuts small-flow FCT 25-40%%; SFF <=\n"

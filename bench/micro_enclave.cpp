@@ -6,6 +6,7 @@
 #include "core/enclave.h"
 #include "functions/misc.h"
 #include "functions/scheduling.h"
+#include "telemetry/span.h"
 
 namespace {
 
@@ -210,6 +211,35 @@ void BM_Process_Telemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_Process_Telemetry)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
     ->Arg(5);
+
+// Lifecycle span tracing cost on the same SFF data path. The argument
+// is the sampling rate: 0 = tracing off (the single untraced-packet
+// branch), 128 = production 1-in-128 sampling, 1 = every packet traced
+// (worst case: one ring write per hop). The packet's trace id is
+// cleared every iteration so sampling actually runs instead of reusing
+// the first stamp.
+void BM_Process_SpanTracing(benchmark::State& state) {
+  const auto sample_every = static_cast<std::uint32_t>(state.range(0));
+  core::ClassRegistry registry;
+  core::EnclaveConfig config;
+  config.telemetry.span_sample_every = sample_every;
+  telemetry::SpanCollector::instance().reset();
+  if (sample_every == 0) telemetry::SpanCollector::instance().disable();
+  core::Enclave enclave("bench", registry, config);
+  const core::ClassId cls = registry.intern("app.rs.cls");
+  functions::SffFunction sff;
+  const core::ActionId action = sff.install(enclave, false);
+  setup_thresholds(enclave, action);
+  const core::TableId table = enclave.create_table("t");
+  enclave.add_rule(table, core::ClassPattern("app.rs.cls"), action);
+  netsim::Packet packet = make_test_packet(cls);
+  for (auto _ : state) {
+    packet.meta.trace_id = 0;
+    enclave.process(packet);
+    benchmark::DoNotOptimize(packet.priority);
+  }
+}
+BENCHMARK(BM_Process_SpanTracing)->Arg(0)->Arg(128)->Arg(1);
 
 }  // namespace
 

@@ -6,11 +6,12 @@
 // of every Table-1 function at -O0, -O1 and native and writes the
 // results to BENCH_interpreter.json (override with --json=PATH), so the
 // optimizer's speedup is tracked as a build artifact. The sweep also
-// runs each function through a full enclave twice — telemetry off and
-// telemetry on (sampled histograms + trace) — to track the
-// instrumentation overhead, and dumps the telemetry-enabled enclaves'
-// aggregated snapshot to TELEMETRY_interpreter.json (override with
-// --telemetry-json=PATH). --smoke shrinks every loop for CI.
+// runs each function through a full enclave three times — telemetry
+// off, telemetry on (sampled histograms + trace), and lifecycle span
+// tracing at 1-in-128 — to track both instruments' overhead, and dumps
+// the telemetry-enabled enclaves' aggregated snapshot to
+// TELEMETRY_interpreter.json (override with --telemetry-json=PATH).
+// --smoke shrinks every loop for CI.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -28,6 +29,7 @@
 #include "lang/interpreter.h"
 #include "lang/optimizer.h"
 #include "telemetry/snapshot.h"
+#include "telemetry/span.h"
 
 namespace {
 
@@ -285,7 +287,7 @@ int run_table1_sweep(const std::string& json_path,
   struct Row {
     std::string name;
     double o0_ns = 0, o1_ns = 0, native_ns = 0;
-    double enclave_o1_ns = 0, enclave_tele_ns = 0;
+    double enclave_o1_ns = 0, enclave_tele_ns = 0, enclave_span_ns = 0;
     std::string status = "ok";
   };
   std::vector<Row> rows;
@@ -341,16 +343,26 @@ int run_table1_sweep(const std::string& json_path,
     core::EnclaveConfig ec_tele;
     ec_tele.telemetry.enabled = true;
     ec_tele.telemetry.trace_sample_every = 64;
+    // Third variant: counters/histograms off, lifecycle span tracing on
+    // at the production 1-in-128 rate — isolates the span cost from the
+    // PR 2 instruments. Acceptance target: <5% geomean overhead.
+    core::EnclaveConfig ec_span;
+    ec_span.telemetry.span_sample_every = 128;
     core::Enclave plain(std::string("sweep.") + fn->name() + ".plain",
                         registry, ec_plain);
     core::Enclave tele(std::string("sweep.") + fn->name() + ".tele",
                        registry, ec_tele);
+    core::Enclave span(std::string("sweep.") + fn->name() + ".span",
+                       registry, ec_span);
     install_for_sweep(plain, *fn, schema, make_inputs(schema));
     install_for_sweep(tele, *fn, schema, make_inputs(schema));
+    install_for_sweep(span, *fn, schema, make_inputs(schema));
     netsim::Packet pkt_plain = make_sweep_packet(make_inputs(schema));
     netsim::Packet pkt_tele = pkt_plain;
+    netsim::Packet pkt_span = pkt_plain;
     row.enclave_o1_ns = 1e30;
     row.enclave_tele_ns = 1e30;
+    row.enclave_span_ns = 1e30;
     for (int round = 0; round < 5; ++round) {
       const double ns_plain = time_ns_per_run([&] {
         pkt_plain.drop_mark = false;
@@ -362,6 +374,15 @@ int run_table1_sweep(const std::string& json_path,
         benchmark::DoNotOptimize(tele.process(pkt_tele));
       });
       if (ns_tele < row.enclave_tele_ns) row.enclave_tele_ns = ns_tele;
+      const double ns_span = time_ns_per_run([&] {
+        // Clear the stamp so sampling keeps running — a persistent
+        // packet would stay traced forever after the first 1-in-128
+        // hit and overstate the cost.
+        pkt_span.meta.trace_id = 0;
+        pkt_span.drop_mark = false;
+        benchmark::DoNotOptimize(span.process(pkt_span));
+      });
+      if (ns_span < row.enclave_span_ns) row.enclave_span_ns = ns_span;
     }
     telemetry_snapshots.push_back(tele.telemetry_snapshot());
     rows.push_back(row);
@@ -371,6 +392,8 @@ int run_table1_sweep(const std::string& json_path,
   int measured = 0;
   double tele_log_sum = 0;
   int tele_measured = 0;
+  double span_log_sum = 0;
+  int span_measured = 0;
   for (const Row& r : rows) {
     if (r.status == "ok" && r.o1_ns > 0) {
       log_sum += std::log(r.o0_ns / r.o1_ns);
@@ -380,6 +403,10 @@ int run_table1_sweep(const std::string& json_path,
       tele_log_sum += std::log(r.enclave_tele_ns / r.enclave_o1_ns);
       ++tele_measured;
     }
+    if (r.status == "ok" && r.enclave_o1_ns > 0 && r.enclave_span_ns > 0) {
+      span_log_sum += std::log(r.enclave_span_ns / r.enclave_o1_ns);
+      ++span_measured;
+    }
   }
   const double geomean =
       measured > 0 ? std::exp(log_sum / measured) : 0.0;
@@ -387,6 +414,9 @@ int run_table1_sweep(const std::string& json_path,
   // one: 0.03 = 3% instrumentation overhead. Acceptance target: <5%.
   const double geomean_tele_overhead =
       tele_measured > 0 ? std::exp(tele_log_sum / tele_measured) - 1.0 : 0.0;
+  // Same ratio for span tracing at 1-in-128 vs off. Same <5% target.
+  const double geomean_span_overhead =
+      span_measured > 0 ? std::exp(span_log_sum / span_measured) - 1.0 : 0.0;
 
   std::FILE* out = std::fopen(json_path.c_str(), "w");
   if (out == nullptr) {
@@ -409,7 +439,8 @@ int run_table1_sweep(const std::string& json_path,
                  "\"o0_ns\": %.1f, \"o1_ns\": %.1f, \"native_ns\": %.1f, "
                  "\"speedup_o1\": %.3f, \"interp_penalty_o1\": %.2f, "
                  "\"enclave_o1_ns\": %.1f, \"enclave_tele_ns\": %.1f, "
-                 "\"tele_overhead\": %.4f}%s\n",
+                 "\"tele_overhead\": %.4f, \"enclave_span_ns\": %.1f, "
+                 "\"span_overhead\": %.4f}%s\n",
                  r.name.c_str(), r.status.c_str(), r.o0_ns, r.o1_ns,
                  r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0,
                  r.native_ns > 0 ? r.o1_ns / r.native_ns : 0.0,
@@ -417,12 +448,17 @@ int run_table1_sweep(const std::string& json_path,
                  r.enclave_o1_ns > 0
                      ? r.enclave_tele_ns / r.enclave_o1_ns - 1.0
                      : 0.0,
+                 r.enclave_span_ns,
+                 r.enclave_o1_ns > 0
+                     ? r.enclave_span_ns / r.enclave_o1_ns - 1.0
+                     : 0.0,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n  \"geomean_speedup_o1\": %.3f,\n"
-               "  \"geomean_telemetry_overhead\": %.4f\n}\n",
-               geomean, geomean_tele_overhead);
+               "  \"geomean_telemetry_overhead\": %.4f,\n"
+               "  \"geomean_span_overhead\": %.4f\n}\n",
+               geomean, geomean_tele_overhead, geomean_span_overhead);
   std::fclose(out);
 
   if (!telemetry_snapshots.empty()) {
@@ -439,15 +475,18 @@ int run_table1_sweep(const std::string& json_path,
 
   std::printf("\nTable-1 sweep (%d functions measured): "
               "geomean -O1 speedup %.2fx, telemetry overhead %+.1f%%,\n"
+              "span tracing (1-in-128) overhead %+.1f%%,\n"
               "written to %s (telemetry dump: %s)\n",
               measured, geomean, 100.0 * geomean_tele_overhead,
-              json_path.c_str(), telemetry_path.c_str());
+              100.0 * geomean_span_overhead, json_path.c_str(),
+              telemetry_path.c_str());
   for (const Row& r : rows) {
     std::printf("  %-16s %-12s o0 %7.1f ns  o1 %7.1f ns  native %6.1f ns"
-                "  speedup %.2fx  enclave %7.1f ns  +tele %7.1f ns\n",
+                "  speedup %.2fx  enclave %7.1f ns  +tele %7.1f ns"
+                "  +span %7.1f ns\n",
                 r.name.c_str(), r.status.c_str(), r.o0_ns, r.o1_ns,
                 r.native_ns, r.o1_ns > 0 ? r.o0_ns / r.o1_ns : 0.0,
-                r.enclave_o1_ns, r.enclave_tele_ns);
+                r.enclave_o1_ns, r.enclave_tele_ns, r.enclave_span_ns);
   }
   return 0;
 }

@@ -1,5 +1,8 @@
 // An Eden-compliant HTTP library stage: classifies on <msg_type, url>
 // and emits {msg_id, msg_type, url, msg_size} (Table 2, second row).
+// classify() additionally stamps a lifecycle trace id on sampled
+// messages when the process-wide SpanCollector is enabled (see
+// telemetry/span.h), like every core::Stage.
 #pragma once
 
 #include <string_view>

@@ -1,6 +1,11 @@
 // An Eden-compliant memcached client library (the running example of
 // Sections 1-3): classifies messages on <msg_type, key> and emits
 // {msg_id, msg_type, key, msg_size} metadata (Table 2, first row).
+//
+// Like every core::Stage, classify() also stamps a lifecycle trace id
+// into the returned metadata for sampled messages when the process-wide
+// SpanCollector is enabled, so memcached requests show up end-to-end in
+// eden-trace output.
 #pragma once
 
 #include <string_view>

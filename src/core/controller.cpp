@@ -103,4 +103,9 @@ telemetry::AggregateTelemetry Controller::collect_telemetry() const {
   return telemetry::aggregate(std::move(snapshots));
 }
 
+std::string Controller::collect_spans_json() const {
+  return telemetry::to_trace_event_json(
+      telemetry::SpanCollector::instance().snapshot());
+}
+
 }  // namespace eden::core

@@ -66,6 +66,12 @@ class Controller {
   // telemetry::to_prometheus.
   telemetry::AggregateTelemetry collect_telemetry() const;
 
+  // Lifecycle spans (telemetry/span.h) rendered as Chrome trace_event
+  // JSON — load the result in Perfetto / chrome://tracing. The span
+  // collector is process-global, so this is a snapshot of every traced
+  // hop in the deployment, not just one enclave's.
+  std::string collect_spans_json() const;
+
   // --- Control-plane computations -----------------------------------------
 
   // Weighted paths between two hosts: weight proportional to the path's

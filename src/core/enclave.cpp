@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "lang/disasm.h"
 #include "lang/optimizer.h"
 
 namespace eden::core {
@@ -106,6 +107,12 @@ Enclave::Enclave(std::string name, ClassRegistry& registry,
     // Calibrate the latency tick clock now, not inside a timed region.
     if (config_.telemetry.histograms) telemetry::warm_clock();
   }
+  // Lifecycle span tracing rendezvouses in the process-global collector;
+  // enabling is idempotent, so every enclave configured for spans just
+  // (re)arms it with its sampling rate.
+  if (config_.telemetry.span_sample_every > 0) {
+    spans_.enable(config_.telemetry.span_sample_every);
+  }
 }
 
 Enclave::~Enclave() = default;
@@ -132,6 +139,9 @@ ActionId Enclave::install_action(const std::string& name,
   entry->program = std::move(program);
   entry->global_state =
       lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
+  if (config_.telemetry.profile_actions) {
+    entry->profile = std::make_unique<telemetry::ProgramProfile>();
+  }
   const ActionId id = entry->id;
   attach_instruments(*entry);
   actions_.push_back(std::move(entry));
@@ -369,13 +379,29 @@ Enclave::ClassCounters* Enclave::class_counter(ClassId cls) {
 
 bool Enclave::process(netsim::Packet& packet) {
   counters_.packets.fetch_add(1, std::memory_order_relaxed);
+  // Packets that arrive unstamped (direct callers without a stage in
+  // front) start a lifecycle trace here, paced by the collector's own
+  // 1-in-N countdown. Everything downstream keys off meta.trace_id, so
+  // an untraced packet costs one branch per hop.
+  if (config_.telemetry.span_sample_every != 0 && packet.meta.trace_id == 0) {
+    packet.meta.trace_id = spans_.maybe_start_trace();
+  }
   classify_flow(packet);
+
+  const std::int64_t trace_id = packet.meta.trace_id;
+  std::int64_t span_t0 = 0;
+  if (trace_id != 0) span_t0 = spans_.now_ns();
 
   for (Table& table : tables_) {
     const TableMatch hit = match_in_table(table, packet);
     if (hit.rule == nullptr) continue;
     ActionEntry* entry = actions_[hit.rule->action].get();
     if (entry == nullptr) continue;
+    if (trace_id != 0) {
+      const std::int64_t now = spans_.now_ns();
+      spans_.record(trace_id, telemetry::Hop::enclave_match, now,
+                    now - span_t0, entry->id);
+    }
     // With per-class telemetry on, the class slot is the sole counter
     // for this packet and stats() folds the slots back into the totals;
     // matching costs the same single fetch_add either way.
@@ -391,6 +417,9 @@ bool Enclave::process(netsim::Packet& packet) {
         cls->dropped.fetch_add(1, std::memory_order_relaxed);
       } else {
         counters_.dropped_by_action.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (trace_id != 0) {
+        spans_.record_now(trace_id, telemetry::Hop::enclave_drop, entry->id);
       }
       return false;
     }
@@ -421,13 +450,24 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   // per-class telemetry is on, so drops can be attributed after the
   // groups run.
   std::vector<std::pair<netsim::Packet*, ClassCounters*>> matched_classes;
+  const bool span_start = config_.telemetry.span_sample_every != 0;
   for (const netsim::PacketPtr& p : batch) {
+    if (span_start && p->meta.trace_id == 0) {
+      p->meta.trace_id = spans_.maybe_start_trace();
+    }
     classify_flow(*p);
     if (table == nullptr) continue;
     const TableMatch hit = match_in_table(*table, *p);
     if (hit.rule == nullptr) continue;
     ActionEntry* entry = actions_[hit.rule->action].get();
     if (entry == nullptr) continue;
+    if (p->meta.trace_id != 0) {
+      // Match duration is folded into the pre-process pass here; record
+      // the hop as an instant so the batched and per-packet paths emit
+      // the same sequence.
+      spans_.record_now(p->meta.trace_id, telemetry::Hop::enclave_match,
+                        entry->id);
+    }
     // Sole matched/dropped accounting when per-class telemetry is on
     // (stats() folds the slots back into the totals).
     if (ClassCounters* cls = class_counter(hit.cls); cls != nullptr) {
@@ -448,8 +488,13 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   for (const netsim::PacketPtr& p : batch) {
     if (!p->drop_mark) {
       ++kept;
-    } else if (class_counters_ == nullptr) {
-      counters_.dropped_by_action.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (class_counters_ == nullptr) {
+        counters_.dropped_by_action.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (p->meta.trace_id != 0) {
+        spans_.record_now(p->meta.trace_id, telemetry::Hop::enclave_drop);
+      }
     }
   }
   for (const auto& [p, cls] : matched_classes) {
@@ -508,6 +553,15 @@ void Enclave::run_action_batch(ActionEntry& entry,
   }
 
   if (!entry.native) ts.interp.set_clock(clock_fn_, clock_ctx_);
+  // Hot-spot profiling (opt-in diagnostics): the profile's cells are
+  // plain counters, so profiled executions of this action serialize on
+  // the profile mutex for the whole group.
+  std::unique_lock<std::mutex> profile_lock;
+  if (!entry.native && entry.profile != nullptr) {
+    profile_lock = std::unique_lock(entry.profile_mutex);
+    ts.interp.set_profile(entry.profile.get(),
+                          config_.telemetry.profile_cycle_sample_every);
+  }
   bool msg_dirty = false;
 
   // Telemetry is pay-for-what-you-enable: with histograms off the
@@ -528,6 +582,9 @@ void Enclave::run_action_batch(ActionEntry& entry,
       sampled = true;
     }
     const std::uint64_t t0 = sampled ? telemetry::now_ticks() : 0;
+    const std::int64_t span_id = packet->meta.trace_id;
+    std::int64_t span_t0 = 0;
+    if (span_id != 0) span_t0 = spans_.now_ns();
 
     lang::ExecStatus status;
     std::uint64_t steps = 0;
@@ -548,6 +605,11 @@ void Enclave::run_action_batch(ActionEntry& entry,
       entry.latency_hist->record(
           telemetry::ticks_to_ns(telemetry::now_ticks() - t0));
       if (entry.steps_hist != nullptr) entry.steps_hist->record(steps);
+    }
+    if (span_id != 0) {
+      const std::int64_t now = spans_.now_ns();
+      spans_.record(span_id, telemetry::Hop::action_exec, now, now - span_t0,
+                    entry.id);
     }
     entry.counters.executions.fetch_add(1, std::memory_order_relaxed);
 
@@ -585,6 +647,8 @@ void Enclave::run_action_batch(ActionEntry& entry,
       msg_dirty = true;
     }
   }
+
+  if (profile_lock.owns_lock()) ts.interp.set_profile(nullptr);
 
   if (msg_entry != nullptr && msg_dirty) {
     msg_entry->block = ts.message_block;
@@ -663,6 +727,18 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
         a.steps_hist = entry->steps_hist->snapshot();
       }
     }
+    if (entry->profile != nullptr) {
+      const telemetry::ProgramProfile prof = action_profile(entry->id);
+      if (!prof.empty()) {
+        a.has_profile = true;
+        a.profile_runs = prof.runs;
+        a.profile_instructions = prof.total_count();
+        a.hotspots = telemetry::hottest(prof);
+        for (telemetry::HotSpot& h : a.hotspots) {
+          h.text = lang::disassemble_instr(entry->program, h.pc);
+        }
+      }
+    }
     t.actions.push_back(std::move(a));
   }
 
@@ -707,6 +783,16 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
     }
   }
   return t;
+}
+
+telemetry::ProgramProfile Enclave::action_profile(ActionId id) const {
+  const ActionEntry& entry = checked_action(id);
+  telemetry::ProgramProfile out;
+  if (entry.profile != nullptr) {
+    std::lock_guard lock(entry.profile_mutex);
+    out = *entry.profile;
+  }
+  return out;
 }
 
 std::optional<std::int64_t> Enclave::peek_message_state(

@@ -37,7 +37,9 @@
 #include "core/enclave_schema.h"
 #include "lang/interpreter.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/snapshot.h"
+#include "telemetry/span.h"
 #include "telemetry/trace_ring.h"
 #include "util/rng.h"
 
@@ -104,6 +106,22 @@ struct TelemetryConfig {
   // executions into a bounded ring (0 = tracing off).
   std::uint32_t trace_sample_every = 0;
   std::size_t trace_capacity = 1024;
+  // Cross-layer lifecycle span tracing (telemetry/span.h): a non-zero
+  // value enables the process-global SpanCollector at 1-in-N message
+  // sampling and makes this enclave record match/exec/drop hops for
+  // packets whose meta carries a trace id — starting a trace itself for
+  // packets that arrive unstamped (direct process() callers without a
+  // stage in front). Works independently of `enabled`: spans are paced
+  // by their own countdown and cost one branch per hop when a packet is
+  // untraced.
+  std::uint32_t span_sample_every = 0;
+  // Per-action bytecode hot-spot profiles (telemetry/profile.h):
+  // per-pc execution counts plus cycle attribution sampled every
+  // `profile_cycle_sample_every` fetches. Opt-in diagnostics — profiled
+  // executions of the same action serialize on the profile, so leave
+  // this off on production data paths.
+  bool profile_actions = false;
+  std::uint32_t profile_cycle_sample_every = 64;
   // Slots for per-class match/drop counters; classes interned past this
   // bound land in a shared overflow slot.
   std::size_t max_classes = 1024;
@@ -262,6 +280,11 @@ class Enclave {
                                                  std::int64_t msg_key,
                                                  std::uint16_t slot) const;
 
+  // Merged hot-spot profile of a bytecode action (copy, so the caller
+  // can render it without racing the data path). Empty profile when
+  // config.telemetry.profile_actions is off or the action is native.
+  telemetry::ProgramProfile action_profile(ActionId id) const;
+
  private:
   struct MessageEntry {
     lang::StateBlock block;
@@ -313,6 +336,11 @@ class Enclave {
     // instruments live in metrics_, so raw pointers stay valid.
     telemetry::Histogram* latency_hist = nullptr;
     telemetry::Histogram* steps_hist = nullptr;
+    // Hot-spot profile (config.telemetry.profile_actions, bytecode
+    // actions only). Guarded by profile_mutex: plain uint64 cells, so
+    // concurrent profiled executions serialize on it.
+    std::unique_ptr<telemetry::ProgramProfile> profile;
+    mutable std::mutex profile_mutex;
   };
 
   struct MatchRule {
@@ -359,6 +387,9 @@ class Enclave {
   std::uint64_t instance_id_;
   lang::ClockFn clock_fn_ = nullptr;
   void* clock_ctx_ = nullptr;
+  // Cached once: instance() is out of line and guarded by the magic
+  // static check, which is too much for a per-packet call site.
+  telemetry::SpanCollector& spans_ = telemetry::SpanCollector::instance();
 
   std::vector<std::unique_ptr<ActionEntry>> actions_;
   std::vector<Table> tables_;

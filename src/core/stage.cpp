@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "telemetry/span.h"
+
 namespace eden::core {
 
 Stage::Stage(std::string name, std::vector<std::string> classifier_fields,
@@ -89,6 +91,19 @@ Classification Stage::classify(const MessageAttrs& attrs,
   if (want(MetaField::flow_size)) result.meta.flow_size = available.flow_size;
   if (want(MetaField::app_priority)) {
     result.meta.app_priority = available.app_priority;
+  }
+
+  // Lifecycle tracing starts at classification — the first hop a message
+  // takes through the stack. Sampled messages get a trace id stamped
+  // into their metadata unconditionally of the rules' meta masks; every
+  // later layer keys off it.
+  auto& spans = telemetry::SpanCollector::instance();
+  if (spans.enabled()) {
+    result.meta.trace_id = spans.maybe_start_trace();
+    if (result.meta.trace_id != 0) {
+      spans.record_now(result.meta.trace_id, telemetry::Hop::stage_classify,
+                       static_cast<std::int64_t>(result.classes.size()));
+    }
   }
   return result;
 }

@@ -1,6 +1,7 @@
 #include "core/wire.h"
 
 #include "lang/source_loc.h"
+#include "telemetry/span.h"
 #include "util/bytes.h"
 
 namespace eden::core::wire {
@@ -146,6 +147,10 @@ std::vector<std::uint8_t> encode_get_telemetry() {
   return header(Command::get_telemetry).take();
 }
 
+std::vector<std::uint8_t> encode_get_spans() {
+  return header(Command::get_spans).take();
+}
+
 std::vector<std::uint8_t> encode_get_stage_info() {
   return header(Command::get_stage_info).take();
 }
@@ -247,8 +252,11 @@ Response apply_checked(Enclave& enclave,
   ByteReader r(frame);
   if (r.u32() != kMagic) return fail(Status::bad_request, "bad magic");
   const std::uint8_t raw_cmd = r.u8();
-  if (raw_cmd < 1 ||
-      raw_cmd > static_cast<std::uint8_t>(Command::get_telemetry)) {
+  // Enclave commands are the contiguous [install_action, get_telemetry]
+  // range plus get_spans (appended after the stage commands).
+  if ((raw_cmd < 1 ||
+       raw_cmd > static_cast<std::uint8_t>(Command::get_telemetry)) &&
+      raw_cmd != static_cast<std::uint8_t>(Command::get_spans)) {
     return fail(Status::bad_request, "unknown command");
   }
   const auto cmd = static_cast<Command>(raw_cmd);
@@ -367,6 +375,13 @@ Response apply_checked(Enclave& enclave,
     case Command::get_telemetry: {
       const std::string json = telemetry::to_json(
           telemetry::aggregate({enclave.telemetry_snapshot()}));
+      Response resp;
+      resp.payload.assign(json.begin(), json.end());
+      return resp;
+    }
+    case Command::get_spans: {
+      const std::string json = telemetry::to_trace_event_json(
+          telemetry::SpanCollector::instance().snapshot());
       Response resp;
       resp.payload.assign(json.begin(), json.end());
       return resp;
@@ -504,6 +519,14 @@ Response RemoteEnclave::get_telemetry() {
 
 std::string RemoteEnclave::get_telemetry_json() {
   const Response r = get_telemetry();
+  if (r.status != Status::ok) return {};
+  return std::string(r.payload.begin(), r.payload.end());
+}
+
+Response RemoteEnclave::get_spans() { return roundtrip(encode_get_spans()); }
+
+std::string RemoteEnclave::get_spans_json() {
+  const Response r = get_spans();
   if (r.status != Status::ok) return {};
   return std::string(r.payload.begin(), r.payload.end());
 }

@@ -40,6 +40,11 @@ enum class Command : std::uint8_t {
   get_stage_info,
   create_stage_rule,
   remove_stage_rule,
+  // Lifecycle-span read-back: the enclave host returns the process-wide
+  // SpanCollector contents as Chrome trace_event JSON in
+  // Response::payload. Appended after the stage commands so existing
+  // frames keep their numbering.
+  get_spans,
 };
 
 enum class Status : std::uint8_t {
@@ -81,6 +86,7 @@ std::vector<std::uint8_t> encode_clear_flow_rules();
 std::vector<std::uint8_t> encode_read_global_scalar(
     const std::string& action_name, const std::string& field);
 std::vector<std::uint8_t> encode_get_telemetry();
+std::vector<std::uint8_t> encode_get_spans();
 
 // Stage API command encoders (Table 3: S0 get_stage_info,
 // S1 create_rule, S2 remove_rule).
@@ -143,6 +149,11 @@ class RemoteEnclave {
   // string overload returns the JSON directly, empty on failure.
   Response get_telemetry();
   std::string get_telemetry_json();
+  // Lifecycle spans as Chrome trace_event JSON (empty on failure). The
+  // collector is process-global on the enclave side, so one query per
+  // host suffices regardless of how many enclaves it runs.
+  Response get_spans();
+  std::string get_spans_json();
 
  private:
   Response roundtrip(std::vector<std::uint8_t> frame);

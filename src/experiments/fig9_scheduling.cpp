@@ -156,17 +156,35 @@ Fig9Result run_fig9(const Fig9Config& config) {
   const apps::PoissonArrivals arrivals(config.load, 10 * kGbps, dist.mean());
   std::int64_t next_msg_id = 1;
 
+  // The worker is an Eden-compliant stage (Section 3.3): message
+  // attributes go through classify(), which produces the classes and
+  // metadata stamped on the flow's packets — and, with span tracing on,
+  // starts the lifecycle trace at its first hop. The meta values are
+  // identical to what the harness used to stamp by hand.
+  core::Stage fig9_stage("fig9", {"kind"}, {"msg_id", "msg_size", "flow_size"},
+                         bed.registry());
+  bed.controller().register_stage(fig9_stage);
+  const core::MetaFieldMask fig9_mask = core::meta_bit(core::MetaField::msg_id) |
+                                        core::meta_bit(core::MetaField::msg_size) |
+                                        core::meta_bit(core::MetaField::flow_size);
+  fig9_stage.create_rule("flows", {core::FieldPattern::exact("response")},
+                         "response", fig9_mask);
+  fig9_stage.create_rule("flows", {core::FieldPattern::exact("background")},
+                         "background", fig9_mask);
+
   // Worker request-response flows at Poisson arrivals.
   std::function<void()> schedule_next = [&] {
     const netsim::SimTime gap = arrivals.next_gap(rng);
     bed.network().scheduler().after(gap, [&] {
       const std::uint64_t size = dist.sample(rng);
-      netsim::PacketMeta meta;
-      meta.msg_id = next_msg_id++;
-      meta.msg_size = static_cast<std::int64_t>(size);
-      meta.flow_size = static_cast<std::int64_t>(size);  // SFF app info
-      transport::TcpSender& sender =
-          worker_host.stack->open_flow(client.id(), kResponsePort, meta);
+      netsim::PacketMeta available;
+      available.msg_id = next_msg_id++;
+      available.msg_size = static_cast<std::int64_t>(size);
+      available.flow_size = static_cast<std::int64_t>(size);  // SFF app info
+      const core::Classification cls =
+          fig9_stage.classify({"response"}, available);
+      transport::TcpSender& sender = worker_host.stack->open_flow(
+          client.id(), kResponsePort, cls.meta, cls.classes);
       pending.emplace(sender.flow_id(),
                       PendingFlow{bed.network().now(), size});
       const netsim::FlowId fid = sender.flow_id();
@@ -181,12 +199,15 @@ Fig9Result run_fig9(const Fig9Config& config) {
   // saturated.
   constexpr std::uint64_t kBgFlowBytes = 50ULL * 1024 * 1024;
   std::function<void(TestHost&)> start_bg = [&](TestHost& src) {
-    netsim::PacketMeta meta;
-    meta.msg_id = next_msg_id++;
-    meta.msg_size = static_cast<std::int64_t>(kBgFlowBytes);
-    meta.flow_size = static_cast<std::int64_t>(kBgFlowBytes);
+    netsim::PacketMeta available;
+    available.msg_id = next_msg_id++;
+    available.msg_size = static_cast<std::int64_t>(kBgFlowBytes);
+    available.flow_size = static_cast<std::int64_t>(kBgFlowBytes);
+    const core::Classification cls =
+        fig9_stage.classify({"background"}, available);
     transport::TcpSender& sender =
-        src.stack->open_flow(client.id(), kBackgroundPort, meta);
+        src.stack->open_flow(client.id(), kBackgroundPort, cls.meta,
+                             cls.classes);
     const netsim::FlowId fid = sender.flow_id();
     sender.on_complete = [&, fid, &src2 = src] {
       src2.stack->close_flow(fid);

@@ -1,5 +1,7 @@
 #include "hoststack/host_stack.h"
 
+#include "telemetry/span.h"
+
 namespace eden::hoststack {
 
 namespace {
@@ -18,10 +20,19 @@ HostStack::HostStack(netsim::Network& network, netsim::HostNode& host,
       config_(config),
       nic_(network.scheduler(), host) {
   enclave_.set_clock(&scheduler_clock, &network_.scheduler());
+  // Lifecycle spans carry simulator timestamps, same as every other
+  // clock consumer in a testbed.
+  telemetry::SpanCollector::instance().set_clock(&scheduler_clock,
+                                                 &network_.scheduler());
   host_.set_deliver([this](netsim::PacketPtr p) { deliver(std::move(p)); });
 }
 
 void HostStack::transmit(netsim::PacketPtr packet) {
+  if (packet->meta.trace_id != 0) {
+    telemetry::SpanCollector::instance().record_now(
+        packet->meta.trace_id, telemetry::Hop::host_enqueue,
+        static_cast<std::int64_t>(packet->size_bytes));
+  }
   if (!enclave_.process(*packet)) {
     ++enclave_drops_;
     return;
@@ -39,6 +50,11 @@ void HostStack::transmit(netsim::PacketPtr packet) {
 }
 
 void HostStack::forward_to_nic(netsim::PacketPtr packet) {
+  if (packet->meta.trace_id != 0) {
+    telemetry::SpanCollector::instance().record_now(
+        packet->meta.trace_id, telemetry::Hop::host_dequeue,
+        static_cast<std::int64_t>(packet->rl_queue));
+  }
   nic_.send(std::move(packet));
 }
 

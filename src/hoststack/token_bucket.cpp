@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/span.h"
+
 namespace eden::hoststack {
 
 TokenBucket::TokenBucket(netsim::Scheduler& scheduler, std::uint64_t rate_bps,
@@ -33,14 +35,18 @@ void TokenBucket::refill() {
 }
 
 void TokenBucket::submit(netsim::PacketPtr packet) {
-  backlog_.push_back(std::move(packet));
+  std::int64_t enq_ns = 0;
+  if (packet->meta.trace_id != 0) {
+    enq_ns = telemetry::SpanCollector::instance().now_ns();
+  }
+  backlog_.push_back(Queued{std::move(packet), enq_ns});
   drain();
 }
 
 void TokenBucket::drain() {
   refill();
   while (!backlog_.empty()) {
-    const std::uint64_t cost = charge_of(*backlog_.front());
+    const std::uint64_t cost = charge_of(*backlog_.front().packet);
     // A charge larger than the bucket depth could never conform (refill
     // caps at burst_bytes), so conformance requires min(cost, burst)
     // while the full cost is deducted — the bucket goes into deficit and
@@ -51,18 +57,24 @@ void TokenBucket::drain() {
         cost < burst_bytes_ ? cost : burst_bytes_);
     if (tokens_ < required) break;
     tokens_ -= static_cast<double>(cost);
-    netsim::PacketPtr packet = std::move(backlog_.front());
+    Queued q = std::move(backlog_.front());
     backlog_.pop_front();
     ++released_packets_;
-    released_bytes_ += packet->size_bytes;
-    release_(std::move(packet));
+    released_bytes_ += q.packet->size_bytes;
+    if (q.packet->meta.trace_id != 0) {
+      auto& spans = telemetry::SpanCollector::instance();
+      const std::int64_t now = spans.now_ns();
+      spans.record(q.packet->meta.trace_id, telemetry::Hop::tb_wait, now,
+                   now - q.enq_ns, static_cast<std::int64_t>(cost));
+    }
+    release_(std::move(q.packet));
   }
   if (backlog_.empty() || rate_bps_ == 0) return;
 
   // Schedule a wake-up for when enough tokens accumulate for the head
   // packet. (A rate of zero stalls the queue until set_rate.)
   if (pending_drain_ != netsim::kInvalidEvent) return;
-  const std::uint64_t head_cost = charge_of(*backlog_.front());
+  const std::uint64_t head_cost = charge_of(*backlog_.front().packet);
   const double required = static_cast<double>(
       head_cost < burst_bytes_ ? head_cost : burst_bytes_);
   const double deficit = required - tokens_;

@@ -44,9 +44,17 @@ class TokenBucket {
   std::uint64_t burst_bytes_;
   ReleaseFn release_;
 
+  // Backlog entries carry the submit timestamp of span-traced packets
+  // (0 otherwise) so the release can emit a tb_wait span with the real
+  // queueing duration.
+  struct Queued {
+    netsim::PacketPtr packet;
+    std::int64_t enq_ns = 0;
+  };
+
   double tokens_;  // bytes
   netsim::SimTime last_refill_ = 0;
-  std::deque<netsim::PacketPtr> backlog_;
+  std::deque<Queued> backlog_;
   netsim::EventId pending_drain_ = netsim::kInvalidEvent;
   std::uint64_t released_packets_ = 0;
   std::uint64_t released_bytes_ = 0;

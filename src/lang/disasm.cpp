@@ -4,132 +4,187 @@
 
 namespace eden::lang {
 
+std::string disassemble_instr(const CompiledProgram& program,
+                              std::size_t pc) {
+  char buf[160];
+  const Instr& instr = program.code[pc];
+  switch (instr.op) {
+    case Op::push:
+      std::snprintf(buf, sizeof buf, "push         %lld",
+                    static_cast<long long>(instr.imm));
+      break;
+    case Op::load_local:
+    case Op::store_local:
+    case Op::tee_local:
+      std::snprintf(buf, sizeof buf, "%-12s local[%d]",
+                    std::string(op_name(instr.op)).c_str(), instr.a);
+      break;
+    case Op::load_local2:
+      std::snprintf(buf, sizeof buf, "%-12s local[%d], local[%lld]",
+                    std::string(op_name(instr.op)).c_str(), instr.a,
+                    static_cast<long long>(instr.imm));
+      break;
+    case Op::load_state:
+    case Op::store_state:
+    case Op::array_load:
+    case Op::array_store:
+    case Op::array_len:
+      std::snprintf(buf, sizeof buf, "%-12s %s.%u",
+                    std::string(op_name(instr.op)).c_str(),
+                    std::string(scope_name(operand_scope(instr.a))).c_str(),
+                    operand_slot(instr.a));
+      break;
+    case Op::load_state_push:
+      std::snprintf(buf, sizeof buf, "%-12s %s.%u, %lld",
+                    std::string(op_name(instr.op)).c_str(),
+                    std::string(scope_name(operand_scope(instr.a))).c_str(),
+                    operand_slot(instr.a),
+                    static_cast<long long>(instr.imm));
+      break;
+    case Op::jmp:
+    case Op::jz:
+    case Op::jnz:
+    case Op::cmp_eq_jz:
+    case Op::cmp_ne_jz:
+    case Op::cmp_lt_jz:
+    case Op::cmp_le_jz:
+    case Op::cmp_gt_jz:
+    case Op::cmp_ge_jz:
+      std::snprintf(buf, sizeof buf, "%-12s -> %d",
+                    std::string(op_name(instr.op)).c_str(), instr.a);
+      break;
+    case Op::cmp_eq_imm_jz:
+    case Op::cmp_ne_imm_jz:
+    case Op::cmp_lt_imm_jz:
+    case Op::cmp_le_imm_jz:
+    case Op::cmp_gt_imm_jz:
+    case Op::cmp_ge_imm_jz:
+    case Op::push_jmp:
+      std::snprintf(buf, sizeof buf, "%-12s %lld -> %d",
+                    std::string(op_name(instr.op)).c_str(),
+                    static_cast<long long>(instr.imm), instr.a);
+      break;
+    case Op::inc_local:
+      std::snprintf(buf, sizeof buf, "%-12s local[%d], %lld",
+                    std::string(op_name(instr.op)).c_str(), instr.a,
+                    static_cast<long long>(instr.imm));
+      break;
+    case Op::store_local2:
+      std::snprintf(buf, sizeof buf, "%-12s local[%d], local[%lld]",
+                    std::string(op_name(instr.op)).c_str(), instr.a,
+                    static_cast<long long>(instr.imm));
+      break;
+    case Op::array_load_off:
+    case Op::array_load_mul:
+      std::snprintf(buf, sizeof buf, "%-14s %s.%u, %lld",
+                    std::string(op_name(instr.op)).c_str(),
+                    std::string(scope_name(operand_scope(instr.a))).c_str(),
+                    operand_slot(instr.a),
+                    static_cast<long long>(instr.imm));
+      break;
+    case Op::array_load_rec:
+      std::snprintf(
+          buf, sizeof buf, "%-14s %s.%u, *%llu+%llu",
+          std::string(op_name(instr.op)).c_str(),
+          std::string(scope_name(operand_scope(instr.a))).c_str(),
+          operand_slot(instr.a),
+          static_cast<unsigned long long>(
+              static_cast<std::uint64_t>(instr.imm) >> 32),
+          static_cast<unsigned long long>(
+              static_cast<std::uint64_t>(instr.imm) & 0xffffffffull));
+      break;
+    case Op::call:
+      std::snprintf(
+          buf, sizeof buf, "call         %s",
+          static_cast<std::size_t>(instr.a) < program.functions.size()
+              ? program.functions[static_cast<std::size_t>(instr.a)]
+                    .name.c_str()
+              : "?");
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s",
+                    std::string(op_name(instr.op)).c_str());
+      break;
+  }
+  return buf;
+}
+
+namespace {
+
+void append_function_labels(std::string& out, const CompiledProgram& program,
+                            std::size_t i) {
+  char buf[160];
+  for (const auto& fn : program.functions) {
+    if (fn.addr == i) {
+      std::snprintf(buf, sizeof buf, "%s(nargs=%u, nlocals=%u):\n",
+                    fn.name.c_str(), fn.nargs, fn.nlocals);
+      out += buf;
+    }
+  }
+}
+
+}  // namespace
+
 std::string disassemble(const CompiledProgram& program) {
   std::string out;
-  char buf[160];
+  char buf[192];
 
   out += "; concurrency: ";
   out += concurrency_mode_name(program.concurrency);
   out += '\n';
 
   for (std::size_t i = 0; i < program.code.size(); ++i) {
-    for (const auto& fn : program.functions) {
-      if (fn.addr == i) {
-        std::snprintf(buf, sizeof buf, "%s(nargs=%u, nlocals=%u):\n",
-                      fn.name.c_str(), fn.nargs, fn.nlocals);
-        out += buf;
-      }
-    }
-    const Instr& instr = program.code[i];
-    switch (instr.op) {
-      case Op::push:
-        std::snprintf(buf, sizeof buf, "%4zu  push         %lld\n", i,
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::load_local:
-      case Op::store_local:
-      case Op::tee_local:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d]\n", i,
-                      std::string(op_name(instr.op)).c_str(), instr.a);
-        break;
-      case Op::load_local2:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d], local[%lld]\n",
-                      i, std::string(op_name(instr.op)).c_str(), instr.a,
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::load_state:
-      case Op::store_state:
-      case Op::array_load:
-      case Op::array_store:
-      case Op::array_len:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s %s.%u\n", i,
-                      std::string(op_name(instr.op)).c_str(),
-                      std::string(scope_name(operand_scope(instr.a))).c_str(),
-                      operand_slot(instr.a));
-        break;
-      case Op::load_state_push:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s %s.%u, %lld\n", i,
-                      std::string(op_name(instr.op)).c_str(),
-                      std::string(scope_name(operand_scope(instr.a))).c_str(),
-                      operand_slot(instr.a),
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::jmp:
-      case Op::jz:
-      case Op::jnz:
-      case Op::cmp_eq_jz:
-      case Op::cmp_ne_jz:
-      case Op::cmp_lt_jz:
-      case Op::cmp_le_jz:
-      case Op::cmp_gt_jz:
-      case Op::cmp_ge_jz:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s -> %d\n", i,
-                      std::string(op_name(instr.op)).c_str(), instr.a);
-        break;
-      case Op::cmp_eq_imm_jz:
-      case Op::cmp_ne_imm_jz:
-      case Op::cmp_lt_imm_jz:
-      case Op::cmp_le_imm_jz:
-      case Op::cmp_gt_imm_jz:
-      case Op::cmp_ge_imm_jz:
-      case Op::push_jmp:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s %lld -> %d\n", i,
-                      std::string(op_name(instr.op)).c_str(),
-                      static_cast<long long>(instr.imm), instr.a);
-        break;
-      case Op::inc_local:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d], %lld\n", i,
-                      std::string(op_name(instr.op)).c_str(), instr.a,
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::store_local2:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s local[%d], local[%lld]\n",
-                      i, std::string(op_name(instr.op)).c_str(), instr.a,
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::array_load_off:
-      case Op::array_load_mul:
-        std::snprintf(buf, sizeof buf, "%4zu  %-14s %s.%u, %lld\n", i,
-                      std::string(op_name(instr.op)).c_str(),
-                      std::string(scope_name(operand_scope(instr.a))).c_str(),
-                      operand_slot(instr.a),
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::array_load_rec:
-        std::snprintf(
-            buf, sizeof buf, "%4zu  %-14s %s.%u, *%llu+%llu\n", i,
-            std::string(op_name(instr.op)).c_str(),
-            std::string(scope_name(operand_scope(instr.a))).c_str(),
-            operand_slot(instr.a),
-            static_cast<unsigned long long>(
-                static_cast<std::uint64_t>(instr.imm) >> 32),
-            static_cast<unsigned long long>(
-                static_cast<std::uint64_t>(instr.imm) & 0xffffffffull));
-        break;
-      case Op::add_imm:
-      case Op::mul_imm:
-      case Op::cmp_eq_imm:
-      case Op::cmp_ne_imm:
-      case Op::cmp_lt_imm:
-      case Op::cmp_le_imm:
-      case Op::cmp_gt_imm:
-      case Op::cmp_ge_imm:
-        std::snprintf(buf, sizeof buf, "%4zu  %-12s %lld\n", i,
-                      std::string(op_name(instr.op)).c_str(),
-                      static_cast<long long>(instr.imm));
-        break;
-      case Op::call:
-        std::snprintf(
-            buf, sizeof buf, "%4zu  call         %s\n", i,
-            static_cast<std::size_t>(instr.a) < program.functions.size()
-                ? program.functions[static_cast<std::size_t>(instr.a)]
-                      .name.c_str()
-                : "?");
-        break;
-      default:
-        std::snprintf(buf, sizeof buf, "%4zu  %s\n", i,
-                      std::string(op_name(instr.op)).c_str());
-        break;
+    append_function_labels(out, program, i);
+    std::snprintf(buf, sizeof buf, "%4zu  %s\n", i,
+                  disassemble_instr(program, i).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string disassemble(const CompiledProgram& program,
+                        const telemetry::ProgramProfile& profile) {
+  std::string out;
+  char buf[224];
+
+  const std::uint64_t total_count = profile.total_count();
+  const std::uint64_t total_ticks = profile.total_ticks();
+  std::snprintf(buf, sizeof buf,
+                "; concurrency: %s\n"
+                "; profile: %llu run%s, %llu instructions executed%s\n",
+                std::string(concurrency_mode_name(program.concurrency))
+                    .c_str(),
+                static_cast<unsigned long long>(profile.runs),
+                profile.runs == 1 ? "" : "s",
+                static_cast<unsigned long long>(total_count),
+                total_ticks > 0 ? ", cycle-sampled" : "");
+  out += buf;
+
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    append_function_labels(out, program, i);
+    const std::uint64_t count =
+        i < profile.counts.size() ? profile.counts[i] : 0;
+    const std::uint64_t ticks =
+        i < profile.ticks.size() ? profile.ticks[i] : 0;
+    if (count == 0) {
+      std::snprintf(buf, sizeof buf, "%4zu  %-30s ;          -\n", i,
+                    disassemble_instr(program, i).c_str());
+    } else if (total_ticks > 0) {
+      std::snprintf(
+          buf, sizeof buf, "%4zu  %-30s ;%11llu %5.1f%% %5.1f%%\n", i,
+          disassemble_instr(program, i).c_str(),
+          static_cast<unsigned long long>(count),
+          100.0 * static_cast<double>(count) /
+              static_cast<double>(total_count),
+          100.0 * static_cast<double>(ticks) /
+              static_cast<double>(total_ticks));
+    } else {
+      std::snprintf(
+          buf, sizeof buf, "%4zu  %-30s ;%11llu %5.1f%%\n", i,
+          disassemble_instr(program, i).c_str(),
+          static_cast<unsigned long long>(count),
+          100.0 * static_cast<double>(count) /
+              static_cast<double>(total_count));
     }
     out += buf;
   }

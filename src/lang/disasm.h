@@ -5,6 +5,7 @@
 #include <string>
 
 #include "lang/bytecode.h"
+#include "telemetry/profile.h"
 
 namespace eden::lang {
 
@@ -13,5 +14,18 @@ namespace eden::lang {
 //   13  load_state  message.0
 // Function entry points are annotated with the function name.
 std::string disassemble(const CompiledProgram& program);
+
+// Just the mnemonic + operands of program.code[pc], no index or
+// newline (e.g. "load_state   message.0"). Shared by the plain and
+// profile-annotated renderings and by the telemetry hot-spot tables.
+std::string disassemble_instr(const CompiledProgram& program, std::size_t pc);
+
+// Profile-annotated disassembly: every line carries the instruction's
+// execution count, its share of all executed instructions, and — when
+// cycle sampling ran — its share of the sampled ticks:
+//   12  push         5              ;       4200  24.0%  18.3%
+// Instructions that never executed show a "-" count column.
+std::string disassemble(const CompiledProgram& program,
+                        const telemetry::ProgramProfile& profile);
 
 }  // namespace eden::lang

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "telemetry/metrics.h"  // now_ticks(): header-inline, no link dep
+
 // Threaded (computed-goto) dispatch on GCC/Clang; portable switch
 // fallback elsewhere or with -DEDEN_NO_COMPUTED_GOTO. Both paths share
 // the same opcode bodies via the EDEN_CASE / EDEN_NEXT macros below, so
@@ -72,10 +74,16 @@ Interpreter::Interpreter(ExecLimits limits, std::uint64_t rng_seed)
 ExecResult Interpreter::execute(const CompiledProgram& program,
                                 StateBlock* packet, StateBlock* message,
                                 StateBlock* global) {
-  if (program.preverified) {
-    return execute_impl<true>(program, packet, message, global);
+  if (profile_ != nullptr) {
+    if (program.preverified) {
+      return execute_impl<true, true>(program, packet, message, global);
+    }
+    return execute_impl<false, true>(program, packet, message, global);
   }
-  return execute_impl<false>(program, packet, message, global);
+  if (program.preverified) {
+    return execute_impl<true, false>(program, packet, message, global);
+  }
+  return execute_impl<false, false>(program, packet, message, global);
 }
 
 // Operand-stack representation: the stack holds `sp` elements; elements
@@ -89,7 +97,13 @@ ExecResult Interpreter::execute(const CompiledProgram& program,
 // range, state-operand scope, function index and nargs <= nlocals. All
 // data-dependent guards — operand-stack depth, locals bounds, array
 // bounds, call depth, fuel, null state blocks — run in both modes.
-template <bool Trusted>
+//
+// Profiled mode (profile_ set) bumps a per-pc execution count on every
+// fetch and, every profile_cycle_every_ fetches, attributes the ticks
+// elapsed since the previous sample to the pc observed now. It is a
+// separate instantiation so the normal data path carries no profiling
+// branches at all.
+template <bool Trusted, bool Profiled>
 ExecResult Interpreter::execute_impl(const CompiledProgram& program,
                                      StateBlock* packet, StateBlock* message,
                                      StateBlock* global) {
@@ -124,6 +138,27 @@ ExecResult Interpreter::execute_impl(const CompiledProgram& program,
   std::uint32_t max_stack = 0;
   Instr instr{};
   std::uint8_t opb = 0;
+
+  // Profiling state kept in locals so the fetch hook is a raw-pointer
+  // add; the arrays are sized to the full code once up front.
+  std::uint64_t* prof_counts = nullptr;
+  std::uint64_t* prof_ticks = nullptr;
+  std::uint32_t prof_cycle_every = 0;
+  std::uint32_t prof_countdown = 0;
+  std::uint64_t prof_last_tick = 0;
+  if constexpr (Profiled) {
+    profile_->ensure(code_size);
+    ++profile_->runs;
+    prof_counts = profile_->counts.data();
+    prof_ticks = profile_->ticks.data();
+    prof_cycle_every = profile_cycle_every_;
+    // The countdown persists across executions (so short programs still
+    // sample); the tick base resets here so a sample's delta never
+    // includes time spent between executions.
+    prof_countdown = profile_countdown_ != 0 ? profile_countdown_
+                                             : prof_cycle_every;
+    if (prof_cycle_every != 0) prof_last_tick = telemetry::now_ticks();
+  }
 
 #define EDEN_FAIL(st)                 \
   do {                                \
@@ -170,6 +205,15 @@ ExecResult Interpreter::execute_impl(const CompiledProgram& program,
       if (pc >= code_size) EDEN_FAIL(invalid_program);                    \
     }                                                                     \
     if (max_steps != 0 && steps >= max_steps) EDEN_FAIL(fuel_exhausted);  \
+    if constexpr (Profiled) {                                             \
+      ++prof_counts[pc];                                                  \
+      if (prof_cycle_every != 0 && --prof_countdown == 0) {               \
+        prof_countdown = prof_cycle_every;                                \
+        const std::uint64_t prof_t = telemetry::now_ticks();              \
+        prof_ticks[pc] += prof_t - prof_last_tick;                        \
+        prof_last_tick = prof_t;                                          \
+      }                                                                   \
+    }                                                                     \
     instr = code[pc++];                                                   \
     opb = static_cast<std::uint8_t>(instr.op);                            \
     if constexpr (!Trusted) {                                             \
@@ -709,6 +753,9 @@ ExecResult Interpreter::execute_impl(const CompiledProgram& program,
 #endif
 
 exec_done:
+  if constexpr (Profiled) {
+    profile_countdown_ = prof_countdown;
+  }
   result.steps = steps;
   result.max_stack = max_stack;
   return result;
@@ -723,11 +770,13 @@ exec_done:
 #undef EDEN_FAIL
 }
 
-template ExecResult Interpreter::execute_impl<false>(const CompiledProgram&,
-                                                     StateBlock*, StateBlock*,
-                                                     StateBlock*);
-template ExecResult Interpreter::execute_impl<true>(const CompiledProgram&,
-                                                    StateBlock*, StateBlock*,
-                                                    StateBlock*);
+template ExecResult Interpreter::execute_impl<false, false>(
+    const CompiledProgram&, StateBlock*, StateBlock*, StateBlock*);
+template ExecResult Interpreter::execute_impl<true, false>(
+    const CompiledProgram&, StateBlock*, StateBlock*, StateBlock*);
+template ExecResult Interpreter::execute_impl<false, true>(
+    const CompiledProgram&, StateBlock*, StateBlock*, StateBlock*);
+template ExecResult Interpreter::execute_impl<true, true>(
+    const CompiledProgram&, StateBlock*, StateBlock*, StateBlock*);
 
 }  // namespace eden::lang

@@ -16,6 +16,7 @@
 
 #include "lang/bytecode.h"
 #include "lang/state_schema.h"
+#include "telemetry/profile.h"
 #include "util/rng.h"
 
 namespace eden::lang {
@@ -76,6 +77,26 @@ class Interpreter {
   }
   void reseed(std::uint64_t seed) { rng_.reseed(seed); }
 
+  // Opt-in hot-spot profiling: while `profile` is non-null, execution
+  // switches to the profiled template instantiations (both dispatch
+  // modes), which bump `profile->counts[pc]` on every fetch and
+  // attribute sampled tick deltas to `profile->ticks[pc]` every
+  // `cycle_sample_every` fetches (0 disables cycle sampling; counts are
+  // always exact). The profile must outlive execution; the caller
+  // serializes access if the same profile is shared across threads.
+  void set_profile(telemetry::ProgramProfile* profile,
+                   std::uint32_t cycle_sample_every = 64) {
+    profile_ = profile;
+    profile_cycle_every_ = cycle_sample_every;
+    // Clamp rather than reset the running countdown: the enclave
+    // re-attaches the profile on every batch, and a reset would starve
+    // short programs of cycle samples forever.
+    if (profile_countdown_ == 0 || profile_countdown_ > cycle_sample_every) {
+      profile_countdown_ = cycle_sample_every;
+    }
+  }
+  telemetry::ProgramProfile* profile() const { return profile_; }
+
   // Executes `program` against the given state blocks. Any of the blocks
   // may be null if the program does not touch that scope (checked via
   // program.usage); a program touching a null scope fails with
@@ -96,7 +117,7 @@ class Interpreter {
   const ExecLimits& limits() const { return limits_; }
 
  private:
-  template <bool Trusted>
+  template <bool Trusted, bool Profiled>
   ExecResult execute_impl(const CompiledProgram& program, StateBlock* packet,
                           StateBlock* message, StateBlock* global);
 
@@ -104,6 +125,12 @@ class Interpreter {
   util::Rng rng_;
   ClockFn clock_fn_ = nullptr;
   void* clock_ctx_ = nullptr;
+  telemetry::ProgramProfile* profile_ = nullptr;
+  std::uint32_t profile_cycle_every_ = 64;
+  // Fetches left until the next cycle sample, carried across execute()
+  // calls so programs shorter than the sampling period still accumulate
+  // tick attributions over many runs.
+  std::uint32_t profile_countdown_ = 64;
 
   // Reused scratch space.
   std::vector<std::int64_t> stack_;

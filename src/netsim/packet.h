@@ -41,6 +41,7 @@ struct PacketMeta {
   std::int64_t key_hash = 0;   // e.g. memcached key hash
   std::int64_t flow_size = 0;  // app-provided flow size (SFF), 0 if unknown
   std::int64_t app_priority = 1;  // app-pinned priority; 1 = unset
+  std::int64_t trace_id = 0;   // lifecycle span trace id; 0 = untraced
 };
 
 // Classes assigned by stages: small fixed vector of interned class ids.

@@ -1,0 +1,36 @@
+#include "telemetry/profile.h"
+
+#include <algorithm>
+
+namespace eden::telemetry {
+
+std::vector<HotSpot> hottest(const ProgramProfile& profile,
+                             std::size_t max_rows) {
+  const std::uint64_t total_count = profile.total_count();
+  const std::uint64_t total_ticks = profile.total_ticks();
+  std::vector<HotSpot> rows;
+  for (std::size_t pc = 0; pc < profile.counts.size(); ++pc) {
+    if (profile.counts[pc] == 0) continue;
+    HotSpot h;
+    h.pc = static_cast<std::uint32_t>(pc);
+    h.count = profile.counts[pc];
+    h.ticks = profile.ticks[pc];
+    if (total_count > 0) {
+      h.count_pct = 100.0 * static_cast<double>(h.count) /
+                    static_cast<double>(total_count);
+    }
+    if (total_ticks > 0) {
+      h.ticks_pct = 100.0 * static_cast<double>(h.ticks) /
+                    static_cast<double>(total_ticks);
+    }
+    rows.push_back(h);
+  }
+  std::sort(rows.begin(), rows.end(), [](const HotSpot& a, const HotSpot& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.pc < b.pc;
+  });
+  if (rows.size() > max_rows) rows.resize(max_rows);
+  return rows;
+}
+
+}  // namespace eden::telemetry

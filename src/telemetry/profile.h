@@ -1,0 +1,79 @@
+// Bytecode hot-spot profile: per-pc execution counts and sampled cycle
+// attribution for one compiled action function.
+//
+// The interpreter's profiled dispatch mode (an explicit template
+// instantiation, so the normal mode pays nothing) bumps `counts[pc]` on
+// every fetch and, every `cycle_sample_every` fetches, attributes the
+// ticks elapsed since the previous sample to the pc observed now —
+// classic statistical profiling, so `ticks` is an estimate whose
+// resolution improves with run count while the common-case profiling
+// cost stays one decrement + one add per instruction.
+//
+// Everything the interpreter touches is inline in this header and free
+// of lang/ includes: eden_telemetry links eden_lang (for snapshot
+// structs), so the dependency must not point back. Ticks stay raw here;
+// conversion to nanoseconds happens at render time (profile.cpp, linked
+// only by telemetry consumers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eden::telemetry {
+
+struct ProgramProfile {
+  std::vector<std::uint64_t> counts;  // executions per pc
+  std::vector<std::uint64_t> ticks;   // sampled raw ticks per pc
+  std::uint64_t runs = 0;             // completed execute() calls
+
+  void ensure(std::size_t code_size) {
+    if (counts.size() < code_size) {
+      counts.resize(code_size, 0);
+      ticks.resize(code_size, 0);
+    }
+  }
+
+  void merge(const ProgramProfile& other) {
+    ensure(other.counts.size());
+    for (std::size_t i = 0; i < other.counts.size(); ++i) {
+      counts[i] += other.counts[i];
+      ticks[i] += other.ticks[i];
+    }
+    runs += other.runs;
+  }
+
+  std::uint64_t total_count() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts) total += c;
+    return total;
+  }
+
+  std::uint64_t total_ticks() const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t t : ticks) total += t;
+    return total;
+  }
+
+  bool empty() const { return total_count() == 0; }
+};
+
+// One row of a rendered hot-spot table: a pc with its share of the
+// action's executed instructions and sampled cycles. `text` is the
+// disassembled instruction (filled by whoever holds the program).
+struct HotSpot {
+  std::uint32_t pc = 0;
+  std::uint64_t count = 0;
+  std::uint64_t ticks = 0;
+  double count_pct = 0.0;  // of the profile's total executed instructions
+  double ticks_pct = 0.0;  // of the profile's total sampled ticks
+  std::string text;
+};
+
+// The `max_rows` hottest pcs by execution count (ties broken by pc),
+// with percentages filled in; pcs that never executed are skipped.
+std::vector<HotSpot> hottest(const ProgramProfile& profile,
+                             std::size_t max_rows = 8);
+
+}  // namespace eden::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string_view>
@@ -47,6 +48,39 @@ void merge_action(std::map<std::string, ActionTelemetry>& into,
     t.has_histograms = true;
     t.latency_ns.merge(a.latency_ns);
     t.steps_hist.merge(a.steps_hist);
+  }
+  if (a.has_profile) {
+    // Same action name = same program (the controller ships identical
+    // bytecode), so hot-spot rows merge by pc. Percentages are
+    // recomputed against the merged totals.
+    t.has_profile = true;
+    t.profile_runs += a.profile_runs;
+    t.profile_instructions += a.profile_instructions;
+    for (const HotSpot& h : a.hotspots) {
+      auto it = std::find_if(t.hotspots.begin(), t.hotspots.end(),
+                             [&](const HotSpot& x) { return x.pc == h.pc; });
+      if (it == t.hotspots.end()) {
+        t.hotspots.push_back(h);
+      } else {
+        it->count += h.count;
+        it->ticks += h.ticks;
+      }
+    }
+    std::sort(t.hotspots.begin(), t.hotspots.end(),
+              [](const HotSpot& x, const HotSpot& y) {
+                return x.count != y.count ? x.count > y.count : x.pc < y.pc;
+              });
+    std::uint64_t tick_total = 0;
+    for (const HotSpot& h : t.hotspots) tick_total += h.ticks;
+    for (HotSpot& h : t.hotspots) {
+      h.count_pct = t.profile_instructions > 0
+                        ? 100.0 * static_cast<double>(h.count) /
+                              static_cast<double>(t.profile_instructions)
+                        : 0.0;
+      h.ticks_pct = tick_total > 0 ? 100.0 * static_cast<double>(h.ticks) /
+                                         static_cast<double>(tick_total)
+                                   : 0.0;
+    }
   }
 }
 
@@ -121,6 +155,31 @@ void append_action_json(std::string& out, const ActionTelemetry& a) {
       append_histogram_json(out, "steps_hist", a.steps_hist);
     }
   }
+  if (a.has_profile) {
+    out += ",\"profile\":{\"runs\":";
+    out += std::to_string(a.profile_runs);
+    out += ",\"instructions\":";
+    out += std::to_string(a.profile_instructions);
+    out += ",\"hotspots\":[";
+    for (std::size_t i = 0; i < a.hotspots.size(); ++i) {
+      const HotSpot& h = a.hotspots[i];
+      if (i != 0) out += ',';
+      out += "{\"pc\":";
+      out += std::to_string(h.pc);
+      out += ",\"count\":";
+      out += std::to_string(h.count);
+      out += ",\"ticks\":";
+      out += std::to_string(h.ticks);
+      out += ",\"count_pct\":";
+      out += std::to_string(h.count_pct);
+      out += ",\"ticks_pct\":";
+      out += std::to_string(h.ticks_pct);
+      out += ",\"text\":\"";
+      out += json_escape(h.text);
+      out += "\"}";
+    }
+    out += "]}";
+  }
   out += '}';
 }
 
@@ -159,6 +218,8 @@ void append_trace_json(std::string& out, const TraceEntry& t) {
   out += std::to_string(t.meta.flow_size);
   out += ",\"app_priority\":";
   out += std::to_string(t.meta.app_priority);
+  out += ",\"trace_id\":";
+  out += std::to_string(t.meta.trace_id);
   out += "}}";
 }
 

@@ -17,6 +17,7 @@
 #include "lang/interpreter.h"
 #include "netsim/packet.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 
 namespace eden::telemetry {
 
@@ -33,6 +34,13 @@ struct ActionTelemetry {
   bool has_histograms = false;
   HistogramSnapshot latency_ns;
   HistogramSnapshot steps_hist;
+  // Bytecode hot spots, present when the enclave ran with
+  // profile_actions on: the top rows of the per-pc execution profile,
+  // with `text` already resolved to the disassembled instruction.
+  bool has_profile = false;
+  std::uint64_t profile_runs = 0;
+  std::uint64_t profile_instructions = 0;
+  std::vector<HotSpot> hotspots;
 };
 
 struct ClassTelemetry {

@@ -1,0 +1,166 @@
+// Cross-layer message lifecycle tracing.
+//
+// The paper's central mechanism is metadata travelling with a message
+// down the whole host stack (stage -> host stack -> enclave -> NIC,
+// Section 3.3). Spans piggyback on exactly that channel: a 64-bit trace
+// id is allocated at stage classification time (sampled 1-in-N with the
+// same per-thread countdown pacing the PR 2 instruments use), stored in
+// `PacketMeta::trace_id`, and every layer that already touches the
+// packet records a timestamped hop event when — and only when — the id
+// is non-zero. The off cost is therefore one predictable branch per
+// hop; with tracing disabled entirely no branch changes outcome and no
+// shared state is touched.
+//
+// Events land in lock-free per-thread lanes: each writer thread owns a
+// bounded ring (single writer, no CAS, no locks) and publishes its
+// write cursor with a release store. snapshot() merges the lanes into
+// one timestamp-sorted vector; under concurrent writers it is a
+// best-effort read of everything published so far (exact once writers
+// are quiescent, which is how the exporters use it).
+//
+// Export is Chrome/Perfetto `trace_event` JSON (catapult format): each
+// traced message becomes its own track (tid = trace id), queueing waits
+// render as duration slices, point hops as instants. Load the output of
+// `tools/eden-trace` (or the `get_spans` wire command) in
+// https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eden::telemetry {
+
+// One hop of a message's journey down (or off) the host stack.
+enum class Hop : std::uint8_t {
+  stage_classify = 0,  // stage assigned classes/metadata to the message
+  host_enqueue,        // packet entered the host stack's transmit path
+  host_dequeue,        // packet left the post-enclave stack for the NIC
+  tb_wait,             // time spent queued in a NIC token bucket
+  enclave_match,       // enclave classified + matched the packet
+  action_exec,         // action function ran (aux = action id)
+  enclave_drop,        // action asked for the packet to be dropped
+  nic_tx,              // packet handed to the wire
+  nic_drop,            // packet dropped at the NIC layer
+};
+inline constexpr std::size_t kNumHops = 9;
+
+const char* hop_name(Hop hop);
+
+// One recorded event. dur_ns == 0 means a point event; dur_ns > 0 means
+// a completed slice that *ended* at ts_ns (the renderer rewinds the
+// start so waits display with their real extent).
+struct SpanEvent {
+  std::int64_t trace_id = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  std::int64_t aux = 0;  // hop-specific: bytes, action id, queue id, ...
+  Hop hop = Hop::stage_classify;
+  std::uint8_t lane = 0;  // writer lane (diagnostic)
+};
+
+// Process-global span sink. Global on purpose: a trace crosses layers
+// (stage, stack, enclave, NIC) that share nothing but the packet, so
+// the collector is the one rendezvous point, exactly like a kernel
+// trace buffer. All hot-path methods are safe to call from any thread.
+class SpanCollector {
+ public:
+  using ClockFn = std::int64_t (*)(void* ctx);
+
+  static SpanCollector& instance();
+
+  // Turns tracing on at 1-in-`sample_every` message sampling (0 turns
+  // it off). Lanes are (re)sized to `lane_capacity` events only when it
+  // changes, so repeated enable() calls from multiple enclaves are
+  // cheap and idempotent.
+  void enable(std::uint32_t sample_every,
+              std::size_t lane_capacity = kDefaultLaneCapacity);
+  void disable() { sample_every_.store(0, std::memory_order_relaxed); }
+  bool enabled() const {
+    return sample_every_.load(std::memory_order_relaxed) != 0;
+  }
+  std::uint32_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  // Timestamps come from this clock; inject the simulator clock so sim
+  // runs emit sim-time spans (defaults to the calibrated tick clock).
+  void set_clock(ClockFn fn, void* ctx);
+  std::int64_t now_ns() const;
+
+  // Unconditionally allocates a fresh trace id (never 0, never reused).
+  std::int64_t start_trace() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Paced allocation: every `sample_every()`-th call from each thread
+  // returns a fresh id, all others return 0. This is the stage-side
+  // sampling decision. Inline — the enclave calls it per packet, so the
+  // common not-sampled path must stay a load, a TLS decrement and a
+  // branch. Owns its countdown rather than using sample_1_in(): that
+  // helper's per-thread state is shared across every call site, and the
+  // enclave already paces its instruments with it.
+  std::int64_t maybe_start_trace() {
+    const std::uint32_t n = sample_every_.load(std::memory_order_relaxed);
+    if (n == 0) return 0;
+    thread_local std::uint32_t countdown = 1;
+    if (--countdown != 0) return 0;
+    countdown = n;
+    return start_trace();
+  }
+
+  // Records one event on the calling thread's lane. Callers gate on
+  // `trace_id != 0` themselves — that branch is the entire per-hop cost
+  // for untraced packets.
+  void record(std::int64_t trace_id, Hop hop, std::int64_t ts_ns,
+              std::int64_t dur_ns = 0, std::int64_t aux = 0);
+  void record_now(std::int64_t trace_id, Hop hop, std::int64_t aux = 0) {
+    record(trace_id, hop, now_ns(), 0, aux);
+  }
+
+  // Merged, timestamp-sorted view of every lane (most recent
+  // `lane_capacity` events per lane survive wraparound).
+  std::vector<SpanEvent> snapshot() const;
+  std::uint64_t total_recorded() const;
+  // Events overwritten by ring wraparound.
+  std::uint64_t overwritten() const;
+
+  // Drops all recorded events and resets the id allocator; keeps the
+  // sampling/clock configuration. Test and bench scaffolding only.
+  void reset();
+
+  static constexpr std::size_t kDefaultLaneCapacity = 16384;
+
+ private:
+  // Single-writer bounded ring. The owning thread writes the slot, then
+  // publishes with a release store of the cursor; readers acquire the
+  // cursor and walk back at most `ring.size()` slots.
+  struct Lane {
+    std::vector<SpanEvent> ring;
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  SpanCollector();
+  Lane& lane_for_this_thread();
+
+  std::atomic<std::uint32_t> sample_every_{0};
+  std::atomic<std::int64_t> next_id_{1};
+  std::atomic<ClockFn> clock_fn_{nullptr};
+  std::atomic<void*> clock_ctx_{nullptr};
+
+  // Lane list: stable addresses (unique_ptr), appended under the mutex
+  // on first use per thread, then never moved or freed.
+  mutable std::mutex lanes_mutex_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::size_t lane_capacity_ = kDefaultLaneCapacity;
+};
+
+// Renders events as Chrome `trace_event` JSON ({"traceEvents": [...]}).
+// pid is 1 ("eden"), tid is the trace id, so Perfetto shows one track
+// per traced message. Events with dur_ns > 0 become "X" complete slices
+// (ts rewound to the start), others "i" instants.
+std::string to_trace_event_json(const std::vector<SpanEvent>& events);
+
+}  // namespace eden::telemetry

@@ -1,20 +1,33 @@
-// eden-stat: pretty-prints a live telemetry snapshot from a canned
-// testbed run.
+// eden-stat: pretty-prints a telemetry snapshot — either live from a
+// canned testbed run, or re-rendered from a TELEMETRY_*.json file that
+// a bench wrote earlier.
 //
-// Spins up a two-host testbed (client -> switch -> server), classifies
-// the client's traffic into named classes with enclave flow rules, runs
-// PIAS over those classes plus a random ~3% dropper on the background
-// class, drives TCP traffic for a while, then pulls the controller-side
-// aggregate and renders it.
+// Live mode spins up a two-host testbed (client -> switch -> server),
+// classifies the client's traffic into named classes with enclave flow
+// rules, runs PIAS over those classes plus a random ~3% dropper on the
+// background class, drives TCP traffic for a while, then pulls the
+// controller-side aggregate and renders it. File mode parses the JSON
+// dump back into the same structures, so every rendering (tables,
+// --prom, --json round-trip) works on saved snapshots too.
 //
-// Usage: eden-stat [--ms=SIM_MS] [--sample=N] [--trace] [--json] [--prom]
+// Usage: eden-stat [TELEMETRY.json] [--ms=SIM_MS] [--sample=N]
+//                  [--trace] [--json] [--prom]
+//   TELEMETRY.json  render a saved bench snapshot instead of running
 //   --ms=N      simulated milliseconds of traffic (default 200)
 //   --sample=N  trace-ring sampling: record 1-in-N executions (default 16)
 //   --trace     also print the sampled trace entries
 //   --json      print the JSON dump instead of tables
 //   --prom      print the Prometheus text exposition instead of tables
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_args.h"
 #include "experiments/testbed.h"
@@ -65,6 +78,347 @@ void install_functions(experiments::TestHost& client,
   const core::TableId drop_table = enclave.create_table("chaos");
   enclave.add_rule(drop_table, core::ClassPattern("enclave.flows.background"),
                    dropper);
+}
+
+// --- TELEMETRY_*.json loader -------------------------------------------
+//
+// Minimal recursive-descent JSON reader, tool-local on purpose: the
+// input is machine-written by telemetry::to_json, so only the subset
+// that emitter produces needs to parse. Numbers keep their source text
+// so 64-bit counters round-trip without double precision loss.
+
+struct Json {
+  enum class Kind { null, boolean, number, string, array, object };
+  Kind kind = Kind::null;
+  bool boolean = false;
+  std::string text;  // number source text or string value
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  const Json* get(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  std::uint64_t u64(const std::string& key, std::uint64_t dflt = 0) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::number
+               ? std::strtoull(v->text.c_str(), nullptr, 10)
+               : dflt;
+  }
+  std::int64_t i64(const std::string& key, std::int64_t dflt = 0) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::number
+               ? std::strtoll(v->text.c_str(), nullptr, 10)
+               : dflt;
+  }
+  double num(const std::string& key, double dflt = 0.0) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::number
+               ? std::strtod(v->text.c_str(), nullptr)
+               : dflt;
+  }
+  std::string str(const std::string& key) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::string ? v->text : std::string();
+  }
+  bool flag(const std::string& key) const {
+    const Json* v = get(key);
+    return v != nullptr && v->kind == Kind::boolean && v->boolean;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : s_(std::move(text)) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (i_ != s_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(i_) + ": " + what);
+  }
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (i_ >= s_.size()) fail("unexpected end of input");
+    return s_[i_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++i_;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (i_ >= s_.size()) fail("unterminated string");
+      const char c = s_[i_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[i_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) fail("bad \\u escape");
+          const unsigned long cp =
+              std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16);
+          i_ += 4;
+          // The emitter only escapes control characters, so the code
+          // point always fits one byte.
+          out += static_cast<char>(cp & 0xff);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json value() {
+    const char c = peek();
+    Json v;
+    if (c == '{') {
+      v.kind = Json::Kind::object;
+      ++i_;
+      if (peek() == '}') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        std::string key = string_body();
+        expect(':');
+        v.fields.emplace_back(std::move(key), value());
+        const char n = peek();
+        ++i_;
+        if (n == '}') return v;
+        if (n != ',') fail("expected , or }");
+        skip_ws();
+      }
+    }
+    if (c == '[') {
+      v.kind = Json::Kind::array;
+      ++i_;
+      if (peek() == ']') {
+        ++i_;
+        return v;
+      }
+      while (true) {
+        v.items.push_back(value());
+        const char n = peek();
+        ++i_;
+        if (n == ']') return v;
+        if (n != ',') fail("expected , or ]");
+      }
+    }
+    if (c == '"') {
+      v.kind = Json::Kind::string;
+      v.text = string_body();
+      return v;
+    }
+    if (c == 't' || c == 'f' || c == 'n') {
+      const char* word = c == 't' ? "true" : c == 'f' ? "false" : "null";
+      const std::size_t len = std::strlen(word);
+      if (s_.compare(i_, len, word) != 0) fail("bad literal");
+      i_ += len;
+      v.kind = c == 'n' ? Json::Kind::null : Json::Kind::boolean;
+      v.boolean = c == 't';
+      return v;
+    }
+    // Number: keep the raw text.
+    v.kind = Json::Kind::number;
+    const std::size_t start = i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+            s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+    }
+    if (i_ == start) fail("expected value");
+    v.text = s_.substr(start, i_ - start);
+    return v;
+  }
+
+  std::string s_;
+  std::size_t i_ = 0;
+};
+
+telemetry::HistogramSnapshot load_histogram(const Json& j) {
+  telemetry::HistogramSnapshot h;
+  h.count = j.u64("count");
+  h.sum = j.u64("sum");
+  if (const Json* buckets = j.get("buckets")) {
+    for (const Json& pair : buckets->items) {
+      if (pair.items.size() != 2) continue;
+      const std::uint64_t upper =
+          std::strtoull(pair.items[0].text.c_str(), nullptr, 10);
+      for (std::size_t k = 0; k < telemetry::kHistogramBuckets; ++k) {
+        if (telemetry::bucket_upper_bound(k) == upper) {
+          h.counts[k] = std::strtoull(pair.items[1].text.c_str(), nullptr, 10);
+          break;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+telemetry::ActionTelemetry load_action(const Json& j) {
+  telemetry::ActionTelemetry a;
+  a.name = j.str("name");
+  a.native = j.flag("native");
+  a.executions = j.u64("executions");
+  a.errors = j.u64("errors");
+  a.steps = j.u64("steps");
+  if (const Json* errs = j.get("errors_by_status")) {
+    for (const auto& [status, count] : errs->fields) {
+      for (std::size_t i = 0; i < lang::kNumExecStatus; ++i) {
+        if (status == lang::exec_status_name(static_cast<lang::ExecStatus>(i))) {
+          a.errors_by_status[i] =
+              std::strtoull(count.text.c_str(), nullptr, 10);
+          break;
+        }
+      }
+    }
+  }
+  if (const Json* lat = j.get("latency_ns")) {
+    a.has_histograms = true;
+    a.latency_ns = load_histogram(*lat);
+    if (const Json* steps = j.get("steps_hist")) {
+      a.steps_hist = load_histogram(*steps);
+    }
+  }
+  if (const Json* prof = j.get("profile")) {
+    a.has_profile = true;
+    a.profile_runs = prof->u64("runs");
+    a.profile_instructions = prof->u64("instructions");
+    if (const Json* hot = prof->get("hotspots")) {
+      for (const Json& hj : hot->items) {
+        telemetry::HotSpot h;
+        h.pc = static_cast<std::uint32_t>(hj.u64("pc"));
+        h.count = hj.u64("count");
+        h.ticks = hj.u64("ticks");
+        h.count_pct = hj.num("count_pct");
+        h.ticks_pct = hj.num("ticks_pct");
+        h.text = hj.str("text");
+        a.hotspots.push_back(std::move(h));
+      }
+    }
+  }
+  return a;
+}
+
+telemetry::TraceEntry load_trace_entry(const Json& j) {
+  telemetry::TraceEntry t;
+  t.ts_ns = j.i64("ts_ns");
+  t.class_name = j.str("class");
+  t.action = j.str("action");
+  t.status = j.str("status");
+  t.steps = j.u64("steps");
+  if (const Json* m = j.get("meta")) {
+    t.meta.msg_id = m->i64("msg_id");
+    t.meta.msg_type = m->i64("msg_type");
+    t.meta.msg_size = m->i64("msg_size");
+    t.meta.tenant = m->i64("tenant");
+    t.meta.key_hash = m->i64("key_hash");
+    t.meta.flow_size = m->i64("flow_size");
+    t.meta.app_priority = m->i64("app_priority");
+    t.meta.trace_id = m->i64("trace_id");
+  }
+  return t;
+}
+
+// Rebuilds the aggregate from a saved dump. Only the per-enclave
+// snapshots are read back; totals and cross-enclave merges are
+// recomputed by aggregate(), the same path the live snapshot takes.
+// Bench dumps may concatenate runs as {"run label": {...}, ...}; every
+// object with an "enclaves" array contributes.
+telemetry::AggregateTelemetry load_telemetry_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json root = JsonParser(buffer.str()).parse();
+
+  std::vector<const Json*> dumps;
+  if (root.get("enclaves") != nullptr) {
+    dumps.push_back(&root);
+  } else if (const Json* runs = root.get("runs")) {
+    // bench::combine_telemetry_runs format:
+    // {"runs":[{"label":...,"telemetry":{...}}, ...]}
+    for (const Json& run : runs->items) {
+      const Json* t = run.get("telemetry");
+      if (t != nullptr && t->get("enclaves") != nullptr) dumps.push_back(t);
+    }
+  } else {
+    for (const auto& [label, v] : root.fields) {
+      if (v.get("enclaves") != nullptr) dumps.push_back(&v);
+    }
+  }
+  if (dumps.empty()) {
+    throw std::runtime_error(path + ": no \"enclaves\" array found");
+  }
+
+  std::vector<telemetry::EnclaveTelemetry> enclaves;
+  for (const Json* dump : dumps) {
+    for (const Json& ej : dump->get("enclaves")->items) {
+      telemetry::EnclaveTelemetry e;
+      e.enclave = ej.str("name");
+      e.telemetry_enabled = ej.flag("telemetry_enabled");
+      e.packets = ej.u64("packets");
+      e.matched = ej.u64("matched");
+      e.dropped_by_action = ej.u64("dropped_by_action");
+      e.message_entries_created = ej.u64("message_entries_created");
+      e.message_entries_evicted = ej.u64("message_entries_evicted");
+      if (const Json* actions = ej.get("actions")) {
+        for (const Json& aj : actions->items) {
+          e.actions.push_back(load_action(aj));
+        }
+      }
+      if (const Json* classes = ej.get("classes")) {
+        for (const Json& cj : classes->items) {
+          telemetry::ClassTelemetry c;
+          c.name = cj.str("class");
+          c.matched = cj.u64("matched");
+          c.dropped = cj.u64("dropped");
+          e.classes.push_back(std::move(c));
+        }
+      }
+      e.trace_sampled = ej.u64("trace_sampled");
+      e.trace_sample_every =
+          static_cast<std::uint32_t>(ej.u64("trace_sample_every"));
+      if (const Json* trace = ej.get("trace")) {
+        for (const Json& tj : trace->items) {
+          e.trace.push_back(load_trace_entry(tj));
+        }
+      }
+      enclaves.push_back(std::move(e));
+    }
+  }
+  return telemetry::aggregate(std::move(enclaves));
 }
 
 std::string error_breakdown(const telemetry::ActionTelemetry& a) {
@@ -124,6 +478,27 @@ void print_tables(const telemetry::AggregateTelemetry& agg, bool with_trace) {
   std::printf("\nActions (latency percentiles over sampled executions)\n");
   std::fputs(actions.render().c_str(), stdout);
 
+  bool any_profile = false;
+  for (const telemetry::ActionTelemetry& a : agg.actions) {
+    any_profile = any_profile || (a.has_profile && !a.hotspots.empty());
+  }
+  if (any_profile) {
+    util::TextTable hot;
+    hot.add_row({"action", "pc", "instruction", "count", "count %",
+                 "cycles %"});
+    for (const telemetry::ActionTelemetry& a : agg.actions) {
+      if (!a.has_profile) continue;
+      for (const telemetry::HotSpot& h : a.hotspots) {
+        hot.add_row({a.name, std::to_string(h.pc), h.text,
+                     std::to_string(h.count), util::fmt(h.count_pct, 1),
+                     util::fmt(h.ticks_pct, 1)});
+      }
+    }
+    std::printf("\nBytecode hot spots (top instructions per profiled "
+                "action)\n");
+    std::fputs(hot.render().c_str(), stdout);
+  }
+
   if (with_trace) {
     for (const telemetry::EnclaveTelemetry& e : agg.enclaves) {
       if (e.trace.empty()) continue;
@@ -158,6 +533,31 @@ int main(int argc, char** argv) {
   const bool as_prom = bench::has_flag(argc, argv, "--prom");
   const bool with_trace = bench::has_flag(argc, argv, "--trace");
 
+  std::string input_path;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') input_path = argv[i];
+  }
+  if (!input_path.empty()) {
+    // File mode: re-render a saved bench snapshot.
+    try {
+      const telemetry::AggregateTelemetry agg =
+          load_telemetry_file(input_path);
+      if (as_json) {
+        std::fputs((telemetry::to_json(agg) + "\n").c_str(), stdout);
+      } else if (as_prom) {
+        std::fputs(telemetry::to_prometheus(agg).c_str(), stdout);
+      } else {
+        std::printf("eden-stat: snapshot loaded from %s (%zu enclave(s))\n\n",
+                    input_path.c_str(), agg.enclaves.size());
+        print_tables(agg, with_trace);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "eden-stat: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
   experiments::Testbed bed;
   auto& client = bed.add_host("client");
   auto& server = bed.add_host("server");
@@ -174,6 +574,8 @@ int main(int argc, char** argv) {
   ec.telemetry.histogram_sample_every = 1;
   ec.telemetry.trace_sample_every =
       sample > 0 ? static_cast<std::uint32_t>(sample) : 0;
+  // Profile the interpreted actions so the hot-spot table has rows.
+  ec.telemetry.profile_actions = true;
   bed.finalize(ec);
 
   experiments::TestHost& client_host = *bed.host_by_name("client");

@@ -8,10 +8,16 @@
 //
 // Usage:
 //   edenc FILE.eal [--emit OUT.edbc] [--run] [--global name[:array]]...
+//         [--profile] [--profile-runs N]
 //
 // Global state fields referenced by the program are declared with
 // --global; plain names are read-only scalars, ":array" suffixes make
 // plain arrays, "name:a,b,c" makes a record array with those fields.
+//
+// --profile executes the compiled bytecode in the real interpreter
+// (zeroed state, --profile-runs executions, default 100) with the
+// hot-spot profiler attached, then prints the disassembly annotated
+// with per-instruction execution counts and sampled cycle shares.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,14 +30,17 @@
 #include "lang/ast_eval.h"
 #include "lang/compiler.h"
 #include "lang/disasm.h"
+#include "lang/interpreter.h"
 #include "lang/optimizer.h"
 #include "lang/parser.h"
+#include "telemetry/profile.h"
 
 namespace {
 
 int usage() {
   std::fprintf(stderr,
                "usage: edenc FILE.eal [-O0|-O1] [--emit OUT.edbc] [--run]\n"
+               "             [--profile] [--profile-runs N]\n"
                "             [--global NAME | --global NAME:array |\n"
                "              --global NAME:f1,f2,...]...\n");
   return 2;
@@ -68,6 +77,8 @@ int main(int argc, char** argv) {
   std::string input_path;
   std::string emit_path;
   bool run = false;
+  bool profile = false;
+  long profile_runs = 100;
   lang::OptLevel opt_level = lang::OptLevel::O1;
   std::vector<lang::FieldDef> globals;
 
@@ -77,6 +88,11 @@ int main(int argc, char** argv) {
       emit_path = argv[++i];
     } else if (arg == "--run") {
       run = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--profile-runs" && i + 1 < argc) {
+      profile_runs = std::strtol(argv[++i], nullptr, 10);
+      profile = true;
     } else if (arg == "-O0") {
       opt_level = lang::OptLevel::O0;
     } else if (arg == "-O1") {
@@ -148,6 +164,28 @@ int main(int argc, char** argv) {
                   lang::disassemble(program).c_str());
     } else {
       std::printf("\n%s", lang::disassemble(program).c_str());
+    }
+
+    if (profile) {
+      lang::StateBlock pkt =
+          lang::StateBlock::from_schema(schema, lang::Scope::packet);
+      lang::StateBlock msg =
+          lang::StateBlock::from_schema(schema, lang::Scope::message);
+      lang::StateBlock glb =
+          lang::StateBlock::from_schema(schema, lang::Scope::global);
+      lang::Interpreter interp;
+      telemetry::ProgramProfile prof;
+      interp.set_profile(&prof);
+      lang::ExecStatus last = lang::ExecStatus::ok;
+      for (long r = 0; r < profile_runs; ++r) {
+        last = interp.execute(program, &pkt, &msg, &glb).status;
+      }
+      interp.set_profile(nullptr);
+      std::printf("\n; ---- hot-spot profile (%ld run(s), zeroed state, "
+                  "last status: %s) ----\n%s",
+                  profile_runs,
+                  std::string(lang::exec_status_name(last)).c_str(),
+                  lang::disassemble(program, prof).c_str());
     }
 
     if (!emit_path.empty()) {
