@@ -1,0 +1,175 @@
+// Microbenchmarks of the control-plane session layer: the cost of
+// driving rule-set updates through the framed session (encode, pipe
+// delivery, wire apply, response) per-command versus batched in one
+// transaction, and what the RCU snapshot publication costs the data
+// path — steady-state reads (epoch hit) and reads right after a
+// publish (epoch miss + snapshot refetch).
+#include <benchmark/benchmark.h>
+
+#include "controlplane/session.h"
+#include "core/controller.h"
+
+namespace {
+
+using namespace eden;
+
+// One session wired to one enclave over a clean in-memory pipe, driven
+// by a virtual clock with timeouts far beyond any benchmark iteration.
+struct Bed {
+  core::ClassRegistry registry;
+  core::Controller controller{registry};
+  core::Enclave enclave{"bench", registry};
+  controlplane::PipePump pump;
+  controlplane::EnclaveAgent agent{enclave};
+  std::uint64_t now_ns = 0;
+  std::unique_ptr<controlplane::EnclaveSession> session;
+
+  Bed() {
+    controlplane::SessionConfig config;
+    config.heartbeat_interval_ns = 1'000'000'000'000;  // out of the way
+    config.liveness_timeout_ns = 2'000'000'000'000;
+    config.request_timeout_ns = 2'000'000'000'000;
+    session = std::make_unique<controlplane::EnclaveSession>(
+        "bench",
+        [this]() {
+          auto [near, far] = controlplane::make_pipe(pump);
+          agent.attach(std::move(far));
+          return std::move(near);
+        },
+        [this]() { return now_ns; }, config);
+    session->tick();  // dial
+    pump.run();       // greet + empty resync
+  }
+
+  // Drains every queued frame: requests to the agent, responses back.
+  void drain() { pump.run(); }
+
+  lang::CompiledProgram priority_program(const std::string& name, int value) {
+    return controller.compile(
+        name, "fun(p, m, g) -> p.priority <- " + std::to_string(value), {});
+  }
+};
+
+// Flip `rules` table rules between two actions, one wire command at a
+// time: every remove and every add is its own request and its own
+// published snapshot on the enclave.
+void BM_ControlPlane_RepointPerCommand(benchmark::State& state) {
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  Bed bed;
+  bed.session->install_action("pa", bed.priority_program("pa", 3), {});
+  bed.session->install_action("pb", bed.priority_program("pb", 5), {});
+  std::vector<controlplane::EnclaveSession::RuleHandle> handles;
+  for (std::size_t i = 0; i < rules; ++i) {
+    handles.push_back(
+        bed.session->add_rule("t", "c" + std::to_string(i), "pa"));
+  }
+  bed.drain();
+
+  bool flip = false;
+  for (auto _ : state) {
+    const std::string target = flip ? "pa" : "pb";
+    flip = !flip;
+    for (std::size_t i = 0; i < rules; ++i) {
+      bed.session->remove_rule("t", handles[i]);
+      handles[i] =
+          bed.session->add_rule("t", "c" + std::to_string(i), target);
+      bed.drain();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rules));
+}
+BENCHMARK(BM_ControlPlane_RepointPerCommand)->Arg(8)->Arg(64);
+
+// The same repoint batched between begin_txn and commit_txn: the agent
+// stages every mutation and the enclave publishes one snapshot.
+void BM_ControlPlane_RepointBatchedTxn(benchmark::State& state) {
+  const auto rules = static_cast<std::size_t>(state.range(0));
+  Bed bed;
+  bed.session->install_action("pa", bed.priority_program("pa", 3), {});
+  bed.session->install_action("pb", bed.priority_program("pb", 5), {});
+  std::vector<controlplane::EnclaveSession::RuleHandle> handles;
+  for (std::size_t i = 0; i < rules; ++i) {
+    handles.push_back(
+        bed.session->add_rule("t", "c" + std::to_string(i), "pa"));
+  }
+  bed.drain();
+
+  bool flip = false;
+  for (auto _ : state) {
+    const std::string target = flip ? "pa" : "pb";
+    flip = !flip;
+    bed.session->begin_txn();
+    for (std::size_t i = 0; i < rules; ++i) {
+      bed.session->remove_rule("t", handles[i]);
+      handles[i] =
+          bed.session->add_rule("t", "c" + std::to_string(i), target);
+    }
+    bed.session->commit_txn();
+    bed.drain();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rules));
+}
+BENCHMARK(BM_ControlPlane_RepointBatchedTxn)->Arg(8)->Arg(64);
+
+// Steady-state data-path read: the per-packet RCU cost when the rule
+// set is quiescent is one acquire load of the publish epoch (the
+// snapshot pointer is cached per thread). Directly comparable with the
+// BM_Process numbers in micro_enclave.
+void BM_ControlPlane_SnapshotReadSteady(benchmark::State& state) {
+  core::ClassRegistry registry;
+  core::Controller controller(registry);
+  core::Enclave enclave("bench", registry);
+  const core::ClassId cls = registry.intern("app.b.c");
+  enclave.install_action(
+      "p7", controller.compile("p7", "fun(p, m, g) -> p.priority <- 7", {}));
+  const core::TableId table = enclave.create_table("t");
+  enclave.add_rule(table, core::ClassPattern("app.b.c"),
+                   *enclave.find_action("p7"));
+  netsim::Packet packet;
+  packet.size_bytes = 1000;
+  packet.classes.add(cls);
+  for (auto _ : state) {
+    enclave.process(packet);
+    benchmark::DoNotOptimize(packet.priority);
+  }
+}
+BENCHMARK(BM_ControlPlane_SnapshotReadSteady);
+
+// Worst-case read: every process() call follows a fresh publish, so the
+// per-thread epoch cache misses and the snapshot shared_ptr is
+// refetched under the publish mutex. The delta against SnapshotRead-
+// Steady prices one refetch plus the publish itself.
+void BM_ControlPlane_ProcessAfterPublish(benchmark::State& state) {
+  core::ClassRegistry registry;
+  core::Controller controller(registry);
+  core::Enclave enclave("bench", registry);
+  const core::ClassId cls = registry.intern("app.b.c");
+  enclave.install_action(
+      "p7", controller.compile("p7", "fun(p, m, g) -> p.priority <- 7", {}));
+  const core::TableId table = enclave.create_table("t");
+  enclave.add_rule(table, core::ClassPattern("app.b.c"),
+                   *enclave.find_action("p7"));
+  enclave.install_action(
+      "p1", controller.compile("p1", "fun(p, m, g) -> p.priority <- 1", {}));
+  const core::ActionId spare = *enclave.find_action("p1");
+  const core::TableId side = enclave.create_table("side");
+  netsim::Packet packet;
+  packet.size_bytes = 1000;
+  packet.classes.add(cls);
+  core::MatchRuleId churn = enclave.add_rule(
+      side, core::ClassPattern("app.never.x"), spare);
+  for (auto _ : state) {
+    enclave.remove_rule(side, churn);
+    churn = enclave.add_rule(side, core::ClassPattern("app.never.x"),
+                             spare);  // two publishes -> epoch miss
+    enclave.process(packet);
+    benchmark::DoNotOptimize(packet.priority);
+  }
+}
+BENCHMARK(BM_ControlPlane_ProcessAfterPublish);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,169 @@
+// The resilient control-plane session surviving a hostile link.
+//
+// A controller-side EnclaveSession programs an enclave through the
+// framed wire protocol while every connection runs through a
+// FaultyTransport that drops, delays, duplicates and truncates sends
+// and occasionally hard-closes the link. The session's job is to make
+// that not matter: heartbeats + timeouts detect the damage, reconnect
+// with backoff, and a desired-state journal replays as one transaction
+// so the enclave always converges to the controller's view.
+//
+// The demo's invariant makes atomicity visible on the data path: each
+// epoch installs, in ONE transaction, an action writing p.path <- N and
+// an action writing p.queue <- N. A packet processed at any moment must
+// therefore see path == queue — a torn rule set (one rule repointed,
+// the other not) would split the two fields. Halfway through, the
+// "remote host" restarts from scratch (fresh agent, blank enclave) and
+// the journal rebuilds it.
+//
+// Build & run:  ./build/examples/controlplane_demo
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "controlplane/fault.h"
+#include "controlplane/session.h"
+#include "core/controller.h"
+
+int main() {
+  using namespace eden;
+  namespace cp = controlplane;
+
+  core::ClassRegistry registry;
+  core::Controller controller(registry);
+  core::Enclave enclave("demo-host.enclave", registry);
+  auto agent = std::make_unique<cp::EnclaveAgent>(enclave);
+
+  cp::PipePump pump;
+  std::uint64_t now_ns = 0;
+  bool chaos = true;
+  std::uint64_t dials = 0;
+
+  cp::SessionConfig config;
+  config.heartbeat_interval_ns = 5'000'000;  // 5 ms
+  config.liveness_timeout_ns = 20'000'000;
+  config.request_timeout_ns = 15'000'000;
+  config.backoff_initial_ns = 1'000'000;
+  config.backoff_max_ns = 20'000'000;
+  config.seed = 7;
+
+  cp::EnclaveSession session(
+      "demo-host",
+      [&]() -> std::unique_ptr<cp::Transport> {
+        auto [near, far] = cp::make_pipe(pump, /*chunk_bytes=*/3);
+        agent->attach(std::move(far));
+        ++dials;
+        if (!chaos) return std::move(near);
+        cp::FaultProfile profile;
+        profile.drop_prob = 0.05;
+        profile.delay_prob = 0.10;
+        profile.duplicate_prob = 0.05;
+        profile.truncate_prob = 0.03;
+        profile.disconnect_prob = 0.01;
+        profile.seed = 1000 + dials;  // a different storm every dial
+        return std::make_unique<cp::FaultyTransport>(std::move(near), pump,
+                                                     profile);
+      },
+      [&]() { return now_ns; }, config);
+
+  const core::ClassId cls = registry.intern("app.demo.flow");
+  auto step_ms = [&](int ms) {
+    for (int i = 0; i < ms; ++i) {
+      now_ns += 1'000'000;
+      session.tick();
+      pump.run();
+    }
+  };
+  auto probe = [&]() {
+    netsim::Packet p;
+    p.size_bytes = 1000;
+    p.classes.add(cls);
+    enclave.process(p);
+    return p;
+  };
+
+  // Mutations issued before the first connect are journaled: the first
+  // resync replays them, so "program first, dial later" just works.
+  session.create_table("paths");
+  session.create_table("queues");
+
+  auto epoch_program = [&](const std::string& name, const char* field,
+                           int value) {
+    return controller.compile(name, std::string("fun(p, m, g) -> p.") + field +
+                                        " <- " + std::to_string(value),
+                              {});
+  };
+
+  std::printf("driving 30 epochs over a link that drops/dups/truncates...\n");
+  int violations = 0, probes = 0;
+  cp::EnclaveSession::RuleHandle path_rule = 0, queue_rule = 0;
+  for (int epoch = 1; epoch <= 30; ++epoch) {
+    const std::string pa = "path_" + std::to_string(epoch % 2);
+    const std::string qa = "queue_" + std::to_string(epoch % 2);
+    session.begin_txn();
+    session.install_action(pa, epoch_program(pa, "path", epoch), {});
+    session.install_action(qa, epoch_program(qa, "queue", epoch), {});
+    if (path_rule != 0) session.remove_rule("paths", path_rule);
+    if (queue_rule != 0) session.remove_rule("queues", queue_rule);
+    path_rule = session.add_rule("paths", "app.demo.flow", pa);
+    queue_rule = session.add_rule("queues", "app.demo.flow", qa);
+    session.commit_txn();
+
+    if (epoch == 15) {
+      // Hard host restart: new agent (fresh boot id), blank enclave.
+      // The session notices the boot id change and resyncs the journal.
+      agent->detach();
+      enclave.clear_all();
+      agent = std::make_unique<cp::EnclaveAgent>(enclave);
+      std::printf("  epoch 15: remote host wiped and restarted\n");
+    }
+
+    for (int ms = 0; ms < 8; ++ms) {
+      step_ms(1);
+      const netsim::Packet p = probe();
+      ++probes;
+      if (p.path_label != p.rl_queue) ++violations;  // a torn rule set
+    }
+  }
+
+  // Calm the link and let the last resync land.
+  chaos = false;
+  agent->detach();
+  for (int i = 0; i < 20000; ++i) {
+    step_ms(1);
+    if (session.ready() && session.inflight() == 0 && pump.pending() == 0) {
+      break;
+    }
+  }
+  const netsim::Packet final_probe = probe();
+
+  const cp::SessionStats& s = session.stats();
+  std::printf("\n%d probes, %d saw a torn rule set (path != queue)\n", probes,
+              violations);
+  std::printf("final probe: path=%d queue=%d (want 30/30)\n",
+              final_probe.path_label, final_probe.rl_queue);
+  std::printf("\nwhat the session survived:\n");
+  std::printf("  dials %llu, connects %llu, teardowns %llu, resyncs %llu "
+              "(last replayed %llu commands)\n",
+              static_cast<unsigned long long>(dials),
+              static_cast<unsigned long long>(s.connects),
+              static_cast<unsigned long long>(s.teardowns),
+              static_cast<unsigned long long>(s.resyncs),
+              static_cast<unsigned long long>(s.last_resync_commands));
+  std::printf("  requests %llu sent / %llu ok, %llu timeouts, "
+              "%llu corrupt streams, %llu liveness timeouts\n",
+              static_cast<unsigned long long>(s.requests_sent),
+              static_cast<unsigned long long>(s.responses_ok),
+              static_cast<unsigned long long>(s.request_timeouts),
+              static_cast<unsigned long long>(s.corrupt_streams),
+              static_cast<unsigned long long>(s.liveness_timeouts));
+  std::printf("  txns %llu committed / %llu aborted, agent restarts seen %llu\n",
+              static_cast<unsigned long long>(s.txns_committed),
+              static_cast<unsigned long long>(s.txns_aborted),
+              static_cast<unsigned long long>(s.agent_restarts_seen));
+  const telemetry::HistogramSnapshot rtt = session.rtt();
+  std::printf("  request rtt p50 %.0f ns, p99 %.0f ns (%llu samples)\n",
+              rtt.p50(), rtt.quantile(0.99),
+              static_cast<unsigned long long>(rtt.count));
+  return violations == 0 && final_probe.path_label == 30 ? 0 : 1;
+}

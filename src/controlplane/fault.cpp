@@ -1,0 +1,71 @@
+#include "controlplane/fault.h"
+
+namespace eden::controlplane {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
+                                 PipePump& pump, FaultProfile profile)
+    : inner_(std::move(inner)),
+      pump_(pump),
+      profile_(profile),
+      rng_(profile.seed),
+      fifo_(std::make_shared<Fifo>()) {
+  fifo_->inner = inner_.get();
+  // Inbound traffic passes through untouched; faulting both directions
+  // is done by decorating both endpoints with their own seeds.
+  inner_->set_on_bytes([this](std::span<const std::uint8_t> data) {
+    if (on_bytes_ != nullptr) on_bytes_(data);
+  });
+  inner_->set_on_disconnect([this]() {
+    if (on_disconnect_ != nullptr) on_disconnect_();
+  });
+}
+
+FaultyTransport::~FaultyTransport() { fifo_->inner = nullptr; }
+
+void FaultyTransport::enqueue(std::vector<std::uint8_t> bytes,
+                              std::uint32_t delay_steps) {
+  fifo_->queue.push_back(std::move(bytes));
+  pump_.post_after(delay_steps, [fifo = fifo_]() {
+    if (fifo->queue.empty()) return;
+    std::vector<std::uint8_t> head = std::move(fifo->queue.front());
+    fifo->queue.pop_front();
+    if (fifo->inner != nullptr && fifo->inner->connected()) {
+      fifo->inner->send(head);
+    }
+  });
+}
+
+bool FaultyTransport::send(std::span<const std::uint8_t> data) {
+  if (!inner_->connected()) return false;
+  ++stats_.sends;
+  if (profile_.disconnect_prob > 0 && rng_.chance(profile_.disconnect_prob)) {
+    ++stats_.forced_disconnects;
+    inner_->close();
+    return false;
+  }
+  if (profile_.drop_prob > 0 && rng_.chance(profile_.drop_prob)) {
+    ++stats_.dropped;
+    return true;  // silently lost, as a link would
+  }
+  std::vector<std::uint8_t> bytes(data.begin(), data.end());
+  if (bytes.size() > 1 && profile_.truncate_prob > 0 &&
+      rng_.chance(profile_.truncate_prob)) {
+    bytes.resize(1 + rng_.below(bytes.size() - 1));
+    ++stats_.truncated;
+  }
+  std::uint32_t delay = 0;
+  if (profile_.delay_prob > 0 && rng_.chance(profile_.delay_prob)) {
+    delay = profile_.delay_steps;
+    ++stats_.delayed;
+  }
+  const bool dup =
+      profile_.duplicate_prob > 0 && rng_.chance(profile_.duplicate_prob);
+  if (dup) {
+    ++stats_.duplicated;
+    enqueue(bytes, delay);
+  }
+  enqueue(std::move(bytes), delay);
+  return true;
+}
+
+}  // namespace eden::controlplane

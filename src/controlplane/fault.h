@@ -1,0 +1,72 @@
+// Deterministic fault injection for control-plane transports.
+//
+// FaultyTransport decorates an endpoint and perturbs its *outbound*
+// sends: drop, delay, duplicate, truncate or hard-disconnect, each an
+// independent Bernoulli roll from an explicitly seeded Rng, so a soak
+// run is reproducible from its seed. Faults model a flaky underlying
+// link without TCP's reliability: a dropped or truncated send corrupts
+// the byte stream, and the session layer is expected to detect that
+// (decoder error or request timeout), tear the connection down and
+// recover via reconnect + resync.
+#pragma once
+
+#include <memory>
+
+#include "controlplane/transport.h"
+#include "util/rng.h"
+
+namespace eden::controlplane {
+
+struct FaultProfile {
+  double drop_prob = 0;        // discard the send entirely
+  double delay_prob = 0;       // hold the bytes back delay_steps events
+  double duplicate_prob = 0;   // send the bytes twice
+  double truncate_prob = 0;    // cut the send short at a random byte
+  double disconnect_prob = 0;  // hard-close the connection instead
+  std::uint32_t delay_steps = 3;
+  std::uint64_t seed = 1;
+};
+
+class FaultyTransport : public Transport {
+ public:
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t forced_disconnects = 0;
+  };
+
+  // `pump` schedules delayed forwards; it must be the pump driving the
+  // inner endpoint so delayed bytes stay ordered with everything else.
+  FaultyTransport(std::unique_ptr<Transport> inner, PipePump& pump,
+                  FaultProfile profile);
+  ~FaultyTransport() override;
+
+  bool send(std::span<const std::uint8_t> data) override;
+  void close() override { inner_->close(); }
+  bool connected() const override { return inner_->connected(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Outbound FIFO shared with pump tasks: delayed sends must not be
+  // overtaken by later ones (a byte stream cannot reorder), so every
+  // forward pops the queue head regardless of which task fires.
+  struct Fifo {
+    std::deque<std::vector<std::uint8_t>> queue;
+    Transport* inner = nullptr;  // nulled when the decorator dies
+  };
+
+  void enqueue(std::vector<std::uint8_t> bytes, std::uint32_t delay_steps);
+
+  std::unique_ptr<Transport> inner_;
+  PipePump& pump_;
+  FaultProfile profile_;
+  util::Rng rng_;
+  std::shared_ptr<Fifo> fifo_;
+  Stats stats_;
+};
+
+}  // namespace eden::controlplane

@@ -1,0 +1,106 @@
+#include "controlplane/frame.h"
+
+#include "util/bytes.h"
+
+namespace eden::controlplane {
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(kFrameHeaderBytes +
+                                   frame.payload.size()));
+  w.u32(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.u64(frame.id);
+  std::vector<std::uint8_t> out = w.take();
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_greeting(const AgentGreeting& greeting) {
+  util::ByteWriter w;
+  w.u64(greeting.boot_id);
+  w.u64(greeting.ruleset_version);
+  return w.take();
+}
+
+std::optional<AgentGreeting> decode_greeting(
+    std::span<const std::uint8_t> payload) {
+  try {
+    util::ByteReader r(payload);
+    AgentGreeting g;
+    g.boot_id = r.u64();
+    g.ruleset_version = r.u64();
+    return g;
+  } catch (const util::ByteStreamError&) {
+    return std::nullopt;
+  }
+}
+
+bool FrameDecoder::feed(std::span<const std::uint8_t> data,
+                        std::vector<Frame>& out) {
+  if (corrupt_) return false;
+  buf_.insert(buf_.end(), data.begin(), data.end());
+
+  std::size_t off = 0;
+  while (buf_.size() - off >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(buf_[off + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len < kFrameHeaderBytes ||
+        len - kFrameHeaderBytes > kMaxFramePayload) {
+      corrupt_ = true;
+      error_ = "frame length out of range";
+      buf_.clear();
+      return false;
+    }
+    if (buf_.size() - off < 4 + static_cast<std::size_t>(len)) break;
+
+    util::ByteReader r(std::span<const std::uint8_t>(buf_.data() + off + 4,
+                                                     len));
+    Frame frame;
+    try {
+      if (r.u32() != kFrameMagic) {
+        corrupt_ = true;
+        error_ = "bad frame magic";
+      } else if (r.u8() != kFrameVersion) {
+        corrupt_ = true;
+        error_ = "unsupported frame version";
+      } else {
+        const std::uint8_t type = r.u8();
+        if (type < static_cast<std::uint8_t>(FrameType::hello) ||
+            type > static_cast<std::uint8_t>(FrameType::response)) {
+          corrupt_ = true;
+          error_ = "unknown frame type";
+        } else {
+          frame.type = static_cast<FrameType>(type);
+          frame.id = r.u64();
+          frame.payload.assign(buf_.begin() + static_cast<long>(off + 4 +
+                                                                kFrameHeaderBytes),
+                               buf_.begin() + static_cast<long>(off + 4 + len));
+        }
+      }
+    } catch (const util::ByteStreamError&) {
+      corrupt_ = true;
+      error_ = "short frame header";
+    }
+    if (corrupt_) {
+      buf_.clear();
+      return false;
+    }
+    out.push_back(std::move(frame));
+    off += 4 + static_cast<std::size_t>(len);
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(off));
+  return true;
+}
+
+void FrameDecoder::reset() {
+  buf_.clear();
+  error_.clear();
+  corrupt_ = false;
+}
+
+}  // namespace eden::controlplane

@@ -1,0 +1,81 @@
+// Length-prefixed frames for the controller <-> enclave session.
+//
+// Wire layout (little-endian):
+//
+//   u32 length   — bytes after this field (header remainder + payload)
+//   u32 magic    — "EDSN"
+//   u8  version  — kFrameVersion
+//   u8  type     — FrameType
+//   u64 id       — request correlation / heartbeat nonce
+//   ...payload   — length - 14 bytes
+//
+// request/response payloads are exactly the command/response frames of
+// core/wire.h, so the session layer adds correlation and transport
+// framing without re-encoding the enclave API. The decoder is
+// incremental (bytes can arrive in arbitrary chunks) and treats any
+// malformed header as unrecoverable stream corruption: once framing is
+// lost there is no way to find the next boundary, so the session must
+// tear the connection down and resync.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace eden::controlplane {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4e534445;  // "EDSN"
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 14;  // after the length
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  hello = 1,      // controller -> enclave, opens a session
+  hello_ack,      // enclave -> controller, carries AgentGreeting
+  heartbeat,      // controller -> enclave, id = nonce
+  heartbeat_ack,  // enclave -> controller, echoes id + AgentGreeting
+  request,        // controller -> enclave, payload = wire command
+  response,       // enclave -> controller, payload = wire response
+};
+
+struct Frame {
+  FrameType type = FrameType::request;
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// hello_ack / heartbeat_ack payload: which enclave incarnation is
+// answering and what rule-set version it has committed. A boot id the
+// controller has not seen before means the enclave lost its state and
+// needs a resync.
+struct AgentGreeting {
+  std::uint64_t boot_id = 0;
+  std::uint64_t ruleset_version = 0;
+};
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+std::vector<std::uint8_t> encode_greeting(const AgentGreeting& greeting);
+std::optional<AgentGreeting> decode_greeting(
+    std::span<const std::uint8_t> payload);
+
+class FrameDecoder {
+ public:
+  // Consumes a chunk of stream bytes and appends every completed frame
+  // to `out`. Returns false on unrecoverable corruption (bad magic,
+  // version, type or an oversized length); the decoder then stays in
+  // the corrupt state until reset().
+  bool feed(std::span<const std::uint8_t> data, std::vector<Frame>& out);
+
+  bool corrupt() const { return corrupt_; }
+  const std::string& error() const { return error_; }
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::string error_;
+  bool corrupt_ = false;
+};
+
+}  // namespace eden::controlplane

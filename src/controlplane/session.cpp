@@ -1,0 +1,626 @@
+#include "controlplane/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace eden::controlplane {
+
+using core::wire::Response;
+using core::wire::Status;
+
+// --- EnclaveAgent -------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_next_boot_id{1};
+}  // namespace
+
+EnclaveAgent::EnclaveAgent(core::Enclave& enclave)
+    : enclave_(enclave),
+      boot_id_(g_next_boot_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+void EnclaveAgent::attach(std::unique_ptr<Transport> transport) {
+  // A transaction left open by the previous connection is a dead
+  // controller's half-staged update; it must never commit.
+  abort_stale_txn();
+  if (transport_ != nullptr) transport_->close();
+  transport_ = std::move(transport);
+  decoder_.reset();
+  expected_request_id_ = 1;
+  transport_->set_on_bytes(
+      [this](std::span<const std::uint8_t> data) { on_bytes(data); });
+  transport_->set_on_disconnect([this]() { on_disconnect(); });
+}
+
+void EnclaveAgent::detach() {
+  if (transport_ == nullptr) return;
+  abort_stale_txn();
+  transport_->close();
+  transport_.reset();
+}
+
+void EnclaveAgent::abort_stale_txn() {
+  if (!enclave_.txn_open()) return;
+  enclave_.abort_txn();
+  ++stats_.stale_txn_aborts;
+}
+
+std::vector<std::uint8_t> EnclaveAgent::greeting_payload() const {
+  return encode_greeting({boot_id_, enclave_.ruleset_version()});
+}
+
+void EnclaveAgent::on_bytes(std::span<const std::uint8_t> data) {
+  if (transport_ == nullptr || !transport_->connected()) return;
+  std::vector<Frame> frames;
+  const bool ok = decoder_.feed(data, frames);
+  for (Frame& frame : frames) {
+    ++stats_.frames;
+    switch (frame.type) {
+      case FrameType::hello:
+      case FrameType::heartbeat: {
+        ++stats_.heartbeats;
+        const FrameType ack = frame.type == FrameType::hello
+                                  ? FrameType::hello_ack
+                                  : FrameType::heartbeat_ack;
+        transport_->send(
+            encode_frame({ack, frame.id, greeting_payload()}));
+        break;
+      }
+      case FrameType::request: {
+        if (frame.id != expected_request_id_) {
+          // A command was lost (id gap) or replayed (id repeat). Either
+          // way, applying this frame could split a batch the controller
+          // staged as one transaction: treat it as a broken stream.
+          ++stats_.corrupt_streams;
+          abort_stale_txn();
+          transport_->close();
+          return;
+        }
+        ++expected_request_id_;
+        ++stats_.requests;
+        const Response response = core::wire::apply(enclave_, frame.payload);
+        transport_->send(encode_frame({FrameType::response, frame.id,
+                                       core::wire::encode_response(response)}));
+        break;
+      }
+      default:
+        // Controller-bound frames arriving here mean the peer is
+        // confused; drop them, the decoder stays in sync.
+        break;
+    }
+    if (!transport_->connected()) return;  // a send forced a close
+  }
+  if (!ok) {
+    // Framing is lost for good: close and wait for a fresh attach.
+    // The transport object itself is torn down by the next attach() or
+    // detach() — never here, we are inside its callback.
+    ++stats_.corrupt_streams;
+    abort_stale_txn();
+    transport_->close();
+  }
+}
+
+void EnclaveAgent::on_disconnect() { abort_stale_txn(); }
+
+// --- EnclaveSession -----------------------------------------------------
+
+EnclaveSession::EnclaveSession(std::string name, Connector connector,
+                               ClockFn clock, SessionConfig config)
+    : name_(std::move(name)),
+      connector_(std::move(connector)),
+      clock_(std::move(clock)),
+      config_(config),
+      rng_(config.seed) {}
+
+std::uint64_t EnclaveSession::journal_size() const {
+  std::uint64_t n = 3;  // begin_txn + reset_state + commit_txn
+  for (const auto& action : journal_.actions) {
+    n += 1 + action.scalars.size() + action.arrays.size();
+  }
+  for (const auto& table : journal_.tables) n += 1 + table.rules.size();
+  n += journal_.flow_rules.size();
+  return n;
+}
+
+void EnclaveSession::tick() {
+  const std::uint64_t now = clock_();
+  if (state_ == State::disconnected) {
+    if (now >= next_connect_ns_) try_connect();
+    return;
+  }
+  if (transport_ == nullptr || !transport_->connected()) {
+    teardown("transport closed");
+    return;
+  }
+  if (now - last_rx_ns_ >= config_.liveness_timeout_ns) {
+    ++stats_.liveness_timeouts;
+    teardown("liveness timeout");
+    return;
+  }
+  if (!inflight_.empty() &&
+      now - inflight_.front().sent_at_ns >= config_.request_timeout_ns) {
+    ++stats_.request_timeouts;
+    teardown("request timeout");
+    return;
+  }
+  if (now - last_heartbeat_ns_ >= config_.heartbeat_interval_ns) {
+    send_heartbeat();
+  }
+}
+
+void EnclaveSession::try_connect() {
+  // Outside any transport callback (tick context), so destroying the
+  // previous transport object is safe here.
+  transport_.reset();
+  std::unique_ptr<Transport> fresh = connector_ ? connector_() : nullptr;
+  if (fresh == nullptr || !fresh->connected()) {
+    ++stats_.connect_failures;
+    if (backoff_attempts_ < 32) ++backoff_attempts_;
+    schedule_reconnect();
+    return;
+  }
+  transport_ = std::move(fresh);
+  decoder_.reset();
+  transport_->set_on_bytes(
+      [this](std::span<const std::uint8_t> data) { on_bytes(data); });
+  transport_->set_on_disconnect([this]() { on_disconnect(); });
+  ++stats_.connects;
+  next_request_id_ = 1;
+  const std::uint64_t now = clock_();
+  last_rx_ns_ = now;
+  last_heartbeat_ns_ = now;
+  state_ = State::greeting;
+  transport_->send(encode_frame({FrameType::hello, next_id_++, {}}));
+}
+
+void EnclaveSession::schedule_reconnect() {
+  std::uint64_t nominal = config_.backoff_initial_ns;
+  for (std::uint32_t i = 1; i < backoff_attempts_; ++i) {
+    if (nominal >= config_.backoff_max_ns / 2) {
+      nominal = config_.backoff_max_ns;
+      break;
+    }
+    nominal *= 2;
+  }
+  nominal = std::min(nominal, config_.backoff_max_ns);
+  // Jitter de-synchronizes a controller reconnecting to many enclaves
+  // after a shared outage.
+  const double factor =
+      1.0 + config_.backoff_jitter * (2.0 * rng_.uniform() - 1.0);
+  const auto delay = static_cast<std::uint64_t>(
+      static_cast<double>(nominal) * std::max(0.0, factor));
+  next_connect_ns_ = clock_() + delay;
+}
+
+void EnclaveSession::teardown(const char* /*reason*/) {
+  ++stats_.teardowns;
+  if (transport_ != nullptr && transport_->connected()) transport_->close();
+  // The transport object is destroyed on the next try_connect(): this
+  // method runs from inside transport callbacks, where deleting the
+  // transport would free the std::function we are executing.
+  state_ = State::disconnected;
+  inflight_.clear();
+  outbox_.clear();
+  heartbeat_sent_at_.clear();
+  deferred_removes_.clear();
+  decoder_.reset();
+  if (backoff_attempts_ < 32) ++backoff_attempts_;
+  schedule_reconnect();
+}
+
+void EnclaveSession::on_disconnect() {
+  if (state_ != State::disconnected) teardown("peer closed");
+}
+
+void EnclaveSession::on_bytes(std::span<const std::uint8_t> data) {
+  if (state_ == State::disconnected) return;
+  last_rx_ns_ = clock_();
+  std::vector<Frame> frames;
+  const bool ok = decoder_.feed(data, frames);
+  for (Frame& frame : frames) {
+    handle_frame(frame);
+    if (state_ == State::disconnected) return;  // a frame tore us down
+  }
+  if (!ok) {
+    ++stats_.corrupt_streams;
+    teardown(decoder_.error().c_str());
+  }
+}
+
+void EnclaveSession::handle_frame(const Frame& frame) {
+  const std::uint64_t now = clock_();
+  switch (frame.type) {
+    case FrameType::hello_ack: {
+      if (state_ != State::greeting) return;
+      const std::optional<AgentGreeting> greeting =
+          decode_greeting(frame.payload);
+      if (!greeting.has_value()) {
+        ++stats_.corrupt_streams;
+        teardown("bad greeting");
+        return;
+      }
+      if (seen_agent_ && greeting->boot_id != agent_boot_id_) {
+        ++stats_.agent_restarts_seen;
+      }
+      agent_boot_id_ = greeting->boot_id;
+      seen_agent_ = true;
+      backoff_attempts_ = 0;
+      start_resync(*greeting);
+      return;
+    }
+    case FrameType::heartbeat_ack: {
+      auto it = heartbeat_sent_at_.find(frame.id);
+      if (it != heartbeat_sent_at_.end()) {
+        rtt_.record(now - it->second);
+        heartbeat_sent_at_.erase(it);
+        ++stats_.heartbeats_acked;
+      }
+      const std::optional<AgentGreeting> greeting =
+          decode_greeting(frame.payload);
+      if (greeting.has_value() && seen_agent_ &&
+          greeting->boot_id != agent_boot_id_) {
+        // The enclave restarted between heartbeats: its state is gone.
+        // Reconnect and resync from the journal.
+        ++stats_.agent_restarts_seen;
+        agent_boot_id_ = greeting->boot_id;
+        teardown("agent restarted");
+      }
+      return;
+    }
+    case FrameType::response: {
+      if (inflight_.empty() || inflight_.front().id != frame.id) {
+        // FIFO correlation broke: either a response was lost or
+        // invented. Indistinguishable from corruption — resync.
+        ++stats_.corrupt_streams;
+        teardown("response id mismatch");
+        return;
+      }
+      Pending pending = std::move(inflight_.front());
+      inflight_.pop_front();
+      rtt_.record(now - pending.sent_at_ns);
+      const Response response = core::wire::decode_response(frame.payload);
+      if (response.status == Status::ok) {
+        ++stats_.responses_ok;
+      } else {
+        ++stats_.responses_error;
+      }
+      if (pending.done) pending.done(response);
+      pump_outbox();
+      return;
+    }
+    default:
+      // Enclave-bound frame types are never valid here; ignore.
+      return;
+  }
+}
+
+void EnclaveSession::send_request(std::vector<std::uint8_t> command,
+                                  Completion done) {
+  if (transport_ == nullptr || !transport_->connected()) return;
+  outbox_.push_back({std::move(command), std::move(done)});
+  pump_outbox();
+}
+
+void EnclaveSession::pump_outbox() {
+  while (transport_ != nullptr && transport_->connected() &&
+         inflight_.size() < config_.max_inflight && !outbox_.empty()) {
+    Outgoing out = std::move(outbox_.front());
+    outbox_.pop_front();
+    const std::uint64_t id = next_request_id_++;
+    ++stats_.requests_sent;
+    inflight_.push_back({id, clock_(), std::move(out.done)});
+    transport_->send(
+        encode_frame({FrameType::request, id, std::move(out.command)}));
+  }
+}
+
+void EnclaveSession::send_heartbeat() {
+  const std::uint64_t now = clock_();
+  const std::uint64_t id = next_id_++;
+  heartbeat_sent_at_[id] = now;
+  last_heartbeat_ns_ = now;
+  ++stats_.heartbeats_sent;
+  transport_->send(encode_frame({FrameType::heartbeat, id, {}}));
+}
+
+void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
+  // Always resync on connect: even a same-boot reconnect may have lost
+  // an in-flight commit, and replaying the journal into one transaction
+  // is idempotent — reset_state then rebuild, published in one swap, so
+  // the data path sees the old committed set until the new one lands.
+  ++stats_.resyncs;
+  state_ = State::ready;
+  deferred_removes_.clear();
+  for (auto& table : journal_.tables) {
+    for (auto& rule : table.rules) rule.remote_id = 0;
+  }
+
+  std::uint64_t commands = 0;
+  auto push = [&](std::vector<std::uint8_t> frame, Completion done) {
+    ++commands;
+    send_request(std::move(frame), std::move(done));
+  };
+
+  push(core::wire::encode_begin_txn(), {});
+  push(core::wire::encode_reset_state(), {});
+  for (const auto& action : journal_.actions) {
+    push(core::wire::encode_install_action(action.name, action.program,
+                                           action.globals),
+         {});
+    for (const auto& [field, value] : action.scalars) {
+      push(core::wire::encode_set_global_scalar(action.name, field, value),
+           {});
+    }
+    for (const auto& [field, data] : action.arrays) {
+      push(core::wire::encode_set_global_array(action.name, field, data), {});
+    }
+  }
+  for (const auto& table : journal_.tables) {
+    push(core::wire::encode_create_table(table.name), {});
+    for (const auto& rule : table.rules) {
+      push(core::wire::encode_add_rule_named(table.name, rule.pattern,
+                                             rule.action),
+           [this, handle = rule.handle,
+            table_name = table.name](const Response& response) {
+             if (response.status != Status::ok) return;
+             if (Journal::TableDef* t = find_table(table_name)) {
+               for (auto& r : t->rules) {
+                 if (r.handle == handle) {
+                   r.remote_id =
+                       static_cast<core::MatchRuleId>(response.value);
+                   return;
+                 }
+               }
+             }
+           });
+    }
+  }
+  for (const auto& [rule, class_name] : journal_.flow_rules) {
+    push(core::wire::encode_add_flow_rule(rule, class_name), {});
+  }
+  push(core::wire::encode_commit_txn(), [this](const Response& response) {
+    if (response.status == Status::ok) ++stats_.txns_committed;
+  });
+
+  stats_.last_resync_commands = commands;
+  resync_sizes_.record(commands);
+}
+
+EnclaveSession::Journal::ActionDef* EnclaveSession::find_action(
+    const std::string& name) {
+  for (auto& action : journal_.actions) {
+    if (action.name == name) return &action;
+  }
+  return nullptr;
+}
+
+EnclaveSession::Journal::TableDef* EnclaveSession::find_table(
+    const std::string& name) {
+  for (auto& table : journal_.tables) {
+    if (table.name == name) return &table;
+  }
+  return nullptr;
+}
+
+void EnclaveSession::install_action(const std::string& name,
+                                    const lang::CompiledProgram& program,
+                                    std::vector<lang::FieldDef> global_fields) {
+  Journal::ActionDef* def = find_action(name);
+  if (def == nullptr) {
+    def = &journal_.actions.emplace_back();
+    def->name = name;
+  }
+  def->program = program;
+  def->globals = std::move(global_fields);
+  // Reinstalling resets globals to schema defaults; stale writes must
+  // not be replayed over the new program.
+  def->scalars.clear();
+  def->arrays.clear();
+  if (state_ == State::ready) {
+    send_request(
+        core::wire::encode_install_action(name, program, def->globals), {});
+  }
+}
+
+void EnclaveSession::remove_action(const std::string& name) {
+  std::erase_if(journal_.actions,
+                [&](const Journal::ActionDef& a) { return a.name == name; });
+  // Desired state: rules pointing at a removed action are gone too (the
+  // live enclave leaves them as harmless no-ops until the next resync).
+  for (auto& table : journal_.tables) {
+    std::erase_if(table.rules,
+                  [&](const Journal::RuleDef& r) { return r.action == name; });
+  }
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_remove_action(name), {});
+  }
+}
+
+void EnclaveSession::create_table(const std::string& name) {
+  if (find_table(name) != nullptr) return;
+  journal_.tables.emplace_back().name = name;
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_create_table(name), {});
+  }
+}
+
+EnclaveSession::RuleHandle EnclaveSession::add_rule(const std::string& table,
+                                                    const std::string& pattern,
+                                                    const std::string& action) {
+  create_table(table);  // implicit, like a filesystem mkdir -p
+  Journal::TableDef* t = find_table(table);
+  Journal::RuleDef rule;
+  rule.handle = next_handle_++;
+  rule.pattern = pattern;
+  rule.action = action;
+  t->rules.push_back(rule);
+  if (state_ == State::ready) {
+    send_request(
+        core::wire::encode_add_rule_named(table, pattern, action),
+        [this, handle = rule.handle, table_name = table](
+            const Response& response) {
+          if (response.status != Status::ok) return;
+          const auto rid = static_cast<core::MatchRuleId>(response.value);
+          if (Journal::TableDef* td = find_table(table_name)) {
+            for (auto& r : td->rules) {
+              if (r.handle == handle) {
+                r.remote_id = rid;
+                return;
+              }
+            }
+          }
+          // The rule was removed before this response arrived: finish
+          // the remove now that the remote id is known.
+          auto it = deferred_removes_.find(handle);
+          if (it != deferred_removes_.end()) {
+            send_request(core::wire::encode_remove_rule_named(it->second, rid),
+                         {});
+            deferred_removes_.erase(it);
+          }
+        });
+  }
+  return rule.handle;
+}
+
+void EnclaveSession::remove_rule(const std::string& table, RuleHandle handle) {
+  Journal::TableDef* t = find_table(table);
+  if (t == nullptr) return;
+  core::MatchRuleId remote_id = 0;
+  bool found = false;
+  std::erase_if(t->rules, [&](const Journal::RuleDef& r) {
+    if (r.handle != handle) return false;
+    remote_id = r.remote_id;
+    found = true;
+    return true;
+  });
+  if (!found || state_ != State::ready) return;
+  if (remote_id != 0) {
+    send_request(core::wire::encode_remove_rule_named(table, remote_id), {});
+  } else {
+    deferred_removes_[handle] = table;
+  }
+}
+
+void EnclaveSession::set_global_scalar(const std::string& action,
+                                       const std::string& field,
+                                       std::int64_t value) {
+  if (Journal::ActionDef* def = find_action(action)) {
+    def->scalars[field] = value;
+  }
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_set_global_scalar(action, field, value),
+                 {});
+  }
+}
+
+void EnclaveSession::set_global_array(const std::string& action,
+                                      const std::string& field,
+                                      std::vector<std::int64_t> data) {
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_set_global_array(action, field, data), {});
+  }
+  if (Journal::ActionDef* def = find_action(action)) {
+    def->arrays[field] = std::move(data);
+  }
+}
+
+void EnclaveSession::add_flow_rule(const core::FlowClassifierRule& rule,
+                                   const std::string& class_name) {
+  journal_.flow_rules.emplace_back(rule, class_name);
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_add_flow_rule(rule, class_name), {});
+  }
+}
+
+void EnclaveSession::clear_flow_rules() {
+  journal_.flow_rules.clear();
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_clear_flow_rules(), {});
+  }
+}
+
+void EnclaveSession::begin_txn() {
+  if (txn_snapshot_ != nullptr) return;  // one open transaction at a time
+  txn_snapshot_ = std::make_unique<Journal>(journal_);
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_begin_txn(), {});
+  }
+}
+
+void EnclaveSession::commit_txn() {
+  if (txn_snapshot_ == nullptr) return;
+  txn_snapshot_.reset();
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_commit_txn(),
+                 [this](const Response& response) {
+                   if (response.status == Status::ok) ++stats_.txns_committed;
+                 });
+  }
+  // Disconnected commits are folded into the next resync, which itself
+  // commits as one transaction.
+}
+
+void EnclaveSession::abort_txn() {
+  if (txn_snapshot_ == nullptr) return;
+  journal_ = std::move(*txn_snapshot_);
+  txn_snapshot_.reset();
+  ++stats_.txns_aborted;
+  if (state_ == State::ready) {
+    send_request(core::wire::encode_abort_txn(), {});
+  }
+}
+
+std::string EnclaveSession::fetch_payload(PipePump& pump,
+                                          std::vector<std::uint8_t> command) {
+  if (state_ != State::ready) return {};
+  // Shared cell rather than stack references: if the response never
+  // arrives (dropped by a faulty link) the completion outlives this
+  // frame and must not dangle.
+  auto cell = std::make_shared<std::pair<bool, std::string>>();
+  send_request(std::move(command), [cell](const Response& response) {
+    cell->first = true;
+    if (response.status == Status::ok) {
+      cell->second.assign(response.payload.begin(), response.payload.end());
+    }
+  });
+  while (!cell->first && pump.step()) {
+  }
+  return cell->first ? cell->second : std::string{};
+}
+
+telemetry::SessionTelemetry EnclaveSession::telemetry() const {
+  telemetry::SessionTelemetry t;
+  t.name = name_;
+  t.connected = connected();
+  t.ready = ready();
+  t.agent_boot_id = agent_boot_id_;
+  t.connects = stats_.connects;
+  t.connect_failures = stats_.connect_failures;
+  t.teardowns = stats_.teardowns;
+  t.resyncs = stats_.resyncs;
+  t.last_resync_commands = stats_.last_resync_commands;
+  t.requests_sent = stats_.requests_sent;
+  t.responses_ok = stats_.responses_ok;
+  t.responses_error = stats_.responses_error;
+  t.request_timeouts = stats_.request_timeouts;
+  t.heartbeats_sent = stats_.heartbeats_sent;
+  t.heartbeats_acked = stats_.heartbeats_acked;
+  t.liveness_timeouts = stats_.liveness_timeouts;
+  t.corrupt_streams = stats_.corrupt_streams;
+  t.txns_committed = stats_.txns_committed;
+  t.txns_aborted = stats_.txns_aborted;
+  t.agent_restarts_seen = stats_.agent_restarts_seen;
+  t.rtt_ns = rtt_.snapshot();
+  t.resync_commands = resync_sizes_.snapshot();
+  return t;
+}
+
+std::string EnclaveSession::fetch_telemetry_json(PipePump& pump) {
+  return fetch_payload(pump, core::wire::encode_get_telemetry());
+}
+
+std::string EnclaveSession::fetch_spans_json(PipePump& pump) {
+  return fetch_payload(pump, core::wire::encode_get_spans());
+}
+
+}  // namespace eden::controlplane

@@ -1,0 +1,298 @@
+// Resilient controller <-> enclave session layer.
+//
+// The paper's controller programs enclaves through the enclave API
+// (Section 3.4.5); this module makes that control channel survive an
+// unreliable substrate. Two halves:
+//
+//  * EnclaveAgent — enclave-side endpoint. Decodes frames from an
+//    attached Transport, applies wire commands to its Enclave in
+//    arrival order, answers hello/heartbeat with an AgentGreeting
+//    carrying its boot id and committed rule-set version, and aborts
+//    any open transaction when the connection drops or a new
+//    controller attaches.
+//
+//  * EnclaveSession — controller-side endpoint. Pipelines requests
+//    (FIFO response correlation), paces heartbeats, detects dead peers
+//    by liveness and request timeouts, reconnects with capped
+//    exponential backoff + jitter, and keeps a *desired-state journal*
+//    of every mutation so a restarted (or blank) enclave converges: on
+//    every (re)connect it replays the journal as one transaction, so
+//    the data path never observes a half-restored rule set.
+//
+// Mutations issued while disconnected are journaled and folded into
+// the next resync; the journal is the source of truth, the enclave is
+// the replica. All time comes from an injectable clock and all
+// randomness from a seeded Rng, so tests run the whole protocol —
+// disconnects, timeouts, backoff — deterministically in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "controlplane/frame.h"
+#include "controlplane/transport.h"
+#include "core/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
+#include "util/rng.h"
+
+namespace eden::controlplane {
+
+// Enclave-side session endpoint. One agent serves one enclave; a new
+// agent instance gets a fresh boot id, so constructing one models an
+// enclave host restart as far as the controller can tell.
+class EnclaveAgent {
+ public:
+  explicit EnclaveAgent(core::Enclave& enclave);
+
+  // Takes ownership of the connection. An already-attached transport is
+  // closed first; in both cases any transaction the previous connection
+  // left open is aborted, so a half-staged update from a dead
+  // controller can never commit.
+  void attach(std::unique_ptr<Transport> transport);
+  void detach();
+  bool attached() const { return transport_ != nullptr; }
+
+  std::uint64_t boot_id() const { return boot_id_; }
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t corrupt_streams = 0;
+    std::uint64_t stale_txn_aborts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_bytes(std::span<const std::uint8_t> data);
+  void on_disconnect();
+  void abort_stale_txn();
+  std::vector<std::uint8_t> greeting_payload() const;
+
+  core::Enclave& enclave_;
+  std::uint64_t boot_id_;
+  std::unique_ptr<Transport> transport_;
+  FrameDecoder decoder_;
+  // Request frames must arrive with consecutive ids (1, 2, 3, ... per
+  // connection). A gap means the lossy substrate swallowed a command —
+  // applying the survivors would tear apart batches the controller
+  // meant atomically — and a repeat means a duplicated delivery; both
+  // are stream corruption: close and let the controller resync.
+  std::uint64_t expected_request_id_ = 1;
+  Stats stats_;
+};
+
+struct SessionConfig {
+  std::uint64_t heartbeat_interval_ns = 50'000'000;   // 50 ms
+  std::uint64_t liveness_timeout_ns = 200'000'000;    // 200 ms
+  std::uint64_t request_timeout_ns = 250'000'000;     // 250 ms
+  std::uint64_t backoff_initial_ns = 10'000'000;      // 10 ms
+  std::uint64_t backoff_max_ns = 1'000'000'000;       // 1 s
+  double backoff_jitter = 0.2;  // +-20% around the nominal delay
+  std::uint64_t seed = 1;       // jitter rng
+  std::size_t max_inflight = 64;  // pipelining window
+};
+
+// Point-in-time counters for one session; the raw material for the
+// telemetry export (telemetry/snapshot.h) and eden-stat's session
+// table.
+struct SessionStats {
+  std::uint64_t connects = 0;          // successful transport opens
+  std::uint64_t connect_failures = 0;  // connector returned nothing
+  std::uint64_t teardowns = 0;         // liveness/timeout/corruption
+  std::uint64_t resyncs = 0;
+  std::uint64_t last_resync_commands = 0;  // journal replay size
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_acked = 0;
+  std::uint64_t liveness_timeouts = 0;
+  std::uint64_t corrupt_streams = 0;
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  std::uint64_t agent_restarts_seen = 0;  // boot id changed under us
+};
+
+// Controller-side session endpoint. Not thread-safe: the session, its
+// pump and its clock belong to the controller's control thread; only
+// the enclave on the far side is concurrent.
+class EnclaveSession {
+ public:
+  // Returns a fresh connected transport, or nullptr if the dial failed
+  // (the session backs off and retries).
+  using Connector = std::function<std::unique_ptr<Transport>()>;
+  // Monotonic nanoseconds. Injectable so tests drive virtual time.
+  using ClockFn = std::function<std::uint64_t()>;
+
+  // Session-local stable rule identity; survives resyncs (the remote
+  // MatchRuleId does not).
+  using RuleHandle = std::uint64_t;
+
+  EnclaveSession(std::string name, Connector connector, ClockFn clock,
+                 SessionConfig config = {});
+
+  const std::string& name() const { return name_; }
+
+  // Drives the protocol clock: reconnects when backoff expires, paces
+  // heartbeats, fires liveness and request timeouts. Call regularly
+  // (each virtual-time step in tests; a timer wheel in a real
+  // controller).
+  void tick();
+
+  bool connected() const { return transport_ != nullptr; }
+  // Connected, greeted and resync issued: requests flow.
+  bool ready() const { return state_ == State::ready; }
+
+  // --- Desired-state mutations (journaled; sent when ready) ---------
+  void install_action(const std::string& name,
+                      const lang::CompiledProgram& program,
+                      std::vector<lang::FieldDef> global_fields);
+  void remove_action(const std::string& name);
+  void create_table(const std::string& name);
+  RuleHandle add_rule(const std::string& table, const std::string& pattern,
+                      const std::string& action);
+  void remove_rule(const std::string& table, RuleHandle handle);
+  void set_global_scalar(const std::string& action, const std::string& field,
+                         std::int64_t value);
+  void set_global_array(const std::string& action, const std::string& field,
+                        std::vector<std::int64_t> data);
+  void add_flow_rule(const core::FlowClassifierRule& rule,
+                     const std::string& class_name);
+  void clear_flow_rules();
+
+  // --- Transactions -------------------------------------------------
+  // Mutations between begin_txn and commit_txn are staged on the
+  // enclave and published in one atomic rule-set swap. abort_txn rolls
+  // the journal back to the begin_txn snapshot. A transaction
+  // interrupted by a disconnect is aborted enclave-side and re-applied
+  // by the next resync (which replays the whole journal as one
+  // transaction), so its effects still land atomically.
+  void begin_txn();
+  void commit_txn();
+  void abort_txn();
+  bool txn_open() const { return txn_snapshot_ != nullptr; }
+
+  // --- Reads --------------------------------------------------------
+  // Issues the query and drives `pump` until the response arrives (or
+  // the event queue drains without one). Empty string when the session
+  // is not ready or the reply never came — callers treat that as
+  // "unreachable".
+  std::string fetch_telemetry_json(PipePump& pump);
+  std::string fetch_spans_json(PipePump& pump);
+
+  const SessionStats& stats() const { return stats_; }
+  telemetry::HistogramSnapshot rtt() const { return rtt_.snapshot(); }
+  // Snapshot for the controller's aggregate export (eden-stat's session
+  // table, the Prometheus eden_session_* series).
+  telemetry::SessionTelemetry telemetry() const;
+  std::uint64_t agent_boot_id() const { return agent_boot_id_; }
+  // Commands currently awaiting a response.
+  std::size_t inflight() const { return inflight_.size(); }
+  std::uint64_t journal_size() const;
+
+ private:
+  enum class State : std::uint8_t {
+    disconnected,  // waiting out backoff
+    greeting,      // hello sent, awaiting hello_ack
+    ready,         // resync issued; requests flow
+  };
+
+  struct Journal {
+    struct ActionDef {
+      std::string name;
+      lang::CompiledProgram program;
+      std::vector<lang::FieldDef> globals;
+      // Last write wins; replay restores the final value of each field.
+      std::map<std::string, std::int64_t> scalars;
+      std::map<std::string, std::vector<std::int64_t>> arrays;
+    };
+    struct RuleDef {
+      RuleHandle handle = 0;
+      std::string pattern;
+      std::string action;
+      core::MatchRuleId remote_id = 0;  // 0 until the add response lands
+    };
+    struct TableDef {
+      std::string name;
+      std::vector<RuleDef> rules;
+    };
+    std::vector<ActionDef> actions;
+    std::vector<TableDef> tables;
+    std::vector<std::pair<core::FlowClassifierRule, std::string>> flow_rules;
+  };
+
+  using Completion = std::function<void(const core::wire::Response&)>;
+  struct Pending {
+    std::uint64_t id = 0;
+    std::uint64_t sent_at_ns = 0;
+    Completion done;  // may be empty
+  };
+
+  void on_bytes(std::span<const std::uint8_t> data);
+  void on_disconnect();
+  void handle_frame(const Frame& frame);
+  void teardown(const char* reason);
+  void schedule_reconnect();
+  void try_connect();
+  void start_resync(const AgentGreeting& greeting);
+  // Queues one command for sending; frames leave the outbox as the
+  // pipelining window (max_inflight) allows, FIFO. Only valid while
+  // connected.
+  void send_request(std::vector<std::uint8_t> command, Completion done);
+  void pump_outbox();
+  void send_heartbeat();
+  Journal::ActionDef* find_action(const std::string& name);
+  Journal::TableDef* find_table(const std::string& name);
+  std::string fetch_payload(PipePump& pump,
+                            std::vector<std::uint8_t> command);
+
+  std::string name_;
+  Connector connector_;
+  ClockFn clock_;
+  SessionConfig config_;
+  util::Rng rng_;
+
+  State state_ = State::disconnected;
+  std::unique_ptr<Transport> transport_;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  // Requests use their own consecutive per-connection id space (reset
+  // on every connect) so the agent can detect lost or duplicated
+  // commands by sequence; hello/heartbeat ids come from next_id_.
+  std::uint64_t next_request_id_ = 1;
+  struct Outgoing {
+    std::vector<std::uint8_t> command;
+    Completion done;
+  };
+  std::deque<Outgoing> outbox_;
+  std::deque<Pending> inflight_;
+  std::map<std::uint64_t, std::uint64_t> heartbeat_sent_at_;
+  std::uint64_t last_rx_ns_ = 0;
+  std::uint64_t last_heartbeat_ns_ = 0;
+  std::uint64_t next_connect_ns_ = 0;  // backoff deadline
+  std::uint32_t backoff_attempts_ = 0;
+  std::uint64_t agent_boot_id_ = 0;
+  bool seen_agent_ = false;
+
+  Journal journal_;
+  RuleHandle next_handle_ = 1;
+  // Rules removed before their add response delivered a remote id; the
+  // remove is sent as soon as the id is known.
+  std::map<RuleHandle, std::string> deferred_removes_;  // handle -> table
+  std::unique_ptr<Journal> txn_snapshot_;
+
+  SessionStats stats_;
+  telemetry::Histogram rtt_;
+  telemetry::Histogram resync_sizes_;
+};
+
+}  // namespace eden::controlplane

@@ -1,0 +1,114 @@
+#include "controlplane/transport.h"
+
+#include <algorithm>
+
+namespace eden::controlplane {
+
+void PipePump::post_after(std::uint32_t delay_steps,
+                          std::function<void()> fn) {
+  Task task{now_ + delay_steps, next_seq_++, std::move(fn)};
+  // Insert keeping (due, seq) order; most posts land at the back.
+  auto it = std::upper_bound(tasks_.begin(), tasks_.end(), task,
+                             [](const Task& a, const Task& b) {
+                               return a.due != b.due ? a.due < b.due
+                                                    : a.seq < b.seq;
+                             });
+  tasks_.insert(it, std::move(task));
+}
+
+bool PipePump::step() {
+  if (tasks_.empty()) return false;
+  Task task = std::move(tasks_.front());
+  tasks_.pop_front();
+  // Virtual time jumps forward to the task's due step, so a delayed
+  // event still runs when nothing earlier is pending.
+  now_ = std::max(now_ + 1, task.due);
+  task.fn();
+  return true;
+}
+
+std::size_t PipePump::run(std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && step()) ++n;
+  return n;
+}
+
+namespace {
+
+class PipeEnd;
+
+// State shared by both endpoints of one pipe. Endpoints register raw
+// pointers here and unregister in their destructors; delivery tasks
+// capture the shared state, so a task that outlives an endpoint finds a
+// null slot instead of a dangling pointer.
+struct PipeShared {
+  PipePump* pump = nullptr;
+  std::size_t chunk_bytes = 0;
+  PipeEnd* ends[2] = {nullptr, nullptr};
+};
+
+class PipeEnd : public Transport {
+ public:
+  PipeEnd(std::shared_ptr<PipeShared> shared, int side)
+      : shared_(std::move(shared)), side_(side) {
+    shared_->ends[side_] = this;
+  }
+
+  ~PipeEnd() override { shared_->ends[side_] = nullptr; }
+
+  bool send(std::span<const std::uint8_t> data) override {
+    if (!connected_) return false;
+    const std::size_t chunk =
+        shared_->chunk_bytes == 0 ? data.size() : shared_->chunk_bytes;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, data.size() - off);
+      std::vector<std::uint8_t> bytes(data.begin() + static_cast<long>(off),
+                                      data.begin() +
+                                          static_cast<long>(off + n));
+      shared_->pump->post(
+          [shared = shared_, peer = 1 - side_, bytes = std::move(bytes)]() {
+            PipeEnd* end = shared->ends[peer];
+            if (end != nullptr && end->connected_ &&
+                end->on_bytes_ != nullptr) {
+              end->on_bytes_(bytes);
+            }
+          });
+    }
+    // Zero-length sends still count as delivered (no event needed).
+    return true;
+  }
+
+  void close() override {
+    if (!connected_) return;
+    connected_ = false;
+    // The peer learns about the teardown in order, after any bytes that
+    // were already queued toward it.
+    shared_->pump->post([shared = shared_, peer = 1 - side_]() {
+      PipeEnd* end = shared->ends[peer];
+      if (end == nullptr || !end->connected_) return;
+      end->connected_ = false;
+      if (end->on_disconnect_ != nullptr) end->on_disconnect_();
+    });
+  }
+
+  bool connected() const override { return connected_; }
+
+ private:
+  std::shared_ptr<PipeShared> shared_;
+  int side_;
+  bool connected_ = true;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe(
+    PipePump& pump, std::size_t chunk_bytes) {
+  auto shared = std::make_shared<PipeShared>();
+  shared->pump = &pump;
+  shared->chunk_bytes = chunk_bytes;
+  auto a = std::make_unique<PipeEnd>(shared, 0);
+  auto b = std::make_unique<PipeEnd>(shared, 1);
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace eden::controlplane

@@ -1,0 +1,85 @@
+// Byte-stream transports for the control-plane session layer.
+//
+// The wire codec (core/wire.h) defines what a command looks like; this
+// module defines how command frames travel: over an ordered,
+// connection-oriented byte stream that can stall, die and come back.
+// Tests and single-process deployments use the in-memory duplex pipe
+// below, driven by a PipePump whose scheduling is fully under the
+// caller's control — every delivery is an explicit step, so reorderings,
+// delays and disconnects are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace eden::controlplane {
+
+// One endpoint of a bidirectional ordered byte stream. Delivery is
+// asynchronous: bytes handed to send() surface at the peer's on_bytes
+// callback when the owning pump delivers them. A transport endpoint and
+// the pump that drives it must be used from one thread; cross-thread
+// concerns live entirely inside the Enclave the agent programs.
+class Transport {
+ public:
+  using BytesFn = std::function<void(std::span<const std::uint8_t>)>;
+  using DisconnectFn = std::function<void()>;
+
+  virtual ~Transport() = default;
+
+  // Queues bytes toward the peer. Returns false when the connection is
+  // already down (the bytes are discarded).
+  virtual bool send(std::span<const std::uint8_t> data) = 0;
+  // Tears the connection down; the peer observes on_disconnect after
+  // any bytes already in flight.
+  virtual void close() = 0;
+  virtual bool connected() const = 0;
+
+  void set_on_bytes(BytesFn fn) { on_bytes_ = std::move(fn); }
+  void set_on_disconnect(DisconnectFn fn) { on_disconnect_ = std::move(fn); }
+
+ protected:
+  BytesFn on_bytes_;
+  DisconnectFn on_disconnect_;
+};
+
+// Virtual-time event loop for pipe traffic. step() delivers the oldest
+// due event; run() drains everything currently pending. Events are
+// ordered by (due step, enqueue sequence), so two sends at the same
+// virtual time deliver in send order and the schedule is deterministic.
+class PipePump {
+ public:
+  // Runs one due event. Returns false when nothing is pending.
+  bool step();
+  // Runs events until none are pending (or `max` were delivered).
+  std::size_t run(std::size_t max = ~static_cast<std::size_t>(0));
+  std::size_t pending() const { return tasks_.size(); }
+  std::uint64_t now() const { return now_; }
+
+  // Schedules `fn` to run after `delay_steps` further steps (0 = next).
+  void post(std::function<void()> fn) { post_after(0, std::move(fn)); }
+  void post_after(std::uint32_t delay_steps, std::function<void()> fn);
+
+ private:
+  struct Task {
+    std::uint64_t due;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  std::uint64_t now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::deque<Task> tasks_;  // kept sorted by (due, seq)
+};
+
+// Creates a connected in-memory duplex pipe driven by `pump`. With
+// `chunk_bytes` > 0 every send is split into chunks delivered as
+// separate events, exercising the frame decoder's reassembly. Closing
+// either end disconnects both, after in-flight bytes drain.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>> make_pipe(
+    PipePump& pump, std::size_t chunk_bytes = 0);
+
+}  // namespace eden::controlplane

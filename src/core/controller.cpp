@@ -1,8 +1,10 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "lang/compiler.h"
+#include "telemetry/json.h"
 
 namespace eden::core {
 
@@ -94,18 +96,67 @@ std::vector<std::int64_t> Controller::priority_thresholds(
   return thresholds;
 }
 
-telemetry::AggregateTelemetry Controller::collect_telemetry() const {
+telemetry::AggregateTelemetry Controller::collect_telemetry(
+    std::vector<std::string>* unreachable) const {
   std::vector<telemetry::EnclaveTelemetry> snapshots;
   snapshots.reserve(enclaves_.size());
   for (const Enclave* enclave : enclaves_) {
     snapshots.push_back(enclave->telemetry_snapshot());
   }
-  return telemetry::aggregate(std::move(snapshots));
+  std::vector<telemetry::SessionTelemetry> sessions;
+  for (const RemoteEnclaveSource& remote : remotes_) {
+    const std::string json =
+        remote.fetch_telemetry_json ? remote.fetch_telemetry_json() : "";
+    if (json.empty()) {
+      if (unreachable != nullptr) unreachable->push_back(remote.name);
+      continue;
+    }
+    try {
+      telemetry::ParsedDump dump = telemetry::parse_telemetry_json(json);
+      for (telemetry::EnclaveTelemetry& e : dump.enclaves) {
+        snapshots.push_back(std::move(e));
+      }
+      for (telemetry::SessionTelemetry& s : dump.sessions) {
+        sessions.push_back(std::move(s));
+      }
+    } catch (const std::runtime_error&) {
+      // A reply that does not parse is as useless as no reply.
+      if (unreachable != nullptr) unreachable->push_back(remote.name);
+    }
+  }
+  telemetry::AggregateTelemetry agg =
+      telemetry::aggregate(std::move(snapshots));
+  agg.sessions = std::move(sessions);
+  return agg;
 }
 
-std::string Controller::collect_spans_json() const {
-  return telemetry::to_trace_event_json(
+std::string Controller::collect_spans_json(
+    std::vector<std::string>* unreachable) const {
+  std::string out = telemetry::to_trace_event_json(
       telemetry::SpanCollector::instance().snapshot());
+  for (const RemoteEnclaveSource& remote : remotes_) {
+    if (!remote.fetch_spans_json) continue;
+    const std::string json = remote.fetch_spans_json();
+    // Splice the remote's traceEvents into ours. The format is
+    // machine-written ({"traceEvents":[...]}), so bracket positions
+    // are reliable.
+    const std::size_t open = json.find('[');
+    const std::size_t close = json.rfind(']');
+    if (json.empty() || open == std::string::npos || close <= open) {
+      if (unreachable != nullptr) unreachable->push_back(remote.name);
+      continue;
+    }
+    const std::string events = json.substr(open + 1, close - open - 1);
+    if (events.find_first_not_of(" \n\r\t") == std::string::npos) continue;
+    const std::size_t local_close = out.rfind(']');
+    if (local_close == std::string::npos) continue;
+    const std::size_t last_nonspace =
+        out.find_last_not_of(" \n\r\t", local_close - 1);
+    const bool local_empty = last_nonspace == std::string::npos ||
+                             out[last_nonspace] == '[';
+    out.insert(local_close, (local_empty ? "" : ",\n") + events);
+  }
+  return out;
 }
 
 }  // namespace eden::core

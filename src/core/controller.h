@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,6 +35,20 @@ class Controller {
 
   void register_stage(Stage& stage) { stages_.push_back(&stage); }
   void register_enclave(Enclave& enclave) { enclaves_.push_back(&enclave); }
+
+  // An enclave reached over a control-plane session rather than a
+  // local pointer. The fetchers return the remote's JSON dump, or an
+  // empty string when the session is down / the reply never came
+  // (e.g. controlplane::EnclaveSession::fetch_telemetry_json). Kept as
+  // std::function so core does not depend on the session layer.
+  struct RemoteEnclaveSource {
+    std::string name;
+    std::function<std::string()> fetch_telemetry_json;
+    std::function<std::string()> fetch_spans_json;  // optional
+  };
+  void register_remote(RemoteEnclaveSource source) {
+    remotes_.push_back(std::move(source));
+  }
 
   Stage* stage(const std::string& name) const;
   const std::vector<Enclave*>& enclaves() const { return enclaves_; }
@@ -62,15 +77,20 @@ class Controller {
   // Pulls a telemetry snapshot from every registered enclave and merges
   // them by action / class name: the stats read-back half of the
   // enclave API, giving the controller the global visibility the paper
-  // assumes (Section 3.2). Render with telemetry::to_json /
-  // telemetry::to_prometheus.
-  telemetry::AggregateTelemetry collect_telemetry() const;
+  // assumes (Section 3.2). Remote enclaves whose session is down are
+  // skipped — a dead host must not block the deployment-wide view —
+  // and their names are appended to `unreachable` when given. Render
+  // with telemetry::to_json / telemetry::to_prometheus.
+  telemetry::AggregateTelemetry collect_telemetry(
+      std::vector<std::string>* unreachable = nullptr) const;
 
   // Lifecycle spans (telemetry/span.h) rendered as Chrome trace_event
   // JSON — load the result in Perfetto / chrome://tracing. The span
-  // collector is process-global, so this is a snapshot of every traced
-  // hop in the deployment, not just one enclave's.
-  std::string collect_spans_json() const;
+  // collector is process-global, so this covers every traced local
+  // hop; remote sources' events are spliced in, and unreachable
+  // remotes are skipped and reported like collect_telemetry does.
+  std::string collect_spans_json(
+      std::vector<std::string>* unreachable = nullptr) const;
 
   // --- Control-plane computations -----------------------------------------
 
@@ -92,6 +112,7 @@ class Controller {
   ClassRegistry& registry_;
   std::vector<Stage*> stages_;
   std::vector<Enclave*> enclaves_;
+  std::vector<RemoteEnclaveSource> remotes_;
 };
 
 }  // namespace eden::core

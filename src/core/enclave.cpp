@@ -1,5 +1,6 @@
 #include "core/enclave.h"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -8,14 +9,50 @@
 
 namespace eden::core {
 
-namespace {
+// The immutable rule-set snapshot the data path runs against. Mutators
+// copy the current snapshot, edit the copy and publish it with a single
+// pointer swap; ActionEntry objects are *shared* between snapshots, so
+// an action's global/message state, counters and locks survive rule
+// churn, and snapshots only pay for the vector copies. A removed action
+// stays alive until the last reader drops the snapshot referencing it.
+struct Enclave::RuleState {
+  std::uint64_t version = 0;
+  std::vector<Table> tables;
+  std::vector<FlowClassifierRule> flow_rules;
+  std::vector<std::shared_ptr<ActionEntry>> actions;
+};
 
-std::atomic<std::uint64_t> g_enclave_instance_counter{1};
+// One staged transaction: mutations land in `state` (a shadow copy of
+// the committed snapshot) and become visible only at commit_txn.
+// Global-state writes to actions that pre-date the transaction cannot
+// go to the shared entry directly (they would be visible immediately),
+// so they are buffered here and applied at commit.
+struct Enclave::Txn {
+  std::uint64_t id = 0;
+  std::shared_ptr<RuleState> state;
+  // Actions with index >= base_actions were installed inside this
+  // transaction: they are invisible to the data path until commit, so
+  // their global state may be written in place.
+  std::size_t base_actions = 0;
+  struct GlobalWrite {
+    std::shared_ptr<ActionEntry> entry;
+    std::uint16_t slot = 0;
+    bool is_array = false;
+    std::int64_t scalar = 0;
+    std::vector<std::int64_t> data;
+    std::uint16_t stride = 1;
+  };
+  std::vector<GlobalWrite> writes;
+};
+
+namespace detail {
 
 // Per-thread execution resources for one enclave instance: the
 // interpreter (operand stack, heap, rng) plus a scratch packet-scope
 // state block. Reused across packets so the steady-state data path does
-// not allocate.
+// not allocate. Also caches the last rule-set snapshot this thread saw,
+// keyed by its version, so the per-packet snapshot check is one atomic
+// load and a compare.
 struct ThreadState {
   lang::Interpreter interp;
   lang::StateBlock packet_block;
@@ -27,6 +64,8 @@ struct ThreadState {
   // a thread_local on the per-packet path — ThreadState is already hot.
   std::uint32_t trace_countdown = 1;
   std::uint32_t hist_countdown = 1;
+  std::shared_ptr<const Enclave::RuleState> cached_rules;
+  std::uint64_t cached_epoch = ~0ull;
 
   ThreadState(const EnclaveConfig& config, const lang::StateSchema& schema)
       : interp(config.exec_limits, config.rng_seed),
@@ -34,6 +73,14 @@ struct ThreadState {
             lang::StateBlock::from_schema(schema, lang::Scope::packet)),
         rng(config.rng_seed ^ 0x517cc1b727220a95ULL) {}
 };
+
+}  // namespace detail
+
+using detail::ThreadState;
+
+namespace {
+
+std::atomic<std::uint64_t> g_enclave_instance_counter{1};
 
 std::uint64_t flow_hash(const netsim::Packet& p) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -92,7 +139,8 @@ Enclave::Enclave(std::string name, ClassRegistry& registry,
       registry_(registry),
       config_(config),
       base_schema_(make_enclave_schema()),
-      instance_id_(g_enclave_instance_counter.fetch_add(1)) {
+      instance_id_(g_enclave_instance_counter.fetch_add(1)),
+      rules_(std::make_shared<RuleState>()) {
   if (config_.telemetry.enabled) {
     if (config_.telemetry.max_classes > 0) {
       // +2: an "unclassified" slot and an overflow slot past max_classes.
@@ -117,11 +165,150 @@ Enclave::Enclave(std::string name, ClassRegistry& registry,
 
 Enclave::~Enclave() = default;
 
+// --- Snapshot plumbing ----------------------------------------------------
+
+ThreadState& Enclave::thread_state() const {
+  return EnclaveThreadRegistry::get(instance_id_, config_, base_schema_);
+}
+
+const Enclave::RuleState& Enclave::data_snapshot(ThreadState& ts) const {
+  const std::uint64_t epoch = rules_epoch_.load(std::memory_order_acquire);
+  if (ts.cached_epoch != epoch) [[unlikely]] {
+    std::lock_guard lock(publish_mutex_);
+    ts.cached_rules = rules_;
+    // The snapshot read under the lock may already be newer than the
+    // epoch that triggered the refresh; key the cache off what was
+    // actually read.
+    ts.cached_epoch = ts.cached_rules->version;
+  }
+  return *ts.cached_rules;
+}
+
+std::shared_ptr<const Enclave::RuleState> Enclave::committed() const {
+  std::lock_guard lock(publish_mutex_);
+  return rules_;
+}
+
+const Enclave::RuleState& Enclave::control_view_locked() const {
+  if (txn_ != nullptr) return *txn_->state;
+  // control_mutex_ is held, so no publish can race this read.
+  return *rules_;
+}
+
+// Returns the state a mutation should edit: the transaction's shadow
+// copy when one is open (changes stay staged), or a fresh copy of the
+// committed snapshot otherwise.
+std::shared_ptr<Enclave::RuleState> Enclave::begin_mutation_locked() {
+  if (txn_ != nullptr) return txn_->state;
+  return std::make_shared<RuleState>(*committed());
+}
+
+void Enclave::end_mutation_locked(std::shared_ptr<RuleState> next) {
+  if (txn_ != nullptr) return;  // staged; published by commit_txn
+  publish_locked(std::move(next));
+}
+
+std::uint64_t Enclave::publish_locked(std::shared_ptr<RuleState> next) {
+  next->version = next_version_++;
+  std::shared_ptr<const RuleState> published = std::move(next);
+  const std::uint64_t version = published->version;
+  {
+    std::lock_guard lock(publish_mutex_);
+    rules_ = std::move(published);
+  }
+  rules_epoch_.store(version, std::memory_order_release);
+  return version;
+}
+
+// --- Transactions ---------------------------------------------------------
+
+std::uint64_t Enclave::begin_txn() {
+  std::lock_guard lock(control_mutex_);
+  if (txn_ != nullptr) throw std::invalid_argument("transaction already open");
+  txn_ = std::make_unique<Txn>();
+  txn_->id = next_txn_id_++;
+  txn_->state = std::make_shared<RuleState>(*committed());
+  txn_->base_actions = txn_->state->actions.size();
+  return txn_->id;
+}
+
+std::uint64_t Enclave::commit_txn() {
+  std::lock_guard lock(control_mutex_);
+  if (txn_ == nullptr) throw std::invalid_argument("no open transaction");
+  // Apply the buffered global writes first, grouped so each action's
+  // lock is taken once: the data path sees every pre-existing action
+  // flip its globals atomically, and any *new* rules referencing those
+  // actions only appear with the snapshot swap below, i.e. after their
+  // state is in place.
+  auto& writes = txn_->writes;
+  std::stable_sort(writes.begin(), writes.end(),
+                   [](const Txn::GlobalWrite& a, const Txn::GlobalWrite& b) {
+                     return a.entry.get() < b.entry.get();
+                   });
+  for (std::size_t i = 0; i < writes.size();) {
+    ActionEntry* entry = writes[i].entry.get();
+    std::unique_lock glock(entry->global_mutex);
+    for (; i < writes.size() && writes[i].entry.get() == entry; ++i) {
+      Txn::GlobalWrite& w = writes[i];
+      if (w.is_array) {
+        entry->global_state.arrays[w.slot].stride = w.stride;
+        entry->global_state.arrays[w.slot].data = std::move(w.data);
+      } else {
+        entry->global_state.scalars[w.slot] = w.scalar;
+      }
+    }
+  }
+  std::shared_ptr<RuleState> next = std::move(txn_->state);
+  txn_.reset();
+  return publish_locked(std::move(next));
+}
+
+void Enclave::abort_txn() {
+  std::lock_guard lock(control_mutex_);
+  txn_.reset();
+}
+
+bool Enclave::txn_open() const {
+  std::lock_guard lock(control_mutex_);
+  return txn_ != nullptr;
+}
+
+std::uint64_t Enclave::ruleset_version() const {
+  return rules_epoch_.load(std::memory_order_acquire);
+}
+
+void Enclave::clear_all() {
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  state->actions.clear();
+  state->tables.clear();
+  state->flow_rules.clear();
+  if (txn_ != nullptr) {
+    // Everything installed from here on is transaction-fresh, and any
+    // buffered writes targeted state that just got wiped.
+    txn_->base_actions = 0;
+    txn_->writes.clear();
+  }
+  end_mutation_locked(std::move(state));
+}
+
+// --- Enclave API (controller side) ----------------------------------------
+
+ActionId Enclave::install_entry(std::shared_ptr<ActionEntry> entry) {
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  entry->id = static_cast<ActionId>(state->actions.size());
+  attach_instruments(*entry);
+  const ActionId id = entry->id;
+  state->actions.push_back(std::move(entry));
+  end_mutation_locked(std::move(state));
+  return id;
+}
+
 ActionId Enclave::install_action(const std::string& name,
                                  lang::CompiledProgram program,
                                  std::vector<lang::FieldDef> global_fields) {
-  auto entry = std::make_unique<ActionEntry>();
-  entry->id = static_cast<ActionId>(actions_.size());
+  auto entry = std::make_shared<ActionEntry>();
   entry->name = name;
   entry->native = false;
   entry->mode = program.concurrency;
@@ -142,17 +329,13 @@ ActionId Enclave::install_action(const std::string& name,
   if (config_.telemetry.profile_actions) {
     entry->profile = std::make_unique<telemetry::ProgramProfile>();
   }
-  const ActionId id = entry->id;
-  attach_instruments(*entry);
-  actions_.push_back(std::move(entry));
-  return id;
+  return install_entry(std::move(entry));
 }
 
 ActionId Enclave::install_native_action(
     const std::string& name, NativeActionFn fn, lang::ConcurrencyMode mode,
     bool touches_message, std::vector<lang::FieldDef> global_fields) {
-  auto entry = std::make_unique<ActionEntry>();
-  entry->id = static_cast<ActionId>(actions_.size());
+  auto entry = std::make_shared<ActionEntry>();
   entry->name = name;
   entry->native = true;
   entry->native_fn = std::move(fn);
@@ -161,10 +344,7 @@ ActionId Enclave::install_native_action(
   entry->schema = make_enclave_schema(std::move(global_fields));
   entry->global_state =
       lang::StateBlock::from_schema(entry->schema, lang::Scope::global);
-  const ActionId id = entry->id;
-  attach_instruments(*entry);
-  actions_.push_back(std::move(entry));
-  return id;
+  return install_entry(std::move(entry));
 }
 
 // Resolves the action's histogram instruments once at install time, so
@@ -180,81 +360,144 @@ void Enclave::attach_instruments(ActionEntry& entry) {
 }
 
 void Enclave::remove_action(ActionId id) {
-  if (id >= actions_.size() || actions_[id] == nullptr) return;
-  // Remove any rules pointing at the action, then drop it.
-  for (Table& table : tables_) {
+  std::lock_guard lock(control_mutex_);
+  const RuleState& view = control_view_locked();
+  if (id >= view.actions.size() || view.actions[id] == nullptr) return;
+  auto state = begin_mutation_locked();
+  // Remove any rules pointing at the action, then drop it. The slot is
+  // left as a hole so action ids stay stable.
+  for (Table& table : state->tables) {
     std::erase_if(table.rules,
                   [id](const MatchRule& r) { return r.action == id; });
   }
-  actions_[id] = nullptr;
+  state->actions[id] = nullptr;
+  end_mutation_locked(std::move(state));
 }
 
 std::optional<ActionId> Enclave::find_action(const std::string& name) const {
-  for (const auto& entry : actions_) {
+  std::lock_guard lock(control_mutex_);
+  for (const auto& entry : control_view_locked().actions) {
     if (entry != nullptr && entry->name == name) return entry->id;
   }
   return std::nullopt;
 }
 
 TableId Enclave::create_table(const std::string& name) {
-  tables_.push_back(Table{next_table_id_++, name, {}});
-  return tables_.back().id;
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  const TableId id = next_table_id_++;
+  state->tables.push_back(Table{id, name, {}});
+  end_mutation_locked(std::move(state));
+  return id;
 }
 
 void Enclave::delete_table(TableId table) {
-  std::erase_if(tables_, [table](const Table& t) { return t.id == table; });
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  std::erase_if(state->tables,
+                [table](const Table& t) { return t.id == table; });
+  end_mutation_locked(std::move(state));
 }
 
-Enclave::Table* Enclave::find_table(TableId id) {
-  for (Table& t : tables_) {
-    if (t.id == id) return &t;
+std::optional<TableId> Enclave::find_table_id(const std::string& name) const {
+  std::lock_guard lock(control_mutex_);
+  for (const Table& t : control_view_locked().tables) {
+    if (t.name == name) return t.id;
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 MatchRuleId Enclave::add_rule(TableId table, ClassPattern pattern,
                               ActionId action) {
-  Table* t = find_table(table);
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  Table* t = nullptr;
+  for (Table& candidate : state->tables) {
+    if (candidate.id == table) {
+      t = &candidate;
+      break;
+    }
+  }
   if (t == nullptr) throw std::invalid_argument("no such table");
-  if (action >= actions_.size() || actions_[action] == nullptr) {
+  if (action >= state->actions.size() ||
+      state->actions[action] == nullptr) {
     throw std::invalid_argument("no such action");
   }
   const MatchRuleId id = next_rule_id_++;
   t->rules.push_back(MatchRule{id, std::move(pattern), action});
+  end_mutation_locked(std::move(state));
   return id;
 }
 
 bool Enclave::remove_rule(TableId table, MatchRuleId rule) {
-  Table* t = find_table(table);
-  if (t == nullptr) return false;
-  const auto before = t->rules.size();
-  std::erase_if(t->rules,
-                [rule](const MatchRule& r) { return r.id == rule; });
-  return t->rules.size() != before;
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  bool removed = false;
+  for (Table& t : state->tables) {
+    if (t.id != table) continue;
+    const auto before = t.rules.size();
+    std::erase_if(t.rules,
+                  [rule](const MatchRule& r) { return r.id == rule; });
+    removed = t.rules.size() != before;
+    break;
+  }
+  if (removed) end_mutation_locked(std::move(state));
+  return removed;
 }
 
 std::size_t Enclave::rule_count(TableId table) const {
-  for (const Table& t : tables_) {
+  std::lock_guard lock(control_mutex_);
+  for (const Table& t : control_view_locked().tables) {
     if (t.id == table) return t.rules.size();
   }
   return 0;
 }
 
+void Enclave::add_flow_rule(FlowClassifierRule rule) {
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  state->flow_rules.push_back(rule);
+  end_mutation_locked(std::move(state));
+}
+
+void Enclave::clear_flow_rules() {
+  std::lock_guard lock(control_mutex_);
+  auto state = begin_mutation_locked();
+  state->flow_rules.clear();
+  end_mutation_locked(std::move(state));
+}
+
 void Enclave::set_global_scalar(ActionId id, const std::string& field,
                                 std::int64_t value) {
-  ActionEntry& entry = checked_action(id);
-  const auto slot = entry.schema.find(lang::Scope::global, field);
+  std::lock_guard lock(control_mutex_);
+  const RuleState& view = control_view_locked();
+  if (id >= view.actions.size() || view.actions[id] == nullptr) {
+    throw std::invalid_argument("no such action");
+  }
+  const std::shared_ptr<ActionEntry>& entry = view.actions[id];
+  const auto slot = entry->schema.find(lang::Scope::global, field);
   if (!slot || slot->kind != lang::FieldKind::scalar) {
     throw std::invalid_argument("no global scalar '" + field + "'");
   }
-  std::unique_lock lock(entry.global_mutex);
-  entry.global_state.scalars[slot->slot] = value;
+  if (txn_ != nullptr && id < txn_->base_actions) {
+    // Pre-existing action: stage the write; commit applies it.
+    txn_->writes.push_back(
+        Txn::GlobalWrite{entry, slot->slot, false, value, {}, 1});
+    return;
+  }
+  std::unique_lock glock(entry->global_mutex);
+  entry->global_state.scalars[slot->slot] = value;
 }
 
 void Enclave::set_global_array(ActionId id, const std::string& field,
                                std::vector<std::int64_t> data) {
-  ActionEntry& entry = checked_action(id);
-  const auto slot = entry.schema.find(lang::Scope::global, field);
+  std::lock_guard lock(control_mutex_);
+  const RuleState& view = control_view_locked();
+  if (id >= view.actions.size() || view.actions[id] == nullptr) {
+    throw std::invalid_argument("no such action");
+  }
+  const std::shared_ptr<ActionEntry>& entry = view.actions[id];
+  const auto slot = entry->schema.find(lang::Scope::global, field);
   if (!slot || slot->kind == lang::FieldKind::scalar) {
     throw std::invalid_argument("no global array '" + field + "'");
   }
@@ -262,34 +505,35 @@ void Enclave::set_global_array(ActionId id, const std::string& field,
     throw std::invalid_argument("array data for '" + field +
                                 "' is not a whole number of records");
   }
-  std::unique_lock lock(entry.global_mutex);
-  entry.global_state.arrays[slot->slot].stride = slot->stride;
-  entry.global_state.arrays[slot->slot].data = std::move(data);
+  if (txn_ != nullptr && id < txn_->base_actions) {
+    txn_->writes.push_back(Txn::GlobalWrite{entry, slot->slot, true, 0,
+                                            std::move(data), slot->stride});
+    return;
+  }
+  std::unique_lock glock(entry->global_mutex);
+  entry->global_state.arrays[slot->slot].stride = slot->stride;
+  entry->global_state.arrays[slot->slot].data = std::move(data);
 }
 
 std::int64_t Enclave::read_global_scalar(ActionId id,
                                          const std::string& field) const {
-  const ActionEntry& entry = checked_action(id);
-  const auto slot = entry.schema.find(lang::Scope::global, field);
+  const std::shared_ptr<ActionEntry> entry = checked_entry(id);
+  const auto slot = entry->schema.find(lang::Scope::global, field);
   if (!slot || slot->kind != lang::FieldKind::scalar) {
     throw std::invalid_argument("no global scalar '" + field + "'");
   }
-  std::shared_lock lock(entry.global_mutex);
-  return entry.global_state.scalars[slot->slot];
+  std::shared_lock glock(entry->global_mutex);
+  return entry->global_state.scalars[slot->slot];
 }
 
-Enclave::ActionEntry& Enclave::checked_action(ActionId id) {
-  if (id >= actions_.size() || actions_[id] == nullptr) {
+std::shared_ptr<Enclave::ActionEntry> Enclave::checked_entry(
+    ActionId id) const {
+  std::lock_guard lock(control_mutex_);
+  const RuleState& view = control_view_locked();
+  if (id >= view.actions.size() || view.actions[id] == nullptr) {
     throw std::invalid_argument("no such action");
   }
-  return *actions_[id];
-}
-
-const Enclave::ActionEntry& Enclave::checked_action(ActionId id) const {
-  if (id >= actions_.size() || actions_[id] == nullptr) {
-    throw std::invalid_argument("no such action");
-  }
-  return *actions_[id];
+  return view.actions[id];
 }
 
 std::int64_t Enclave::message_key(const netsim::Packet& p) {
@@ -335,10 +579,11 @@ std::shared_ptr<Enclave::MessageEntry> Enclave::message_entry(
   return slot;
 }
 
-void Enclave::classify_flow(netsim::Packet& packet) const {
+void Enclave::classify_flow(const RuleState& rules,
+                            netsim::Packet& packet) const {
   // Enclave-stage classification (Table 2, last row): five-tuple rules
   // assign a class and a flow-granularity message id.
-  for (const FlowClassifierRule& rule : flow_rules_) {
+  for (const FlowClassifierRule& rule : rules.flow_rules) {
     if (rule.matches(packet)) {
       packet.classes.add(rule.class_id);
       if (packet.meta.msg_id == 0) {
@@ -351,7 +596,7 @@ void Enclave::classify_flow(netsim::Packet& packet) const {
 }
 
 Enclave::TableMatch Enclave::match_in_table(
-    Table& table, const netsim::Packet& packet) const {
+    const Table& table, const netsim::Packet& packet) const {
   for (const MatchRule& rule : table.rules) {
     if (rule.pattern.match_any()) {
       // Attribute a match-any hit to the packet's primary class, if the
@@ -378,6 +623,8 @@ Enclave::ClassCounters* Enclave::class_counter(ClassId cls) {
 }
 
 bool Enclave::process(netsim::Packet& packet) {
+  ThreadState& ts = thread_state();
+  const RuleState& rules = data_snapshot(ts);
   counters_.packets.fetch_add(1, std::memory_order_relaxed);
   // Packets that arrive unstamped (direct callers without a stage in
   // front) start a lifecycle trace here, paced by the collector's own
@@ -386,16 +633,18 @@ bool Enclave::process(netsim::Packet& packet) {
   if (config_.telemetry.span_sample_every != 0 && packet.meta.trace_id == 0) {
     packet.meta.trace_id = spans_.maybe_start_trace();
   }
-  classify_flow(packet);
+  classify_flow(rules, packet);
 
   const std::int64_t trace_id = packet.meta.trace_id;
   std::int64_t span_t0 = 0;
   if (trace_id != 0) span_t0 = spans_.now_ns();
 
-  for (Table& table : tables_) {
+  for (const Table& table : rules.tables) {
     const TableMatch hit = match_in_table(table, packet);
     if (hit.rule == nullptr) continue;
-    ActionEntry* entry = actions_[hit.rule->action].get();
+    ActionEntry* entry = hit.rule->action < rules.actions.size()
+                             ? rules.actions[hit.rule->action].get()
+                             : nullptr;
     if (entry == nullptr) continue;
     if (trace_id != 0) {
       const std::int64_t now = spans_.now_ns();
@@ -411,7 +660,7 @@ bool Enclave::process(netsim::Packet& packet) {
     } else {
       counters_.matched.fetch_add(1, std::memory_order_relaxed);
     }
-    run_action(*entry, packet);
+    run_action(ts, *entry, packet);
     if (packet.drop_mark) {
       if (cls != nullptr) {
         cls->dropped.fetch_add(1, std::memory_order_relaxed);
@@ -428,8 +677,10 @@ bool Enclave::process(netsim::Packet& packet) {
 }
 
 std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
+  ThreadState& ts = thread_state();
+  const RuleState& rules = data_snapshot(ts);
   // Multiple tables compose per packet; keep that path simple.
-  if (tables_.size() > 1) {
+  if (rules.tables.size() > 1) {
     std::size_t kept = 0;
     for (const netsim::PacketPtr& p : batch) {
       if (process(*p)) ++kept;
@@ -438,7 +689,7 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   }
 
   counters_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
-  Table* table = tables_.empty() ? nullptr : &tables_.front();
+  const Table* table = rules.tables.empty() ? nullptr : &rules.tables.front();
 
   // Pre-process: classify, match, and split by (action, message) so the
   // lock and state copy are taken once per message rather than once per
@@ -455,11 +706,13 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
     if (span_start && p->meta.trace_id == 0) {
       p->meta.trace_id = spans_.maybe_start_trace();
     }
-    classify_flow(*p);
+    classify_flow(rules, *p);
     if (table == nullptr) continue;
     const TableMatch hit = match_in_table(*table, *p);
     if (hit.rule == nullptr) continue;
-    ActionEntry* entry = actions_[hit.rule->action].get();
+    ActionEntry* entry = hit.rule->action < rules.actions.size()
+                             ? rules.actions[hit.rule->action].get()
+                             : nullptr;
     if (entry == nullptr) continue;
     if (p->meta.trace_id != 0) {
       // Match duration is folded into the pre-process pass here; record
@@ -481,7 +734,7 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
     groups[{entry, key}].push_back(p.get());
   }
   for (auto& [key, packets] : groups) {
-    run_action_batch(*key.first, packets);
+    run_action_batch(ts, *key.first, packets);
   }
 
   std::size_t kept = 0;
@@ -503,20 +756,19 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   return kept;
 }
 
-void Enclave::run_action(ActionEntry& entry, netsim::Packet& packet) {
+void Enclave::run_action(detail::ThreadState& ts, ActionEntry& entry,
+                         netsim::Packet& packet) {
   netsim::Packet* one = &packet;
-  run_action_batch(entry, std::span<netsim::Packet* const>(&one, 1));
+  run_action_batch(ts, entry, std::span<netsim::Packet* const>(&one, 1));
 }
 
 // Executes the action for every packet of one message (all packets in
 // `packets` share the message key, or the action does not touch message
 // state). Locking and the message-state copy happen once for the whole
 // group; each packet still commits or rolls back independently.
-void Enclave::run_action_batch(ActionEntry& entry,
+void Enclave::run_action_batch(detail::ThreadState& ts, ActionEntry& entry,
                                std::span<netsim::Packet* const> packets) {
   if (packets.empty()) return;
-  ThreadState& ts =
-      EnclaveThreadRegistry::get(instance_id_, config_, base_schema_);
 
   std::shared_ptr<MessageEntry> msg_entry;
   if (entry.touches_message) msg_entry = message_entry(entry, *packets[0]);
@@ -680,14 +932,14 @@ EnclaveStats Enclave::stats() const {
 }
 
 ActionStats Enclave::action_stats(ActionId id) const {
-  const ActionEntry& entry = checked_action(id);
+  const std::shared_ptr<ActionEntry> entry = checked_entry(id);
   ActionStats s;
-  s.executions = entry.counters.executions.load(std::memory_order_relaxed);
-  s.errors = entry.counters.errors.load(std::memory_order_relaxed);
-  s.steps = entry.counters.steps.load(std::memory_order_relaxed);
+  s.executions = entry->counters.executions.load(std::memory_order_relaxed);
+  s.errors = entry->counters.errors.load(std::memory_order_relaxed);
+  s.steps = entry->counters.steps.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < s.errors_by_status.size(); ++i) {
     s.errors_by_status[i] =
-        entry.counters.by_status[i].load(std::memory_order_relaxed);
+        entry->counters.by_status[i].load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -710,16 +962,19 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
   t.message_entries_created = s.message_entries_created;
   t.message_entries_evicted = s.message_entries_evicted;
 
-  for (const auto& entry : actions_) {
+  const std::shared_ptr<const RuleState> rules = committed();
+  for (const auto& entry : rules->actions) {
     if (entry == nullptr) continue;
     telemetry::ActionTelemetry a;
     a.name = entry->name;
     a.native = entry->native;
-    const ActionStats as = action_stats(entry->id);
-    a.executions = as.executions;
-    a.errors = as.errors;
-    a.steps = as.steps;
-    a.errors_by_status = as.errors_by_status;
+    a.executions = entry->counters.executions.load(std::memory_order_relaxed);
+    a.errors = entry->counters.errors.load(std::memory_order_relaxed);
+    a.steps = entry->counters.steps.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < a.errors_by_status.size(); ++i) {
+      a.errors_by_status[i] =
+          entry->counters.by_status[i].load(std::memory_order_relaxed);
+    }
     if (entry->latency_hist != nullptr) {
       a.has_histograms = true;
       a.latency_ns = entry->latency_hist->snapshot();
@@ -728,7 +983,11 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
       }
     }
     if (entry->profile != nullptr) {
-      const telemetry::ProgramProfile prof = action_profile(entry->id);
+      telemetry::ProgramProfile prof;
+      {
+        std::lock_guard plock(entry->profile_mutex);
+        prof = *entry->profile;
+      }
       if (!prof.empty()) {
         a.has_profile = true;
         a.profile_runs = prof.runs;
@@ -771,9 +1030,9 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
       telemetry::TraceEntry e;
       e.ts_ns = r.ts_ns;
       e.class_name = class_display_name(r.class_id);
-      const bool live =
-          r.action_id < actions_.size() && actions_[r.action_id] != nullptr;
-      e.action = live ? actions_[r.action_id]->name
+      const bool live = r.action_id < rules->actions.size() &&
+                        rules->actions[r.action_id] != nullptr;
+      e.action = live ? rules->actions[r.action_id]->name
                       : "#" + std::to_string(r.action_id);
       e.status = std::string(
           lang::exec_status_name(static_cast<lang::ExecStatus>(r.status)));
@@ -786,21 +1045,21 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
 }
 
 telemetry::ProgramProfile Enclave::action_profile(ActionId id) const {
-  const ActionEntry& entry = checked_action(id);
+  const std::shared_ptr<ActionEntry> entry = checked_entry(id);
   telemetry::ProgramProfile out;
-  if (entry.profile != nullptr) {
-    std::lock_guard lock(entry.profile_mutex);
-    out = *entry.profile;
+  if (entry->profile != nullptr) {
+    std::lock_guard lock(entry->profile_mutex);
+    out = *entry->profile;
   }
   return out;
 }
 
 std::optional<std::int64_t> Enclave::peek_message_state(
     ActionId id, std::int64_t msg_key, std::uint16_t slot) const {
-  const ActionEntry& entry = checked_action(id);
-  std::shared_lock lock(entry.messages_mutex);
-  const auto it = entry.messages.find(msg_key);
-  if (it == entry.messages.end()) return std::nullopt;
+  const std::shared_ptr<ActionEntry> entry = checked_entry(id);
+  std::shared_lock lock(entry->messages_mutex);
+  const auto it = entry->messages.find(msg_key);
+  if (it == entry->messages.end()) return std::nullopt;
   if (slot >= it->second->block.scalars.size()) return std::nullopt;
   return it->second->block.scalars[slot];
 }

@@ -45,6 +45,10 @@
 
 namespace eden::core {
 
+namespace detail {
+struct ThreadState;  // per-thread execution resources (enclave.cpp)
+}
+
 using ActionId = std::uint32_t;
 using TableId = std::uint32_t;
 using MatchRuleId = std::uint64_t;
@@ -215,9 +219,34 @@ class Enclave {
   // matching rule fires.
   TableId create_table(const std::string& name);
   void delete_table(TableId table);
+  std::optional<TableId> find_table_id(const std::string& name) const;
   MatchRuleId add_rule(TableId table, ClassPattern pattern, ActionId action);
   bool remove_rule(TableId table, MatchRuleId rule);
   std::size_t rule_count(TableId table) const;
+
+  // --- Transactions -------------------------------------------------------
+  //
+  // Control-plane mutations normally publish a fresh rule-set snapshot
+  // one by one. A transaction stages every mutation between begin and
+  // commit in a shadow copy and publishes them with one atomic swap, so
+  // the data path never observes a partial rule batch or a half-updated
+  // action set (the controller's WCMP weight or rule updates land
+  // all-or-nothing). One transaction may be open at a time; begin_txn
+  // throws std::invalid_argument when one already is. abort_txn is
+  // idempotent. Global-state writes to actions that existed before the
+  // transaction are buffered and applied at commit under the action's
+  // global lock, so each action's view also flips atomically.
+  std::uint64_t begin_txn();
+  std::uint64_t commit_txn();  // returns the committed rule-set version
+  void abort_txn();
+  bool txn_open() const;
+  // Version of the currently published (committed) rule-set snapshot.
+  // Starts at 0 for the empty state; every publish increments it.
+  std::uint64_t ruleset_version() const;
+  // Drops every action, table, rule and flow rule (inside a transaction:
+  // stages the wipe). Used by the control-plane resync protocol to bring
+  // an enclave of unknown state back to a blank slate before replay.
+  void clear_all();
 
   // Global state of an action, addressed by schema field name. Writes
   // take the action's global lock, so they are safe against the data
@@ -229,10 +258,8 @@ class Enclave {
   std::int64_t read_global_scalar(ActionId id, const std::string& field) const;
 
   // Enclave-stage classification (five-tuple rules).
-  void add_flow_rule(FlowClassifierRule rule) {
-    flow_rules_.push_back(rule);
-  }
-  void clear_flow_rules() { flow_rules_.clear(); }
+  void add_flow_rule(FlowClassifierRule rule);
+  void clear_flow_rules();
 
   // Clock source for the clock() builtin and native ctx (the simulator
   // injects virtual time).
@@ -363,22 +390,44 @@ class Enclave {
     ClassId cls = kInvalidClass;
   };
 
-  void run_action(ActionEntry& entry, netsim::Packet& packet);
-  void run_action_batch(ActionEntry& entry,
+  // The published rule-set: an immutable snapshot of tables, flow rules
+  // and the action vector, swapped in wholesale on every control-plane
+  // publish (RCU style). Defined in enclave.cpp; the header only ever
+  // holds it through a shared_ptr.
+  struct RuleState;
+  struct Txn;
+  friend struct detail::ThreadState;
+
+  void run_action(detail::ThreadState& ts, ActionEntry& entry,
+                  netsim::Packet& packet);
+  void run_action_batch(detail::ThreadState& ts, ActionEntry& entry,
                         std::span<netsim::Packet* const> packets);
-  TableMatch match_in_table(Table& table,
+  TableMatch match_in_table(const Table& table,
                             const netsim::Packet& packet) const;
   ClassCounters* class_counter(ClassId cls);
   std::string class_display_name(ClassId cls) const;
   void attach_instruments(ActionEntry& entry);
-  void classify_flow(netsim::Packet& packet) const;
+  void classify_flow(const RuleState& rules, netsim::Packet& packet) const;
   std::shared_ptr<MessageEntry> message_entry(ActionEntry& entry,
                                               const netsim::Packet& p);
   static std::int64_t message_key(const netsim::Packet& p);
   static std::int64_t symmetric_message_key(const netsim::Packet& p);
-  Table* find_table(TableId id);
-  ActionEntry& checked_action(ActionId id);
-  const ActionEntry& checked_action(ActionId id) const;
+
+  // Data-path snapshot access: one acquire load of the publish epoch per
+  // call; the shared_ptr itself is refetched (under publish_mutex_) only
+  // when the epoch moved, so steady-state reads touch no reference
+  // count and take no lock.
+  detail::ThreadState& thread_state() const;
+  const RuleState& data_snapshot(detail::ThreadState& ts) const;
+
+  // Control-plane helpers. _locked variants require control_mutex_.
+  std::shared_ptr<const RuleState> committed() const;
+  const RuleState& control_view_locked() const;
+  std::shared_ptr<RuleState> begin_mutation_locked();
+  void end_mutation_locked(std::shared_ptr<RuleState> next);
+  std::uint64_t publish_locked(std::shared_ptr<RuleState> next);
+  std::shared_ptr<ActionEntry> checked_entry(ActionId id) const;
+  ActionId install_entry(std::shared_ptr<ActionEntry> entry);
 
   std::string name_;
   ClassRegistry& registry_;
@@ -391,9 +440,17 @@ class Enclave {
   // static check, which is too much for a per-packet call site.
   telemetry::SpanCollector& spans_ = telemetry::SpanCollector::instance();
 
-  std::vector<std::unique_ptr<ActionEntry>> actions_;
-  std::vector<Table> tables_;
-  std::vector<FlowClassifierRule> flow_rules_;
+  // rules_ is the committed snapshot; readers cache it per thread and
+  // revalidate against rules_epoch_ (the snapshot's version) on every
+  // packet. control_mutex_ serializes mutators; publish_mutex_ only
+  // guards the pointer hand-off between a publish and a reader refresh.
+  mutable std::mutex control_mutex_;
+  mutable std::mutex publish_mutex_;
+  std::shared_ptr<const RuleState> rules_;
+  std::atomic<std::uint64_t> rules_epoch_{0};
+  std::uint64_t next_version_ = 1;
+  std::unique_ptr<Txn> txn_;
+  std::uint64_t next_txn_id_ = 1;
   MatchRuleId next_rule_id_ = 1;
   TableId next_table_id_ = 0;
 

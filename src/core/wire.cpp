@@ -41,6 +41,11 @@ lang::FieldDef read_field_def(ByteReader& r) {
   f.access = static_cast<lang::Access>(access);
   f.kind = static_cast<lang::FieldKind>(kind);
   const std::uint32_t nrec = r.u32();
+  // Each record field costs at least a 4-byte length on the wire; a
+  // count beyond that is a hostile header, not a short frame.
+  if (nrec > r.remaining() / 4) {
+    throw util::ByteStreamError("field definition record count exceeds frame");
+  }
   for (std::uint32_t i = 0; i < nrec; ++i) f.record_fields.push_back(r.str());
   f.header_map = r.str();
   f.default_value = r.i64();
@@ -151,6 +156,44 @@ std::vector<std::uint8_t> encode_get_spans() {
   return header(Command::get_spans).take();
 }
 
+std::vector<std::uint8_t> encode_begin_txn() {
+  return header(Command::begin_txn).take();
+}
+
+std::vector<std::uint8_t> encode_commit_txn() {
+  return header(Command::commit_txn).take();
+}
+
+std::vector<std::uint8_t> encode_abort_txn() {
+  return header(Command::abort_txn).take();
+}
+
+std::vector<std::uint8_t> encode_reset_state() {
+  return header(Command::reset_state).take();
+}
+
+std::vector<std::uint8_t> encode_add_rule_named(
+    const std::string& table_name, const std::string& pattern,
+    const std::string& action_name) {
+  ByteWriter w = header(Command::add_rule_named);
+  w.str(table_name);
+  w.str(pattern);
+  w.str(action_name);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_remove_rule_named(
+    const std::string& table_name, MatchRuleId rule) {
+  ByteWriter w = header(Command::remove_rule_named);
+  w.str(table_name);
+  w.u64(rule);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_get_ruleset_version() {
+  return header(Command::get_ruleset_version).take();
+}
+
 std::vector<std::uint8_t> encode_get_stage_info() {
   return header(Command::get_stage_info).take();
 }
@@ -253,10 +296,12 @@ Response apply_checked(Enclave& enclave,
   if (r.u32() != kMagic) return fail(Status::bad_request, "bad magic");
   const std::uint8_t raw_cmd = r.u8();
   // Enclave commands are the contiguous [install_action, get_telemetry]
-  // range plus get_spans (appended after the stage commands).
+  // range plus everything from get_spans on (the stage commands in the
+  // middle belong to apply_stage).
   if ((raw_cmd < 1 ||
        raw_cmd > static_cast<std::uint8_t>(Command::get_telemetry)) &&
-      raw_cmd != static_cast<std::uint8_t>(Command::get_spans)) {
+      (raw_cmd < static_cast<std::uint8_t>(Command::get_spans) ||
+       raw_cmd > static_cast<std::uint8_t>(Command::get_ruleset_version))) {
     return fail(Status::bad_request, "unknown command");
   }
   const auto cmd = static_cast<Command>(raw_cmd);
@@ -269,6 +314,12 @@ Response apply_checked(Enclave& enclave,
       const std::string name = r.str();
       const std::vector<std::uint8_t> bytecode = r.bytes();
       const std::uint32_t nfields = r.u32();
+      // A serialized field definition is > 20 bytes; one byte each is a
+      // conservative bound that still rejects absurd counts before the
+      // reserve below could throw bad_alloc.
+      if (nfields > r.remaining()) {
+        return fail(Status::bad_request, "field count exceeds frame");
+      }
       std::vector<lang::FieldDef> fields;
       fields.reserve(nfields);
       for (std::uint32_t i = 0; i < nfields; ++i) {
@@ -331,6 +382,9 @@ Response apply_checked(Enclave& enclave,
       const auto id = resolve_action(r.str());
       const std::string field = r.str();
       const std::uint32_t n = r.u32();
+      if (n > r.remaining() / 8) {
+        return fail(Status::bad_request, "array length exceeds frame");
+      }
       std::vector<std::int64_t> data;
       data.reserve(n);
       for (std::uint32_t i = 0; i < n; ++i) data.push_back(r.i64());
@@ -386,6 +440,48 @@ Response apply_checked(Enclave& enclave,
       resp.payload.assign(json.begin(), json.end());
       return resp;
     }
+    case Command::begin_txn:
+      try {
+        return ok(enclave.begin_txn());
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+    case Command::commit_txn:
+      try {
+        return ok(enclave.commit_txn());
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::rejected, e.what());
+      }
+    case Command::abort_txn:
+      enclave.abort_txn();
+      return ok();
+    case Command::reset_state:
+      enclave.clear_all();
+      return ok();
+    case Command::add_rule_named: {
+      const std::string table_name = r.str();
+      const std::string pattern = r.str();
+      const auto id = resolve_action(r.str());
+      if (!id) return fail(Status::unknown_action, "no such action");
+      const auto table = enclave.find_table_id(table_name);
+      if (!table) return fail(Status::unknown_table, "no such table");
+      try {
+        return ok(enclave.add_rule(*table, ClassPattern(pattern), *id));
+      } catch (const std::invalid_argument& e) {
+        return fail(Status::unknown_table, e.what());
+      }
+    }
+    case Command::remove_rule_named: {
+      const std::string table_name = r.str();
+      const MatchRuleId rule = r.u64();
+      const auto table = enclave.find_table_id(table_name);
+      if (!table) return fail(Status::unknown_table, "no such table");
+      return enclave.remove_rule(*table, rule)
+                 ? ok()
+                 : fail(Status::unknown_table, "no such rule");
+    }
+    case Command::get_ruleset_version:
+      return ok(enclave.ruleset_version());
   }
   return fail(Status::bad_request, "unhandled command");
 }
@@ -399,6 +495,12 @@ Response apply(Enclave& enclave, std::span<const std::uint8_t> frame) {
     return fail(Status::bad_request, e.what());
   } catch (const std::invalid_argument& e) {
     return fail(Status::rejected, e.what());
+  } catch (const std::length_error&) {
+    // A hostile element count slipped past the frame-size guards and hit
+    // a container limit; the frame is garbage, not a server fault.
+    return fail(Status::bad_request, "frame implies oversized allocation");
+  } catch (const std::bad_alloc&) {
+    return fail(Status::bad_request, "frame implies oversized allocation");
   }
 }
 
@@ -426,6 +528,10 @@ Response apply_stage_checked(Stage& stage,
     case Command::create_stage_rule: {
       const std::string rule_set = r.str();
       const std::uint32_t npatterns = r.u32();
+      // Each pattern costs at least 5 bytes (wildcard flag + length).
+      if (npatterns > r.remaining() / 5) {
+        return fail(Status::bad_request, "pattern count exceeds frame");
+      }
       Classifier classifier;
       classifier.reserve(npatterns);
       for (std::uint32_t i = 0; i < npatterns; ++i) {
@@ -464,6 +570,10 @@ Response apply_stage(Stage& stage, std::span<const std::uint8_t> frame) {
     return fail(Status::bad_request, e.what());
   } catch (const std::invalid_argument& e) {
     return fail(Status::rejected, e.what());
+  } catch (const std::length_error&) {
+    return fail(Status::bad_request, "frame implies oversized allocation");
+  } catch (const std::bad_alloc&) {
+    return fail(Status::bad_request, "frame implies oversized allocation");
   }
 }
 
@@ -524,6 +634,25 @@ std::string RemoteEnclave::get_telemetry_json() {
 }
 
 Response RemoteEnclave::get_spans() { return roundtrip(encode_get_spans()); }
+
+Response RemoteEnclave::begin_txn() { return roundtrip(encode_begin_txn()); }
+Response RemoteEnclave::commit_txn() { return roundtrip(encode_commit_txn()); }
+Response RemoteEnclave::abort_txn() { return roundtrip(encode_abort_txn()); }
+Response RemoteEnclave::reset_state() {
+  return roundtrip(encode_reset_state());
+}
+Response RemoteEnclave::add_rule_named(const std::string& table_name,
+                                       const std::string& pattern,
+                                       const std::string& action_name) {
+  return roundtrip(encode_add_rule_named(table_name, pattern, action_name));
+}
+Response RemoteEnclave::remove_rule_named(const std::string& table_name,
+                                          MatchRuleId rule) {
+  return roundtrip(encode_remove_rule_named(table_name, rule));
+}
+Response RemoteEnclave::get_ruleset_version() {
+  return roundtrip(encode_get_ruleset_version());
+}
 
 std::string RemoteEnclave::get_spans_json() {
   const Response r = get_spans();

@@ -45,6 +45,21 @@ enum class Command : std::uint8_t {
   // Response::payload. Appended after the stage commands so existing
   // frames keep their numbering.
   get_spans,
+  // Control-plane session commands (src/controlplane): transactional
+  // rule-set updates and the resync protocol. Appended last so every
+  // existing frame keeps its numbering.
+  begin_txn,    // value = transaction id
+  commit_txn,   // value = committed rule-set version
+  abort_txn,
+  // Wipes actions, tables, rules and flow rules (staged when a
+  // transaction is open). Resync replays the journal on a blank slate.
+  reset_state,
+  // Rule management addressed by *table name* instead of TableId, so a
+  // resync replay can pipeline table creation and rule installs without
+  // waiting for create_table responses.
+  add_rule_named,     // value = MatchRuleId
+  remove_rule_named,
+  get_ruleset_version,  // value = committed rule-set version
 };
 
 enum class Status : std::uint8_t {
@@ -87,6 +102,16 @@ std::vector<std::uint8_t> encode_read_global_scalar(
     const std::string& action_name, const std::string& field);
 std::vector<std::uint8_t> encode_get_telemetry();
 std::vector<std::uint8_t> encode_get_spans();
+std::vector<std::uint8_t> encode_begin_txn();
+std::vector<std::uint8_t> encode_commit_txn();
+std::vector<std::uint8_t> encode_abort_txn();
+std::vector<std::uint8_t> encode_reset_state();
+std::vector<std::uint8_t> encode_add_rule_named(const std::string& table_name,
+                                                const std::string& pattern,
+                                                const std::string& action_name);
+std::vector<std::uint8_t> encode_remove_rule_named(
+    const std::string& table_name, MatchRuleId rule);
+std::vector<std::uint8_t> encode_get_ruleset_version();
 
 // Stage API command encoders (Table 3: S0 get_stage_info,
 // S1 create_rule, S2 remove_rule).
@@ -154,6 +179,18 @@ class RemoteEnclave {
   // host suffices regardless of how many enclaves it runs.
   Response get_spans();
   std::string get_spans_json();
+  // Transactions and resync (the control-plane session layer drives
+  // these; exposed here so tests and single-process controllers can use
+  // the same commands over a synchronous transport).
+  Response begin_txn();
+  Response commit_txn();
+  Response abort_txn();
+  Response reset_state();
+  Response add_rule_named(const std::string& table_name,
+                          const std::string& pattern,
+                          const std::string& action_name);
+  Response remove_rule_named(const std::string& table_name, MatchRuleId rule);
+  Response get_ruleset_version();
 
  private:
   Response roundtrip(std::vector<std::uint8_t> frame);

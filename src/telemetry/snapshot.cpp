@@ -223,6 +223,44 @@ void append_trace_json(std::string& out, const TraceEntry& t) {
   out += "}}";
 }
 
+void append_session_json(std::string& out, const SessionTelemetry& s) {
+  out += "{\"name\":\"";
+  out += json_escape(s.name);
+  out += "\",\"connected\":";
+  out += s.connected ? "true" : "false";
+  out += ",\"ready\":";
+  out += s.ready ? "true" : "false";
+  out += ",\"agent_boot_id\":";
+  out += std::to_string(s.agent_boot_id);
+  auto field = [&](const char* key, std::uint64_t value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("connects", s.connects);
+  field("connect_failures", s.connect_failures);
+  field("teardowns", s.teardowns);
+  field("resyncs", s.resyncs);
+  field("last_resync_commands", s.last_resync_commands);
+  field("requests_sent", s.requests_sent);
+  field("responses_ok", s.responses_ok);
+  field("responses_error", s.responses_error);
+  field("request_timeouts", s.request_timeouts);
+  field("heartbeats_sent", s.heartbeats_sent);
+  field("heartbeats_acked", s.heartbeats_acked);
+  field("liveness_timeouts", s.liveness_timeouts);
+  field("corrupt_streams", s.corrupt_streams);
+  field("txns_committed", s.txns_committed);
+  field("txns_aborted", s.txns_aborted);
+  field("agent_restarts_seen", s.agent_restarts_seen);
+  out += ',';
+  append_histogram_json(out, "rtt_ns", s.rtt_ns);
+  out += ',';
+  append_histogram_json(out, "resync_commands", s.resync_commands);
+  out += '}';
+}
+
 template <typename T, typename Fn>
 void append_array(std::string& out, const std::vector<T>& items, Fn&& fn) {
   out += '[';
@@ -289,7 +327,11 @@ std::string to_json(const AggregateTelemetry& agg) {
     });
     out += '}';
   }
-  out += "],\"total\":{\"packets\":";
+  out += "],\"sessions\":";
+  append_array(out, agg.sessions, [](std::string& o, const SessionTelemetry& s) {
+    append_session_json(o, s);
+  });
+  out += ",\"total\":{\"packets\":";
   out += std::to_string(agg.packets);
   out += ",\"matched\":";
   out += std::to_string(agg.matched);
@@ -414,6 +456,64 @@ std::string to_prometheus(const AggregateTelemetry& agg) {
           out, "eden_action_steps",
           render_labels({{"enclave", e.enclave}, {"action", a.name}}),
           a.steps_hist);
+    }
+  }
+
+  if (!agg.sessions.empty()) {
+    struct CounterSeries {
+      const char* name;
+      std::uint64_t SessionTelemetry::* member;
+    };
+    static constexpr CounterSeries kSessionCounters[] = {
+        {"eden_session_connects_total", &SessionTelemetry::connects},
+        {"eden_session_connect_failures_total",
+         &SessionTelemetry::connect_failures},
+        {"eden_session_teardowns_total", &SessionTelemetry::teardowns},
+        {"eden_session_resyncs_total", &SessionTelemetry::resyncs},
+        {"eden_session_requests_total", &SessionTelemetry::requests_sent},
+        {"eden_session_responses_ok_total", &SessionTelemetry::responses_ok},
+        {"eden_session_responses_error_total",
+         &SessionTelemetry::responses_error},
+        {"eden_session_request_timeouts_total",
+         &SessionTelemetry::request_timeouts},
+        {"eden_session_heartbeats_sent_total",
+         &SessionTelemetry::heartbeats_sent},
+        {"eden_session_heartbeats_acked_total",
+         &SessionTelemetry::heartbeats_acked},
+        {"eden_session_liveness_timeouts_total",
+         &SessionTelemetry::liveness_timeouts},
+        {"eden_session_corrupt_streams_total",
+         &SessionTelemetry::corrupt_streams},
+        {"eden_session_txns_committed_total",
+         &SessionTelemetry::txns_committed},
+        {"eden_session_txns_aborted_total", &SessionTelemetry::txns_aborted},
+        {"eden_session_agent_restarts_total",
+         &SessionTelemetry::agent_restarts_seen},
+    };
+    for (const CounterSeries& cs : kSessionCounters) {
+      out += "# TYPE ";
+      out += cs.name;
+      out += " counter\n";
+      for (const SessionTelemetry& s : agg.sessions) {
+        series(cs.name, {{"session", s.name}}, s.*cs.member);
+      }
+    }
+    out += "# TYPE eden_session_connected gauge\n";
+    for (const SessionTelemetry& s : agg.sessions) {
+      series("eden_session_connected", {{"session", s.name}},
+             s.ready ? 1 : 0);
+    }
+    out += "# TYPE eden_session_rtt_ns histogram\n";
+    for (const SessionTelemetry& s : agg.sessions) {
+      append_histogram_exposition(out, "eden_session_rtt_ns",
+                                  render_labels({{"session", s.name}}),
+                                  s.rtt_ns);
+    }
+    out += "# TYPE eden_session_resync_commands histogram\n";
+    for (const SessionTelemetry& s : agg.sessions) {
+      append_histogram_exposition(out, "eden_session_resync_commands",
+                                  render_labels({{"session", s.name}}),
+                                  s.resync_commands);
     }
   }
   return out;

@@ -59,6 +59,34 @@ struct TraceEntry {
   netsim::PacketMeta meta;
 };
 
+// Control-plane session health, exported by the session layer
+// (src/controlplane). One entry per controller->enclave session;
+// counters mirror controlplane::SessionStats.
+struct SessionTelemetry {
+  std::string name;
+  bool connected = false;
+  bool ready = false;
+  std::uint64_t agent_boot_id = 0;
+  std::uint64_t connects = 0;
+  std::uint64_t connect_failures = 0;
+  std::uint64_t teardowns = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t last_resync_commands = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t responses_error = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_acked = 0;
+  std::uint64_t liveness_timeouts = 0;
+  std::uint64_t corrupt_streams = 0;
+  std::uint64_t txns_committed = 0;
+  std::uint64_t txns_aborted = 0;
+  std::uint64_t agent_restarts_seen = 0;
+  HistogramSnapshot rtt_ns;           // request + heartbeat round trips
+  HistogramSnapshot resync_commands;  // journal replay sizes
+};
+
 struct EnclaveTelemetry {
   std::string enclave;
   bool telemetry_enabled = false;
@@ -84,6 +112,10 @@ struct EnclaveTelemetry {
 // actions are the same function).
 struct AggregateTelemetry {
   std::vector<EnclaveTelemetry> enclaves;
+  // Session health rides along with the data-path snapshots; callers
+  // that run the session layer fill this in (aggregate() leaves it
+  // empty).
+  std::vector<SessionTelemetry> sessions;
   std::vector<ActionTelemetry> actions;
   std::vector<ClassTelemetry> classes;
   std::uint64_t packets = 0;

@@ -89,6 +89,10 @@ class ByteReader {
     return out;
   }
   bool exhausted() const { return pos_ == bytes_.size(); }
+  // Bytes left to read. Decoders use it to sanity-check element counts
+  // before reserving: a count that implies more payload than the frame
+  // holds is malformed, not a reason to allocate gigabytes.
+  std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
   void need(std::size_t n) {

@@ -1,0 +1,586 @@
+// The control-plane session layer: frame codec robustness, pipe and
+// fault-injection transports, and the full session protocol — connect,
+// greet, resync, heartbeats, liveness and request timeouts, backoff,
+// journal replay onto restarted enclaves, and transactional commits.
+#include "controlplane/session.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "controlplane/fault.h"
+#include "core/controller.h"
+#include "telemetry/json.h"
+
+namespace eden::controlplane {
+namespace {
+
+// --- Frame codec --------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsWholeAndByteByByte) {
+  const Frame frame{FrameType::request, 42, {1, 2, 3, 4, 5}};
+  const auto bytes = encode_frame(frame);
+
+  FrameDecoder whole;
+  std::vector<Frame> out;
+  EXPECT_TRUE(whole.feed(bytes, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, FrameType::request);
+  EXPECT_EQ(out[0].id, 42u);
+  EXPECT_EQ(out[0].payload, frame.payload);
+
+  // One byte at a time exercises reassembly across feed() calls.
+  FrameDecoder dribble;
+  out.clear();
+  for (const std::uint8_t byte : bytes) {
+    EXPECT_TRUE(dribble.feed({&byte, 1}, out));
+  }
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, frame.payload);
+  EXPECT_FALSE(dribble.corrupt());
+}
+
+TEST(FrameCodec, CoalescedFramesDecodeInOrder) {
+  auto bytes = encode_frame({FrameType::heartbeat, 1, {}});
+  const auto second = encode_frame({FrameType::response, 2, {9, 9}});
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  EXPECT_TRUE(decoder.feed(bytes, out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].type, FrameType::heartbeat);
+  EXPECT_EQ(out[1].type, FrameType::response);
+  EXPECT_EQ(out[1].payload.size(), 2u);
+}
+
+TEST(FrameCodec, HeaderCorruptionIsUnrecoverable) {
+  const auto good = encode_frame({FrameType::request, 7, {1, 2, 3}});
+
+  struct Case {
+    std::size_t offset;
+    std::uint8_t value;
+  };
+  // Magic, version, type and an absurd length each poison the stream.
+  const Case cases[] = {{4, 0x00}, {8, 0x7f}, {9, 0xee}, {3, 0xff}};
+  for (const Case& c : cases) {
+    auto bad = good;
+    bad[c.offset] = c.value;
+    FrameDecoder decoder;
+    std::vector<Frame> out;
+    EXPECT_FALSE(decoder.feed(bad, out)) << "offset " << c.offset;
+    EXPECT_TRUE(decoder.corrupt());
+    EXPECT_FALSE(decoder.error().empty());
+    EXPECT_TRUE(out.empty());
+    // A corrupt decoder stays corrupt until reset.
+    EXPECT_FALSE(decoder.feed(good, out));
+    decoder.reset();
+    EXPECT_TRUE(decoder.feed(good, out));
+    ASSERT_EQ(out.size(), 1u);
+  }
+}
+
+TEST(FrameCodec, FramesAheadOfCorruptionStillEmit) {
+  auto bytes = encode_frame({FrameType::heartbeat_ack, 3, {}});
+  const std::vector<std::uint8_t> junk(20, 0xff);
+  bytes.insert(bytes.end(), junk.begin(), junk.end());
+
+  FrameDecoder decoder;
+  std::vector<Frame> out;
+  EXPECT_FALSE(decoder.feed(bytes, out));
+  ASSERT_EQ(out.size(), 1u);  // the good frame survived
+  EXPECT_EQ(out[0].type, FrameType::heartbeat_ack);
+  EXPECT_TRUE(decoder.corrupt());
+}
+
+TEST(FrameCodec, GreetingRoundTripAndTruncation) {
+  const AgentGreeting greeting{77, 12};
+  const auto payload = encode_greeting(greeting);
+  const auto decoded = decode_greeting(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->boot_id, 77u);
+  EXPECT_EQ(decoded->ruleset_version, 12u);
+
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(payload.data(), len);
+    EXPECT_FALSE(decode_greeting(prefix).has_value()) << "prefix " << len;
+  }
+}
+
+// --- Pipe transport -----------------------------------------------------
+
+TEST(PipeTransport, ChunkedDeliveryPreservesOrder) {
+  PipePump pump;
+  auto [a, b] = make_pipe(pump, 3);
+  std::vector<std::uint8_t> received;
+  b->set_on_bytes([&](std::span<const std::uint8_t> data) {
+    received.insert(received.end(), data.begin(), data.end());
+  });
+
+  const std::vector<std::uint8_t> first{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<std::uint8_t> second{8, 9};
+  EXPECT_TRUE(a->send(first));
+  EXPECT_TRUE(a->send(second));
+  pump.run();
+
+  std::vector<std::uint8_t> expected = first;
+  expected.insert(expected.end(), second.begin(), second.end());
+  EXPECT_EQ(received, expected);
+}
+
+TEST(PipeTransport, CloseDisconnectsPeerAfterInflightBytes) {
+  PipePump pump;
+  auto [a, b] = make_pipe(pump);
+  std::vector<std::string> events;
+  b->set_on_bytes([&](std::span<const std::uint8_t>) {
+    events.push_back("bytes");
+  });
+  b->set_on_disconnect([&]() { events.push_back("disconnect"); });
+
+  const std::vector<std::uint8_t> data{1, 2, 3};
+  a->send(data);
+  a->close();
+  EXPECT_FALSE(a->connected());
+  EXPECT_FALSE(a->send(data));  // bytes after close are discarded
+  pump.run();
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "bytes");  // in-flight bytes drain first
+  EXPECT_EQ(events[1], "disconnect");
+  EXPECT_FALSE(b->connected());
+}
+
+// --- Fault injection ----------------------------------------------------
+
+namespace faulty {
+struct RunResult {
+  FaultyTransport::Stats stats;
+  std::vector<std::uint8_t> received;
+};
+
+RunResult run_once(const FaultProfile& profile) {
+  PipePump pump;
+  auto [near, far] = make_pipe(pump);
+  RunResult result;
+  far->set_on_bytes([&](std::span<const std::uint8_t> data) {
+    result.received.insert(result.received.end(), data.begin(), data.end());
+  });
+  FaultyTransport faulty(std::move(near), pump, profile);
+  for (std::uint8_t i = 0; i < 50 && faulty.connected(); ++i) {
+    const std::vector<std::uint8_t> chunk(10, i);
+    faulty.send(chunk);
+    pump.run();
+  }
+  pump.run();
+  result.stats = faulty.stats();
+  return result;
+}
+}  // namespace faulty
+
+TEST(FaultyTransportTest, SameSeedSameFaultsSameBytes) {
+  FaultProfile profile;
+  profile.drop_prob = 0.3;
+  profile.delay_prob = 0.3;
+  profile.duplicate_prob = 0.2;
+  profile.truncate_prob = 0.2;
+  profile.seed = 99;
+
+  const auto first = faulty::run_once(profile);
+  const auto second = faulty::run_once(profile);
+  EXPECT_EQ(first.received, second.received);
+  EXPECT_EQ(first.stats.dropped, second.stats.dropped);
+  EXPECT_EQ(first.stats.truncated, second.stats.truncated);
+  EXPECT_EQ(first.stats.duplicated, second.stats.duplicated);
+  EXPECT_EQ(first.stats.delayed, second.stats.delayed);
+  // The profile is aggressive enough that every fault class fired.
+  EXPECT_GT(first.stats.dropped, 0u);
+  EXPECT_GT(first.stats.truncated, 0u);
+  EXPECT_GT(first.stats.duplicated, 0u);
+  EXPECT_GT(first.stats.delayed, 0u);
+
+  profile.seed = 100;
+  const auto other = faulty::run_once(profile);
+  EXPECT_NE(first.received, other.received);
+}
+
+// --- Session protocol ---------------------------------------------------
+
+// Forwards everything, but can swallow request frames (never heartbeats)
+// so a test can starve the oldest in-flight request while the link looks
+// alive — exactly the shape of a request timeout.
+class GateTransport : public Transport {
+ public:
+  GateTransport(std::unique_ptr<Transport> inner, const bool* mute_requests)
+      : inner_(std::move(inner)), mute_(mute_requests) {
+    inner_->set_on_bytes([this](std::span<const std::uint8_t> data) {
+      if (on_bytes_) on_bytes_(data);
+    });
+    inner_->set_on_disconnect([this]() {
+      if (on_disconnect_) on_disconnect_();
+    });
+  }
+
+  bool send(std::span<const std::uint8_t> data) override {
+    // Sends are whole frames; the type byte sits after len+magic+version.
+    if (*mute_ && data.size() > 9 &&
+        data[9] == static_cast<std::uint8_t>(FrameType::request)) {
+      return true;
+    }
+    return inner_->send(data);
+  }
+  void close() override { inner_->close(); }
+  bool connected() const override { return inner_->connected(); }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  const bool* mute_;
+};
+
+class SessionTest : public ::testing::Test {
+ protected:
+  static SessionConfig fast_config() {
+    SessionConfig config;
+    config.heartbeat_interval_ns = 5'000'000;    // 5 ms
+    config.liveness_timeout_ns = 20'000'000;     // 20 ms
+    config.request_timeout_ns = 12'000'000;      // 12 ms
+    config.backoff_initial_ns = 1'000'000;       // 1 ms
+    config.backoff_max_ns = 50'000'000;          // 50 ms
+    config.seed = 3;
+    return config;
+  }
+
+  void make_session(SessionConfig config = fast_config()) {
+    session_ = std::make_unique<EnclaveSession>(
+        "remote", [this]() { return dial(); }, [this]() { return now_ns_; },
+        config);
+  }
+
+  std::unique_ptr<Transport> dial() {
+    if (!dial_ok_) {
+      dial_failures_ns_.push_back(now_ns_);
+      return nullptr;
+    }
+    auto [near, far] = make_pipe(pump_, 16);
+    if (blackhole_) {
+      blackhole_far_ = std::move(far);  // nobody answers on this end
+    } else {
+      agent_->attach(std::move(far));
+    }
+    return std::make_unique<GateTransport>(std::move(near), &mute_requests_);
+  }
+
+  void step_ms(std::uint64_t ms = 1) {
+    now_ns_ += ms * 1'000'000;
+    session_->tick();
+    pump_.run();
+  }
+
+  bool settle(int max_steps = 2000) {
+    for (int i = 0; i < max_steps; ++i) {
+      step_ms();
+      if (session_->ready() && session_->inflight() == 0 &&
+          pump_.pending() == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  lang::CompiledProgram priority_program(const std::string& name, int value) {
+    return controller_.compile(
+        name, "fun(p, m, g) -> p.priority <- " + std::to_string(value), {});
+  }
+
+  int processed_priority() {
+    netsim::Packet packet;
+    packet.size_bytes = 100;
+    enclave_.process(packet);
+    return packet.priority;
+  }
+
+  core::ClassRegistry registry_;
+  core::Controller controller_{registry_};
+  core::Enclave enclave_{"remote", registry_};
+  PipePump pump_;
+  std::unique_ptr<EnclaveAgent> agent_ =
+      std::make_unique<EnclaveAgent>(enclave_);
+  std::uint64_t now_ns_ = 0;
+  bool dial_ok_ = true;
+  bool blackhole_ = false;
+  bool mute_requests_ = false;
+  std::unique_ptr<Transport> blackhole_far_;
+  std::vector<std::uint64_t> dial_failures_ns_;
+  std::unique_ptr<EnclaveSession> session_;
+};
+
+TEST_F(SessionTest, ConnectsGreetsAndResyncsEmptyJournal) {
+  make_session();
+  ASSERT_TRUE(settle());
+  EXPECT_TRUE(session_->connected());
+  EXPECT_TRUE(session_->ready());
+  EXPECT_EQ(session_->stats().connects, 1u);
+  EXPECT_EQ(session_->stats().resyncs, 1u);
+  // Even an empty journal replays as one committed transaction
+  // (reset_state + commit), so a dirty enclave would be wiped.
+  EXPECT_EQ(session_->stats().txns_committed, 1u);
+  EXPECT_EQ(session_->agent_boot_id(), agent_->boot_id());
+  EXPECT_GE(enclave_.ruleset_version(), 1u);
+  EXPECT_EQ(session_->stats().last_resync_commands, 3u);
+}
+
+TEST_F(SessionTest, JournaledMutationsBeforeConnectReplayOnConnect) {
+  make_session();
+  // All issued while disconnected: journal-only, replayed by the resync.
+  lang::FieldDef level;
+  level.name = "level";
+  level.access = lang::Access::read_write;
+  session_->install_action(
+      "leveler",
+      controller_.compile("leveler", "fun(p, m, g) -> p.priority <- g.level",
+                          {{level}}),
+      {level});
+  session_->add_rule("t", "*", "leveler");
+  session_->set_global_scalar("leveler", "level", 6);
+  EXPECT_FALSE(session_->connected());
+
+  ASSERT_TRUE(settle());
+  EXPECT_EQ(processed_priority(), 6);
+  // install + scalar + create_table + rule, plus the txn envelope.
+  EXPECT_EQ(session_->stats().last_resync_commands, 7u);
+}
+
+TEST_F(SessionTest, LiveMutationsApplyWhenReady) {
+  make_session();
+  ASSERT_TRUE(settle());
+  const auto sent_before = session_->stats().requests_sent;
+
+  session_->install_action("p7", priority_program("p7", 7), {});
+  session_->add_rule("t", "*", "p7");
+  ASSERT_TRUE(settle());
+
+  EXPECT_EQ(processed_priority(), 7);
+  EXPECT_GT(session_->stats().requests_sent, sent_before);
+  EXPECT_EQ(session_->stats().responses_error, 0u);
+}
+
+TEST_F(SessionTest, HeartbeatsKeepSessionAliveAndMeasureRtt) {
+  make_session();
+  ASSERT_TRUE(settle());
+  for (int i = 0; i < 100; ++i) step_ms();
+  EXPECT_GT(session_->stats().heartbeats_sent, 10u);
+  EXPECT_GT(session_->stats().heartbeats_acked, 10u);
+  EXPECT_EQ(session_->stats().liveness_timeouts, 0u);
+  EXPECT_EQ(session_->stats().teardowns, 0u);
+  EXPECT_GT(session_->rtt().count, 10u);
+}
+
+TEST_F(SessionTest, UnresponsivePeerTriggersLivenessTimeoutThenRecovery) {
+  blackhole_ = true;
+  make_session();
+  for (int i = 0; i < 200 && session_->stats().liveness_timeouts == 0; ++i) {
+    step_ms();
+  }
+  EXPECT_GE(session_->stats().liveness_timeouts, 1u);
+  EXPECT_FALSE(session_->ready());
+
+  blackhole_ = false;
+  ASSERT_TRUE(settle());
+  EXPECT_TRUE(session_->ready());
+  EXPECT_GE(session_->stats().connects, 2u);
+}
+
+TEST_F(SessionTest, CorruptInboundStreamTearsDownAndRecovers) {
+  blackhole_ = true;
+  make_session();
+  step_ms();  // dial + hello
+  ASSERT_TRUE(session_->connected());
+  ASSERT_TRUE(blackhole_far_ != nullptr);
+  const std::vector<std::uint8_t> junk(32, 0xfe);
+  blackhole_far_->send(junk);
+  step_ms();
+  EXPECT_GE(session_->stats().corrupt_streams, 1u);
+  EXPECT_GE(session_->stats().teardowns, 1u);
+
+  blackhole_ = false;
+  ASSERT_TRUE(settle());
+  EXPECT_TRUE(session_->ready());
+}
+
+TEST_F(SessionTest, StarvedRequestTimesOutAndResyncRepairs) {
+  make_session();
+  ASSERT_TRUE(settle());
+
+  mute_requests_ = true;
+  session_->install_action("p5", priority_program("p5", 5), {});
+  session_->add_rule("t", "*", "p5");
+  for (int i = 0; i < 200 && session_->stats().request_timeouts == 0; ++i) {
+    step_ms();
+  }
+  // Heartbeats kept flowing (the link looked alive), so it was the
+  // request timeout — not liveness — that caught the stall.
+  EXPECT_GE(session_->stats().request_timeouts, 1u);
+  EXPECT_EQ(session_->stats().liveness_timeouts, 0u);
+
+  mute_requests_ = false;
+  ASSERT_TRUE(settle());
+  EXPECT_GE(session_->stats().resyncs, 2u);
+  // The journal replay delivered the mutations the gate swallowed.
+  EXPECT_EQ(processed_priority(), 5);
+}
+
+TEST_F(SessionTest, BackoffGrowsToCapWithJitter) {
+  dial_ok_ = false;
+  make_session();
+  for (int i = 0; i < 600; ++i) step_ms();
+  const auto& fails = dial_failures_ns_;
+  ASSERT_GE(fails.size(), 8u);
+  EXPECT_EQ(session_->stats().connect_failures, fails.size());
+
+  const std::uint64_t cap_ns = 50'000'000;
+  const std::uint64_t first_gap = fails[1] - fails[0];
+  const std::uint64_t last_gap = fails.back() - fails[fails.size() - 2];
+  // Early retries are near backoff_initial (1 ms, +-20% jitter, 1 ms
+  // tick quantization); late ones sit at the cap.
+  EXPECT_LE(first_gap, 3'000'000u);
+  EXPECT_GE(last_gap, cap_ns * 8 / 10);
+  for (std::size_t i = 1; i < fails.size(); ++i) {
+    EXPECT_LE(fails[i] - fails[i - 1], cap_ns * 12 / 10 + 1'000'000)
+        << "gap " << i;
+  }
+
+  dial_ok_ = true;
+  ASSERT_TRUE(settle());
+  EXPECT_TRUE(session_->ready());
+}
+
+TEST_F(SessionTest, HardAgentRestartDetectedAndStateReconverges) {
+  make_session();
+  session_->install_action("p7", priority_program("p7", 7), {});
+  session_->add_rule("t", "*", "p7");
+  ASSERT_TRUE(settle());
+  ASSERT_EQ(processed_priority(), 7);
+  const std::uint64_t old_boot = session_->agent_boot_id();
+
+  // The enclave host dies and comes back blank with a fresh agent.
+  agent_->detach();
+  enclave_.clear_all();
+  agent_ = std::make_unique<EnclaveAgent>(enclave_);
+  ASSERT_NE(agent_->boot_id(), old_boot);
+
+  ASSERT_TRUE(settle());
+  EXPECT_GE(session_->stats().agent_restarts_seen, 1u);
+  EXPECT_EQ(session_->agent_boot_id(), agent_->boot_id());
+  // The journal replay rebuilt the rule set from scratch.
+  EXPECT_EQ(processed_priority(), 7);
+}
+
+TEST_F(SessionTest, TxnStagedMutationsInvisibleUntilCommit) {
+  make_session();
+  session_->install_action("p7", priority_program("p7", 7), {});
+  const auto old_rule = session_->add_rule("t", "*", "p7");
+  ASSERT_TRUE(settle());
+  ASSERT_EQ(processed_priority(), 7);
+  const std::uint64_t version_before = enclave_.ruleset_version();
+
+  session_->begin_txn();
+  EXPECT_TRUE(session_->txn_open());
+  session_->install_action("p1", priority_program("p1", 1), {});
+  session_->remove_rule("t", old_rule);
+  session_->add_rule("t", "*", "p1");
+  ASSERT_TRUE(settle());
+  // Everything staged on the enclave, nothing published.
+  EXPECT_EQ(processed_priority(), 7);
+  EXPECT_TRUE(enclave_.txn_open());
+  EXPECT_EQ(enclave_.ruleset_version(), version_before);
+
+  session_->commit_txn();
+  ASSERT_TRUE(settle());
+  EXPECT_FALSE(session_->txn_open());
+  EXPECT_FALSE(enclave_.txn_open());
+  EXPECT_EQ(processed_priority(), 1);
+  EXPECT_GT(enclave_.ruleset_version(), version_before);
+  EXPECT_GE(session_->stats().txns_committed, 2u);  // resync + ours
+}
+
+TEST_F(SessionTest, AbortTxnRollsBackJournalAndEnclave) {
+  make_session();
+  session_->install_action("p7", priority_program("p7", 7), {});
+  session_->add_rule("t", "*", "p7");
+  ASSERT_TRUE(settle());
+  const std::uint64_t journal_before = session_->journal_size();
+
+  session_->begin_txn();
+  session_->add_rule("t", "*", "p7");
+  session_->add_rule("other", "*", "p7");
+  EXPECT_GT(session_->journal_size(), journal_before);
+  session_->abort_txn();
+  EXPECT_EQ(session_->journal_size(), journal_before);
+  EXPECT_EQ(session_->stats().txns_aborted, 1u);
+
+  ASSERT_TRUE(settle());
+  const auto table = enclave_.find_table_id("t");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(enclave_.rule_count(*table), 1u);
+  EXPECT_FALSE(enclave_.find_table_id("other").has_value());
+  EXPECT_EQ(processed_priority(), 7);
+}
+
+TEST_F(SessionTest, RemoveBeforeAddResponseIsDeferredNotLost) {
+  make_session();
+  session_->install_action("p7", priority_program("p7", 7), {});
+  ASSERT_TRUE(settle());
+
+  // The add request is in flight (no pump between the calls): the rule
+  // has no remote id yet, so the remove must wait for it.
+  const auto handle = session_->add_rule("t2", "*", "p7");
+  session_->remove_rule("t2", handle);
+  ASSERT_TRUE(settle());
+
+  const auto table = enclave_.find_table_id("t2");
+  ASSERT_TRUE(table.has_value());
+  EXPECT_EQ(enclave_.rule_count(*table), 0u);
+}
+
+TEST_F(SessionTest, FetchTelemetryJsonRoundTripsAndFailsClosed) {
+  make_session();
+  // Not connected yet: reads fail closed with an empty reply.
+  EXPECT_TRUE(session_->fetch_telemetry_json(pump_).empty());
+
+  ASSERT_TRUE(settle());
+  processed_priority();
+  const std::string json = session_->fetch_telemetry_json(pump_);
+  ASSERT_FALSE(json.empty());
+  const telemetry::ParsedDump dump = telemetry::parse_telemetry_json(json);
+  ASSERT_EQ(dump.enclaves.size(), 1u);
+  EXPECT_EQ(dump.enclaves[0].enclave, "remote");
+  EXPECT_GE(dump.enclaves[0].packets, 1u);
+}
+
+TEST_F(SessionTest, SessionTelemetryRendersInAggregateExports) {
+  make_session();
+  ASSERT_TRUE(settle());
+  for (int i = 0; i < 50; ++i) step_ms();
+
+  telemetry::AggregateTelemetry agg =
+      telemetry::aggregate({enclave_.telemetry_snapshot()});
+  agg.sessions.push_back(session_->telemetry());
+
+  const std::string json = telemetry::to_json(agg);
+  EXPECT_NE(json.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(json.find("\"connected\":true"), std::string::npos);
+
+  const std::string prom = telemetry::to_prometheus(agg);
+  EXPECT_NE(prom.find("eden_session_connected"), std::string::npos);
+  EXPECT_NE(prom.find("eden_session_rtt_ns"), std::string::npos);
+  EXPECT_NE(prom.find("eden_session_resyncs_total"), std::string::npos);
+
+  // The rendered JSON parses back with the session intact.
+  const telemetry::ParsedDump dump = telemetry::parse_telemetry_json(json);
+  ASSERT_EQ(dump.sessions.size(), 1u);
+  EXPECT_EQ(dump.sessions[0].name, "remote");
+  EXPECT_EQ(dump.sessions[0].connects, session_->stats().connects);
+}
+
+}  // namespace
+}  // namespace eden::controlplane

@@ -124,5 +124,54 @@ TEST(Controller, PriorityThresholdsDegenerateInputs) {
   EXPECT_TRUE(Controller::priority_thresholds(one, 1).empty());
 }
 
+TEST(Controller, CollectTelemetrySkipsAndReportsUnreachableRemotes) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  Enclave local("local", registry);
+  controller.register_enclave(local);
+  netsim::Packet p;
+  p.size_bytes = 100;
+  local.process(p);
+
+  // A healthy remote hands back a full dump for another enclave; a dead
+  // session replies empty, a confused one replies garbage. The dead ones
+  // must be reported, not take down the deployment-wide view.
+  Enclave far("far", registry);
+  far.process(p);
+  far.process(p);
+  controller.register_remote({"far",
+                              [&far]() {
+                                return telemetry::to_json(telemetry::aggregate(
+                                    {far.telemetry_snapshot()}));
+                              },
+                              {}});
+  controller.register_remote({"dead", []() { return std::string{}; }, {}});
+  controller.register_remote(
+      {"garbled", []() { return std::string{"{]not json"}; }, {}});
+
+  std::vector<std::string> unreachable;
+  const telemetry::AggregateTelemetry agg =
+      controller.collect_telemetry(&unreachable);
+  ASSERT_EQ(unreachable.size(), 2u);
+  EXPECT_EQ(unreachable[0], "dead");
+  EXPECT_EQ(unreachable[1], "garbled");
+  ASSERT_EQ(agg.enclaves.size(), 2u);
+  EXPECT_EQ(agg.enclaves[0].enclave, "local");
+  EXPECT_EQ(agg.enclaves[1].enclave, "far");
+  EXPECT_EQ(agg.packets, 3u);  // 1 local + 2 merged from the remote
+}
+
+TEST(Controller, CollectSpansReportsUnreachableRemotes) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  controller.register_remote({"mute", {}, []() { return std::string{}; }});
+
+  std::vector<std::string> unreachable;
+  const std::string trace = controller.collect_spans_json(&unreachable);
+  EXPECT_NE(trace.find("traceEvents"), std::string::npos);
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0], "mute");
+}
+
 }  // namespace
 }  // namespace eden::core

@@ -267,5 +267,176 @@ TEST_F(WireTest, TruncatedResponseDecodesAsBadRequest) {
   EXPECT_EQ(decode_response(prefix).status, Status::bad_request);
 }
 
+TEST_F(WireTest, TransactionCommandsOverTheWire) {
+  const auto program =
+      controller_.compile("tag", "fun(p, m, g) -> p.priority <- 3", {});
+
+  ASSERT_EQ(remote_.begin_txn().status, Status::ok);
+  // A second begin while one is open is rejected, not fatal.
+  EXPECT_EQ(remote_.begin_txn().status, Status::rejected);
+
+  ASSERT_EQ(remote_.install_action("tag", program, {}).status, Status::ok);
+  ASSERT_EQ(remote_.add_rule_named("t", "*", "tag").status,
+            Status::unknown_table);
+  ASSERT_EQ(remote_.create_table("t").status, Status::ok);
+  ASSERT_EQ(remote_.add_rule_named("t", "*", "tag").status, Status::ok);
+
+  // Staged, not visible: the data path still runs the empty rule set.
+  netsim::Packet staged;
+  enclave_.process(staged);
+  EXPECT_EQ(staged.priority, 0);
+  const std::uint64_t before = remote_.get_ruleset_version().value;
+
+  const Response commit = remote_.commit_txn();
+  ASSERT_EQ(commit.status, Status::ok);
+  EXPECT_GT(commit.value, before);
+  EXPECT_EQ(remote_.get_ruleset_version().value, commit.value);
+
+  netsim::Packet committed;
+  enclave_.process(committed);
+  EXPECT_EQ(committed.priority, 3);
+
+  // Commit without an open transaction is rejected; abort is idempotent.
+  EXPECT_EQ(remote_.commit_txn().status, Status::rejected);
+  EXPECT_EQ(remote_.abort_txn().status, Status::ok);
+
+  // reset_state wipes everything in one atomic swap.
+  ASSERT_EQ(remote_.reset_state().status, Status::ok);
+  netsim::Packet after_reset;
+  enclave_.process(after_reset);
+  EXPECT_EQ(after_reset.priority, 0);
+}
+
+TEST_F(WireTest, AbortDropsStagedMutations) {
+  const auto program =
+      controller_.compile("tag", "fun(p, m, g) -> p.priority <- 3", {});
+  ASSERT_EQ(remote_.install_action("tag", program, {}).status, Status::ok);
+  const Response table = remote_.create_table("t");
+  ASSERT_EQ(table.status, Status::ok);
+  ASSERT_EQ(remote_.add_rule(static_cast<TableId>(table.value), "*", "tag")
+                .status,
+            Status::ok);
+
+  ASSERT_EQ(remote_.begin_txn().status, Status::ok);
+  ASSERT_EQ(remote_.reset_state().status, Status::ok);
+  ASSERT_EQ(remote_.abort_txn().status, Status::ok);
+
+  // The staged wipe never published.
+  netsim::Packet p;
+  enclave_.process(p);
+  EXPECT_EQ(p.priority, 3);
+}
+
+TEST_F(WireTest, RemoveRuleNamedOverTheWire) {
+  const auto program =
+      controller_.compile("tag", "fun(p, m, g) -> p.priority <- 3", {});
+  ASSERT_EQ(remote_.install_action("tag", program, {}).status, Status::ok);
+  ASSERT_EQ(remote_.create_table("t").status, Status::ok);
+  const Response added = remote_.add_rule_named("t", "*", "tag");
+  ASSERT_EQ(added.status, Status::ok);
+
+  EXPECT_EQ(remote_
+                .remove_rule_named("t",
+                                   static_cast<MatchRuleId>(added.value))
+                .status,
+            Status::ok);
+  EXPECT_EQ(remote_.remove_rule_named("nope", 1).status,
+            Status::unknown_table);
+
+  netsim::Packet p;
+  enclave_.process(p);
+  EXPECT_EQ(p.priority, 0);
+}
+
+// Satellite hardening check: a frame for *every* command value survives
+// truncation to any prefix and a flip of any single byte without
+// throwing or reading past the buffer — errors come back as statuses.
+TEST_F(WireTest, EveryCommandSurvivesTruncationAndByteFlips) {
+  const auto program = controller_.compile("f", "fun(p, m, g) -> 1", {});
+  lang::FieldDef g;
+  g.name = "g";
+  const std::int64_t arr[] = {1, 2, 3};
+  FlowClassifierRule flow;
+  flow.dst_port = 80;
+
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      encode_install_action("f", program, {{g}}),
+      encode_remove_action("f"),
+      encode_create_table("t"),
+      encode_delete_table(0),
+      encode_add_rule(0, "*", "f"),
+      encode_remove_rule(0, 1),
+      encode_set_global_scalar("f", "g", 7),
+      encode_set_global_array("f", "g", arr),
+      encode_add_flow_rule(flow, "c.x"),
+      encode_clear_flow_rules(),
+      encode_read_global_scalar("f", "g"),
+      encode_get_telemetry(),
+      encode_get_spans(),
+      encode_begin_txn(),
+      encode_commit_txn(),
+      encode_abort_txn(),
+      encode_reset_state(),
+      encode_add_rule_named("t", "*", "f"),
+      encode_remove_rule_named("t", 1),
+      encode_get_ruleset_version(),
+      encode_get_stage_info(),
+      encode_create_stage_rule("rs", {FieldPattern::exact("GET")}, "c",
+                               kMetaIdAndSize),
+      encode_remove_stage_rule("rs", 1),
+  };
+  Stage stage("s", {"f"}, {}, registry_);
+
+  for (std::size_t fi = 0; fi < frames.size(); ++fi) {
+    const auto& frame = frames[fi];
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::span<const std::uint8_t> prefix(frame.data(), len);
+      EXPECT_NO_THROW({
+        const Response r = wire::apply(enclave_, prefix);
+        EXPECT_NE(r.status, Status::ok)
+            << "frame " << fi << " prefix " << len;
+      });
+      EXPECT_NO_THROW(apply_stage(stage, prefix));
+    }
+    for (std::size_t pos = 0; pos < frame.size(); ++pos) {
+      auto mutated = frame;
+      mutated[pos] ^= 0xff;
+      // A flipped byte may still decode to a valid command; the only
+      // requirement is no throw and no out-of-bounds read.
+      EXPECT_NO_THROW(wire::apply(enclave_, mutated)) << "frame " << fi
+                                                << " flip " << pos;
+      EXPECT_NO_THROW(apply_stage(stage, mutated));
+    }
+  }
+}
+
+// Length fields are adversarial inputs: a count implying more elements
+// than the frame has bytes must be rejected before any allocation.
+TEST_F(WireTest, OversizedCountsRejectedWithoutAllocation) {
+  // set_global_array with a huge element count.
+  {
+    auto frame = encode_set_global_array("f", "g", {});
+    // Layout: magic(4) cmd(1) name"f"(4+1) field"g"(4+1) count(4).
+    frame[15] = 0xff;
+    frame[16] = 0xff;
+    frame[17] = 0xff;
+    frame[18] = 0x7f;
+    const Response r = wire::apply(enclave_, frame);
+    EXPECT_EQ(r.status, Status::bad_request);
+  }
+  // install_action with a huge global-field count.
+  {
+    const auto program = controller_.compile("f", "fun(p, m, g) -> 1", {});
+    auto frame = encode_install_action("f", program, {});
+    // Field count is the last u32 of the frame when no fields follow.
+    frame[frame.size() - 1] = 0x7f;
+    frame[frame.size() - 2] = 0xff;
+    frame[frame.size() - 3] = 0xff;
+    frame[frame.size() - 4] = 0xff;
+    const Response r = wire::apply(enclave_, frame);
+    EXPECT_EQ(r.status, Status::bad_request);
+  }
+}
+
 }  // namespace
 }  // namespace eden::core::wire

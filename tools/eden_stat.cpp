@@ -6,9 +6,13 @@
 // classifies the client's traffic into named classes with enclave flow
 // rules, runs PIAS over those classes plus a random ~3% dropper on the
 // background class, drives TCP traffic for a while, then pulls the
-// controller-side aggregate and renders it. File mode parses the JSON
-// dump back into the same structures, so every rendering (tables,
-// --prom, --json round-trip) works on saved snapshots too.
+// controller-side aggregate and renders it. It also drives a
+// control-plane session demo: a third "demo" enclave programmed over a
+// FaultyTransport (drops, delays, duplicates, truncations), so the
+// session table shows reconnects, resyncs and transaction commits
+// riding over a lossy link. File mode parses the JSON dump back into
+// the same structures, so every rendering (tables, --prom, --json
+// round-trip) works on saved snapshots too.
 //
 // Usage: eden-stat [TELEMETRY.json] [--ms=SIM_MS] [--sample=N]
 //                  [--trace] [--json] [--prom]
@@ -18,11 +22,10 @@
 //   --trace     also print the sampled trace entries
 //   --json      print the JSON dump instead of tables
 //   --prom      print the Prometheus text exposition instead of tables
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -30,9 +33,13 @@
 #include <vector>
 
 #include "bench/bench_args.h"
+#include "controlplane/fault.h"
+#include "controlplane/session.h"
+#include "controlplane/transport.h"
 #include "experiments/testbed.h"
 #include "functions/scheduling.h"
 #include "lang/compiler.h"
+#include "telemetry/json.h"
 #include "telemetry/snapshot.h"
 #include "util/table.h"
 
@@ -47,6 +54,12 @@ constexpr std::uint16_t kBackgroundPort = 8001;
 // counters and the error-free trace something to show.
 constexpr const char* kRandomDropSource = R"(
 fun(p) -> if rand(100) < 3 then p.drop <- 1 else 0
+)";
+
+// The session demo's remote action: tags packets with the epoch the
+// controller last committed.
+constexpr const char* kEpochSource = R"(
+fun(p, m, g) -> p.queue <- g.epoch
 )";
 
 void install_functions(experiments::TestHost& client,
@@ -81,296 +94,28 @@ void install_functions(experiments::TestHost& client,
 }
 
 // --- TELEMETRY_*.json loader -------------------------------------------
-//
-// Minimal recursive-descent JSON reader, tool-local on purpose: the
-// input is machine-written by telemetry::to_json, so only the subset
-// that emitter produces needs to parse. Numbers keep their source text
-// so 64-bit counters round-trip without double precision loss.
 
-struct Json {
-  enum class Kind { null, boolean, number, string, array, object };
-  Kind kind = Kind::null;
-  bool boolean = false;
-  std::string text;  // number source text or string value
-  std::vector<Json> items;
-  std::vector<std::pair<std::string, Json>> fields;
-
-  const Json* get(const std::string& key) const {
-    for (const auto& [k, v] : fields) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-  std::uint64_t u64(const std::string& key, std::uint64_t dflt = 0) const {
-    const Json* v = get(key);
-    return v != nullptr && v->kind == Kind::number
-               ? std::strtoull(v->text.c_str(), nullptr, 10)
-               : dflt;
-  }
-  std::int64_t i64(const std::string& key, std::int64_t dflt = 0) const {
-    const Json* v = get(key);
-    return v != nullptr && v->kind == Kind::number
-               ? std::strtoll(v->text.c_str(), nullptr, 10)
-               : dflt;
-  }
-  double num(const std::string& key, double dflt = 0.0) const {
-    const Json* v = get(key);
-    return v != nullptr && v->kind == Kind::number
-               ? std::strtod(v->text.c_str(), nullptr)
-               : dflt;
-  }
-  std::string str(const std::string& key) const {
-    const Json* v = get(key);
-    return v != nullptr && v->kind == Kind::string ? v->text : std::string();
-  }
-  bool flag(const std::string& key) const {
-    const Json* v = get(key);
-    return v != nullptr && v->kind == Kind::boolean && v->boolean;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string text) : s_(std::move(text)) {}
-
-  Json parse() {
-    Json v = value();
-    skip_ws();
-    if (i_ != s_.size()) fail("trailing data");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(i_) + ": " + what);
-  }
-  void skip_ws() {
-    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
-                              s_[i_] == '\n' || s_[i_] == '\r')) {
-      ++i_;
-    }
-  }
-  char peek() {
-    skip_ws();
-    if (i_ >= s_.size()) fail("unexpected end of input");
-    return s_[i_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail("unexpected character");
-    ++i_;
-  }
-
-  std::string string_body() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (i_ >= s_.size()) fail("unterminated string");
-      const char c = s_[i_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (i_ >= s_.size()) fail("unterminated escape");
-      const char e = s_[i_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'u': {
-          if (i_ + 4 > s_.size()) fail("bad \\u escape");
-          const unsigned long cp =
-              std::strtoul(s_.substr(i_, 4).c_str(), nullptr, 16);
-          i_ += 4;
-          // The emitter only escapes control characters, so the code
-          // point always fits one byte.
-          out += static_cast<char>(cp & 0xff);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  Json value() {
-    const char c = peek();
-    Json v;
-    if (c == '{') {
-      v.kind = Json::Kind::object;
-      ++i_;
-      if (peek() == '}') {
-        ++i_;
-        return v;
-      }
-      while (true) {
-        std::string key = string_body();
-        expect(':');
-        v.fields.emplace_back(std::move(key), value());
-        const char n = peek();
-        ++i_;
-        if (n == '}') return v;
-        if (n != ',') fail("expected , or }");
-        skip_ws();
-      }
-    }
-    if (c == '[') {
-      v.kind = Json::Kind::array;
-      ++i_;
-      if (peek() == ']') {
-        ++i_;
-        return v;
-      }
-      while (true) {
-        v.items.push_back(value());
-        const char n = peek();
-        ++i_;
-        if (n == ']') return v;
-        if (n != ',') fail("expected , or ]");
-      }
-    }
-    if (c == '"') {
-      v.kind = Json::Kind::string;
-      v.text = string_body();
-      return v;
-    }
-    if (c == 't' || c == 'f' || c == 'n') {
-      const char* word = c == 't' ? "true" : c == 'f' ? "false" : "null";
-      const std::size_t len = std::strlen(word);
-      if (s_.compare(i_, len, word) != 0) fail("bad literal");
-      i_ += len;
-      v.kind = c == 'n' ? Json::Kind::null : Json::Kind::boolean;
-      v.boolean = c == 't';
-      return v;
-    }
-    // Number: keep the raw text.
-    v.kind = Json::Kind::number;
-    const std::size_t start = i_;
-    while (i_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
-            s_[i_] == '-' || s_[i_] == '+' || s_[i_] == '.' ||
-            s_[i_] == 'e' || s_[i_] == 'E')) {
-      ++i_;
-    }
-    if (i_ == start) fail("expected value");
-    v.text = s_.substr(start, i_ - start);
-    return v;
-  }
-
-  std::string s_;
-  std::size_t i_ = 0;
-};
-
-telemetry::HistogramSnapshot load_histogram(const Json& j) {
-  telemetry::HistogramSnapshot h;
-  h.count = j.u64("count");
-  h.sum = j.u64("sum");
-  if (const Json* buckets = j.get("buckets")) {
-    for (const Json& pair : buckets->items) {
-      if (pair.items.size() != 2) continue;
-      const std::uint64_t upper =
-          std::strtoull(pair.items[0].text.c_str(), nullptr, 10);
-      for (std::size_t k = 0; k < telemetry::kHistogramBuckets; ++k) {
-        if (telemetry::bucket_upper_bound(k) == upper) {
-          h.counts[k] = std::strtoull(pair.items[1].text.c_str(), nullptr, 10);
-          break;
-        }
-      }
-    }
-  }
-  return h;
-}
-
-telemetry::ActionTelemetry load_action(const Json& j) {
-  telemetry::ActionTelemetry a;
-  a.name = j.str("name");
-  a.native = j.flag("native");
-  a.executions = j.u64("executions");
-  a.errors = j.u64("errors");
-  a.steps = j.u64("steps");
-  if (const Json* errs = j.get("errors_by_status")) {
-    for (const auto& [status, count] : errs->fields) {
-      for (std::size_t i = 0; i < lang::kNumExecStatus; ++i) {
-        if (status == lang::exec_status_name(static_cast<lang::ExecStatus>(i))) {
-          a.errors_by_status[i] =
-              std::strtoull(count.text.c_str(), nullptr, 10);
-          break;
-        }
-      }
-    }
-  }
-  if (const Json* lat = j.get("latency_ns")) {
-    a.has_histograms = true;
-    a.latency_ns = load_histogram(*lat);
-    if (const Json* steps = j.get("steps_hist")) {
-      a.steps_hist = load_histogram(*steps);
-    }
-  }
-  if (const Json* prof = j.get("profile")) {
-    a.has_profile = true;
-    a.profile_runs = prof->u64("runs");
-    a.profile_instructions = prof->u64("instructions");
-    if (const Json* hot = prof->get("hotspots")) {
-      for (const Json& hj : hot->items) {
-        telemetry::HotSpot h;
-        h.pc = static_cast<std::uint32_t>(hj.u64("pc"));
-        h.count = hj.u64("count");
-        h.ticks = hj.u64("ticks");
-        h.count_pct = hj.num("count_pct");
-        h.ticks_pct = hj.num("ticks_pct");
-        h.text = hj.str("text");
-        a.hotspots.push_back(std::move(h));
-      }
-    }
-  }
-  return a;
-}
-
-telemetry::TraceEntry load_trace_entry(const Json& j) {
-  telemetry::TraceEntry t;
-  t.ts_ns = j.i64("ts_ns");
-  t.class_name = j.str("class");
-  t.action = j.str("action");
-  t.status = j.str("status");
-  t.steps = j.u64("steps");
-  if (const Json* m = j.get("meta")) {
-    t.meta.msg_id = m->i64("msg_id");
-    t.meta.msg_type = m->i64("msg_type");
-    t.meta.msg_size = m->i64("msg_size");
-    t.meta.tenant = m->i64("tenant");
-    t.meta.key_hash = m->i64("key_hash");
-    t.meta.flow_size = m->i64("flow_size");
-    t.meta.app_priority = m->i64("app_priority");
-    t.meta.trace_id = m->i64("trace_id");
-  }
-  return t;
-}
-
-// Rebuilds the aggregate from a saved dump. Only the per-enclave
-// snapshots are read back; totals and cross-enclave merges are
-// recomputed by aggregate(), the same path the live snapshot takes.
-// Bench dumps may concatenate runs as {"run label": {...}, ...}; every
-// object with an "enclaves" array contributes.
+// Rebuilds the aggregate from a saved dump using telemetry/json.h. Only
+// the per-enclave snapshots and session entries are read back; totals
+// and cross-enclave merges are recomputed by aggregate(), the same path
+// the live snapshot takes. Bench dumps may concatenate runs as
+// {"run label": {...}, ...}; every object with an "enclaves" array
+// contributes.
 telemetry::AggregateTelemetry load_telemetry_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::stringstream buffer;
   buffer << in.rdbuf();
-  const Json root = JsonParser(buffer.str()).parse();
+  const telemetry::Json root = telemetry::JsonParser(buffer.str()).parse();
 
-  std::vector<const Json*> dumps;
+  std::vector<const telemetry::Json*> dumps;
   if (root.get("enclaves") != nullptr) {
     dumps.push_back(&root);
-  } else if (const Json* runs = root.get("runs")) {
+  } else if (const telemetry::Json* runs = root.get("runs")) {
     // bench::combine_telemetry_runs format:
     // {"runs":[{"label":...,"telemetry":{...}}, ...]}
-    for (const Json& run : runs->items) {
-      const Json* t = run.get("telemetry");
+    for (const telemetry::Json& run : runs->items) {
+      const telemetry::Json* t = run.get("telemetry");
       if (t != nullptr && t->get("enclaves") != nullptr) dumps.push_back(t);
     }
   } else {
@@ -383,42 +128,21 @@ telemetry::AggregateTelemetry load_telemetry_file(const std::string& path) {
   }
 
   std::vector<telemetry::EnclaveTelemetry> enclaves;
-  for (const Json* dump : dumps) {
-    for (const Json& ej : dump->get("enclaves")->items) {
-      telemetry::EnclaveTelemetry e;
-      e.enclave = ej.str("name");
-      e.telemetry_enabled = ej.flag("telemetry_enabled");
-      e.packets = ej.u64("packets");
-      e.matched = ej.u64("matched");
-      e.dropped_by_action = ej.u64("dropped_by_action");
-      e.message_entries_created = ej.u64("message_entries_created");
-      e.message_entries_evicted = ej.u64("message_entries_evicted");
-      if (const Json* actions = ej.get("actions")) {
-        for (const Json& aj : actions->items) {
-          e.actions.push_back(load_action(aj));
-        }
+  std::vector<telemetry::SessionTelemetry> sessions;
+  for (const telemetry::Json* dump : dumps) {
+    for (const telemetry::Json& ej : dump->get("enclaves")->items) {
+      enclaves.push_back(telemetry::enclave_from_json(ej));
+    }
+    if (const telemetry::Json* sj = dump->get("sessions")) {
+      for (const telemetry::Json& s : sj->items) {
+        sessions.push_back(telemetry::session_from_json(s));
       }
-      if (const Json* classes = ej.get("classes")) {
-        for (const Json& cj : classes->items) {
-          telemetry::ClassTelemetry c;
-          c.name = cj.str("class");
-          c.matched = cj.u64("matched");
-          c.dropped = cj.u64("dropped");
-          e.classes.push_back(std::move(c));
-        }
-      }
-      e.trace_sampled = ej.u64("trace_sampled");
-      e.trace_sample_every =
-          static_cast<std::uint32_t>(ej.u64("trace_sample_every"));
-      if (const Json* trace = ej.get("trace")) {
-        for (const Json& tj : trace->items) {
-          e.trace.push_back(load_trace_entry(tj));
-        }
-      }
-      enclaves.push_back(std::move(e));
     }
   }
-  return telemetry::aggregate(std::move(enclaves));
+  telemetry::AggregateTelemetry agg =
+      telemetry::aggregate(std::move(enclaves));
+  agg.sessions = std::move(sessions);
+  return agg;
 }
 
 std::string error_breakdown(const telemetry::ActionTelemetry& a) {
@@ -431,6 +155,30 @@ std::string error_breakdown(const telemetry::ActionTelemetry& a) {
            ":" + std::to_string(a.errors_by_status[i]);
   }
   return out.empty() ? "-" : out;
+}
+
+void print_sessions(const telemetry::AggregateTelemetry& agg) {
+  if (agg.sessions.empty()) return;
+  util::TextTable sessions;
+  sessions.add_row({"session", "state", "connects", "teardowns", "resyncs",
+                    "replay", "reqs", "ok", "err", "rtt p50", "rtt p95",
+                    "rtt p99", "commits", "aborts", "restarts"});
+  for (const telemetry::SessionTelemetry& s : agg.sessions) {
+    const bool rtt = s.rtt_ns.count > 0;
+    sessions.add_row(
+        {s.name, s.ready ? "ready" : (s.connected ? "connecting" : "down"),
+         std::to_string(s.connects), std::to_string(s.teardowns),
+         std::to_string(s.resyncs), std::to_string(s.last_resync_commands),
+         std::to_string(s.requests_sent), std::to_string(s.responses_ok),
+         std::to_string(s.responses_error),
+         rtt ? util::fmt(s.rtt_ns.p50(), 0) : "-",
+         rtt ? util::fmt(s.rtt_ns.p95(), 0) : "-",
+         rtt ? util::fmt(s.rtt_ns.p99(), 0) : "-",
+         std::to_string(s.txns_committed), std::to_string(s.txns_aborted),
+         std::to_string(s.agent_restarts_seen)});
+  }
+  std::printf("\nControl-plane sessions (rtt in virtual ns)\n");
+  std::fputs(sessions.render().c_str(), stdout);
 }
 
 void print_tables(const telemetry::AggregateTelemetry& agg, bool with_trace) {
@@ -478,6 +226,8 @@ void print_tables(const telemetry::AggregateTelemetry& agg, bool with_trace) {
   std::printf("\nActions (latency percentiles over sampled executions)\n");
   std::fputs(actions.render().c_str(), stdout);
 
+  print_sessions(agg);
+
   bool any_profile = false;
   for (const telemetry::ActionTelemetry& a : agg.actions) {
     any_profile = any_profile || (a.has_profile && !a.hotspots.empty());
@@ -522,6 +272,86 @@ void print_tables(const telemetry::AggregateTelemetry& agg, bool with_trace) {
   }
 }
 
+// --- Control-plane session demo ----------------------------------------
+//
+// Programs a third enclave over an in-memory pipe wrapped in a
+// FaultyTransport: ~5% of sends dropped, 10% delayed, 5% duplicated,
+// 2% truncated. The session's journal + resync machinery rides over
+// the chaos; twenty transactional epoch bumps later, the demo enclave
+// has converged on the final committed state and the session table has
+// real reconnect/resync/commit numbers to show.
+struct SessionDemo {
+  core::Enclave enclave;
+  controlplane::PipePump pump;
+  controlplane::EnclaveAgent agent{enclave};
+  std::uint64_t vclock = 0;  // virtual nanoseconds
+  std::unique_ptr<controlplane::EnclaveSession> session;
+
+  explicit SessionDemo(core::ClassRegistry& registry)
+      : enclave("demo", registry, [] {
+          core::EnclaveConfig config;
+          config.telemetry.enabled = true;
+          return config;
+        }()) {}
+
+  void run() {
+    controlplane::FaultProfile faults;
+    faults.drop_prob = 0.05;
+    faults.delay_prob = 0.10;
+    faults.duplicate_prob = 0.05;
+    faults.truncate_prob = 0.02;
+    faults.seed = 7;
+
+    controlplane::SessionConfig config;
+    config.heartbeat_interval_ns = 5'000'000;
+    config.liveness_timeout_ns = 20'000'000;
+    config.request_timeout_ns = 25'000'000;
+    config.backoff_initial_ns = 1'000'000;
+    config.backoff_max_ns = 50'000'000;
+    config.seed = 42;
+
+    session = std::make_unique<controlplane::EnclaveSession>(
+        "controller->demo",
+        [this, faults]() -> std::unique_ptr<controlplane::Transport> {
+          auto [near, far] = controlplane::make_pipe(pump, 64);
+          agent.attach(std::move(far));
+          return std::make_unique<controlplane::FaultyTransport>(
+              std::move(near), pump, faults);
+        },
+        [this]() { return vclock; }, config);
+
+    std::vector<lang::FieldDef> globals(1);
+    globals[0].name = "epoch";
+    globals[0].access = lang::Access::read_write;
+    session->install_action(
+        "epoch_tag",
+        lang::compile_source(kEpochSource, core::make_enclave_schema(globals)),
+        globals);
+    session->create_table("demo");
+    session->add_rule("demo", "enclave.flows.*", "epoch_tag");
+
+    for (std::int64_t epoch = 1; epoch <= 20; ++epoch) {
+      session->begin_txn();
+      session->set_global_scalar("epoch_tag", "epoch", epoch);
+      session->commit_txn();
+      step_ms(2);
+    }
+    // Settle: let outstanding requests finish or the session resync.
+    for (int i = 0; i < 500 && !(session->ready() && session->inflight() == 0);
+         ++i) {
+      step_ms(1);
+    }
+  }
+
+  void step_ms(std::uint64_t ms) {
+    for (std::uint64_t i = 0; i < ms; ++i) {
+      vclock += 1'000'000;
+      session->tick();
+      pump.run(10'000);
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -547,8 +377,10 @@ int main(int argc, char** argv) {
       } else if (as_prom) {
         std::fputs(telemetry::to_prometheus(agg).c_str(), stdout);
       } else {
-        std::printf("eden-stat: snapshot loaded from %s (%zu enclave(s))\n\n",
-                    input_path.c_str(), agg.enclaves.size());
+        std::printf("eden-stat: snapshot loaded from %s (%zu enclave(s), "
+                    "%zu session(s))\n\n",
+                    input_path.c_str(), agg.enclaves.size(),
+                    agg.sessions.size());
         print_tables(agg, with_trace);
       }
     } catch (const std::exception& e) {
@@ -595,15 +427,32 @@ int main(int argc, char** argv) {
 
   bed.run_for(sim_ms * netsim::kMillisecond);
 
-  const telemetry::AggregateTelemetry agg = bed.controller().collect_telemetry();
+  // Session demo: program a third enclave over a lossy control channel.
+  SessionDemo demo(bed.registry());
+  demo.run();
+  bed.controller().register_remote(
+      {"demo", [&]() { return demo.session->fetch_telemetry_json(demo.pump); },
+       {}});
+
+  std::vector<std::string> unreachable;
+  telemetry::AggregateTelemetry agg =
+      bed.controller().collect_telemetry(&unreachable);
+  // The controller-side view of the demo session rides along with the
+  // enclave snapshots, same as a real deployment's exporter would.
+  agg.sessions.push_back(demo.session->telemetry());
+
   if (as_json) {
     std::fputs((telemetry::to_json(agg) + "\n").c_str(), stdout);
   } else if (as_prom) {
     std::fputs(telemetry::to_prometheus(agg).c_str(), stdout);
   } else {
     std::printf("eden-stat: %ld ms of simulated traffic, 2 hosts, PIAS + "
-                "random dropper\n\n",
+                "random dropper, session demo over a faulty link\n\n",
                 sim_ms);
+    for (const std::string& name : unreachable) {
+      std::printf("warning: remote enclave %s unreachable; skipped\n\n",
+                  name.c_str());
+    }
     print_tables(agg, with_trace);
   }
   return 0;
