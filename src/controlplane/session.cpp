@@ -144,7 +144,14 @@ void EnclaveSession::tick() {
     return;
   }
   if (now - last_heartbeat_ns_ >= config_.heartbeat_interval_ns) {
-    send_heartbeat();
+    // Until the hello_ack arrives the pacing slot re-sends the hello: a
+    // heartbeat here would keep liveness fresh (the agent acks it) while
+    // a dropped hello wedged the greeting forever.
+    if (state_ == State::greeting) {
+      send_hello();
+    } else {
+      send_heartbeat();
+    }
   }
 }
 
@@ -166,11 +173,9 @@ void EnclaveSession::try_connect() {
   transport_->set_on_disconnect([this]() { on_disconnect(); });
   ++stats_.connects;
   next_request_id_ = 1;
-  const std::uint64_t now = clock_();
-  last_rx_ns_ = now;
-  last_heartbeat_ns_ = now;
+  last_rx_ns_ = clock_();
   state_ = State::greeting;
-  transport_->send(encode_frame({FrameType::hello, next_id_++, {}}));
+  send_hello();
 }
 
 void EnclaveSession::schedule_reconnect() {
@@ -314,8 +319,21 @@ void EnclaveSession::pump_outbox() {
   }
 }
 
+void EnclaveSession::send_hello() {
+  // Shares the heartbeat pacing slot, so a lost hello is retried every
+  // heartbeat_interval until the greeting completes.
+  last_heartbeat_ns_ = clock_();
+  transport_->send(encode_frame({FrameType::hello, next_id_++, {}}));
+}
+
 void EnclaveSession::send_heartbeat() {
   const std::uint64_t now = clock_();
+  // A probe this old could only be acked after the liveness window; on
+  // a link that drops acks while response traffic sustains liveness the
+  // map would otherwise grow without bound.
+  std::erase_if(heartbeat_sent_at_, [&](const auto& kv) {
+    return now - kv.second >= config_.liveness_timeout_ns;
+  });
   const std::uint64_t id = next_id_++;
   heartbeat_sent_at_[id] = now;
   last_heartbeat_ns_ = now;
@@ -334,16 +352,50 @@ void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
   for (auto& table : journal_.tables) {
     for (auto& rule : table.rules) rule.remote_id = 0;
   }
+  if (txn_snapshot_ != nullptr) {
+    for (auto& table : txn_snapshot_->tables) {
+      for (auto& rule : table.rules) rule.remote_id = 0;
+    }
+  }
 
   std::uint64_t commands = 0;
-  auto push = [&](std::vector<std::uint8_t> frame, Completion done) {
-    ++commands;
-    send_request(std::move(frame), std::move(done));
-  };
+  const std::function<void(std::vector<std::uint8_t>, Completion)> push =
+      [&](std::vector<std::uint8_t> frame, Completion done) {
+        ++commands;
+        send_request(std::move(frame), std::move(done));
+      };
 
+  // The committed state the enclave converges to: the whole journal, or
+  // — with a client transaction open across the reconnect — only its
+  // pre-transaction snapshot, so the staged mutations stay invisible.
+  const bool txn_open = txn_snapshot_ != nullptr;
+  const Journal& base = txn_open ? *txn_snapshot_ : journal_;
   push(core::wire::encode_begin_txn(), {});
   push(core::wire::encode_reset_state(), {});
-  for (const auto& action : journal_.actions) {
+  replay_journal(base, /*snapshot_rules=*/txn_open, push);
+  push(core::wire::encode_commit_txn(), [this](const Response& response) {
+    if (response.status == Status::ok) ++stats_.txns_committed;
+  });
+
+  if (txn_open) {
+    // Re-open the interrupted transaction on the fresh connection and
+    // re-stage its effects by replaying the full desired journal on
+    // top of a staged wipe; the client's eventual commit_txn/abort_txn
+    // finishes it, so the transaction still lands (or vanishes)
+    // atomically despite the disconnect.
+    push(core::wire::encode_begin_txn(), {});
+    push(core::wire::encode_reset_state(), {});
+    replay_journal(journal_, /*snapshot_rules=*/false, push);
+  }
+
+  stats_.last_resync_commands = commands;
+  resync_sizes_.record(commands);
+}
+
+void EnclaveSession::replay_journal(
+    const Journal& journal, bool snapshot_rules,
+    const std::function<void(std::vector<std::uint8_t>, Completion)>& push) {
+  for (const auto& action : journal.actions) {
     push(core::wire::encode_install_action(action.name, action.program,
                                            action.globals),
          {});
@@ -355,16 +407,30 @@ void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
       push(core::wire::encode_set_global_array(action.name, field, data), {});
     }
   }
-  for (const auto& table : journal_.tables) {
+  // Rule ids from a replay staged inside an open transaction are
+  // discarded if the client aborts; the epoch check keeps them from
+  // overwriting the ids the restored (snapshot) journal already has.
+  const bool staged = !snapshot_rules && txn_snapshot_ != nullptr;
+  const std::uint64_t epoch = txn_epoch_;
+  for (const auto& table : journal.tables) {
     push(core::wire::encode_create_table(table.name), {});
     for (const auto& rule : table.rules) {
       push(core::wire::encode_add_rule_named(table.name, rule.pattern,
                                              rule.action),
-           [this, handle = rule.handle,
-            table_name = table.name](const Response& response) {
+           [this, handle = rule.handle, table_name = table.name,
+            snapshot_rules, staged, epoch](const Response& response) {
              if (response.status != Status::ok) return;
-             if (Journal::TableDef* t = find_table(table_name)) {
-               for (auto& r : t->rules) {
+             if (staged && epoch != txn_epoch_) return;
+             // Snapshot rules record into the open transaction's
+             // snapshot — the journal the client falls back to on
+             // abort; once the transaction is finished the snapshot is
+             // gone and the live journal is the only target left.
+             Journal* target = snapshot_rules && txn_snapshot_ != nullptr
+                                   ? txn_snapshot_.get()
+                                   : &journal_;
+             for (auto& t : target->tables) {
+               if (t.name != table_name) continue;
+               for (auto& r : t.rules) {
                  if (r.handle == handle) {
                    r.remote_id =
                        static_cast<core::MatchRuleId>(response.value);
@@ -375,15 +441,9 @@ void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
            });
     }
   }
-  for (const auto& [rule, class_name] : journal_.flow_rules) {
+  for (const auto& [rule, class_name] : journal.flow_rules) {
     push(core::wire::encode_add_flow_rule(rule, class_name), {});
   }
-  push(core::wire::encode_commit_txn(), [this](const Response& response) {
-    if (response.status == Status::ok) ++stats_.txns_committed;
-  });
-
-  stats_.last_resync_commands = commands;
-  resync_sizes_.record(commands);
 }
 
 EnclaveSession::Journal::ActionDef* EnclaveSession::find_action(
@@ -504,9 +564,12 @@ void EnclaveSession::remove_rule(const std::string& table, RuleHandle handle) {
 void EnclaveSession::set_global_scalar(const std::string& action,
                                        const std::string& field,
                                        std::int64_t value) {
-  if (Journal::ActionDef* def = find_action(action)) {
-    def->scalars[field] = value;
-  }
+  // The journal is the source of truth: a write to an action it does
+  // not know would land on the enclave but silently revert on the next
+  // resync, so it must not be sent either.
+  Journal::ActionDef* def = find_action(action);
+  if (def == nullptr) return;
+  def->scalars[field] = value;
   if (state_ == State::ready) {
     send_request(core::wire::encode_set_global_scalar(action, field, value),
                  {});
@@ -516,12 +579,12 @@ void EnclaveSession::set_global_scalar(const std::string& action,
 void EnclaveSession::set_global_array(const std::string& action,
                                       const std::string& field,
                                       std::vector<std::int64_t> data) {
+  Journal::ActionDef* def = find_action(action);
+  if (def == nullptr) return;
   if (state_ == State::ready) {
     send_request(core::wire::encode_set_global_array(action, field, data), {});
   }
-  if (Journal::ActionDef* def = find_action(action)) {
-    def->arrays[field] = std::move(data);
-  }
+  def->arrays[field] = std::move(data);
 }
 
 void EnclaveSession::add_flow_rule(const core::FlowClassifierRule& rule,
@@ -564,6 +627,7 @@ void EnclaveSession::abort_txn() {
   if (txn_snapshot_ == nullptr) return;
   journal_ = std::move(*txn_snapshot_);
   txn_snapshot_.reset();
+  ++txn_epoch_;  // in-flight staged rule ids are now meaningless
   ++stats_.txns_aborted;
   if (state_ == State::ready) {
     send_request(core::wire::encode_abort_txn(), {});

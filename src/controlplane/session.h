@@ -173,9 +173,11 @@ class EnclaveSession {
   // Mutations between begin_txn and commit_txn are staged on the
   // enclave and published in one atomic rule-set swap. abort_txn rolls
   // the journal back to the begin_txn snapshot. A transaction
-  // interrupted by a disconnect is aborted enclave-side and re-applied
-  // by the next resync (which replays the whole journal as one
-  // transaction), so its effects still land atomically.
+  // interrupted by a disconnect is aborted enclave-side; the next
+  // resync commits the pre-transaction snapshot as the converged base
+  // state, then re-opens the transaction on the fresh connection and
+  // re-stages its effects, so the client's eventual commit_txn /
+  // abort_txn keeps its atomic meaning across the reconnect.
   void begin_txn();
   void commit_txn();
   void abort_txn();
@@ -249,7 +251,15 @@ class EnclaveSession {
   // connected.
   void send_request(std::vector<std::uint8_t> command, Completion done);
   void pump_outbox();
+  void send_hello();
   void send_heartbeat();
+  // Pushes one install/set/create/add command per journal fact through
+  // `push`. With `snapshot_rules` set the rule-add completions record
+  // remote ids into the open transaction's snapshot (the journal the
+  // client falls back to on abort) instead of the live journal.
+  void replay_journal(
+      const Journal& journal, bool snapshot_rules,
+      const std::function<void(std::vector<std::uint8_t>, Completion)>& push);
   Journal::ActionDef* find_action(const std::string& name);
   Journal::TableDef* find_table(const std::string& name);
   std::string fetch_payload(PipePump& pump,
@@ -289,6 +299,10 @@ class EnclaveSession {
   // remove is sent as soon as the id is known.
   std::map<RuleHandle, std::string> deferred_removes_;  // handle -> table
   std::unique_ptr<Journal> txn_snapshot_;
+  // Bumped on every abort_txn: rule-add completions staged for the
+  // aborted transaction check it and drop their (discarded) remote ids
+  // instead of corrupting the restored journal.
+  std::uint64_t txn_epoch_ = 0;
 
   SessionStats stats_;
   telemetry::Histogram rtt_;

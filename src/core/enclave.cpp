@@ -297,10 +297,36 @@ void Enclave::clear_all() {
 ActionId Enclave::install_entry(std::shared_ptr<ActionEntry> entry) {
   std::lock_guard lock(control_mutex_);
   auto state = begin_mutation_locked();
-  entry->id = static_cast<ActionId>(state->actions.size());
+  // Reinstalling a live name replaces the entry in its slot: the id —
+  // and every rule addressing it — survives, so the data path flips to
+  // the new program at the snapshot swap and name lookups can never
+  // resolve to a stale duplicate. Snapshots still holding the old entry
+  // keep it alive until their readers drain.
+  std::shared_ptr<ActionEntry> replaced;
+  std::size_t slot = state->actions.size();
+  for (std::size_t i = 0; i < state->actions.size(); ++i) {
+    if (state->actions[i] != nullptr &&
+        state->actions[i]->name == entry->name) {
+      replaced = state->actions[i];
+      slot = i;
+      break;
+    }
+  }
+  entry->id = static_cast<ActionId>(slot);
   attach_instruments(*entry);
   const ActionId id = entry->id;
-  state->actions.push_back(std::move(entry));
+  if (slot == state->actions.size()) {
+    state->actions.push_back(std::move(entry));
+  } else {
+    state->actions[slot] = std::move(entry);
+    if (txn_ != nullptr) {
+      // Writes staged against the replaced entry would land on a dead
+      // object at commit; the new program starts from schema defaults.
+      std::erase_if(txn_->writes, [&](const Txn::GlobalWrite& w) {
+        return w.entry == replaced;
+      });
+    }
+  }
   end_mutation_locked(std::move(state));
   return id;
 }

@@ -155,6 +155,12 @@ CompiledProgram CompiledProgram::deserialize(
       p.usage.array_write[s] = r.u64();
     }
     const std::uint32_t nfuncs = r.u32();
+    // A serialized FunctionInfo is at least 16 bytes (empty name + three
+    // u32s); a count the remaining bytes cannot hold is corruption, and
+    // must be rejected before reserve() turns it into a huge allocation.
+    if (nfuncs > r.remaining() / 16) {
+      throw LangError("function count exceeds bytecode stream", SourceLoc{});
+    }
     p.functions.reserve(nfuncs);
     for (std::uint32_t i = 0; i < nfuncs; ++i) {
       FunctionInfo f;
@@ -165,6 +171,10 @@ CompiledProgram CompiledProgram::deserialize(
       p.functions.push_back(std::move(f));
     }
     const std::uint32_t ninstr = r.u32();
+    // Same guard: a serialized Instr is exactly 13 bytes.
+    if (ninstr > r.remaining() / 13) {
+      throw LangError("instruction count exceeds bytecode stream", SourceLoc{});
+    }
     p.code.reserve(ninstr);
     for (std::uint32_t i = 0; i < ninstr; ++i) {
       Instr instr;

@@ -208,11 +208,14 @@ TEST(FaultyTransportTest, SameSeedSameFaultsSameBytes) {
 
 // Forwards everything, but can swallow request frames (never heartbeats)
 // so a test can starve the oldest in-flight request while the link looks
-// alive — exactly the shape of a request timeout.
+// alive — exactly the shape of a request timeout — or hello frames, the
+// shape of a greeting lost on a lossy link.
 class GateTransport : public Transport {
  public:
-  GateTransport(std::unique_ptr<Transport> inner, const bool* mute_requests)
-      : inner_(std::move(inner)), mute_(mute_requests) {
+  GateTransport(std::unique_ptr<Transport> inner, const bool* mute_requests,
+                const bool* mute_hellos)
+      : inner_(std::move(inner)), mute_(mute_requests),
+        mute_hellos_(mute_hellos) {
     inner_->set_on_bytes([this](std::span<const std::uint8_t> data) {
       if (on_bytes_) on_bytes_(data);
     });
@@ -223,8 +226,11 @@ class GateTransport : public Transport {
 
   bool send(std::span<const std::uint8_t> data) override {
     // Sends are whole frames; the type byte sits after len+magic+version.
-    if (*mute_ && data.size() > 9 &&
-        data[9] == static_cast<std::uint8_t>(FrameType::request)) {
+    const std::uint8_t type = data.size() > 9 ? data[9] : 0;
+    if (*mute_ && type == static_cast<std::uint8_t>(FrameType::request)) {
+      return true;
+    }
+    if (*mute_hellos_ && type == static_cast<std::uint8_t>(FrameType::hello)) {
       return true;
     }
     return inner_->send(data);
@@ -235,6 +241,7 @@ class GateTransport : public Transport {
  private:
   std::unique_ptr<Transport> inner_;
   const bool* mute_;
+  const bool* mute_hellos_;
 };
 
 class SessionTest : public ::testing::Test {
@@ -267,7 +274,8 @@ class SessionTest : public ::testing::Test {
     } else {
       agent_->attach(std::move(far));
     }
-    return std::make_unique<GateTransport>(std::move(near), &mute_requests_);
+    return std::make_unique<GateTransport>(std::move(near), &mute_requests_,
+                                           &mute_hellos_);
   }
 
   void step_ms(std::uint64_t ms = 1) {
@@ -309,6 +317,7 @@ class SessionTest : public ::testing::Test {
   bool dial_ok_ = true;
   bool blackhole_ = false;
   bool mute_requests_ = false;
+  bool mute_hellos_ = false;
   std::unique_ptr<Transport> blackhole_far_;
   std::vector<std::uint64_t> dial_failures_ns_;
   std::unique_ptr<EnclaveSession> session_;
@@ -524,6 +533,98 @@ TEST_F(SessionTest, AbortTxnRollsBackJournalAndEnclave) {
   EXPECT_EQ(enclave_.rule_count(*table), 1u);
   EXPECT_FALSE(enclave_.find_table_id("other").has_value());
   EXPECT_EQ(processed_priority(), 7);
+}
+
+TEST_F(SessionTest, DroppedHelloRetransmitsInsteadOfWedging) {
+  mute_hellos_ = true;
+  make_session();
+  step_ms();  // dial succeeds; the first hello vanishes on the link
+  ASSERT_TRUE(session_->connected());
+  EXPECT_FALSE(session_->ready());
+  for (int i = 0; i < 3; ++i) step_ms();
+  EXPECT_FALSE(session_->ready());
+
+  mute_hellos_ = false;
+  ASSERT_TRUE(settle());
+  EXPECT_TRUE(session_->ready());
+  // The greeting recovered by hello retransmission on the same
+  // connection — not by a liveness timeout forcing a reconnect.
+  EXPECT_EQ(session_->stats().teardowns, 0u);
+  EXPECT_EQ(session_->stats().connects, 1u);
+}
+
+TEST_F(SessionTest, TxnOpenAcrossReconnectCommitsAtomically) {
+  make_session();
+  session_->install_action("p7", priority_program("p7", 7), {});
+  const auto old_rule = session_->add_rule("t", "*", "p7");
+  ASSERT_TRUE(settle());
+  ASSERT_EQ(processed_priority(), 7);
+
+  session_->begin_txn();
+  session_->install_action("p1", priority_program("p1", 1), {});
+  session_->remove_rule("t", old_rule);
+  session_->add_rule("t", "*", "p1");
+  ASSERT_TRUE(settle());
+  ASSERT_TRUE(enclave_.txn_open());
+
+  // The link dies mid-transaction; the agent aborts its staged copy.
+  agent_->detach();
+  ASSERT_TRUE(settle());
+  EXPECT_GE(session_->stats().resyncs, 2u);
+  // The resync committed only the pre-transaction snapshot and
+  // re-opened the transaction on the fresh connection: the staged
+  // mutations are still invisible to the data path.
+  EXPECT_TRUE(session_->txn_open());
+  EXPECT_TRUE(enclave_.txn_open());
+  EXPECT_EQ(processed_priority(), 7);
+
+  session_->commit_txn();
+  ASSERT_TRUE(settle());
+  EXPECT_FALSE(enclave_.txn_open());
+  EXPECT_EQ(processed_priority(), 1);
+}
+
+TEST_F(SessionTest, TxnOpenAcrossReconnectAbortRollsBack) {
+  make_session();
+  session_->install_action("p7", priority_program("p7", 7), {});
+  session_->add_rule("t", "*", "p7");
+  ASSERT_TRUE(settle());
+
+  session_->begin_txn();
+  session_->install_action("p1", priority_program("p1", 1), {});
+  session_->add_rule("other", "*", "p1");
+  ASSERT_TRUE(settle());
+
+  agent_->detach();
+  ASSERT_TRUE(settle());
+  ASSERT_TRUE(session_->txn_open());
+
+  session_->abort_txn();
+  ASSERT_TRUE(settle());
+  EXPECT_FALSE(enclave_.txn_open());
+  EXPECT_EQ(processed_priority(), 7);
+  EXPECT_FALSE(enclave_.find_table_id("other").has_value());
+
+  // Journal and enclave agree after the rollback: another forced
+  // resync converges to the same state.
+  agent_->detach();
+  ASSERT_TRUE(settle());
+  EXPECT_EQ(processed_priority(), 7);
+  EXPECT_FALSE(enclave_.find_table_id("other").has_value());
+}
+
+TEST_F(SessionTest, UnjournaledGlobalWriteIsNotSent) {
+  make_session();
+  ASSERT_TRUE(settle());
+  const auto sent_before = session_->stats().requests_sent;
+
+  // No such action in the journal: sending the write would break the
+  // journal-is-source-of-truth invariant (it would silently revert on
+  // the next resync), so it must not reach the wire at all.
+  session_->set_global_scalar("ghost", "level", 5);
+  session_->set_global_array("ghost", "weights", {1, 2, 3});
+  ASSERT_TRUE(settle());
+  EXPECT_EQ(session_->stats().requests_sent, sent_before);
 }
 
 TEST_F(SessionTest, RemoveBeforeAddResponseIsDeferredNotLost) {

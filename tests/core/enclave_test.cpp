@@ -124,6 +124,38 @@ TEST_F(EnclaveTest, TablesApplyInOrderAndCompose) {
   EXPECT_EQ(packet.path_label, 17);
 }
 
+TEST_F(EnclaveTest, ReinstallUnderLiveNameReplacesInPlace) {
+  const ActionId first =
+      install_with_rule("prio", "fun(p, m, g) -> p.priority <- 3");
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  ASSERT_EQ(packet.priority, 3);
+
+  // Live update: same name, new program. The id (and the rule bound to
+  // it) survives, and name lookups resolve the new entry — never a
+  // stale duplicate.
+  const ActionId second = install("prio", "fun(p, m, g) -> p.priority <- 5");
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(enclave_.find_action("prio"), first);
+  packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 5);
+}
+
+TEST_F(EnclaveTest, ReinstallInsideTxnStaysStagedUntilCommit) {
+  const ActionId id =
+      install_with_rule("prio", "fun(p, m, g) -> p.priority <- 3");
+  enclave_.begin_txn();
+  EXPECT_EQ(install("prio", "fun(p, m, g) -> p.priority <- 5"), id);
+  netsim::Packet packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 3);  // the committed program still runs
+  enclave_.commit_txn();
+  packet = tcp_packet();
+  enclave_.process(packet);
+  EXPECT_EQ(packet.priority, 5);
+}
+
 TEST_F(EnclaveTest, RemoveRuleStopsMatching) {
   const ActionId action = install("p5", "fun(p, m, g) -> p.priority <- 5");
   const TableId table = enclave_.create_table("t");
