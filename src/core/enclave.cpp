@@ -1,7 +1,6 @@
 #include "core/enclave.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 #include "lang/disasm.h"
@@ -66,6 +65,22 @@ struct ThreadState {
   std::uint32_t hist_countdown = 1;
   std::shared_ptr<const Enclave::RuleState> cached_rules;
   std::uint64_t cached_epoch = ~0ull;
+
+  // process_batch scratch, reused so a steady-state batch allocates
+  // nothing: matched packets tagged with their (action, message) group
+  // plus their arrival index (the sort tiebreak that keeps per-message
+  // order), one contiguous per-group packet list, and the matched
+  // per-class counter slots for post-run drop attribution.
+  struct BatchItem {
+    Enclave::ActionEntry* entry;
+    std::int64_t key;
+    std::uint32_t order;
+    netsim::Packet* pkt;
+  };
+  std::vector<BatchItem> batch_items;
+  std::vector<netsim::Packet*> batch_group;
+  std::vector<std::pair<netsim::Packet*, Enclave::ClassCounters*>>
+      batch_classes;
 
   ThreadState(const EnclaveConfig& config, const lang::StateSchema& schema)
       : interp(config.exec_limits, config.rng_seed),
@@ -575,6 +590,16 @@ std::int64_t Enclave::symmetric_message_key(const netsim::Packet& p) {
                                    0x8000000000000000ULL);
 }
 
+std::uint64_t Enclave::steering_key(const netsim::Packet& p) {
+  // Unstamped packets get their message identity assigned inside the
+  // enclave from the five-tuple (classify_flow), so steering by a
+  // five-tuple hash keeps every packet of that future message on one
+  // shard; the symmetric variant also co-shards both directions of a
+  // connection, which symmetric flow rules require.
+  if (p.meta.msg_id != 0) return static_cast<std::uint64_t>(p.meta.msg_id);
+  return symmetric_flow_hash(p);
+}
+
 std::shared_ptr<Enclave::MessageEntry> Enclave::message_entry(
     ActionEntry& entry, const netsim::Packet& p) {
   const std::int64_t key = message_key(p);
@@ -652,6 +677,15 @@ bool Enclave::process(netsim::Packet& packet) {
   ThreadState& ts = thread_state();
   const RuleState& rules = data_snapshot(ts);
   counters_.packets.fetch_add(1, std::memory_order_relaxed);
+  return process_one(ts, rules, packet);
+}
+
+// One packet against an already-acquired snapshot. Shared by process()
+// and the multi-table fallback of process_batch(), so a batch always
+// pays for exactly one epoch check however it executes. Does not touch
+// the packets counter (the entry points account for it).
+bool Enclave::process_one(detail::ThreadState& ts, const RuleState& rules,
+                          netsim::Packet& packet) {
   // Packets that arrive unstamped (direct callers without a stage in
   // front) start a lifecycle trace here, paced by the collector's own
   // 1-in-N countdown. Everything downstream keys off meta.trace_id, so
@@ -705,29 +739,29 @@ bool Enclave::process(netsim::Packet& packet) {
 std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   ThreadState& ts = thread_state();
   const RuleState& rules = data_snapshot(ts);
-  // Multiple tables compose per packet; keep that path simple.
+  counters_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
+  // Multiple tables compose per packet; run the per-packet path, still
+  // against the batch's one snapshot acquisition.
   if (rules.tables.size() > 1) {
     std::size_t kept = 0;
     for (const netsim::PacketPtr& p : batch) {
-      if (process(*p)) ++kept;
+      if (process_one(ts, rules, *p)) ++kept;
     }
     return kept;
   }
 
-  counters_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
   const Table* table = rules.tables.empty() ? nullptr : &rules.tables.front();
 
   // Pre-process: classify, match, and split by (action, message) so the
   // lock and state copy are taken once per message rather than once per
-  // packet. Order within each message is preserved.
-  std::map<std::pair<ActionEntry*, std::int64_t>,
-           std::vector<netsim::Packet*>>
-      groups;
-  // Matched packets with their class-counter slot, kept only when
-  // per-class telemetry is on, so drops can be attributed after the
-  // groups run.
-  std::vector<std::pair<netsim::Packet*, ClassCounters*>> matched_classes;
+  // packet. Grouping reuses the thread's scratch vectors — a sort of
+  // (entry, key, arrival index) triples — so a steady-state batch costs
+  // no allocation; the arrival-index tiebreak preserves order within
+  // each message.
+  ts.batch_items.clear();
+  ts.batch_classes.clear();
   const bool span_start = config_.telemetry.span_sample_every != 0;
+  std::uint32_t order = 0;
   for (const netsim::PacketPtr& p : batch) {
     if (span_start && p->meta.trace_id == 0) {
       p->meta.trace_id = spans_.maybe_start_trace();
@@ -751,16 +785,33 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
     // (stats() folds the slots back into the totals).
     if (ClassCounters* cls = class_counter(hit.cls); cls != nullptr) {
       cls->matched.fetch_add(1, std::memory_order_relaxed);
-      matched_classes.emplace_back(p.get(), cls);
+      ts.batch_classes.emplace_back(p.get(), cls);
     } else {
       counters_.matched.fetch_add(1, std::memory_order_relaxed);
     }
     const std::int64_t key =
         entry->touches_message ? message_key(*p) : 0;
-    groups[{entry, key}].push_back(p.get());
+    ts.batch_items.push_back({entry, key, order++, p.get()});
   }
-  for (auto& [key, packets] : groups) {
-    run_action_batch(ts, *key.first, packets);
+  std::sort(ts.batch_items.begin(), ts.batch_items.end(),
+            [](const ThreadState::BatchItem& a,
+               const ThreadState::BatchItem& b) {
+              if (a.entry != b.entry) return a.entry < b.entry;
+              if (a.key != b.key) return a.key < b.key;
+              return a.order < b.order;
+            });
+  for (std::size_t i = 0; i < ts.batch_items.size();) {
+    const ThreadState::BatchItem& head = ts.batch_items[i];
+    ts.batch_group.clear();
+    std::size_t j = i;
+    for (; j < ts.batch_items.size() &&
+           ts.batch_items[j].entry == head.entry &&
+           ts.batch_items[j].key == head.key;
+         ++j) {
+      ts.batch_group.push_back(ts.batch_items[j].pkt);
+    }
+    run_action_batch(ts, *head.entry, ts.batch_group);
+    i = j;
   }
 
   std::size_t kept = 0;
@@ -776,7 +827,7 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
       }
     }
   }
-  for (const auto& [p, cls] : matched_classes) {
+  for (const auto& [p, cls] : ts.batch_classes) {
     if (p->drop_mark) cls->dropped.fetch_add(1, std::memory_order_relaxed);
   }
   return kept;

@@ -274,6 +274,14 @@ class Enclave {
   // false if an action asked for the packet to be dropped.
   bool process(netsim::Packet& packet);
 
+  // Shard-steering key for multi-core data planes (hoststack/dataplane):
+  // every packet of one message maps to the same key, so hashing it to a
+  // shard preserves the per-message ordering that process()'s
+  // message-lifetime state contract requires. Stage-stamped msg_id when
+  // present; otherwise a direction-insensitive connection hash, so both
+  // directions of a symmetric-keyed flow co-shard.
+  static std::uint64_t steering_key(const netsim::Packet& packet);
+
   // Batched execution (Section 6): the enclave pre-processes the batch,
   // splits it by message, and runs each message's packets under a single
   // lock acquisition and state copy. Semantically identical to calling
@@ -398,6 +406,8 @@ class Enclave {
   struct Txn;
   friend struct detail::ThreadState;
 
+  bool process_one(detail::ThreadState& ts, const RuleState& rules,
+                   netsim::Packet& packet);
   void run_action(detail::ThreadState& ts, ActionEntry& entry,
                   netsim::Packet& packet);
   void run_action_batch(detail::ThreadState& ts, ActionEntry& entry,

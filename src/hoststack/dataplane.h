@@ -1,0 +1,140 @@
+// The sharded, batched egress data plane: Eden's enclave sits on every
+// packet of every host (Section 3.4, Figure 5), so serving heavy
+// traffic means running it on every core, not just making it fast on
+// one. The DataPlane owns N worker threads; each worker owns one SPSC
+// ingress ring and one SPSC completion ring. Packets are steered to a
+// worker by an RSS-style hash of the flow/message key
+// (core::Enclave::steering_key), so every packet of one message lands
+// on one worker and per-message ordering — required by process()'s
+// message-lifetime state contract — is preserved end to end:
+//
+//   submit() FIFO  ->  worker ring FIFO  ->  process_batch() (order-
+//   preserving within a message)  ->  completion ring FIFO.
+//
+// Workers drain their ring in batches through Enclave::process_batch,
+// which acquires the RCU rule-state snapshot once per batch and
+// amortizes message locking, state copies and telemetry pacing across
+// it. Completions (dropped packets included, with drop_mark set) are
+// handed back to the submitting thread via drain_completions(), keeping
+// the NIC/scheduler side single-threaded.
+//
+// Threading contract: submit(), drain_completions(), flush(), pending()
+// and stop() must all be called from one thread (the producer); the
+// workers are internal. stats() and metrics() may be called from any
+// thread (counters are relaxed atomics).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/enclave.h"
+#include "hoststack/spsc_ring.h"
+#include "netsim/packet.h"
+#include "telemetry/metrics.h"
+
+namespace eden::hoststack {
+
+struct DataPlaneConfig {
+  // Worker thread count. 0 means "no data plane" to embedders such as
+  // HostStack (which then keeps its deterministic inline path); the
+  // DataPlane constructor itself clamps it to at least 1.
+  std::size_t workers = 0;
+  // Per-worker ingress ring capacity (rounded up to a power of two).
+  // submit() reports backpressure when a shard's ring is full.
+  std::size_t ring_capacity = 1024;
+  // Upper bound on packets per process_batch drain.
+  std::size_t max_batch = 64;
+  // Empty-ring polls before a worker yields the core (keeps latency low
+  // on dedicated cores without starving oversubscribed ones).
+  std::uint32_t idle_spins = 256;
+};
+
+struct DataPlaneWorkerStats {
+  std::uint64_t enqueued = 0;   // packets steered to this worker
+  std::uint64_t processed = 0;  // packets through process_batch
+  std::uint64_t dropped = 0;    // of those, dropped by an action
+  std::uint64_t batches = 0;    // process_batch invocations
+  // CPU time (CLOCK_THREAD_CPUTIME_ID) spent inside process_batch.
+  // processed / busy_ns is the worker's contention-free packet rate,
+  // which is what the scaling benchmark sums across workers.
+  std::uint64_t busy_ns = 0;
+  std::uint64_t max_ring_depth = 0;
+};
+
+struct DataPlaneStats {
+  std::vector<DataPlaneWorkerStats> workers;
+  std::uint64_t submitted = 0;  // accepted by submit()
+  std::uint64_t drained = 0;    // handed back via drain_completions()
+  std::uint64_t submit_backpressure = 0;  // submit() full-ring rejections
+  // max / mean per-worker enqueued count; 1.0 = perfectly even steering.
+  double imbalance = 0.0;
+};
+
+class DataPlane {
+ public:
+  using CompletionFn = std::function<void(netsim::PacketPtr)>;
+
+  DataPlane(core::Enclave& enclave, DataPlaneConfig config);
+  ~DataPlane();
+  DataPlane(const DataPlane&) = delete;
+  DataPlane& operator=(const DataPlane&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  // The steering function, exposed so tests can craft adversarial key
+  // distributions: splitmix64 finalizer over the steering key, reduced
+  // to a shard.
+  static std::size_t shard_of(std::uint64_t key, std::size_t workers);
+  std::size_t shard_for(const netsim::Packet& p) const;
+
+  // Steers the packet to its shard's ring. On success the pointer is
+  // consumed and true is returned. On backpressure (that shard's ring
+  // is full) `packet` is left intact and false is returned — the caller
+  // should drain_completions() and retry.
+  bool submit(netsim::PacketPtr& packet);
+
+  // Hands every completed packet (drop_mark set on enclave drops) to
+  // `fn`, in per-worker FIFO order. Returns how many were delivered.
+  std::size_t drain_completions(const CompletionFn& fn);
+
+  // Packets accepted by submit() and not yet handed back.
+  std::uint64_t pending() const { return submitted_ - drained_; }
+
+  // Drains until every submitted packet has been handed back.
+  void flush(const CompletionFn& fn);
+
+  // Stops the workers: each finishes whatever is left in its ingress
+  // ring first. Residual completions are delivered to `fn` (or
+  // discarded when null). Idempotent; the destructor calls stop({}).
+  void stop(const CompletionFn& fn = nullptr);
+
+  DataPlaneStats stats() const;
+
+  // eden_dataplane_* series (per-worker counters, ring-depth gauges,
+  // batch-size histograms) plus anything embedders bind into the same
+  // registry (e.g. the NIC's eden_nic_bad_queue_total).
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Worker;
+
+  void worker_main(Worker& w);
+
+  core::Enclave& enclave_;
+  DataPlaneConfig config_;
+  telemetry::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;
+  // Producer-side accounting (single-threaded by contract).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t drained_ = 0;
+  std::uint64_t submit_backpressure_ = 0;
+  telemetry::Counter* backpressure_ctr_ = nullptr;
+  std::vector<netsim::PacketPtr> drain_scratch_;
+};
+
+}  // namespace eden::hoststack

@@ -18,6 +18,7 @@
 
 #include "core/enclave.h"
 #include "core/stage.h"
+#include "hoststack/dataplane.h"
 #include "hoststack/nic.h"
 #include "netsim/network.h"
 #include "transport/tcp.h"
@@ -28,6 +29,8 @@ struct HostStackConfig {
   transport::TcpConfig tcp;
   // Models the enclave's per-packet processing latency (e.g. a slower
   // NIC-resident interpreter). 0 = instantaneous, the default.
+  // Ignored when the sharded data plane is on (queueing delay is then
+  // real, not modelled).
   netsim::SimTime enclave_delay = 0;
   // Run the enclave on received packets too (off by default; the paper's
   // case studies act on egress).
@@ -37,6 +40,17 @@ struct HostStackConfig {
   // interpreter output before transmission (Section 5.1) — the harness
   // models that by squashing the fields the enclave wrote.
   std::function<void(netsim::Packet&)> post_enclave;
+  // Sharded egress data plane (dataplane.h). workers == 0 (the default)
+  // keeps the deterministic inline path: enclave runs synchronously
+  // inside transmit() on the simulator thread, bit-identical to the
+  // pre-data-plane stack. workers > 0 steers egress packets to that many
+  // enclave worker threads; completions re-enter the simulator via a
+  // polling event (below), so packet-to-NIC timing becomes real-time
+  // dependent — use for scaling/stress runs, not figure reproduction.
+  DataPlaneConfig dataplane;
+  // How often (sim time) the stack polls the data plane for completions
+  // while packets are in flight.
+  netsim::SimTime dataplane_poll_ns = 1000;
 };
 
 struct FlowInfo {
@@ -57,6 +71,7 @@ class HostStack {
 
   HostStack(netsim::Network& network, netsim::HostNode& host,
             core::Enclave& enclave, HostStackConfig config = {});
+  ~HostStack();
 
   // --- Egress ------------------------------------------------------------
 
@@ -103,9 +118,17 @@ class HostStack {
   netsim::HostId id() const { return host_.id(); }
   std::uint64_t enclave_drops() const { return enclave_drops_; }
 
+  // The sharded data plane, or nullptr when config.dataplane.workers == 0.
+  DataPlane* dataplane() { return dataplane_.get(); }
+
  private:
   void deliver(netsim::PacketPtr packet);
   void forward_to_nic(netsim::PacketPtr packet);
+  // Completion path shared by the inline and data-plane routes: drop
+  // accounting, post_enclave, NIC hand-off.
+  void complete_egress(netsim::PacketPtr packet);
+  void pump_dataplane();
+  void arm_dataplane_poll();
 
   netsim::Network& network_;
   netsim::HostNode& host_;
@@ -123,6 +146,9 @@ class HostStack {
   std::uint32_t next_flow_seq_ = 1;
   std::uint16_t next_src_port_ = 10000;
   std::uint64_t enclave_drops_ = 0;
+
+  std::unique_ptr<DataPlane> dataplane_;
+  bool dataplane_poll_armed_ = false;
 };
 
 }  // namespace eden::hoststack

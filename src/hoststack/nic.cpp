@@ -35,10 +35,27 @@ void Nic::send(netsim::PacketPtr packet) {
   const int queue = packet->rl_queue;
   if (queue >= 0 && queue < static_cast<int>(queues_.size())) {
     queues_[static_cast<std::size_t>(queue)]->submit(std::move(packet));
-  } else {
+    return;
+  }
+  if (queue == -1) {
+    // The explicit bypass value: straight to the wire.
     record_tx(*packet);
     host_.transmit(std::move(packet));
+    return;
   }
+  // Any other id names no queue. Forwarding here would skip the rate
+  // limiter the action asked for, so the packet is dropped instead.
+  ++bad_queue_drops_;
+  if (bad_queue_ctr_ != nullptr) bad_queue_ctr_->inc();
+  if (packet->meta.trace_id != 0) {
+    telemetry::SpanCollector::instance().record_now(
+        packet->meta.trace_id, telemetry::Hop::nic_drop, queue);
+  }
+}
+
+void Nic::bind_metrics(telemetry::MetricsRegistry& registry) {
+  bad_queue_ctr_ = &registry.counter("eden_nic_bad_queue_total");
+  if (bad_queue_drops_ != 0) bad_queue_ctr_->inc(bad_queue_drops_);
 }
 
 }  // namespace eden::hoststack

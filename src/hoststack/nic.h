@@ -4,11 +4,13 @@
 // rate-limited queue); packets with queue -1 bypass the limiters.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "hoststack/token_bucket.h"
 #include "netsim/host_node.h"
+#include "telemetry/metrics.h"
 
 namespace eden::hoststack {
 
@@ -23,18 +25,34 @@ class Nic {
 
   void set_queue_rate(int queue, std::uint64_t rate_bps);
 
-  // Sends via the selected queue, or straight to the wire.
+  // Sends via the selected queue (packet.queue in [0, queue_count)),
+  // straight to the wire for the explicit bypass value -1, or — for any
+  // other queue id — drops the packet. An action that steers to a queue
+  // the controller never created must not silently skip its rate
+  // limiter; the drop is counted in bad_queue_drops() /
+  // eden_nic_bad_queue_total and recorded as a nic_drop span hop.
   void send(netsim::PacketPtr packet);
 
+  // Backlog of `queue`, or 0 for ids that name no queue.
   std::size_t queue_backlog(int queue) const {
-    return queues_[static_cast<std::size_t>(queue)]->backlog();
+    const auto idx = static_cast<std::size_t>(queue);
+    if (queue < 0 || idx >= queues_.size()) return 0;
+    return queues_[idx]->backlog();
   }
   int queue_count() const { return static_cast<int>(queues_.size()); }
+
+  std::uint64_t bad_queue_drops() const { return bad_queue_drops_; }
+
+  // Exposes the bad-queue drop counter as eden_nic_bad_queue_total in
+  // `registry` (the HostStack binds the data plane's registry here).
+  void bind_metrics(telemetry::MetricsRegistry& registry);
 
  private:
   netsim::Scheduler& scheduler_;
   netsim::HostNode& host_;
   std::vector<std::unique_ptr<TokenBucket>> queues_;
+  std::uint64_t bad_queue_drops_ = 0;
+  telemetry::Counter* bad_queue_ctr_ = nullptr;
 };
 
 }  // namespace eden::hoststack

@@ -1,0 +1,382 @@
+// The sharded data plane: SPSC ring mechanics, steering determinism,
+// submit/drain/flush/stop lifecycle, and — the contract everything else
+// rests on — per-message ordering through 4 concurrent workers under
+// adversarial key distributions.
+#include "hoststack/dataplane.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "experiments/testbed.h"
+#include "hoststack/spsc_ring.h"
+
+namespace eden::hoststack {
+namespace {
+
+// --- SpscRing -----------------------------------------------------------
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRingTest, FifoAcrossWraparound) {
+  SpscRing<int> ring(4);
+  int out[8];
+  int next = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      int v = next + i;
+      ASSERT_TRUE(ring.push(std::move(v)));
+    }
+    const std::size_t n = ring.pop_bulk(out, 8);
+    ASSERT_EQ(n, 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], next + i);
+    next += 3;
+  }
+}
+
+TEST(SpscRingTest, FullRingPushFailsAndKeepsItem) {
+  SpscRing<std::shared_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.push(std::make_shared<int>(1)));
+  ASSERT_TRUE(ring.push(std::make_shared<int>(2)));
+  auto keep = std::make_shared<int>(3);
+  EXPECT_FALSE(ring.push(std::move(keep)));
+  ASSERT_NE(keep, nullptr);  // rejected item untouched
+  EXPECT_EQ(*keep, 3);
+  std::shared_ptr<int> out[4];
+  EXPECT_EQ(ring.pop_bulk(out, 4), 2u);
+  EXPECT_EQ(*out[0], 1);
+  EXPECT_EQ(*out[1], 2);
+}
+
+TEST(SpscRingTest, PopBulkHonorsMax) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 6; ++i) {
+    int v = i;
+    ring.push(std::move(v));
+  }
+  int out[8];
+  EXPECT_EQ(ring.pop_bulk(out, 4), 4u);
+  EXPECT_EQ(ring.pop_bulk(out, 4), 2u);
+  EXPECT_EQ(ring.pop_bulk(out, 4), 0u);
+}
+
+// --- Steering -----------------------------------------------------------
+
+TEST(DataPlaneShardTest, SingleWorkerGetsEverything) {
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(DataPlane::shard_of(k, 1), 0u);
+  }
+}
+
+TEST(DataPlaneShardTest, SequentialKeysSpread) {
+  // Message ids are often sequential counters; the mix must spread them
+  // instead of striping them modulo worker count.
+  constexpr std::size_t kWorkers = 4;
+  std::vector<std::size_t> counts(kWorkers, 0);
+  for (std::uint64_t k = 1; k <= 4000; ++k) {
+    const std::size_t s = DataPlane::shard_of(k, kWorkers);
+    ASSERT_LT(s, kWorkers);
+    ++counts[s];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 700u);   // each worker sees a substantial share
+    EXPECT_LT(c, 1300u);  // nobody hogs
+  }
+}
+
+TEST(DataPlaneShardTest, DeterministicAcrossCalls) {
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(DataPlane::shard_of(k, 4), DataPlane::shard_of(k, 4));
+  }
+}
+
+// --- DataPlane lifecycle -------------------------------------------------
+
+netsim::PacketPtr msg_packet(std::int64_t msg_id, std::uint64_t seq = 0) {
+  auto p = netsim::make_packet();
+  p->src = 1;
+  p->dst = 2;
+  p->src_port = 1000;
+  p->dst_port = 2000;
+  p->protocol = netsim::Protocol::tcp;
+  p->size_bytes = 1514;
+  p->payload_bytes = 1460;
+  p->meta.msg_id = msg_id;
+  p->debug_id = seq;
+  return p;
+}
+
+class DataPlaneTest : public ::testing::Test {
+ protected:
+  core::ClassRegistry registry_;
+  core::Enclave enclave_{"dp-test", registry_};
+  core::Controller controller_{registry_};
+
+  void install_with_rule(const char* name, const std::string& source) {
+    const lang::CompiledProgram program =
+        controller_.compile(name, source, {});
+    const core::ActionId action =
+        enclave_.install_action(name, program, {});
+    const core::TableId table = enclave_.create_table(name);
+    enclave_.add_rule(table, core::ClassPattern("*"), action);
+  }
+
+  // Submits with backpressure handling and collects every completion.
+  std::vector<netsim::PacketPtr> run_through(
+      DataPlane& dp, std::vector<netsim::PacketPtr> packets) {
+    std::vector<netsim::PacketPtr> done;
+    const auto sink = [&](netsim::PacketPtr p) {
+      done.push_back(std::move(p));
+    };
+    for (auto& p : packets) {
+      while (!dp.submit(p)) dp.drain_completions(sink);
+    }
+    dp.flush(sink);
+    return done;
+  }
+};
+
+TEST_F(DataPlaneTest, AllPacketsComeBack) {
+  install_with_rule("p3", "fun(p, m, g) -> p.priority <- 3");
+  DataPlaneConfig cfg;
+  cfg.workers = 4;
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> in;
+  for (int i = 0; i < 500; ++i) in.push_back(msg_packet(i % 37 + 1));
+  const auto done = run_through(dp, std::move(in));
+  ASSERT_EQ(done.size(), 500u);
+  for (const auto& p : done) EXPECT_EQ(p->priority, 3);
+  EXPECT_EQ(dp.pending(), 0u);
+  const DataPlaneStats stats = dp.stats();
+  EXPECT_EQ(stats.submitted, 500u);
+  EXPECT_EQ(stats.drained, 500u);
+  EXPECT_EQ(enclave_.stats().packets, 500u);
+}
+
+TEST_F(DataPlaneTest, DroppedPacketsTravelTheCompletionRing) {
+  // Odd message sizes are dropped; the packets still come back, marked.
+  install_with_rule("dropodd", "fun(p, m, g) -> p.drop <- p.msg_size % 2");
+  DataPlaneConfig cfg;
+  cfg.workers = 2;
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> in;
+  for (int i = 0; i < 200; ++i) {
+    auto p = msg_packet(i + 1);
+    p->meta.msg_size = i;  // even: kept, odd: dropped
+    in.push_back(std::move(p));
+  }
+  const auto done = run_through(dp, std::move(in));
+  ASSERT_EQ(done.size(), 200u);
+  std::size_t dropped = 0;
+  for (const auto& p : done) {
+    if (p->drop_mark) ++dropped;
+  }
+  EXPECT_EQ(dropped, 100u);
+  const DataPlaneStats stats = dp.stats();
+  std::uint64_t worker_drops = 0;
+  for (const auto& w : stats.workers) worker_drops += w.dropped;
+  EXPECT_EQ(worker_drops, 100u);
+}
+
+TEST_F(DataPlaneTest, BackpressureReportsAndRecovers) {
+  install_with_rule("noop", "fun(p, m, g) -> p.priority <- 1");
+  DataPlaneConfig cfg;
+  cfg.workers = 1;
+  cfg.ring_capacity = 2;  // tiny: submit must hit a full ring
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> in;
+  for (int i = 0; i < 300; ++i) in.push_back(msg_packet(1));
+  const auto done = run_through(dp, std::move(in));
+  EXPECT_EQ(done.size(), 300u);
+  // Every packet got through despite the tiny ring, and nothing is left.
+  const DataPlaneStats stats = dp.stats();
+  EXPECT_EQ(stats.submitted, 300u);
+  EXPECT_EQ(stats.drained, 300u);
+  EXPECT_EQ(dp.pending(), 0u);
+}
+
+TEST_F(DataPlaneTest, StopDeliversResidualCompletions) {
+  install_with_rule("p1", "fun(p, m, g) -> p.priority <- 1");
+  DataPlaneConfig cfg;
+  cfg.workers = 2;
+  auto dp = std::make_unique<DataPlane>(enclave_, cfg);
+  std::vector<netsim::PacketPtr> done;
+  for (int i = 0; i < 64; ++i) {
+    auto p = msg_packet(i + 1);
+    while (!dp->submit(p)) {
+      dp->drain_completions(
+          [&](netsim::PacketPtr q) { done.push_back(std::move(q)); });
+    }
+  }
+  dp->stop([&](netsim::PacketPtr q) { done.push_back(std::move(q)); });
+  EXPECT_EQ(done.size(), 64u);
+  EXPECT_EQ(dp->pending(), 0u);
+}
+
+TEST_F(DataPlaneTest, MetricsExported) {
+  install_with_rule("p1", "fun(p, m, g) -> p.priority <- 1");
+  DataPlaneConfig cfg;
+  cfg.workers = 2;
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> in;
+  for (int i = 0; i < 50; ++i) in.push_back(msg_packet(i + 1));
+  run_through(dp, std::move(in));
+  const std::string text = dp.metrics().text_exposition();
+  EXPECT_NE(text.find("eden_dataplane_enqueued_total"), std::string::npos);
+  EXPECT_NE(text.find("eden_dataplane_processed_total"), std::string::npos);
+  EXPECT_NE(text.find("eden_dataplane_ring_depth"), std::string::npos);
+  EXPECT_NE(text.find("eden_dataplane_batch_size"), std::string::npos);
+  EXPECT_NE(text.find("worker=\"1\""), std::string::npos);
+}
+
+// --- Per-message ordering under concurrency ------------------------------
+//
+// The action is per_message (it writes message state): each packet of a
+// message increments m.state0 and publishes the counter into
+// p.path. If the data plane ever reorders a message's packets — or lets
+// two workers touch one message — some packet observes a counter that
+// does not match its submission index.
+
+class DataPlaneOrderingTest : public DataPlaneTest {
+ protected:
+  void SetUp() override {
+    install_with_rule(
+        "seq", "fun(p, m, g) -> m.state0 <- m.state0 + 1; p.path <- m.state0");
+  }
+
+  // Sends packets whose message keys come from `keys` (round-robin) and
+  // asserts every message's packets complete carrying 1, 2, 3, ... in
+  // submission order.
+  void check_ordering(const std::vector<std::int64_t>& keys,
+                      std::size_t packets_per_key) {
+    DataPlaneConfig cfg;
+    cfg.workers = 4;
+    cfg.ring_capacity = 64;  // small enough to exercise backpressure
+    cfg.max_batch = 16;
+    DataPlane dp(enclave_, cfg);
+
+    std::vector<netsim::PacketPtr> in;
+    std::map<std::int64_t, std::uint64_t> next_seq;
+    for (std::size_t i = 0; i < packets_per_key; ++i) {
+      for (const std::int64_t key : keys) {
+        in.push_back(msg_packet(key, ++next_seq[key]));
+      }
+    }
+    const auto done = run_through(dp, std::move(in));
+    ASSERT_EQ(done.size(), packets_per_key * keys.size());
+
+    std::map<std::int64_t, std::int64_t> last_counter;
+    for (const auto& p : done) {
+      const std::int64_t key = p->meta.msg_id;
+      // The enclave's per-message counter must match the submission
+      // sequence number stamped by the producer...
+      EXPECT_EQ(static_cast<std::uint64_t>(p->path_label), p->debug_id)
+          << "message " << key;
+      // ...and completions of one message must arrive in that order.
+      EXPECT_EQ(p->path_label, last_counter[key] + 1) << "message " << key;
+      last_counter[key] = p->path_label;
+    }
+    for (const auto& [key, last] : last_counter) {
+      EXPECT_EQ(static_cast<std::size_t>(last), packets_per_key)
+          << "message " << key;
+    }
+  }
+};
+
+TEST_F(DataPlaneOrderingTest, SingleHotMessage) {
+  check_ordering({42}, 1000);
+}
+
+TEST_F(DataPlaneOrderingTest, TwoHotMessages) {
+  check_ordering({7, 1000001}, 500);
+}
+
+TEST_F(DataPlaneOrderingTest, KeysCollidingOnOneShard) {
+  // Craft keys that all steer to worker 0 of 4: the pathological skew a
+  // hash cannot save you from. Ordering must still hold.
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 1; keys.size() < 8; ++k) {
+    if (DataPlane::shard_of(static_cast<std::uint64_t>(k), 4) == 0) {
+      keys.push_back(k);
+    }
+  }
+  check_ordering(keys, 100);
+}
+
+TEST_F(DataPlaneOrderingTest, ManyUniformMessages) {
+  std::vector<std::int64_t> keys;
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;  // fixed-seed xorshift
+  for (int i = 0; i < 64; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    keys.push_back(static_cast<std::int64_t>(x % 1000000) + 1);
+  }
+  check_ordering(keys, 25);
+}
+
+// --- HostStack integration ------------------------------------------------
+
+TEST(DataPlaneHostStackTest, FlowCompletesWithWorkersOn) {
+  hoststack::HostStackConfig cfg;
+  cfg.dataplane.workers = 2;
+  experiments::Testbed bed(cfg);
+  auto& a = bed.add_host("a");
+  auto& b = bed.add_host("b");
+  bed.connect(a, b, 1000ULL * 1000 * 1000, 1000);
+  bed.routing().install_dest_routes();
+  bed.finalize();
+  auto* alice = bed.host_by_name("a");
+  auto* bob = bed.host_by_name("b");
+  ASSERT_NE(alice->stack->dataplane(), nullptr);
+  EXPECT_EQ(alice->stack->dataplane()->worker_count(), 2u);
+
+  bool done = false;
+  bob->stack->listen(5000,
+                     [&](transport::TcpReceiver& r, const FlowInfo&) {
+                       r.expect(100000);
+                       r.on_complete = [&] { done = true; };
+                     });
+  alice->stack->open_flow(b.id(), 5000).start(100000);
+  bed.run_for(netsim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(alice->stack->dataplane()->pending(), 0u);
+  EXPECT_GT(alice->stack->dataplane()->stats().submitted, 0u);
+}
+
+TEST(DataPlaneHostStackTest, EnclaveDropsCountedThroughDataPlane) {
+  hoststack::HostStackConfig cfg;
+  cfg.dataplane.workers = 2;
+  experiments::Testbed bed(cfg);
+  auto& a = bed.add_host("a");
+  auto& b = bed.add_host("b");
+  bed.connect(a, b, 1000ULL * 1000 * 1000, 1000);
+  bed.routing().install_dest_routes();
+  bed.finalize();
+  auto* alice = bed.host_by_name("a");
+  auto* bob = bed.host_by_name("b");
+
+  const auto program =
+      bed.controller().compile("drop", "fun(p, m, g) -> p.drop <- 1", {});
+  const core::ActionId action =
+      alice->enclave->install_action("drop", program, {});
+  const core::TableId table = alice->enclave->create_table("t");
+  alice->enclave->add_rule(table, core::ClassPattern("*"), action);
+
+  auto& sender = alice->stack->open_flow(b.id(), 5000);
+  sender.start(10000);
+  bed.run_for(50 * netsim::kMillisecond);
+  EXPECT_GT(alice->stack->enclave_drops(), 0u);
+  EXPECT_EQ(bob->node->rx_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace eden::hoststack

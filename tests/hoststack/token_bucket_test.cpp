@@ -113,6 +113,74 @@ TEST_F(TokenBucketTest, OversizedChargeGoesIntoDeficit) {
   EXPECT_NEAR(static_cast<double>(releases_[1]), 10e6, 0.3e6);
 }
 
+// --- Regression: rate changes while the bucket is in deficit ------------
+//
+// The oversized-charge path (charge > burst) leaves tokens_ deeply
+// negative. set_rate() in that window must bill the elapsed time at the
+// old rate and pay the remaining deficit down at the new one — neither
+// forgiving the debt nor double-charging it.
+
+TEST_F(TokenBucketTest, SetRateDuringDeficitPreservesLongTermRate) {
+  // 80 kbps = 10 KB/s, 10KB bucket. A 50KB charge conforms instantly
+  // (min(cost, burst)) and leaves tokens at -40KB.
+  TokenBucket tb = make(80 * 1000, 10000);
+  tb.submit(packet_of(1000, 50000));
+  ASSERT_EQ(releases_.size(), 1u);
+  tb.submit(packet_of(10000));  // needs a full bucket: 50KB of refill
+  // At the old rate the release would land at t = 5s. Drop to 8 kbps
+  // (1 KB/s) at t = 1s: 10KB accrued, 40KB of deficit left, now paid at
+  // 1 KB/s -> release at 1s + 40s = 41s.
+  sched_.run_until(1'000'000'000);
+  EXPECT_EQ(releases_.size(), 1u);
+  tb.set_rate(8 * 1000);
+  sched_.run();
+  ASSERT_EQ(releases_.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(releases_[1]), 41e9, 0.1e9);
+}
+
+TEST_F(TokenBucketTest, ZeroRateDuringDeficitStallsThenRecovers) {
+  TokenBucket tb = make(80 * 1000, 10000);  // 10 KB/s
+  tb.submit(packet_of(1000, 50000));        // tokens -> -40KB
+  tb.submit(packet_of(10000));
+  sched_.run_until(1'000'000'000);
+  tb.set_rate(0);  // freeze with 40KB of deficit outstanding
+  sched_.run_until(2'000'000'000);
+  EXPECT_EQ(releases_.size(), 1u);  // nothing moves at rate 0
+  tb.set_rate(8 * 1000);            // 1 KB/s from t = 2s
+  sched_.run();
+  ASSERT_EQ(releases_.size(), 2u);
+  // The stalled second must not count toward the refill: 2s + 40s.
+  EXPECT_NEAR(static_cast<double>(releases_[1]), 42e9, 0.1e9);
+}
+
+TEST_F(TokenBucketTest, RateIncreaseDuringDeficitAcceleratesRecovery) {
+  TokenBucket tb = make(80 * 1000, 10000);  // 10 KB/s
+  tb.submit(packet_of(1000, 50000));        // tokens -> -40KB
+  tb.submit(packet_of(10000));
+  sched_.run_until(1'000'000'000);
+  // 100 KB/s from t = 1s: -30KB of tokens must reach the full 10KB
+  // bucket the packet needs, i.e. 40KB of refill -> release at 1.4s.
+  tb.set_rate(800 * 1000);
+  sched_.run();
+  ASSERT_EQ(releases_.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(releases_[1]), 1.4e9, 0.05e9);
+}
+
+TEST_F(TokenBucketTest, OversizedChargesSustainLongTermRate) {
+  // A stream of charges 5x the bucket depth must still average out to
+  // the configured rate: one packet per charge/rate seconds.
+  TokenBucket tb = make(80 * 1000, 1000);  // 10 KB/s, 1KB bucket
+  for (int i = 0; i < 20; ++i) tb.submit(packet_of(500, 5000));
+  sched_.run();
+  ASSERT_EQ(releases_.size(), 20u);
+  for (std::size_t i = 1; i < 20; ++i) {
+    // 5KB charge at 10 KB/s -> 0.5s spacing.
+    EXPECT_NEAR(static_cast<double>(releases_[i]),
+                static_cast<double>(i) * 0.5e9, 0.05e9)
+        << i;
+  }
+}
+
 TEST_F(TokenBucketTest, ZeroRateStallsUntilRateSet) {
   TokenBucket tb = make(0, 100);
   tb.submit(packet_of(80));  // consumes the initial burst
