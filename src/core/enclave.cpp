@@ -5,6 +5,7 @@
 
 #include "lang/disasm.h"
 #include "lang/optimizer.h"
+#include "util/prefetch.h"
 
 namespace eden::core {
 
@@ -744,8 +745,11 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   // against the batch's one snapshot acquisition.
   if (rules.tables.size() > 1) {
     std::size_t kept = 0;
-    for (const netsim::PacketPtr& p : batch) {
-      if (process_one(ts, rules, *p)) ++kept;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (i + util::kPrefetchAhead < batch.size()) {
+        util::prefetch_write(batch[i + util::kPrefetchAhead].get());
+      }
+      if (process_one(ts, rules, *batch[i])) ++kept;
     }
     return kept;
   }
@@ -762,7 +766,14 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   ts.batch_classes.clear();
   const bool span_start = config_.telemetry.span_sample_every != 0;
   std::uint32_t order = 0;
-  for (const netsim::PacketPtr& p : batch) {
+  for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+    // Prefetch-ahead: packet bi+k's header/meta lines are on their way
+    // while bi classifies and matches, hiding the pointer-chase miss
+    // that otherwise dominates a cold batch.
+    if (bi + util::kPrefetchAhead < batch.size()) {
+      util::prefetch_write(batch[bi + util::kPrefetchAhead].get());
+    }
+    const netsim::PacketPtr& p = batch[bi];
     if (span_start && p->meta.trace_id == 0) {
       p->meta.trace_id = spans_.maybe_start_trace();
     }
@@ -809,6 +820,10 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
            ts.batch_items[j].key == head.key;
          ++j) {
       ts.batch_group.push_back(ts.batch_items[j].pkt);
+    }
+    // Warm the next group's head while this group executes.
+    if (j < ts.batch_items.size()) {
+      util::prefetch_write(ts.batch_items[j].pkt);
     }
     run_action_batch(ts, *head.entry, ts.batch_group);
     i = j;
@@ -902,7 +917,10 @@ void Enclave::run_action_batch(detail::ThreadState& ts, ActionEntry& entry,
                                     : 0;
   telemetry::TraceRing* ring = trace_.get();
 
-  for (netsim::Packet* packet : packets) {
+  for (std::size_t pi = 0; pi < packets.size(); ++pi) {
+    netsim::Packet* packet = packets[pi];
+    // Overlap the next packet's state-load miss with this execution.
+    if (pi + 1 < packets.size()) util::prefetch_write(packets[pi + 1]);
     load_packet_state(*packet, ts.packet_block);
 
     bool sampled = false;

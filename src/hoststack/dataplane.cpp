@@ -3,6 +3,8 @@
 #include <string>
 #include <thread>
 
+#include "util/prefetch.h"
+
 #if defined(__linux__)
 #include <ctime>
 #endif
@@ -82,8 +84,19 @@ DataPlane::DataPlane(core::Enclave& enclave, DataPlaneConfig config)
     : enclave_(enclave), config_(config) {
   if (config_.workers == 0) config_.workers = 1;
   if (config_.max_batch == 0) config_.max_batch = 1;
+  pool_ = config_.pool != nullptr ? config_.pool
+                                  : &netsim::default_packet_pool();
   backpressure_ctr_ =
       &metrics_.counter("eden_dataplane_submit_backpressure_total");
+  pool_slots_gauge_ = &metrics_.gauge("eden_pool_slots");
+  pool_in_use_gauge_ = &metrics_.gauge("eden_pool_in_use");
+  pool_exhausted_ctr_ = &metrics_.counter("eden_pool_exhausted_total");
+  pool_heap_fallback_ctr_ =
+      &metrics_.counter("eden_pool_heap_fallback_total");
+  pool_refills_ctr_ = &metrics_.counter("eden_pool_magazine_refills_total");
+  pool_flushes_ctr_ = &metrics_.counter("eden_pool_magazine_flushes_total");
+  burst_scratch_.resize(config_.workers);
+  burst_index_.resize(config_.workers);
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>(config_);
@@ -124,6 +137,43 @@ bool DataPlane::submit(netsim::PacketPtr& packet) {
   w.enqueued.fetch_add(1, std::memory_order_relaxed);
   w.enqueued_ctr->inc();
   return true;
+}
+
+std::size_t DataPlane::submit_burst(std::span<netsim::PacketPtr> burst) {
+  // Stage per shard in burst order, then one bulk transfer per touched
+  // ring. The staging vectors keep their capacity across calls, so the
+  // steady state allocates nothing.
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    if (!burst[i]) continue;
+    const std::size_t shard = shard_for(*burst[i]);
+    burst_scratch_[shard].push_back(std::move(burst[i]));
+    burst_index_[shard].push_back(i);
+  }
+  std::size_t consumed = 0;
+  for (std::size_t shard = 0; shard < workers_.size(); ++shard) {
+    auto& staged = burst_scratch_[shard];
+    if (staged.empty()) continue;
+    Worker& w = *workers_[shard];
+    const std::size_t pushed = w.in.push_bulk(staged.data(), staged.size());
+    if (pushed != 0) {
+      consumed += pushed;
+      submitted_ += pushed;
+      w.enqueued.fetch_add(pushed, std::memory_order_relaxed);
+      w.enqueued_ctr->inc(pushed);
+    }
+    const std::size_t rejected = staged.size() - pushed;
+    if (rejected != 0) {
+      submit_backpressure_ += rejected;
+      backpressure_ctr_->inc(rejected);
+      // Hand the leftovers back to their original burst slots.
+      for (std::size_t j = pushed; j < staged.size(); ++j) {
+        burst[burst_index_[shard][j]] = std::move(staged[j]);
+      }
+    }
+    staged.clear();
+    burst_index_[shard].clear();
+  }
+  return consumed;
 }
 
 std::size_t DataPlane::drain_completions(const CompletionFn& fn) {
@@ -190,6 +240,15 @@ void DataPlane::worker_main(Worker& w) {
     }
     idle = 0;
 
+    // Warm the front of the batch before process_batch touches it; the
+    // enclave's own loop prefetches the rest ahead of itself.
+    const std::size_t warm = n < static_cast<std::size_t>(util::kPrefetchAhead)
+                                 ? n
+                                 : static_cast<std::size_t>(util::kPrefetchAhead);
+    for (std::size_t i = 0; i < warm; ++i) {
+      util::prefetch_write(batch[i].get());
+    }
+
     const std::uint64_t depth = w.in.size() + n;  // at the drain point
     if (depth > w.max_depth.load(std::memory_order_relaxed)) {
       w.max_depth.store(depth, std::memory_order_relaxed);
@@ -210,9 +269,12 @@ void DataPlane::worker_main(Worker& w) {
 
     // Dropped packets travel the completion ring too (drop_mark set) so
     // the producer's accounting — and the HostStack's drop counter —
-    // never depends on racing a worker counter.
-    for (std::size_t i = 0; i < n; ++i) {
-      while (!w.out.push(std::move(batch[i]))) {
+    // never depends on racing a worker counter. One bulk transfer per
+    // batch; the egress ring is sized to make a stall here rare.
+    std::size_t pushed = 0;
+    while (pushed < n) {
+      pushed += w.out.push_bulk(batch.data() + pushed, n - pushed);
+      if (pushed < n) {
         cpu_pause();
         std::this_thread::yield();
       }
@@ -244,7 +306,25 @@ DataPlaneStats DataPlane::stats() const {
         static_cast<double>(total) / static_cast<double>(workers_.size());
     s.imbalance = static_cast<double>(max_enq) / mean;
   }
+  s.pool = pool_->stats();
+  sync_pool_metrics(s.pool);
   return s;
+}
+
+void DataPlane::sync_pool_metrics(const netsim::PacketPoolStats& ps) const {
+  std::lock_guard<std::mutex> lock(pool_sync_mu_);
+  pool_slots_gauge_->set(static_cast<std::int64_t>(ps.slots_materialized));
+  pool_in_use_gauge_->set(static_cast<std::int64_t>(ps.in_use));
+  const auto bump = [](telemetry::Counter* ctr, std::uint64_t now,
+                       std::uint64_t& last) {
+    if (now > last) ctr->inc(now - last);
+    last = now;
+  };
+  bump(pool_exhausted_ctr_, ps.exhausted_total, pool_synced_.exhausted_total);
+  bump(pool_heap_fallback_ctr_, ps.heap_fallback_total,
+       pool_synced_.heap_fallback_total);
+  bump(pool_refills_ctr_, ps.magazine_refills, pool_synced_.magazine_refills);
+  bump(pool_flushes_ctr_, ps.magazine_flushes, pool_synced_.magazine_flushes);
 }
 
 }  // namespace eden::hoststack

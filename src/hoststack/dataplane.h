@@ -28,11 +28,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/enclave.h"
 #include "hoststack/spsc_ring.h"
 #include "netsim/packet.h"
+#include "netsim/packet_pool.h"
 #include "telemetry/metrics.h"
 
 namespace eden::hoststack {
@@ -50,6 +53,10 @@ struct DataPlaneConfig {
   // Empty-ring polls before a worker yields the core (keeps latency low
   // on dedicated cores without starving oversubscribed ones).
   std::uint32_t idle_spins = 256;
+  // Packet pool whose eden_pool_* stats this data plane mirrors into
+  // its metrics registry (stats() syncs them). nullptr = the process-
+  // wide default pool behind make_packet().
+  netsim::PacketPool* pool = nullptr;
 };
 
 struct DataPlaneWorkerStats {
@@ -71,6 +78,8 @@ struct DataPlaneStats {
   std::uint64_t submit_backpressure = 0;  // submit() full-ring rejections
   // max / mean per-worker enqueued count; 1.0 = perfectly even steering.
   double imbalance = 0.0;
+  // Snapshot of the packet pool feeding this data plane.
+  netsim::PacketPoolStats pool;
 };
 
 class DataPlane {
@@ -95,6 +104,16 @@ class DataPlane {
   // is full) `packet` is left intact and false is returned — the caller
   // should drain_completions() and retry.
   bool submit(netsim::PacketPtr& packet);
+
+  // Burst submit: steers every packet of `burst` to its shard and
+  // enqueues per shard with one bulk ring transfer (one release store
+  // per touched ring instead of one per packet). Consumed entries are
+  // reset to nullptr; entries whose shard ring was full are left intact
+  // in place (counted as backpressure) so the caller can drain
+  // completions and resubmit exactly those. Per-shard FIFO order — the
+  // ordering contract's currency — is the burst's own order. Returns
+  // how many were consumed.
+  std::size_t submit_burst(std::span<netsim::PacketPtr> burst);
 
   // Hands every completed packet (drop_mark set on enclave drops) to
   // `fn`, in per-worker FIFO order. Returns how many were delivered.
@@ -123,8 +142,11 @@ class DataPlane {
 
   void worker_main(Worker& w);
 
+  void sync_pool_metrics(const netsim::PacketPoolStats& ps) const;
+
   core::Enclave& enclave_;
   DataPlaneConfig config_;
+  netsim::PacketPool* pool_ = nullptr;
   telemetry::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
@@ -135,6 +157,20 @@ class DataPlane {
   std::uint64_t submit_backpressure_ = 0;
   telemetry::Counter* backpressure_ctr_ = nullptr;
   std::vector<netsim::PacketPtr> drain_scratch_;
+  // submit_burst per-shard staging (packet + original burst index).
+  std::vector<std::vector<netsim::PacketPtr>> burst_scratch_;
+  std::vector<std::vector<std::size_t>> burst_index_;
+  // eden_pool_* mirroring: counters are monotonic, so stats() bumps
+  // them by the delta since the last sync. Mutex because stats() is
+  // any-thread by contract.
+  mutable std::mutex pool_sync_mu_;
+  mutable netsim::PacketPoolStats pool_synced_;
+  telemetry::Gauge* pool_slots_gauge_ = nullptr;
+  telemetry::Gauge* pool_in_use_gauge_ = nullptr;
+  telemetry::Counter* pool_exhausted_ctr_ = nullptr;
+  telemetry::Counter* pool_heap_fallback_ctr_ = nullptr;
+  telemetry::Counter* pool_refills_ctr_ = nullptr;
+  telemetry::Counter* pool_flushes_ctr_ = nullptr;
 };
 
 }  // namespace eden::hoststack

@@ -1,5 +1,6 @@
 #include "hoststack/host_stack.h"
 
+#include <span>
 #include <thread>
 
 #include "telemetry/span.h"
@@ -85,8 +86,31 @@ void HostStack::complete_egress(netsim::PacketPtr packet) {
 }
 
 void HostStack::pump_dataplane() {
-  dataplane_->drain_completions(
-      [this](netsim::PacketPtr p) { complete_egress(std::move(p)); });
+  // Collect the whole drain first, then complete it as one burst: the
+  // per-packet steps (drop accounting, post_enclave, span hop) run in
+  // completion order, and the survivors reach the NIC via send_burst so
+  // each rate-limited queue drains once per pump instead of once per
+  // packet.
+  completions_scratch_.clear();
+  dataplane_->drain_completions([this](netsim::PacketPtr p) {
+    completions_scratch_.push_back(std::move(p));
+  });
+  if (completions_scratch_.empty()) return;
+  for (netsim::PacketPtr& p : completions_scratch_) {
+    if (p->drop_mark) {
+      ++enclave_drops_;
+      p.reset();
+      continue;
+    }
+    if (config_.post_enclave) config_.post_enclave(*p);
+    if (p->meta.trace_id != 0) {
+      telemetry::SpanCollector::instance().record_now(
+          p->meta.trace_id, telemetry::Hop::host_dequeue,
+          static_cast<std::int64_t>(p->rl_queue));
+    }
+  }
+  nic_.send_burst(std::span(completions_scratch_));
+  completions_scratch_.clear();
 }
 
 // Keeps a zero-weight event circulating while packets are in the data

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "core/enclave.h"
 #include "core/stage.h"
@@ -127,6 +128,9 @@ class HostStack {
   // Completion path shared by the inline and data-plane routes: drop
   // accounting, post_enclave, NIC hand-off.
   void complete_egress(netsim::PacketPtr packet);
+  // Burst completion path: drains the data plane into a reusable
+  // scratch, applies the per-packet completion steps, then hands the
+  // survivors to the NIC as one tx burst.
   void pump_dataplane();
   void arm_dataplane_poll();
 
@@ -149,6 +153,8 @@ class HostStack {
 
   std::unique_ptr<DataPlane> dataplane_;
   bool dataplane_poll_armed_ = false;
+  // pump_dataplane burst staging; keeps its capacity across pumps.
+  std::vector<netsim::PacketPtr> completions_scratch_;
 };
 
 }  // namespace eden::hoststack

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "hoststack/token_bucket.h"
@@ -33,6 +34,13 @@ class Nic {
   // eden_nic_bad_queue_total and recorded as a nic_drop span hop.
   void send(netsim::PacketPtr packet);
 
+  // Tx burst: routes every packet of `burst` exactly as send() would
+  // (null entries skipped), but rate-limited queues are drained once
+  // per touched queue instead of once per packet, so a 64-packet burst
+  // to one Pulsar queue costs one refill/wake-up computation. Entries
+  // are consumed (reset to nullptr).
+  void send_burst(std::span<netsim::PacketPtr> burst);
+
   // Backlog of `queue`, or 0 for ids that name no queue.
   std::size_t queue_backlog(int queue) const {
     const auto idx = static_cast<std::size_t>(queue);
@@ -53,6 +61,10 @@ class Nic {
   std::vector<std::unique_ptr<TokenBucket>> queues_;
   std::uint64_t bad_queue_drops_ = 0;
   telemetry::Counter* bad_queue_ctr_ = nullptr;
+  // send_burst scratch: per-queue touched flags plus the list of
+  // touched ids (kept alongside queues_ by create_queue).
+  std::vector<std::uint8_t> queue_touched_;
+  std::vector<int> touched_queues_;
 };
 
 }  // namespace eden::hoststack

@@ -108,12 +108,16 @@ struct Packet {
 // still handed off linearly through the network.
 using PacketPtr = std::shared_ptr<Packet>;
 
-inline PacketPtr make_packet() { return std::make_shared<Packet>(); }
+// Defined in packet_pool.cpp: packets come from the process-wide packet
+// pool arena (control block and Packet share one pooled slot), so
+// steady-state alloc/free never touches the global heap. make_packet
+// falls back to the heap if the arena is dry; try_make_packet returns
+// nullptr instead, for data-path producers that drop-and-count.
+PacketPtr make_packet();
+PacketPtr try_make_packet();
 
 // Deep copy (ClassList and PacketMeta are value types, so default copy
 // semantics suffice; the helper exists for call-site clarity).
-inline PacketPtr clone_packet(const Packet& p) {
-  return std::make_shared<Packet>(p);
-}
+PacketPtr clone_packet(const Packet& p);
 
 }  // namespace eden::netsim

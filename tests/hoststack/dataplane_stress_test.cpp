@@ -261,5 +261,83 @@ TEST_F(DataPlaneStress, GroupedBatchesSurviveActionChurn) {
   EXPECT_GT(session_->stats().txns_committed, 0u);
 }
 
+// Exhaustion robustness: producers racing a deliberately undersized
+// packet arena must degrade to drop-and-count — never deadlock, and
+// never silently heap-allocate on the try path. The pool is sized well
+// below the in-flight window (rings + batches across 4 workers), so
+// try_make() runs dry constantly and only completion-path recycling
+// keeps traffic flowing.
+TEST_F(DataPlaneStress, PoolExhaustionDropsAndCountsInsteadOfDeadlocking) {
+  const auto fields = epoch_fields();
+  const auto program = controller_.compile(
+      "touch_fn", "fun(p, m, g) -> p.path <- g.v", fields);
+  session_->begin_txn();
+  session_->install_action("touch", program, fields);
+  for (const char* field : {"v", "a", "b"}) {
+    session_->set_global_scalar("touch", field, 1);
+  }
+  session_->add_rule("t", "*", "touch");
+  session_->commit_txn();
+
+  netsim::PacketPoolConfig pool_config;
+  pool_config.capacity_slots = 64;
+  pool_config.slab_slots = 16;
+  pool_config.magazine_slots = 8;
+  netsim::PacketPool pool(pool_config);
+
+  DataPlaneConfig dp_config;
+  dp_config.workers = workers_;
+  dp_config.ring_capacity = 64;
+  dp_config.max_batch = 16;
+  dp_config.pool = &pool;
+  auto dp = std::make_unique<DataPlane>(enclave_, dp_config);
+
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t pool_drops = 0;
+  const auto check = [&](netsim::PacketPtr p) {
+    ++completed;
+    p.reset();  // recycle the slot before the next allocation attempt
+  };
+
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      auto p = pool.try_make();
+      if (p == nullptr) {
+        // Arena dry: the producer's contract is to drop and count, then
+        // keep going — the drain below recycles slots for later rounds.
+        ++pool_drops;
+        continue;
+      }
+      p->src = 1;
+      p->dst = 2;
+      p->protocol = netsim::Protocol::tcp;
+      p->size_bytes = 1000;
+      p->meta.msg_id = static_cast<std::int64_t>(round % 29 + 1);
+      while (!dp->submit(p)) dp->drain_completions(check);
+      ++submitted;
+    }
+    step();
+    dp->drain_completions(check);
+  }
+  dp->flush(check);
+  dp->stop(check);
+
+  EXPECT_EQ(completed, submitted);
+  EXPECT_GT(submitted, 0u);
+  EXPECT_GT(pool_drops, 0u) << "pool never ran dry; shrink it";
+
+  const auto stats = dp->stats();
+  EXPECT_GE(stats.pool.exhausted_total, pool_drops);
+  EXPECT_EQ(stats.pool.heap_fallback_total, 0u)
+      << "try path must not heap-allocate when the arena is dry";
+  EXPECT_LE(stats.pool.slots_materialized, 64u);
+
+  // The drop-and-count series is visible where operators look for it.
+  const std::string text = dp->metrics().text_exposition();
+  EXPECT_NE(text.find("eden_pool_exhausted_total"), std::string::npos);
+  EXPECT_NE(text.find("eden_pool_in_use"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace eden::hoststack

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,67 @@ TEST(SpscRingTest, PopBulkHonorsMax) {
   EXPECT_EQ(ring.pop_bulk(out, 4), 4u);
   EXPECT_EQ(ring.pop_bulk(out, 4), 2u);
   EXPECT_EQ(ring.pop_bulk(out, 4), 0u);
+}
+
+TEST(SpscRingTest, PushBulkFifoAcrossWraparound) {
+  // Bursts of 3 through a 4-slot ring: every transfer straddles the
+  // wrap point sooner or later, and order must survive it.
+  SpscRing<int> ring(4);
+  int in[3];
+  int out[8];
+  int next = 0;
+  for (int round = 0; round < 12; ++round) {
+    for (int i = 0; i < 3; ++i) in[i] = next + i;
+    ASSERT_EQ(ring.push_bulk(in, 3), 3u);
+    const std::size_t n = ring.pop_bulk(out, 8);
+    ASSERT_EQ(n, 3u);
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], next + i);
+    next += 3;
+  }
+}
+
+TEST(SpscRingTest, PushBulkPartialOnNearlyFullRing) {
+  SpscRing<std::shared_ptr<int>> ring(4);
+  std::shared_ptr<int> in[6];
+  for (int i = 0; i < 6; ++i) in[i] = std::make_shared<int>(i);
+  // Only 4 fit; the 2 rejected entries must be left intact in place.
+  EXPECT_EQ(ring.push_bulk(in, 6), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(in[i], nullptr) << "consumed source " << i << " not reset";
+  }
+  ASSERT_NE(in[4], nullptr);
+  ASSERT_NE(in[5], nullptr);
+  EXPECT_EQ(*in[4], 4);
+  EXPECT_EQ(*in[5], 5);
+  EXPECT_EQ(ring.push_bulk(in + 4, 2), 0u);  // still full
+  std::shared_ptr<int> out[4];
+  ASSERT_EQ(ring.pop_bulk(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(*out[i], i);
+}
+
+TEST(SpscRingTest, DrainedSlotsReleaseOwnership) {
+  // The destructor-hygiene bug this pins down: a moved-from shared_ptr
+  // parked in a ring slot may still own its object, silently keeping a
+  // pooled buffer alive until the slot is overwritten. Both bulk paths
+  // must reset the slots they vacate.
+  SpscRing<std::shared_ptr<int>> ring(8);
+  auto tracked = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = tracked;
+  ASSERT_TRUE(ring.push(std::move(tracked)));
+  std::shared_ptr<int> out[4];
+  ASSERT_EQ(ring.pop_bulk(out, 4), 1u);
+  ASSERT_EQ(watch.use_count(), 1) << "ring slot retained a stale owner";
+  out[0].reset();
+  EXPECT_TRUE(watch.expired());
+
+  // Same via push_bulk: the caller's source buffer must not keep an
+  // owner either.
+  std::shared_ptr<int> src[1] = {std::make_shared<int>(9)};
+  std::weak_ptr<int> watch2 = src[0];
+  ASSERT_EQ(ring.push_bulk(src, 1), 1u);
+  EXPECT_EQ(src[0], nullptr);
+  ASSERT_EQ(ring.pop_bulk(out, 4), 1u);
+  EXPECT_EQ(watch2.use_count(), 1);
 }
 
 // --- Steering -----------------------------------------------------------
@@ -142,6 +205,28 @@ class DataPlaneTest : public ::testing::Test {
     dp.flush(sink);
     return done;
   }
+
+  // Burst-mode counterpart of run_through: submits in bursts of
+  // `burst_size`, retrying backpressured leftovers after a drain.
+  std::vector<netsim::PacketPtr> run_through_bursts(
+      DataPlane& dp, std::vector<netsim::PacketPtr> packets,
+      std::size_t burst_size = 32) {
+    std::vector<netsim::PacketPtr> done;
+    const auto sink = [&](netsim::PacketPtr p) {
+      done.push_back(std::move(p));
+    };
+    for (std::size_t off = 0; off < packets.size(); off += burst_size) {
+      const std::size_t n = std::min(burst_size, packets.size() - off);
+      const std::span<netsim::PacketPtr> burst(packets.data() + off, n);
+      std::size_t sent = 0;
+      while (sent < n) {
+        sent += dp.submit_burst(burst);
+        if (sent < n) dp.drain_completions(sink);
+      }
+    }
+    dp.flush(sink);
+    return done;
+  }
 };
 
 TEST_F(DataPlaneTest, AllPacketsComeBack) {
@@ -203,6 +288,52 @@ TEST_F(DataPlaneTest, BackpressureReportsAndRecovers) {
   EXPECT_EQ(dp.pending(), 0u);
 }
 
+TEST_F(DataPlaneTest, SubmitBurstDeliversEverything) {
+  install_with_rule("p3", "fun(p, m, g) -> p.priority <- 3");
+  DataPlaneConfig cfg;
+  cfg.workers = 4;
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> in;
+  for (int i = 0; i < 500; ++i) in.push_back(msg_packet(i % 17 + 1));
+  const auto done = run_through_bursts(dp, std::move(in));
+  ASSERT_EQ(done.size(), 500u);
+  for (const auto& p : done) EXPECT_EQ(p->priority, 3u);
+  const DataPlaneStats stats = dp.stats();
+  EXPECT_EQ(stats.submitted, 500u);
+  EXPECT_EQ(stats.drained, 500u);
+}
+
+TEST_F(DataPlaneTest, SubmitBurstBackpressureLeavesRejectedInPlace) {
+  install_with_rule("noop", "fun(p, m, g) -> p.priority <- 1");
+  DataPlaneConfig cfg;
+  cfg.workers = 1;
+  cfg.ring_capacity = 2;  // tiny: bursts must be partially rejected
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> in;
+  for (int i = 0; i < 200; ++i) in.push_back(msg_packet(1));
+  const auto done = run_through_bursts(dp, std::move(in), 16);
+  EXPECT_EQ(done.size(), 200u);
+  const DataPlaneStats stats = dp.stats();
+  EXPECT_EQ(stats.submitted, 200u);
+  EXPECT_GT(stats.submit_backpressure, 0u);
+  EXPECT_EQ(dp.pending(), 0u);
+}
+
+TEST_F(DataPlaneTest, SubmitBurstSkipsNullEntries) {
+  install_with_rule("p1", "fun(p, m, g) -> p.priority <- 1");
+  DataPlaneConfig cfg;
+  cfg.workers = 2;
+  DataPlane dp(enclave_, cfg);
+  std::vector<netsim::PacketPtr> burst;
+  for (int i = 0; i < 8; ++i) {
+    burst.push_back(i % 2 == 0 ? msg_packet(i + 1) : nullptr);
+  }
+  EXPECT_EQ(dp.submit_burst(burst), 4u);
+  std::vector<netsim::PacketPtr> done;
+  dp.flush([&](netsim::PacketPtr p) { done.push_back(std::move(p)); });
+  EXPECT_EQ(done.size(), 4u);
+}
+
 TEST_F(DataPlaneTest, StopDeliversResidualCompletions) {
   install_with_rule("p1", "fun(p, m, g) -> p.priority <- 1");
   DataPlaneConfig cfg;
@@ -254,9 +385,10 @@ class DataPlaneOrderingTest : public DataPlaneTest {
 
   // Sends packets whose message keys come from `keys` (round-robin) and
   // asserts every message's packets complete carrying 1, 2, 3, ... in
-  // submission order.
+  // submission order. `bursts` routes submission through submit_burst —
+  // the ordering contract must hold identically for both entry points.
   void check_ordering(const std::vector<std::int64_t>& keys,
-                      std::size_t packets_per_key) {
+                      std::size_t packets_per_key, bool bursts = false) {
     DataPlaneConfig cfg;
     cfg.workers = 4;
     cfg.ring_capacity = 64;  // small enough to exercise backpressure
@@ -270,7 +402,8 @@ class DataPlaneOrderingTest : public DataPlaneTest {
         in.push_back(msg_packet(key, ++next_seq[key]));
       }
     }
-    const auto done = run_through(dp, std::move(in));
+    const auto done = bursts ? run_through_bursts(dp, std::move(in))
+                             : run_through(dp, std::move(in));
     ASSERT_EQ(done.size(), packets_per_key * keys.size());
 
     std::map<std::int64_t, std::int64_t> last_counter;
@@ -321,6 +454,34 @@ TEST_F(DataPlaneOrderingTest, ManyUniformMessages) {
     keys.push_back(static_cast<std::int64_t>(x % 1000000) + 1);
   }
   check_ordering(keys, 25);
+}
+
+TEST_F(DataPlaneOrderingTest, BurstSubmitSingleHotMessage) {
+  check_ordering({42}, 1000, /*bursts=*/true);
+}
+
+TEST_F(DataPlaneOrderingTest, BurstSubmitKeysCollidingOnOneShard) {
+  // Partial bulk pushes against a saturated shard: the backpressured
+  // tail is retried in original order, so the sequence must survive.
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = 1; keys.size() < 8; ++k) {
+    if (DataPlane::shard_of(static_cast<std::uint64_t>(k), 4) == 0) {
+      keys.push_back(k);
+    }
+  }
+  check_ordering(keys, 100, /*bursts=*/true);
+}
+
+TEST_F(DataPlaneOrderingTest, BurstSubmitManyUniformMessages) {
+  std::vector<std::int64_t> keys;
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 64; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    keys.push_back(static_cast<std::int64_t>(x % 1000000) + 1);
+  }
+  check_ordering(keys, 25, /*bursts=*/true);
 }
 
 // --- HostStack integration ------------------------------------------------

@@ -1,0 +1,127 @@
+// Counting replacements for the global allocation functions. The
+// replacement set must be complete — plain, nothrow, array and aligned
+// forms — or a compiler-selected variant would bypass the counters.
+// All forms funnel through malloc/aligned free pairs, so ASan still
+// interposes underneath and keeps its poisoning/quarantine behavior.
+#include "support/alloc_count.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace eden::testsupport {
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+
+void* counted_alloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void counted_free(void* p) {
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts alloc_counts() {
+  AllocCounts c;
+  c.news = g_news.load(std::memory_order_relaxed);
+  c.deletes = g_deletes.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace eden::testsupport
+
+namespace {
+
+void* alloc_or_throw(std::size_t size) {
+  void* p = eden::testsupport::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* alloc_aligned_or_throw(std::size_t size, std::align_val_t align) {
+  void* p = eden::testsupport::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return alloc_or_throw(size); }
+void* operator new[](std::size_t size) { return alloc_or_throw(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return eden::testsupport::counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return eden::testsupport::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return alloc_aligned_or_throw(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return alloc_aligned_or_throw(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return eden::testsupport::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return eden::testsupport::counted_alloc_aligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { eden::testsupport::counted_free(p); }
+void operator delete[](void* p) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete(void* p, std::size_t) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  eden::testsupport::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  eden::testsupport::counted_free(p);
+}

@@ -1,0 +1,37 @@
+// Global heap-allocation counters for the zero-alloc proof obligation:
+// linking eden_alloc_count into a binary replaces the global operator
+// new/delete family with counting wrappers, so a test (or the bench)
+// can assert that a code region performed exactly zero heap
+// allocations. The counters are process-wide relaxed atomics — scope a
+// measurement with AllocGate and keep unrelated threads quiet (or, for
+// the data-plane test, deliberately loud: worker allocations are
+// exactly what the steady-state invariant forbids).
+#pragma once
+
+#include <cstdint>
+
+namespace eden::testsupport {
+
+struct AllocCounts {
+  std::uint64_t news = 0;     // operator new/new[] calls (all variants)
+  std::uint64_t deletes = 0;  // operator delete/delete[] calls
+};
+
+// Current process-wide totals.
+AllocCounts alloc_counts();
+
+// Counts heap traffic since its construction.
+class AllocGate {
+ public:
+  AllocGate() : start_(alloc_counts()) {}
+
+  std::uint64_t news() const { return alloc_counts().news - start_.news; }
+  std::uint64_t deletes() const {
+    return alloc_counts().deletes - start_.deletes;
+  }
+
+ private:
+  AllocCounts start_;
+};
+
+}  // namespace eden::testsupport
