@@ -78,7 +78,8 @@ void EnclaveAgent::on_bytes(std::span<const std::uint8_t> data) {
         }
         ++expected_request_id_;
         ++stats_.requests;
-        const Response response = core::wire::apply(enclave_, frame.payload);
+        const Response response =
+            core::wire::apply(enclave_, frame.payload, &telemetry_cursor_);
         transport_->send(encode_frame({FrameType::response, frame.id,
                                        core::wire::encode_response(response)}));
         break;
@@ -685,6 +686,13 @@ std::string EnclaveSession::fetch_telemetry_json(PipePump& pump) {
 
 std::string EnclaveSession::fetch_spans_json(PipePump& pump) {
   return fetch_payload(pump, core::wire::encode_get_spans());
+}
+
+std::string EnclaveSession::fetch_telemetry_delta_json(PipePump& pump,
+                                                       std::uint64_t epoch,
+                                                       std::uint64_t seq) {
+  return fetch_payload(pump,
+                       core::wire::encode_get_telemetry_delta(epoch, seq));
 }
 
 }  // namespace eden::controlplane

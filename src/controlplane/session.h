@@ -61,6 +61,18 @@ class EnclaveAgent {
 
   std::uint64_t boot_id() const { return boot_id_; }
 
+  // Host-series hook for get_telemetry_delta polls: fills
+  // EnclaveTelemetry::host_series with host-level gauges the enclave
+  // cannot see (data-plane ring depth, pool exhaustion, ...). The
+  // cursor — and with it the delta epoch — is per-agent, so a new
+  // agent (= restarted host) always resyncs the controller in full.
+  void set_host_series(core::wire::TelemetryCursor::HostSeriesFn fn) {
+    telemetry_cursor_.set_host_series(std::move(fn));
+  }
+  const core::wire::TelemetryCursor& telemetry_cursor() const {
+    return telemetry_cursor_;
+  }
+
   struct Stats {
     std::uint64_t frames = 0;
     std::uint64_t requests = 0;
@@ -86,6 +98,7 @@ class EnclaveAgent {
   // meant atomically — and a repeat means a duplicated delivery; both
   // are stream corruption: close and let the controller resync.
   std::uint64_t expected_request_id_ = 1;
+  core::wire::TelemetryCursor telemetry_cursor_;
   Stats stats_;
 };
 
@@ -190,6 +203,11 @@ class EnclaveSession {
   // "unreachable".
   std::string fetch_telemetry_json(PipePump& pump);
   std::string fetch_spans_json(PipePump& pump);
+  // Delta poll: echoes (epoch, seq) — normally a DeltaDecoder's
+  // epoch()/seq() — and returns the agent's telemetry::DeltaPayload
+  // JSON (empty on not-ready/timeout, like the fetches above).
+  std::string fetch_telemetry_delta_json(PipePump& pump, std::uint64_t epoch,
+                                         std::uint64_t seq);
 
   const SessionStats& stats() const { return stats_; }
   telemetry::HistogramSnapshot rtt() const { return rtt_.snapshot(); }

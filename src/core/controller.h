@@ -16,6 +16,7 @@
 #include "core/enclave.h"
 #include "core/stage.h"
 #include "netsim/routing.h"
+#include "telemetry/collector.h"
 
 namespace eden::core {
 
@@ -45,6 +46,14 @@ class Controller {
     std::string name;
     std::function<std::string()> fetch_telemetry_json;
     std::function<std::string()> fetch_spans_json;  // optional
+    // Optional delta poll (controlplane::EnclaveSession::
+    // fetch_telemetry_delta_json): echoes (epoch, seq), returns a
+    // telemetry::DeltaPayload JSON. When set, telemetry_sources()
+    // builds delta-polling collector sources from this.
+    std::function<std::string(std::uint64_t, std::uint64_t)>
+        fetch_telemetry_delta_json;
+    // Optional controller-side session health sample.
+    std::function<telemetry::SessionTelemetry()> session;
   };
   void register_remote(RemoteEnclaveSource source) {
     remotes_.push_back(std::move(source));
@@ -89,8 +98,21 @@ class Controller {
   // collector is process-global, so this covers every traced local
   // hop; remote sources' events are spliced in, and unreachable
   // remotes are skipped and reported like collect_telemetry does.
-  std::string collect_spans_json(
-      std::vector<std::string>* unreachable = nullptr) const;
+  // `max_spans_per_agent` bounds the events spliced from each remote
+  // (0 = unlimited) so a thousand-agent sweep cannot build an
+  // unbounded string; if anything was cut the dump carries a
+  // top-level "truncated": true marker.
+  std::string collect_spans_json(std::vector<std::string>* unreachable =
+                                     nullptr,
+                                 std::size_t max_spans_per_agent = 0) const;
+
+  // The registered enclaves — local and remote alike — as collector
+  // sources (telemetry/collector.h). Remote sources poll with the
+  // delta protocol when fetch_telemetry_delta_json is set, falling
+  // back to full-snapshot fetches; local enclaves snapshot in-process.
+  // This is the scale-out replacement for collect_telemetry: feed the
+  // result to a TelemetryCollector and poll.
+  std::vector<telemetry::CollectorSource> telemetry_sources() const;
 
   // --- Control-plane computations -----------------------------------------
 

@@ -1,6 +1,9 @@
 #include "core/wire.h"
 
+#include <atomic>
+
 #include "lang/source_loc.h"
+#include "telemetry/delta.h"
 #include "telemetry/span.h"
 #include "util/bytes.h"
 
@@ -194,6 +197,14 @@ std::vector<std::uint8_t> encode_get_ruleset_version() {
   return header(Command::get_ruleset_version).take();
 }
 
+std::vector<std::uint8_t> encode_get_telemetry_delta(std::uint64_t epoch,
+                                                     std::uint64_t seq) {
+  ByteWriter w = header(Command::get_telemetry_delta);
+  w.u64(epoch);
+  w.u64(seq);
+  return w.take();
+}
+
 std::vector<std::uint8_t> encode_get_stage_info() {
   return header(Command::get_stage_info).take();
 }
@@ -290,8 +301,8 @@ Response ok(std::uint64_t value = 0) {
   return r;
 }
 
-Response apply_checked(Enclave& enclave,
-                       std::span<const std::uint8_t> frame) {
+Response apply_checked(Enclave& enclave, std::span<const std::uint8_t> frame,
+                       TelemetryCursor* cursor) {
   ByteReader r(frame);
   if (r.u32() != kMagic) return fail(Status::bad_request, "bad magic");
   const std::uint8_t raw_cmd = r.u8();
@@ -301,7 +312,7 @@ Response apply_checked(Enclave& enclave,
   if ((raw_cmd < 1 ||
        raw_cmd > static_cast<std::uint8_t>(Command::get_telemetry)) &&
       (raw_cmd < static_cast<std::uint8_t>(Command::get_spans) ||
-       raw_cmd > static_cast<std::uint8_t>(Command::get_ruleset_version))) {
+       raw_cmd > static_cast<std::uint8_t>(Command::get_telemetry_delta))) {
     return fail(Status::bad_request, "unknown command");
   }
   const auto cmd = static_cast<Command>(raw_cmd);
@@ -482,15 +493,73 @@ Response apply_checked(Enclave& enclave,
     }
     case Command::get_ruleset_version:
       return ok(enclave.ruleset_version());
+    case Command::get_telemetry_delta: {
+      const std::uint64_t epoch = r.u64();
+      const std::uint64_t seq = r.u64();
+      std::string json;
+      if (cursor != nullptr) {
+        json = cursor->handle(enclave, epoch, seq);
+      } else {
+        // No per-connection state: degrade to a stateless full payload
+        // under epoch 0 (the decoder adopts fulls unconditionally).
+        telemetry::DeltaPayload p;
+        p.enclaves.push_back(enclave.telemetry_snapshot());
+        json = telemetry::encode_delta_payload(p);
+      }
+      Response resp;
+      resp.payload.assign(json.begin(), json.end());
+      return resp;
+    }
   }
   return fail(Status::bad_request, "unhandled command");
 }
 
+// Process-global epoch allocator: every full resync — from any cursor
+// in the process — gets a distinct stamp, so a controller that decoded
+// a pre-restart full can never mistake a post-restart delta stream for
+// its own.
+std::uint64_t next_telemetry_epoch() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
-Response apply(Enclave& enclave, std::span<const std::uint8_t> frame) {
+std::string TelemetryCursor::handle(Enclave& enclave, std::uint64_t epoch,
+                                    std::uint64_t seq) {
+  telemetry::EnclaveTelemetry now = enclave.telemetry_snapshot();
+  if (host_series_) now.host_series = host_series_();
+  telemetry::DeltaPayload p;
+  if (primed_ && epoch == epoch_ && seq == seq_) {
+    if (auto d = telemetry::delta_between(prev_, now)) {
+      ++seq_;
+      p.full = false;
+      p.epoch = epoch_;
+      p.seq = seq_;
+      if (!telemetry::delta_is_empty(*d)) {
+        p.enclaves.push_back(*std::move(d));
+      }
+      prev_ = std::move(now);
+      return telemetry::encode_delta_payload(p);
+    }
+    // A counter went backwards (action reinstalled after a reset, ...):
+    // fall through to the full-resync arm.
+  }
+  epoch_ = next_telemetry_epoch();
+  seq_ = 1;
+  primed_ = true;
+  p.full = true;
+  p.epoch = epoch_;
+  p.seq = seq_;
+  p.enclaves.push_back(now);
+  prev_ = std::move(now);
+  return telemetry::encode_delta_payload(p);
+}
+
+Response apply(Enclave& enclave, std::span<const std::uint8_t> frame,
+               TelemetryCursor* cursor) {
   try {
-    return apply_checked(enclave, frame);
+    return apply_checked(enclave, frame, cursor);
   } catch (const util::ByteStreamError& e) {
     return fail(Status::bad_request, e.what());
   } catch (const std::invalid_argument& e) {
@@ -502,6 +571,10 @@ Response apply(Enclave& enclave, std::span<const std::uint8_t> frame) {
   } catch (const std::bad_alloc&) {
     return fail(Status::bad_request, "frame implies oversized allocation");
   }
+}
+
+Response apply(Enclave& enclave, std::span<const std::uint8_t> frame) {
+  return apply(enclave, frame, nullptr);
 }
 
 namespace {
@@ -633,6 +706,18 @@ std::string RemoteEnclave::get_telemetry_json() {
   return std::string(r.payload.begin(), r.payload.end());
 }
 
+Response RemoteEnclave::get_telemetry_delta(std::uint64_t epoch,
+                                            std::uint64_t seq) {
+  return roundtrip(encode_get_telemetry_delta(epoch, seq));
+}
+
+std::string RemoteEnclave::get_telemetry_delta_json(std::uint64_t epoch,
+                                                    std::uint64_t seq) {
+  const Response r = get_telemetry_delta(epoch, seq);
+  if (r.status != Status::ok) return {};
+  return std::string(r.payload.begin(), r.payload.end());
+}
+
 Response RemoteEnclave::get_spans() { return roundtrip(encode_get_spans()); }
 
 Response RemoteEnclave::begin_txn() { return roundtrip(encode_begin_txn()); }
@@ -682,6 +767,13 @@ RemoteEnclave::Transport loopback_transport(Enclave& enclave) {
   return [&enclave](std::vector<std::uint8_t> frame) {
     // Qualified: ADL on std::vector would otherwise drag in std::apply.
     return encode_response(eden::core::wire::apply(enclave, frame));
+  };
+}
+
+RemoteEnclave::Transport loopback_transport(Enclave& enclave,
+                                            TelemetryCursor& cursor) {
+  return [&enclave, &cursor](std::vector<std::uint8_t> frame) {
+    return encode_response(eden::core::wire::apply(enclave, frame, &cursor));
   };
 }
 

@@ -60,6 +60,12 @@ enum class Command : std::uint8_t {
   add_rule_named,     // value = MatchRuleId
   remove_rule_named,
   get_ruleset_version,  // value = committed rule-set version
+  // Incremental stats read-back: the request echoes the (epoch, seq)
+  // the controller last decoded; the agent's TelemetryCursor answers
+  // with a telemetry::DeltaPayload JSON — a delta when the echo matches
+  // its cursor, a full snapshot under a fresh epoch otherwise. Appended
+  // last so every existing frame keeps its numbering.
+  get_telemetry_delta,
 };
 
 enum class Status : std::uint8_t {
@@ -112,6 +118,8 @@ std::vector<std::uint8_t> encode_add_rule_named(const std::string& table_name,
 std::vector<std::uint8_t> encode_remove_rule_named(
     const std::string& table_name, MatchRuleId rule);
 std::vector<std::uint8_t> encode_get_ruleset_version();
+std::vector<std::uint8_t> encode_get_telemetry_delta(std::uint64_t epoch,
+                                                     std::uint64_t seq);
 
 // Stage API command encoders (Table 3: S0 get_stage_info,
 // S1 create_rule, S2 remove_rule).
@@ -124,8 +132,48 @@ std::vector<std::uint8_t> encode_remove_stage_rule(const std::string& rule_set,
 
 // --- Agents ------------------------------------------------------------------
 
+// Agent-side state behind get_telemetry_delta: the snapshot as last
+// reported on this connection plus the (epoch, seq) stamp the
+// controller must echo to earn a delta. One cursor per connection —
+// the control-plane agent owns one and a reconnect or agent restart
+// gets a new cursor, whose first reply is necessarily a full snapshot
+// under a fresh process-global epoch (so a stale controller echo can
+// never alias a new cursor's stamps). Epoch/seq semantics and the
+// payload format live in telemetry/delta.h.
+class TelemetryCursor {
+ public:
+  // Optional hook filling EnclaveTelemetry::host_series with
+  // host-level gauges/counters the enclave cannot see (data-plane ring
+  // depth, pool exhaustion, ...). Called once per poll, before
+  // diffing, so host series ride the same delta machinery.
+  using HostSeriesFn =
+      std::function<std::vector<std::pair<std::string, double>>()>;
+  void set_host_series(HostSeriesFn fn) { host_series_ = std::move(fn); }
+
+  // Answers one get_telemetry_delta request: takes a fresh snapshot,
+  // replies with a delta when (epoch, seq) matches the cursor (and no
+  // counter regressed), else a full snapshot under a fresh epoch.
+  // Returns the encoded telemetry::DeltaPayload JSON.
+  std::string handle(Enclave& enclave, std::uint64_t epoch,
+                     std::uint64_t seq);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t seq() const { return seq_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint64_t seq_ = 0;
+  bool primed_ = false;  // prev_ holds the last reported snapshot
+  telemetry::EnclaveTelemetry prev_;
+  HostSeriesFn host_series_;
+};
+
 // Decodes one command frame and applies it to `enclave`. Never throws:
 // malformed frames and failed validations come back as a Response.
+// `cursor` (may be null) answers get_telemetry_delta; without one the
+// command degrades to stateless full snapshots.
+Response apply(Enclave& enclave, std::span<const std::uint8_t> frame,
+               TelemetryCursor* cursor);
 Response apply(Enclave& enclave, std::span<const std::uint8_t> frame);
 
 // Stage-side agent: applies stage commands to an application's stage.
@@ -174,6 +222,12 @@ class RemoteEnclave {
   // string overload returns the JSON directly, empty on failure.
   Response get_telemetry();
   std::string get_telemetry_json();
+  // Incremental read-back: the telemetry::DeltaPayload JSON for the
+  // echoed (epoch, seq) — empty string on failure. Feed the result to
+  // a telemetry::DeltaDecoder and echo its epoch()/seq() next poll.
+  Response get_telemetry_delta(std::uint64_t epoch, std::uint64_t seq);
+  std::string get_telemetry_delta_json(std::uint64_t epoch,
+                                       std::uint64_t seq);
   // Lifecycle spans as Chrome trace_event JSON (empty on failure). The
   // collector is process-global on the enclave side, so one query per
   // host suffices regardless of how many enclaves it runs.
@@ -222,6 +276,10 @@ class RemoteStage {
 // Convenience: transports bound directly to local components (tests,
 // single-process deployments).
 RemoteEnclave::Transport loopback_transport(Enclave& enclave);
+// Loopback with delta support: the referenced cursor must outlive the
+// transport (it plays the role of the agent's per-connection state).
+RemoteEnclave::Transport loopback_transport(Enclave& enclave,
+                                            TelemetryCursor& cursor);
 RemoteStage::Transport loopback_stage_transport(Stage& stage);
 
 }  // namespace eden::core::wire

@@ -1,0 +1,117 @@
+// Streaming delta telemetry: the wire format behind get_telemetry_delta.
+//
+// A full telemetry snapshot for a busy enclave is dominated by series
+// that never change between polls. The delta protocol ships only what
+// moved: the agent keeps the previous snapshot it reported on this
+// connection (core/wire.h TelemetryCursor), diffs the fresh snapshot
+// against it, and replies with counter increments, bucket-wise
+// histogram increments and changed host-series values. The controller
+// side (DeltaDecoder) folds each delta into its last-known snapshot,
+// so aggregate()/aggregate_tree() run over materialized snapshots and
+// never need to know deltas exist.
+//
+// Epoch/seq handshake — the request echoes the (epoch, seq) the
+// controller last decoded; the agent compares it against its cursor:
+//
+//   match    -> delta against the cursor's snapshot, seq advances by 1
+//   mismatch -> full snapshot stamped with a fresh process-global
+//               epoch; the controller adopts it wholesale
+//
+// Any divergence — dropped response, duplicated request, agent restart
+// (a new agent means a new cursor), counter regression after a
+// clear_all + reinstall — lands in the mismatch arm on the next poll,
+// so the protocol self-heals with one full resync and needs no acks.
+// Deltas never carry trace rings or bytecode profiles; those refresh
+// only on full snapshots (they are bounded and sampled, not
+// per-series counters, so diffing them buys nothing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot.h"
+
+namespace eden::telemetry {
+
+// One get_telemetry_delta reply. `full` distinguishes a complete
+// snapshot (replace everything, adopt epoch/seq) from an incremental
+// one (enclave entries hold increments; absent enclaves are
+// unchanged). JSON shape: {"schema_version":N,"epoch":E,"seq":S,
+// "full":bool,"enclaves":[...]} with enclaves in the exact
+// append_enclave_json element format.
+struct DeltaPayload {
+  int schema_version = kTelemetrySchemaVersion;
+  std::uint64_t epoch = 0;
+  std::uint64_t seq = 0;
+  bool full = true;
+  std::vector<EnclaveTelemetry> enclaves;
+};
+
+// Diff of two snapshots of the same enclave: counter and bucket-wise
+// histogram increments, actions/classes present only when they moved
+// (new entries ride along whole — they diff against zero), host_series
+// restricted to changed keys but carrying ABSOLUTE values (gauges can
+// go down). Returns nullopt when any counter or bucket regressed —
+// e.g. an action was reinstalled after clear_all — which the caller
+// must answer with a full resync. An empty optional'd EnclaveTelemetry
+// with everything zero means "unchanged"; use delta_is_empty() to
+// decide whether to omit it from the payload.
+std::optional<EnclaveTelemetry> delta_between(const EnclaveTelemetry& prev,
+                                              const EnclaveTelemetry& now);
+
+// True when a delta produced by delta_between carries no change worth
+// shipping (all counter diffs zero, no action/class/host entries).
+bool delta_is_empty(const EnclaveTelemetry& delta);
+
+// Folds a delta (as produced by delta_between) into the last-known
+// snapshot: counters add, histograms merge bucket-wise, actions and
+// classes accumulate by name (new names append), host_series values
+// replace. Trace ring and profiles keep the base's contents.
+void apply_delta(EnclaveTelemetry& base, const EnclaveTelemetry& delta);
+
+std::string encode_delta_payload(const DeltaPayload& p);
+
+// Parses an encoded payload. Throws std::runtime_error on malformed
+// JSON (same contract as parse_telemetry_json).
+DeltaPayload parse_delta_payload(const std::string& text);
+
+// Controller-side reassembly: one DeltaDecoder per agent connection.
+// Feed every get_telemetry_delta reply through apply(); snapshots()
+// is always the materialized full view (possibly stale if the last
+// apply was rejected). epoch()/seq() are what the next request must
+// echo.
+class DeltaDecoder {
+ public:
+  struct Stats {
+    std::uint64_t full_resyncs = 0;   // full payloads adopted
+    std::uint64_t deltas_applied = 0; // in-sequence deltas folded in
+    std::uint64_t rejected = 0;       // out-of-sequence deltas dropped
+  };
+
+  // Returns true when the payload advanced the decoder (full snapshot
+  // adopted, or in-sequence delta folded in). A false return means the
+  // delta did not match (epoch_, seq_ + 1); the decoder keeps its
+  // previous state and the next request's stale echo forces the agent
+  // into the full-resync arm.
+  bool apply(const DeltaPayload& p);
+
+  // Parse + apply. Returns false on malformed JSON as well.
+  bool apply_json(const std::string& text);
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t seq() const { return seq_; }
+  bool synced() const { return synced_; }
+  const std::vector<EnclaveTelemetry>& snapshots() const { return snapshots_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint64_t seq_ = 0;
+  bool synced_ = false;  // have we ever adopted a full snapshot?
+  std::vector<EnclaveTelemetry> snapshots_;
+  Stats stats_;
+};
+
+}  // namespace eden::telemetry

@@ -1,0 +1,235 @@
+#include "telemetry/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+namespace eden::telemetry {
+
+namespace {
+
+bool compare(HealthRule::Op op, double value, double threshold) {
+  switch (op) {
+    case HealthRule::Op::gt: return value > threshold;
+    case HealthRule::Op::ge: return value >= threshold;
+    case HealthRule::Op::lt: return value < threshold;
+    case HealthRule::Op::le: return value <= threshold;
+  }
+  return false;
+}
+
+// Resolves a rule's series for one agent: ":rate" asks the retention
+// ring for a per-second rate, anything else reads the latest value.
+std::optional<double> resolve(const TelemetryCollector& c, std::size_t i,
+                              const std::string& series) {
+  constexpr std::string_view kRate = ":rate";
+  if (series.size() > kRate.size() &&
+      series.compare(series.size() - kRate.size(), kRate.size(),
+                     kRate.data()) == 0) {
+    return c.rate_per_sec(i, series.substr(0, series.size() - kRate.size()));
+  }
+  return c.latest_value(i, series);
+}
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* health_state_name(HealthState s) {
+  switch (s) {
+    case HealthState::ok: return "ok";
+    case HealthState::degraded: return "degraded";
+    case HealthState::critical: return "critical";
+  }
+  return "?";
+}
+
+std::vector<HealthRule> default_health_rules() {
+  using Op = HealthRule::Op;
+  return {
+      // Host/data-plane pressure (host_series keys, see the agent's
+      // set_host_series hook).
+      {"pool-exhaustion", "pool_exhausted_total:rate", Op::gt, 1000.0,
+       HealthState::degraded, false},
+      {"dataplane-backpressure", "dataplane_backpressure_total:rate", Op::gt,
+       1000.0, HealthState::degraded, false},
+      {"dataplane-ring-depth", "dataplane_ring_depth", Op::gt, 768.0,
+       HealthState::degraded, false},
+      // Control-plane liveness.
+      {"session-liveness", "session.liveness_timeouts:rate", Op::gt, 0.1,
+       HealthState::degraded, false},
+      // Action error budget: a trickle degrades, a flood is critical.
+      {"action-errors", "action_errors:rate", Op::gt, 100.0,
+       HealthState::degraded, false},
+      {"action-errors-critical", "action_errors:rate", Op::gt, 10000.0,
+       HealthState::critical, false},
+      // Collector-observed poll health.
+      {"agent-stale", "collector.stale", Op::ge, 1.0, HealthState::degraded,
+       false},
+      {"agent-unreachable", "collector.consecutive_failures", Op::ge, 8.0,
+       HealthState::critical, false},
+      // Fleet-wide drop budget over the summed series.
+      {"fleet-drop-rate", "dropped_by_action:rate", Op::gt, 1e6,
+       HealthState::degraded, true},
+  };
+}
+
+HealthWatchdog::HealthWatchdog(std::vector<HealthRule> rules)
+    : rules_(std::move(rules)) {}
+
+void HealthWatchdog::push_event(HealthEvent e) {
+  events_.push_back(std::move(e));
+  while (events_.size() > kMaxEvents) events_.pop_front();
+}
+
+void HealthWatchdog::transition(std::uint64_t now_ns,
+                                const std::string& agent, HealthState& slot,
+                                HealthState to, const Tripped* worst) {
+  if (slot == to) return;
+  HealthEvent e;
+  e.t_ns = now_ns;
+  e.agent = agent;
+  e.from = slot;
+  e.to = to;
+  if (worst != nullptr && worst->rule != nullptr) {
+    e.rule = worst->rule->name;
+    e.value = worst->value;
+  }
+  push_event(std::move(e));
+  slot = to;
+}
+
+void HealthWatchdog::evaluate(std::uint64_t now_ns,
+                              const TelemetryCollector& collector) {
+  ++evaluations_;
+  const std::size_t n = collector.source_count();
+  agents_.resize(n);
+  prev_agent_states_.resize(n, HealthState::ok);
+
+  HealthState fleet = HealthState::ok;
+  Tripped fleet_worst;
+  for (std::size_t i = 0; i < n; ++i) {
+    AgentHealth& a = agents_[i];
+    a.name = collector.status(i).name;
+    a.tripped.clear();
+    HealthState state = HealthState::ok;
+    Tripped worst;
+    struct Hit {
+      HealthState severity;
+      std::string text;
+    };
+    std::vector<Hit> hits;
+    for (const HealthRule& rule : rules_) {
+      if (rule.fleet) continue;
+      const std::optional<double> value = resolve(collector, i, rule.series);
+      if (!value || !compare(rule.op, *value, rule.threshold)) continue;
+      hits.push_back({rule.severity, rule.name + "(" + format_value(*value) +
+                                         ")"});
+      if (worst.rule == nullptr || rule.severity > worst.rule->severity) {
+        worst.rule = &rule;
+        worst.value = *value;
+      }
+      state = std::max(state, rule.severity);
+    }
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const Hit& x, const Hit& y) {
+                       return x.severity > y.severity;
+                     });
+    for (Hit& h : hits) a.tripped.push_back(std::move(h.text));
+    a.state = state;
+    transition(now_ns, a.name, prev_agent_states_[i], state,
+               worst.rule != nullptr ? &worst : nullptr);
+    if (state > fleet) {
+      fleet = state;
+      if (worst.rule != nullptr) fleet_worst = worst;
+    }
+  }
+
+  for (const HealthRule& rule : rules_) {
+    if (!rule.fleet) continue;
+    double sum = 0;
+    bool present = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const std::optional<double> v = resolve(collector, i, rule.series)) {
+        sum += *v;
+        present = true;
+      }
+    }
+    if (!present || !compare(rule.op, sum, rule.threshold)) continue;
+    if (rule.severity > fleet ||
+        (rule.severity == fleet && fleet_worst.rule == nullptr)) {
+      fleet_worst.rule = &rule;
+      fleet_worst.value = sum;
+    }
+    fleet = std::max(fleet, rule.severity);
+  }
+  transition(now_ns, {}, fleet_state_, fleet,
+             fleet_worst.rule != nullptr ? &fleet_worst : nullptr);
+}
+
+std::string HealthWatchdog::events_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const HealthEvent& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"t_ns\":";
+    out += std::to_string(e.t_ns);
+    out += ",\"scope\":\"";
+    out += e.agent.empty() ? "fleet" : "agent";
+    out += "\",\"agent\":\"";
+    out += e.agent;
+    out += "\",\"rule\":\"";
+    out += e.rule;
+    out += "\",\"from\":\"";
+    out += health_state_name(e.from);
+    out += "\",\"to\":\"";
+    out += health_state_name(e.to);
+    out += "\",\"value\":";
+    out += format_value(e.value);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+void HealthWatchdog::append_prometheus(std::string& out) const {
+  out += "# TYPE eden_health_fleet gauge\n";
+  out += "eden_health_fleet ";
+  out += std::to_string(static_cast<int>(fleet_state_));
+  out += '\n';
+  out += "# TYPE eden_health_agent gauge\n";
+  for (const AgentHealth& a : agents_) {
+    out += "eden_health_agent{agent=\"";
+    out += a.name;
+    out += "\"} ";
+    out += std::to_string(static_cast<int>(a.state));
+    out += '\n';
+  }
+  bool header = false;
+  for (const AgentHealth& a : agents_) {
+    for (const std::string& t : a.tripped) {
+      if (!header) {
+        out += "# TYPE eden_health_rule_tripped gauge\n";
+        header = true;
+      }
+      // `t` is "rule(value)"; strip the value for the label.
+      const std::size_t paren = t.find('(');
+      out += "eden_health_rule_tripped{agent=\"";
+      out += a.name;
+      out += "\",rule=\"";
+      out += paren == std::string::npos ? t : t.substr(0, paren);
+      out += "\"} 1\n";
+    }
+  }
+  out += "# TYPE eden_health_events_total counter\n";
+  out += "eden_health_events_total ";
+  out += std::to_string(events_.size());
+  out += '\n';
+}
+
+}  // namespace eden::telemetry

@@ -1,0 +1,104 @@
+// Health watchdog: declarative threshold rules over collected series.
+//
+// The collector (telemetry/collector.h) turns a thousand agents into
+// per-agent series rings and staleness flags; the watchdog turns those
+// into something an operator can alarm on. Each rule names a series —
+// a host series key ("pool_exhausted_total"), a session counter
+// ("session.liveness_timeouts"), an enclave total ("action_errors")
+// or a collector pseudo-series ("collector.stale") — an optional
+// ":rate" suffix (evaluate the per-second rate over the retention
+// ring instead of the latest value), a comparison and a severity.
+// evaluate() runs every rule against every agent (fleet rules against
+// the summed series), takes the max tripped severity per agent, and
+// the fleet state is max(per-agent states, fleet-rule states).
+//
+// Transitions are appended to a bounded event log, exportable as a
+// JSON array; current states export as eden_health_* exposition rows.
+// Like the collector, the watchdog belongs to the control thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "telemetry/collector.h"
+
+namespace eden::telemetry {
+
+enum class HealthState : std::uint8_t { ok = 0, degraded = 1, critical = 2 };
+
+const char* health_state_name(HealthState s);
+
+struct HealthRule {
+  std::string name;    // stable rule id, shown in events and tables
+  std::string series;  // collector series name; ":rate" suffix allowed
+  enum class Op : std::uint8_t { gt, ge, lt, le } op = Op::gt;
+  double threshold = 0;
+  HealthState severity = HealthState::degraded;
+  bool fleet = false;  // evaluate over the fleet-summed series
+};
+
+// The default rule set the ISSUE's deployment watches: pool exhaustion
+// rate, data-plane backpressure rate, ring-depth gauge, session
+// liveness misses, action error rate, and the collector's own
+// staleness/unreachability flags. Thresholds are starting points —
+// operators tune them per deployment.
+std::vector<HealthRule> default_health_rules();
+
+struct HealthEvent {
+  std::uint64_t t_ns = 0;
+  std::string agent;  // empty for fleet-scope transitions
+  std::string rule;   // rule that dominated the new state ("" on clear)
+  HealthState from = HealthState::ok;
+  HealthState to = HealthState::ok;
+  double value = 0;  // observed value of the dominating rule's series
+};
+
+class HealthWatchdog {
+ public:
+  explicit HealthWatchdog(
+      std::vector<HealthRule> rules = default_health_rules());
+
+  // Evaluates every rule against the collector's current series and
+  // statuses. Call once per poll cycle, after TelemetryCollector::poll.
+  void evaluate(std::uint64_t now_ns, const TelemetryCollector& collector);
+
+  struct AgentHealth {
+    std::string name;
+    HealthState state = HealthState::ok;
+    // "rule(value)" strings for every tripped rule, worst first.
+    std::vector<std::string> tripped;
+  };
+
+  HealthState fleet_state() const { return fleet_state_; }
+  const std::vector<AgentHealth>& agents() const { return agents_; }
+  const std::deque<HealthEvent>& events() const { return events_; }
+  std::uint64_t evaluations() const { return evaluations_; }
+
+  // Event log as a JSON array (oldest first).
+  std::string events_json() const;
+  // eden_health_* exposition rows appended to `out`:
+  // eden_health_fleet, eden_health_agent{agent=...},
+  // eden_health_rule_tripped{agent=...,rule=...}.
+  void append_prometheus(std::string& out) const;
+
+ private:
+  struct Tripped {
+    const HealthRule* rule = nullptr;
+    double value = 0;
+  };
+  void transition(std::uint64_t now_ns, const std::string& agent,
+                  HealthState& slot, HealthState to, const Tripped* worst);
+  void push_event(HealthEvent e);
+
+  std::vector<HealthRule> rules_;
+  std::vector<AgentHealth> agents_;
+  std::vector<HealthState> prev_agent_states_;
+  HealthState fleet_state_ = HealthState::ok;
+  std::deque<HealthEvent> events_;
+  std::uint64_t evaluations_ = 0;
+  static constexpr std::size_t kMaxEvents = 4096;
+};
+
+}  // namespace eden::telemetry

@@ -288,6 +288,13 @@ EnclaveTelemetry enclave_from_json(const Json& j) {
       e.classes.push_back(std::move(c));
     }
   }
+  if (const Json* host = j.get("host_series")) {
+    for (const auto& [name, value] : host->fields) {
+      if (value.kind != Json::Kind::number) continue;
+      e.host_series.emplace_back(name, std::strtod(value.text.c_str(),
+                                                   nullptr));
+    }
+  }
   e.trace_sampled = j.u64("trace_sampled");
   e.trace_sample_every = static_cast<std::uint32_t>(j.u64("trace_sample_every"));
   if (const Json* trace = j.get("trace")) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 namespace eden::telemetry {
@@ -33,11 +34,9 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
-void merge_action(std::map<std::string, ActionTelemetry>& into,
-                  const ActionTelemetry& a) {
-  auto [it, fresh] = into.try_emplace(a.name, a);
-  if (fresh) return;
-  ActionTelemetry& t = it->second;
+// Adds `a`'s counts into `t` (same action name). Shared by the
+// map-based aggregate() and the sorted-vector merge_aggregates().
+void accumulate_action(ActionTelemetry& t, const ActionTelemetry& a) {
   t.executions += a.executions;
   t.errors += a.errors;
   t.steps += a.steps;
@@ -84,12 +83,45 @@ void merge_action(std::map<std::string, ActionTelemetry>& into,
   }
 }
 
+void merge_action(std::map<std::string, ActionTelemetry>& into,
+                  const ActionTelemetry& a) {
+  auto [it, fresh] = into.try_emplace(a.name, a);
+  if (!fresh) accumulate_action(it->second, a);
+}
+
 void merge_class(std::map<std::string, ClassTelemetry>& into,
                  const ClassTelemetry& c) {
   ClassTelemetry& t = into.try_emplace(c.name).first->second;
   t.name = c.name;
   t.matched += c.matched;
   t.dropped += c.dropped;
+}
+
+// Merges two name-sorted telemetry vectors, accumulating entries whose
+// names collide. Both inputs come out of aggregate()'s std::map walk,
+// so they are already sorted and the merge is linear.
+template <typename T, typename Fn>
+std::vector<T> merge_sorted(std::vector<T> a, std::vector<T> b,
+                            Fn&& accumulate) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].name < b[j].name) {
+      out.push_back(std::move(a[i++]));
+    } else if (b[j].name < a[i].name) {
+      out.push_back(std::move(b[j++]));
+    } else {
+      accumulate(a[i], b[j]);
+      out.push_back(std::move(a[i]));
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) out.push_back(std::move(a[i]));
+  for (; j < b.size(); ++j) out.push_back(std::move(b[j]));
+  return out;
 }
 
 void append_histogram_json(std::string& out, const char* key,
@@ -271,6 +303,14 @@ void append_array(std::string& out, const std::vector<T>& items, Fn&& fn) {
   out += ']';
 }
 
+// Shortest round-trippable rendering of a host-series value (%.17g —
+// the parser keeps number text, so 64-bit-ish counters survive).
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
 }  // namespace
 
 AggregateTelemetry aggregate(std::vector<EnclaveTelemetry> enclaves) {
@@ -290,42 +330,122 @@ AggregateTelemetry aggregate(std::vector<EnclaveTelemetry> enclaves) {
   return agg;
 }
 
-std::string to_json(const AggregateTelemetry& agg) {
-  std::string out = "{\"enclaves\":[";
-  for (std::size_t i = 0; i < agg.enclaves.size(); ++i) {
-    const EnclaveTelemetry& e = agg.enclaves[i];
-    if (i != 0) out += ',';
-    out += "{\"name\":\"";
-    out += json_escape(e.enclave);
-    out += "\",\"telemetry_enabled\":";
-    out += e.telemetry_enabled ? "true" : "false";
-    out += ",\"packets\":";
-    out += std::to_string(e.packets);
-    out += ",\"matched\":";
-    out += std::to_string(e.matched);
-    out += ",\"dropped_by_action\":";
-    out += std::to_string(e.dropped_by_action);
-    out += ",\"message_entries_created\":";
-    out += std::to_string(e.message_entries_created);
-    out += ",\"message_entries_evicted\":";
-    out += std::to_string(e.message_entries_evicted);
-    out += ",\"actions\":";
-    append_array(out, e.actions, [](std::string& o, const ActionTelemetry& a) {
-      append_action_json(o, a);
+AggregateTelemetry merge_aggregates(AggregateTelemetry a,
+                                    AggregateTelemetry b) {
+  AggregateTelemetry out = std::move(a);
+  out.packets += b.packets;
+  out.matched += b.matched;
+  out.dropped_by_action += b.dropped_by_action;
+  out.enclaves.insert(out.enclaves.end(),
+                      std::make_move_iterator(b.enclaves.begin()),
+                      std::make_move_iterator(b.enclaves.end()));
+  out.sessions.insert(out.sessions.end(),
+                      std::make_move_iterator(b.sessions.begin()),
+                      std::make_move_iterator(b.sessions.end()));
+  out.actions = merge_sorted(
+      std::move(out.actions), std::move(b.actions),
+      [](ActionTelemetry& t, const ActionTelemetry& x) {
+        accumulate_action(t, x);
+      });
+  out.classes = merge_sorted(std::move(out.classes), std::move(b.classes),
+                             [](ClassTelemetry& t, const ClassTelemetry& x) {
+                               t.matched += x.matched;
+                               t.dropped += x.dropped;
+                             });
+  return out;
+}
+
+AggregateTelemetry aggregate_tree(std::vector<EnclaveTelemetry> enclaves,
+                                  std::size_t threads) {
+  const std::size_t chunks =
+      std::min(threads == 0 ? std::size_t{1} : threads, enclaves.size());
+  if (chunks <= 1) return aggregate(std::move(enclaves));
+
+  // Contiguous slices keep the concatenated enclave order identical to
+  // the serial walk.
+  std::vector<AggregateTelemetry> partials(chunks);
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  const std::size_t per = (enclaves.size() + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = std::min(c * per, enclaves.size());
+    const std::size_t hi = std::min(lo + per, enclaves.size());
+    workers.emplace_back([&enclaves, &partials, c, lo, hi]() {
+      std::vector<EnclaveTelemetry> chunk(
+          std::make_move_iterator(enclaves.begin() +
+                                  static_cast<std::ptrdiff_t>(lo)),
+          std::make_move_iterator(enclaves.begin() +
+                                  static_cast<std::ptrdiff_t>(hi)));
+      partials[c] = aggregate(std::move(chunk));
     });
-    out += ",\"classes\":";
-    append_array(out, e.classes, [](std::string& o, const ClassTelemetry& c) {
-      append_class_json(o, c);
-    });
-    out += ",\"trace_sampled\":";
-    out += std::to_string(e.trace_sampled);
-    out += ",\"trace_sample_every\":";
-    out += std::to_string(e.trace_sample_every);
-    out += ",\"trace\":";
-    append_array(out, e.trace, [](std::string& o, const TraceEntry& t) {
-      append_trace_json(o, t);
-    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Pairwise fold, log2(chunks) levels. The partials are few (one per
+  // thread), so this tail is cheap relative to the leaf aggregation.
+  for (std::size_t stride = 1; stride < partials.size(); stride *= 2) {
+    for (std::size_t i = 0; i + stride < partials.size(); i += 2 * stride) {
+      partials[i] = merge_aggregates(std::move(partials[i]),
+                                     std::move(partials[i + stride]));
+    }
+  }
+  return std::move(partials[0]);
+}
+
+void append_enclave_json(std::string& out, const EnclaveTelemetry& e) {
+  out += "{\"name\":\"";
+  out += json_escape(e.enclave);
+  out += "\",\"telemetry_enabled\":";
+  out += e.telemetry_enabled ? "true" : "false";
+  out += ",\"packets\":";
+  out += std::to_string(e.packets);
+  out += ",\"matched\":";
+  out += std::to_string(e.matched);
+  out += ",\"dropped_by_action\":";
+  out += std::to_string(e.dropped_by_action);
+  out += ",\"message_entries_created\":";
+  out += std::to_string(e.message_entries_created);
+  out += ",\"message_entries_evicted\":";
+  out += std::to_string(e.message_entries_evicted);
+  out += ",\"actions\":";
+  append_array(out, e.actions, [](std::string& o, const ActionTelemetry& a) {
+    append_action_json(o, a);
+  });
+  out += ",\"classes\":";
+  append_array(out, e.classes, [](std::string& o, const ClassTelemetry& c) {
+    append_class_json(o, c);
+  });
+  if (!e.host_series.empty()) {
+    out += ",\"host_series\":{";
+    bool first = true;
+    for (const auto& [name, value] : e.host_series) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += json_escape(name);
+      out += "\":";
+      append_double(out, value);
+    }
     out += '}';
+  }
+  out += ",\"trace_sampled\":";
+  out += std::to_string(e.trace_sampled);
+  out += ",\"trace_sample_every\":";
+  out += std::to_string(e.trace_sample_every);
+  out += ",\"trace\":";
+  append_array(out, e.trace, [](std::string& o, const TraceEntry& t) {
+    append_trace_json(o, t);
+  });
+  out += '}';
+}
+
+std::string to_json(const AggregateTelemetry& agg) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(kTelemetrySchemaVersion);
+  out += ",\"enclaves\":[";
+  for (std::size_t i = 0; i < agg.enclaves.size(); ++i) {
+    if (i != 0) out += ',';
+    append_enclave_json(out, agg.enclaves[i]);
   }
   out += "],\"sessions\":";
   append_array(out, agg.sessions, [](std::string& o, const SessionTelemetry& s) {

@@ -21,6 +21,14 @@
 
 namespace eden::telemetry {
 
+// Version stamp written into every JSON dump ("schema_version"). v1 is
+// the unversioned format of the first telemetry PRs (readers treat a
+// missing stamp as v1); v2 added the stamp itself, per-enclave host
+// series and the delta-payload format (telemetry/delta.h). Bump on any
+// change a reader could misparse; eden-stat warns on versions it does
+// not know instead of guessing silently.
+inline constexpr int kTelemetrySchemaVersion = 2;
+
 struct ActionTelemetry {
   std::string name;
   bool native = false;
@@ -101,6 +109,14 @@ struct EnclaveTelemetry {
   std::vector<ActionTelemetry> actions;
   std::vector<ClassTelemetry> classes;
 
+  // Host-level series riding along with the enclave snapshot: gauges
+  // and counters the enclave itself cannot see (data-plane ring depth,
+  // backpressure, pool exhaustion, ...), filled by the agent's
+  // host-series hook (core/wire.h TelemetryCursor). Name -> value;
+  // *_total names are counters, everything else is a gauge. The health
+  // watchdog evaluates threshold rules over these per agent.
+  std::vector<std::pair<std::string, double>> host_series;
+
   std::vector<TraceEntry> trace;       // oldest to newest
   std::uint64_t trace_sampled = 0;     // records ever pushed to the ring
   std::uint32_t trace_sample_every = 0;
@@ -125,11 +141,31 @@ struct AggregateTelemetry {
 
 AggregateTelemetry aggregate(std::vector<EnclaveTelemetry> enclaves);
 
+// Pairwise merge of two partial aggregates: enclave and session lists
+// concatenate, totals add, per-action and per-class merges combine by
+// name. aggregate(all) == fold(merge_aggregates, map(aggregate, any
+// partition of all)), which is what lets the collector merge partials
+// in a tree instead of serializing every snapshot through one map.
+AggregateTelemetry merge_aggregates(AggregateTelemetry a,
+                                    AggregateTelemetry b);
+
+// Parallel tree aggregation: splits the snapshots into up to `threads`
+// chunks, aggregates each chunk on its own thread, then folds the
+// partials pairwise. Equivalent to aggregate() (enclave order and the
+// name-sorted merges are preserved); threads <= 1 degrades to it.
+AggregateTelemetry aggregate_tree(std::vector<EnclaveTelemetry> enclaves,
+                                  std::size_t threads);
+
 // Prometheus text exposition (per-enclave series; histograms with
 // cumulative le= buckets).
 std::string to_prometheus(const AggregateTelemetry& agg);
 
-// JSON dump: {"enclaves": [...], "total": {...}}.
+// JSON dump: {"schema_version": N, "enclaves": [...], "total": {...}}.
 std::string to_json(const AggregateTelemetry& agg);
+
+// One enclave snapshot as a JSON object — the element format of
+// to_json's "enclaves" array, exposed for the delta payload encoder
+// (telemetry/delta.h), which emits the same shape with diffed values.
+void append_enclave_json(std::string& out, const EnclaveTelemetry& e);
 
 }  // namespace eden::telemetry

@@ -173,5 +173,33 @@ TEST(Controller, CollectSpansReportsUnreachableRemotes) {
   EXPECT_EQ(unreachable[0], "mute");
 }
 
+TEST(Controller, CollectSpansCapsPerAgentAndMarksTruncation) {
+  ClassRegistry registry;
+  Controller controller(registry);
+  // A remote whose trace dump holds five events, one with braces and a
+  // bracket inside a string to try to confuse the scanner.
+  const std::string remote_dump =
+      R"({"traceEvents":[{"name":"a","args":{"x":1}},)"
+      R"({"name":"b{}]tricky"},{"name":"c"},{"name":"d"},{"name":"e"}]})";
+  controller.register_remote(
+      {"busy", {}, [remote_dump]() { return remote_dump; }});
+
+  std::vector<std::string> unreachable;
+  const std::string capped =
+      controller.collect_spans_json(&unreachable, /*max_spans_per_agent=*/2);
+  EXPECT_TRUE(unreachable.empty());
+  EXPECT_NE(capped.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(capped.find("b{}]tricky"), std::string::npos);
+  EXPECT_EQ(capped.find("\"name\":\"c\""), std::string::npos);
+  EXPECT_EQ(capped.find("\"name\":\"e\""), std::string::npos);
+  EXPECT_NE(capped.find("\"truncated\":true"), std::string::npos);
+
+  // A cap wider than the dump keeps everything and adds no marker.
+  const std::string uncapped =
+      controller.collect_spans_json(&unreachable, /*max_spans_per_agent=*/50);
+  EXPECT_NE(uncapped.find("\"name\":\"e\""), std::string::npos);
+  EXPECT_EQ(uncapped.find("\"truncated\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace eden::core

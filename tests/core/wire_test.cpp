@@ -7,6 +7,7 @@
 #include "core/controller.h"
 #include "functions/scheduling.h"
 #include "lang/optimizer.h"
+#include "telemetry/delta.h"
 
 namespace eden::core::wire {
 namespace {
@@ -436,6 +437,144 @@ TEST_F(WireTest, OversizedCountsRejectedWithoutAllocation) {
     const Response r = wire::apply(enclave_, frame);
     EXPECT_EQ(r.status, Status::bad_request);
   }
+}
+
+// --- Streaming delta telemetry (get_telemetry_delta) -------------------
+
+class WireDeltaTest : public ::testing::Test {
+ protected:
+  void install_and_drive(std::uint64_t packets) {
+    const auto program =
+        controller_.compile("mark", "fun(p, m, g) -> p.path <- 1", {});
+    ASSERT_EQ(remote_.install_action("mark", program, {}).status, Status::ok);
+    const Response t = remote_.create_table("main");
+    ASSERT_EQ(t.status, Status::ok);
+    ASSERT_EQ(remote_.add_rule(static_cast<TableId>(t.value), "*", "mark")
+                  .status,
+              Status::ok);
+    drive(packets);
+  }
+
+  void drive(std::uint64_t packets) {
+    for (std::uint64_t i = 0; i < packets; ++i) {
+      netsim::Packet p;
+      p.size_bytes = 100;
+      enclave_.process(p);
+    }
+  }
+
+  telemetry::DeltaPayload fetch(std::uint64_t epoch, std::uint64_t seq) {
+    const std::string json = remote_.get_telemetry_delta_json(epoch, seq);
+    return telemetry::parse_delta_payload(json);
+  }
+
+  ClassRegistry registry_;
+  Enclave enclave_{"remote", registry_};
+  Controller controller_{registry_};
+  TelemetryCursor cursor_;
+  RemoteEnclave remote_{loopback_transport(enclave_, cursor_)};
+};
+
+TEST_F(WireDeltaTest, SteadyStatePollsShipOnlyChanges) {
+  install_and_drive(10);
+
+  // First poll: the cursor has never seen this controller, so the
+  // reply is a full snapshot under a fresh epoch.
+  const telemetry::DeltaPayload full = fetch(0, 0);
+  EXPECT_TRUE(full.full);
+  EXPECT_GT(full.epoch, 0u);
+  EXPECT_EQ(full.seq, 1u);
+  ASSERT_EQ(full.enclaves.size(), 1u);
+  EXPECT_EQ(full.enclaves[0].packets, 10u);
+
+  // Echoing (epoch, seq) gets a delta carrying only the new traffic.
+  drive(7);
+  const telemetry::DeltaPayload d = fetch(full.epoch, full.seq);
+  EXPECT_FALSE(d.full);
+  EXPECT_EQ(d.epoch, full.epoch);
+  EXPECT_EQ(d.seq, full.seq + 1);
+  ASSERT_EQ(d.enclaves.size(), 1u);
+  EXPECT_EQ(d.enclaves[0].packets, 7u);
+
+  // Quiet interval: the delta is header-only.
+  const telemetry::DeltaPayload quiet = fetch(d.epoch, d.seq);
+  EXPECT_FALSE(quiet.full);
+  EXPECT_TRUE(quiet.enclaves.empty());
+
+  // A DeltaDecoder folding the stream reconstructs the live counters.
+  telemetry::DeltaDecoder dec;
+  EXPECT_TRUE(dec.apply(full));
+  EXPECT_TRUE(dec.apply(d));
+  EXPECT_TRUE(dec.apply(quiet));
+  ASSERT_EQ(dec.snapshots().size(), 1u);
+  EXPECT_EQ(dec.snapshots()[0].packets, 17u);
+  EXPECT_EQ(dec.snapshots()[0].packets, enclave_.telemetry_snapshot().packets);
+}
+
+TEST_F(WireDeltaTest, StaleEchoForcesFullResync) {
+  install_and_drive(5);
+  const telemetry::DeltaPayload full = fetch(0, 0);
+  ASSERT_TRUE(full.full);
+
+  // The controller echoes a seq the agent never issued (its response
+  // was dropped): the cursor cannot prove continuity, so it resyncs
+  // under a brand-new epoch.
+  const telemetry::DeltaPayload resync = fetch(full.epoch, full.seq + 5);
+  EXPECT_TRUE(resync.full);
+  EXPECT_NE(resync.epoch, full.epoch);
+  EXPECT_EQ(resync.seq, 1u);
+  ASSERT_EQ(resync.enclaves.size(), 1u);
+  EXPECT_EQ(resync.enclaves[0].packets, 5u);
+}
+
+TEST_F(WireDeltaTest, CounterRegressionForcesFullResync) {
+  install_and_drive(5);
+  const telemetry::DeltaPayload full = fetch(0, 0);
+  ASSERT_TRUE(full.full);
+
+  // clear_all wipes action/class counters; a blind diff would go
+  // negative, so the cursor detects the regression and falls back to a
+  // full snapshot under a new epoch.
+  enclave_.clear_all();
+  install_and_drive(3);
+  const telemetry::DeltaPayload after = fetch(full.epoch, full.seq);
+  EXPECT_TRUE(after.full);
+  EXPECT_NE(after.epoch, full.epoch);
+}
+
+TEST_F(WireDeltaTest, HostSeriesRideTheDeltaStream) {
+  double depth = 48;
+  cursor_.set_host_series([&]() {
+    return std::vector<std::pair<std::string, double>>{
+        {"dataplane_ring_depth", depth}};
+  });
+  install_and_drive(2);
+
+  const telemetry::DeltaPayload full = fetch(0, 0);
+  ASSERT_EQ(full.enclaves.size(), 1u);
+  ASSERT_EQ(full.enclaves[0].host_series.size(), 1u);
+  EXPECT_EQ(full.enclaves[0].host_series[0].second, 48.0);
+
+  // Unchanged gauge: omitted from the delta. Changed: shipped absolute.
+  const telemetry::DeltaPayload quiet = fetch(full.epoch, full.seq);
+  EXPECT_TRUE(quiet.enclaves.empty());
+  depth = 12;
+  const telemetry::DeltaPayload moved = fetch(quiet.epoch, quiet.seq);
+  ASSERT_EQ(moved.enclaves.size(), 1u);
+  ASSERT_EQ(moved.enclaves[0].host_series.size(), 1u);
+  EXPECT_EQ(moved.enclaves[0].host_series[0].second, 12.0);
+}
+
+TEST_F(WireDeltaTest, CursorlessAgentAnswersWithStatelessFulls) {
+  // The 2-arg apply() (no cursor) still answers the command — every
+  // poll is a full snapshot under epoch 0, so a decoder never tries to
+  // fold deltas against it.
+  Enclave bare{"bare", registry_};
+  RemoteEnclave remote{loopback_transport(bare)};
+  const telemetry::DeltaPayload p =
+      telemetry::parse_delta_payload(remote.get_telemetry_delta_json(5, 9));
+  EXPECT_TRUE(p.full);
+  EXPECT_EQ(p.epoch, 0u);
 }
 
 }  // namespace

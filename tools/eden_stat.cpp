@@ -14,14 +14,27 @@
 // the same structures, so every rendering (tables, --prom, --json
 // round-trip) works on saved snapshots too.
 //
+// Watch mode (--watch) spins up an in-process agent farm
+// (controlplane/farm.h) — N full controller->enclave session stacks —
+// polls it with a TelemetryCollector over the streaming delta
+// protocol, runs the health watchdog over the collected series, and
+// renders a live fleet table once per poll cycle: per-agent reach /
+// staleness, packet totals and rates, delta-protocol counters and
+// health state.
+//
 // Usage: eden-stat [TELEMETRY.json] [--ms=SIM_MS] [--sample=N]
 //                  [--trace] [--json] [--prom]
+//        eden-stat --watch [--agents=N] [--rounds=N] [--chaos] [--prom]
 //   TELEMETRY.json  render a saved bench snapshot instead of running
 //   --ms=N      simulated milliseconds of traffic (default 200)
 //   --sample=N  trace-ring sampling: record 1-in-N executions (default 16)
 //   --trace     also print the sampled trace entries
 //   --json      print the JSON dump instead of tables
 //   --prom      print the Prometheus text exposition instead of tables
+//   --watch     live fleet table over an in-process agent farm
+//   --agents=N  farm size in watch mode (default 8)
+//   --rounds=N  poll cycles in watch mode (default 10)
+//   --chaos     wrap the farm's pipes in seeded FaultyTransports
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -33,12 +46,15 @@
 #include <vector>
 
 #include "bench/bench_args.h"
+#include "controlplane/farm.h"
 #include "controlplane/fault.h"
 #include "controlplane/session.h"
 #include "controlplane/transport.h"
 #include "experiments/testbed.h"
 #include "functions/scheduling.h"
 #include "lang/compiler.h"
+#include "telemetry/collector.h"
+#include "telemetry/health.h"
 #include "telemetry/json.h"
 #include "telemetry/snapshot.h"
 #include "util/table.h"
@@ -130,6 +146,18 @@ telemetry::AggregateTelemetry load_telemetry_file(const std::string& path) {
   std::vector<telemetry::EnclaveTelemetry> enclaves;
   std::vector<telemetry::SessionTelemetry> sessions;
   for (const telemetry::Json* dump : dumps) {
+    // Unversioned dumps are v1; anything newer than this binary is
+    // rendered best-effort with a warning, never a crash.
+    const auto version = dump->u64("schema_version", 1);
+    if (version > static_cast<std::uint64_t>(
+                      telemetry::kTelemetrySchemaVersion)) {
+      std::fprintf(stderr,
+                   "eden-stat: warning: %s has telemetry schema_version "
+                   "%llu, newer than this build's %d; unknown fields will "
+                   "be ignored\n",
+                   path.c_str(), static_cast<unsigned long long>(version),
+                   telemetry::kTelemetrySchemaVersion);
+    }
     for (const telemetry::Json& ej : dump->get("enclaves")->items) {
       enclaves.push_back(telemetry::enclave_from_json(ej));
     }
@@ -352,6 +380,93 @@ struct SessionDemo {
   }
 };
 
+// --- Watch mode ---------------------------------------------------------
+
+int run_watch(int argc, char** argv) {
+  const long agents = bench::int_arg(argc, argv, "--agents", 8);
+  const long rounds = bench::int_arg(argc, argv, "--rounds", 10);
+  const bool chaos = bench::has_flag(argc, argv, "--chaos");
+  const bool as_prom = bench::has_flag(argc, argv, "--prom");
+
+  controlplane::FarmConfig farm_config;
+  farm_config.agents = agents > 0 ? static_cast<std::size_t>(agents) : 1;
+  farm_config.chaos = chaos;
+  farm_config.seed = 11;
+  controlplane::AgentFarm farm(farm_config);
+  farm.install_program();
+  if (!farm.converge()) {
+    std::fprintf(stderr, "eden-stat: farm failed to converge\n");
+    return 1;
+  }
+
+  std::uint64_t now_ns = 0;
+  telemetry::TelemetryCollector collector({}, [&]() { return now_ns; });
+  for (telemetry::CollectorSource& s : farm.sources()) {
+    collector.add_source(std::move(s));
+  }
+  telemetry::HealthWatchdog watchdog;
+
+  for (long round = 1; round <= rounds; ++round) {
+    // Variable per-agent load plus a host gauge, so rates and the
+    // watchdog have something to chew on.
+    for (std::size_t i = 0; i < farm.size(); ++i) {
+      farm.drive(i, 40 + (i * 37 + static_cast<std::size_t>(round) * 13) % 80);
+      farm.set_host_series_value(
+          i, "dataplane_ring_depth",
+          static_cast<double>((i * 61 + static_cast<std::size_t>(round) * 7) %
+                              128));
+    }
+    for (int k = 0; k < 40; ++k) farm.step_all();
+    now_ns += 1'000'000'000;  // one poll cycle per virtual second
+    const telemetry::AggregateTelemetry& agg = collector.poll();
+    watchdog.evaluate(now_ns, collector);
+
+    util::TextTable fleet;
+    fleet.add_row({"agent", "health", "link", "packets", "pkts/s", "full",
+                   "deltas", "rej", "bytes"});
+    const auto& health = watchdog.agents();
+    for (std::size_t i = 0; i < collector.source_count(); ++i) {
+      const telemetry::AgentStatus& st = collector.status(i);
+      const double pkts = collector.latest_value(i, "packets").value_or(0);
+      const auto rate = collector.rate_per_sec(i, "packets");
+      fleet.add_row(
+          {st.name,
+           i < health.size() ? telemetry::health_state_name(health[i].state)
+                             : "?",
+           st.stale ? "stale" : (st.reachable ? "up" : "down"),
+           util::fmt(pkts, 0), rate ? util::fmt(*rate, 1) : "-",
+           std::to_string(st.full_resyncs), std::to_string(st.deltas_applied),
+           std::to_string(st.rejected_payloads),
+           std::to_string(st.payload_bytes_total)});
+    }
+    std::printf("\neden-stat --watch: poll %ld/%ld  fleet=%s  agents=%zu  "
+                "packets=%llu dropped=%llu\n",
+                round, rounds, telemetry::health_state_name(
+                                   watchdog.fleet_state()),
+                collector.source_count(),
+                static_cast<unsigned long long>(agg.packets),
+                static_cast<unsigned long long>(agg.dropped_by_action));
+    std::fputs(fleet.render().c_str(), stdout);
+  }
+
+  if (farm.driven_total() != collector.latest().packets) {
+    std::printf("\nnote: collector sees %llu of %llu driven packets "
+                "(in-flight polls catch up next cycle)\n",
+                static_cast<unsigned long long>(collector.latest().packets),
+                static_cast<unsigned long long>(farm.driven_total()));
+  }
+  if (!watchdog.events().empty()) {
+    std::printf("\nHealth events\n%s\n", watchdog.events_json().c_str());
+  }
+  if (as_prom) {
+    std::string prom;
+    collector.append_prometheus(prom);
+    watchdog.append_prometheus(prom);
+    std::fputs(prom.c_str(), stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -362,6 +477,8 @@ int main(int argc, char** argv) {
   const bool as_json = bench::has_flag(argc, argv, "--json");
   const bool as_prom = bench::has_flag(argc, argv, "--prom");
   const bool with_trace = bench::has_flag(argc, argv, "--trace");
+
+  if (bench::has_flag(argc, argv, "--watch")) return run_watch(argc, argv);
 
   std::string input_path;
   for (int i = 1; i < argc; ++i) {
