@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/controller.h"
+#include "telemetry/flight_recorder.h"
 
 namespace eden::controlplane {
 
@@ -173,9 +174,17 @@ void AgentFarm::kill(std::size_t i) {
   Slot& s = slot(i);
   s.killed = true;
   s.agent->detach();
+  telemetry::FlightRecorder::instance().record(
+      telemetry::FlightEventType::agent_kill, s.name,
+      static_cast<std::int64_t>(i));
 }
 
-void AgentFarm::revive(std::size_t i) { slot(i).killed = false; }
+void AgentFarm::revive(std::size_t i) {
+  slot(i).killed = false;
+  telemetry::FlightRecorder::instance().record(
+      telemetry::FlightEventType::agent_revive, slot(i).name,
+      static_cast<std::int64_t>(i));
+}
 
 bool AgentFarm::killed(std::size_t i) const { return slot(i).killed; }
 
@@ -183,6 +192,10 @@ void AgentFarm::restart(std::size_t i) {
   Slot& s = slot(i);
   s.agent->detach();
   attach_agent(s);  // new boot id, new telemetry cursor
+  telemetry::FlightRecorder::instance().record(
+      telemetry::FlightEventType::agent_restart, s.name,
+      static_cast<std::int64_t>(i),
+      static_cast<std::int64_t>(s.agent->boot_id()));
 }
 
 void AgentFarm::set_host_series_value(std::size_t i, const std::string& name,

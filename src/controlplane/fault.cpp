@@ -1,6 +1,23 @@
 #include "controlplane/fault.h"
 
+#include "controlplane/trace_context.h"
+#include "telemetry/span.h"
+
 namespace eden::controlplane {
+
+namespace {
+// The injector sits below the frame codec and sees only bytes; the
+// session publishes the active trace thread-locally around each send,
+// so fault decisions can be pinned to the command they mangled. One
+// load when untraced.
+void record_fault(telemetry::Hop hop, std::int64_t aux = 0) {
+  const TraceContext& ctx = current_wire_trace();
+  if (ctx.trace_id == 0) return;
+  auto& spans = telemetry::SpanCollector::instance();
+  spans.record_linked(ctx.trace_id, hop, ctx.parent_span, spans.now_ns(), 0,
+                      aux);
+}
+}  // namespace
 
 FaultyTransport::FaultyTransport(std::unique_ptr<Transport> inner,
                                  PipePump& pump, FaultProfile profile)
@@ -40,11 +57,14 @@ bool FaultyTransport::send(std::span<const std::uint8_t> data) {
   ++stats_.sends;
   if (profile_.disconnect_prob > 0 && rng_.chance(profile_.disconnect_prob)) {
     ++stats_.forced_disconnects;
+    record_fault(telemetry::Hop::cp_fault_disconnect);
     inner_->close();
     return false;
   }
   if (profile_.drop_prob > 0 && rng_.chance(profile_.drop_prob)) {
     ++stats_.dropped;
+    record_fault(telemetry::Hop::cp_fault_drop,
+                 static_cast<std::int64_t>(data.size()));
     return true;  // silently lost, as a link would
   }
   std::vector<std::uint8_t> bytes(data.begin(), data.end());
@@ -52,16 +72,21 @@ bool FaultyTransport::send(std::span<const std::uint8_t> data) {
       rng_.chance(profile_.truncate_prob)) {
     bytes.resize(1 + rng_.below(bytes.size() - 1));
     ++stats_.truncated;
+    record_fault(telemetry::Hop::cp_fault_truncate,
+                 static_cast<std::int64_t>(bytes.size()));
   }
   std::uint32_t delay = 0;
   if (profile_.delay_prob > 0 && rng_.chance(profile_.delay_prob)) {
     delay = profile_.delay_steps;
     ++stats_.delayed;
+    record_fault(telemetry::Hop::cp_fault_delay,
+                 static_cast<std::int64_t>(delay));
   }
   const bool dup =
       profile_.duplicate_prob > 0 && rng_.chance(profile_.duplicate_prob);
   if (dup) {
     ++stats_.duplicated;
+    record_fault(telemetry::Hop::cp_fault_dup);
     enqueue(bytes, delay);
   }
   enqueue(std::move(bytes), delay);

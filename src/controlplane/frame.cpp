@@ -12,6 +12,8 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   w.u8(kFrameVersion);
   w.u8(static_cast<std::uint8_t>(frame.type));
   w.u64(frame.id);
+  w.u64(static_cast<std::uint64_t>(frame.trace_id));
+  w.u64(static_cast<std::uint64_t>(frame.parent_span));
   std::vector<std::uint8_t> out = w.take();
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
@@ -77,6 +79,8 @@ bool FrameDecoder::feed(std::span<const std::uint8_t> data,
         } else {
           frame.type = static_cast<FrameType>(type);
           frame.id = r.u64();
+          frame.trace_id = static_cast<std::int64_t>(r.u64());
+          frame.parent_span = static_cast<std::int64_t>(r.u64());
           frame.payload.assign(buf_.begin() + static_cast<long>(off + 4 +
                                                                 kFrameHeaderBytes),
                                buf_.begin() + static_cast<long>(off + 4 + len));

@@ -7,7 +7,14 @@
 //   u8  version  — kFrameVersion
 //   u8  type     — FrameType
 //   u64 id       — request correlation / heartbeat nonce
-//   ...payload   — length - 14 bytes
+//   i64 trace    — trace id (0 = untraced; v2)
+//   i64 parent   — parent span id in that trace (v2)
+//   ...payload   — length - 30 bytes
+//
+// v2 grew the trace context: every frame carries the controller-side
+// trace id and the span that caused it, so agent-side work records
+// into the same causal tree the session started. Untraced frames
+// carry zeros — sixteen constant bytes, no extra branches.
 //
 // request/response payloads are exactly the command/response frames of
 // core/wire.h, so the session layer adds correlation and transport
@@ -27,8 +34,8 @@
 namespace eden::controlplane {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4e534445;  // "EDSN"
-inline constexpr std::uint8_t kFrameVersion = 1;
-inline constexpr std::size_t kFrameHeaderBytes = 14;  // after the length
+inline constexpr std::uint8_t kFrameVersion = 2;
+inline constexpr std::size_t kFrameHeaderBytes = 30;  // after the length
 inline constexpr std::size_t kMaxFramePayload = 16u << 20;
 
 enum class FrameType : std::uint8_t {
@@ -44,6 +51,13 @@ struct Frame {
   FrameType type = FrameType::request;
   std::uint64_t id = 0;
   std::vector<std::uint8_t> payload;
+  // Trace context (v2): 0/0 on untraced frames. `parent_span` is the
+  // sender-side span that emitted this frame (the cp_send span on
+  // requests), so receiver-side spans parent directly under it.
+  // Declared after `payload` so the ubiquitous {type, id, payload}
+  // aggregate init keeps meaning what it says.
+  std::int64_t trace_id = 0;
+  std::int64_t parent_span = 0;
 };
 
 // hello_ack / heartbeat_ack payload: which enclave incarnation is

@@ -4,15 +4,25 @@
 #include <atomic>
 #include <utility>
 
+#include "controlplane/trace_context.h"
+#include "telemetry/flight_recorder.h"
+
 namespace eden::controlplane {
 
 using core::wire::Response;
 using core::wire::Status;
+using telemetry::FlightEventType;
+using telemetry::FlightRecorder;
+using telemetry::Hop;
 
 // --- EnclaveAgent -------------------------------------------------------
 
 namespace {
 std::atomic<std::uint64_t> g_next_boot_id{1};
+
+telemetry::SpanCollector& spans() {
+  return telemetry::SpanCollector::instance();
+}
 }  // namespace
 
 EnclaveAgent::EnclaveAgent(core::Enclave& enclave)
@@ -78,10 +88,38 @@ void EnclaveAgent::on_bytes(std::span<const std::uint8_t> data) {
         }
         ++expected_request_id_;
         ++stats_.requests;
-        const Response response =
-            core::wire::apply(enclave_, frame.payload, &telemetry_cursor_);
-        transport_->send(encode_frame({FrameType::response, frame.id,
-                                       core::wire::encode_response(response)}));
+        // Untraced requests pay exactly this branch; traced ones time
+        // the apply and link it under the controller's cp_send span.
+        std::int64_t apply_span = 0;
+        if (frame.trace_id != 0) {
+          const std::int64_t t0 = spans().now_ns();
+          const Response response =
+              core::wire::apply(enclave_, frame.payload, &telemetry_cursor_);
+          const std::optional<core::wire::Command> op =
+              core::wire::peek_command(frame.payload);
+          const std::int64_t opcode =
+              op.has_value() ? static_cast<std::int64_t>(*op) : 0;
+          apply_span = spans().record_linked(
+              frame.trace_id, Hop::cp_agent_apply, frame.parent_span,
+              spans().now_ns(), spans().now_ns() - t0, opcode);
+          if (op == core::wire::Command::commit_txn &&
+              response.status == core::wire::Status::ok) {
+            spans().record_linked(
+                frame.trace_id, Hop::cp_agent_publish, apply_span,
+                spans().now_ns(), 0,
+                static_cast<std::int64_t>(enclave_.ruleset_version()));
+          }
+          transport_->send(
+              encode_frame({FrameType::response, frame.id,
+                            core::wire::encode_response(response),
+                            frame.trace_id, apply_span}));
+        } else {
+          const Response response =
+              core::wire::apply(enclave_, frame.payload, &telemetry_cursor_);
+          transport_->send(encode_frame(
+              {FrameType::response, frame.id,
+               core::wire::encode_response(response)}));
+        }
         break;
       }
       default:
@@ -141,6 +179,12 @@ void EnclaveSession::tick() {
   if (!inflight_.empty() &&
       now - inflight_.front().sent_at_ns >= config_.request_timeout_ns) {
     ++stats_.request_timeouts;
+    const Pending& head = inflight_.front();
+    if (head.trace_id != 0) {
+      spans().record_linked(head.trace_id, Hop::cp_timeout, head.span_id,
+                            spans().now_ns(), 0,
+                            static_cast<std::int64_t>(head.id));
+    }
     teardown("request timeout");
     return;
   }
@@ -173,6 +217,8 @@ void EnclaveSession::try_connect() {
       [this](std::span<const std::uint8_t> data) { on_bytes(data); });
   transport_->set_on_disconnect([this]() { on_disconnect(); });
   ++stats_.connects;
+  FlightRecorder::instance().record(FlightEventType::session_connect, name_,
+                                    static_cast<std::int64_t>(stats_.connects));
   next_request_id_ = 1;
   last_rx_ns_ = clock_();
   state_ = State::greeting;
@@ -196,10 +242,27 @@ void EnclaveSession::schedule_reconnect() {
   const auto delay = static_cast<std::uint64_t>(
       static_cast<double>(nominal) * std::max(0.0, factor));
   next_connect_ns_ = clock_() + delay;
+  FlightRecorder::instance().record(FlightEventType::session_backoff, name_,
+                                    static_cast<std::int64_t>(delay),
+                                    backoff_attempts_);
+  if (trace_.id != 0) {
+    spans().record_linked(trace_.id, Hop::cp_backoff, trace_.root,
+                          spans().now_ns(), 0,
+                          static_cast<std::int64_t>(delay));
+  }
 }
 
-void EnclaveSession::teardown(const char* /*reason*/) {
+void EnclaveSession::teardown(const char* reason) {
   ++stats_.teardowns;
+  FlightRecorder::instance().record(FlightEventType::session_teardown,
+                                    name_ + ": " + reason);
+  if (trace_.id != 0) {
+    spans().record_linked(trace_.id, Hop::cp_teardown, trace_.root,
+                          spans().now_ns());
+    // A resync/poll trace dies with its connection; a transaction's
+    // survives into the folded resync on the next connect.
+    if (trace_.owner != TraceOwner::txn) trace_ = ActiveTrace{};
+  }
   if (transport_ != nullptr && transport_->connected()) transport_->close();
   // The transport object is destroyed on the next try_connect(): this
   // method runs from inside transport callbacks, where deleting the
@@ -284,6 +347,15 @@ void EnclaveSession::handle_frame(const Frame& frame) {
       Pending pending = std::move(inflight_.front());
       inflight_.pop_front();
       rtt_.record(now - pending.sent_at_ns);
+      if (pending.trace_id != 0) {
+        // Round-trip slice under the cp_send span; agent-side spans for
+        // the same request hang off that same parent, so the tree reads
+        // send -> {apply, response}.
+        const std::int64_t t = spans().now_ns();
+        spans().record_linked(pending.trace_id, Hop::cp_response,
+                              pending.span_id, t, t - pending.sent_span_ns,
+                              static_cast<std::int64_t>(frame.id));
+      }
       const Response response = core::wire::decode_response(frame.payload);
       if (response.status == Status::ok) {
         ++stats_.responses_ok;
@@ -303,7 +375,8 @@ void EnclaveSession::handle_frame(const Frame& frame) {
 void EnclaveSession::send_request(std::vector<std::uint8_t> command,
                                   Completion done) {
   if (transport_ == nullptr || !transport_->connected()) return;
-  outbox_.push_back({std::move(command), std::move(done)});
+  outbox_.push_back(
+      {std::move(command), std::move(done), trace_.id, trace_.root});
   pump_outbox();
 }
 
@@ -314,9 +387,25 @@ void EnclaveSession::pump_outbox() {
     outbox_.pop_front();
     const std::uint64_t id = next_request_id_++;
     ++stats_.requests_sent;
-    inflight_.push_back({id, clock_(), std::move(out.done)});
-    transport_->send(
-        encode_frame({FrameType::request, id, std::move(out.command)}));
+    if (out.trace_id != 0) {
+      const std::int64_t send_span = spans().record_linked(
+          out.trace_id, Hop::cp_send, out.parent_span, spans().now_ns(), 0,
+          static_cast<std::int64_t>(id));
+      inflight_.push_back({id, clock_(), std::move(out.done), out.trace_id,
+                           send_span, spans().now_ns()});
+      Frame frame{FrameType::request, id, std::move(out.command)};
+      frame.trace_id = out.trace_id;
+      frame.parent_span = send_span;
+      // Publish the context for the layers under the session (the
+      // fault injector) for the duration of this send.
+      ScopedWireTrace wire_trace(out.trace_id, send_span);
+      transport_->send(encode_frame(frame));
+    } else {
+      // Untraced commands pay exactly this branch.
+      inflight_.push_back({id, clock_(), std::move(out.done)});
+      transport_->send(
+          encode_frame({FrameType::request, id, std::move(out.command)}));
+    }
   }
 }
 
@@ -349,6 +438,21 @@ void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
   // the data path sees the old committed set until the new one lands.
   ++stats_.resyncs;
   state_ = State::ready;
+  // A resync continues the transaction's trace when one is open across
+  // the reconnect; otherwise it may start its own (sampled) trace. The
+  // cp_resync span id is allocated up front so the replayed commands'
+  // cp_send spans parent under it, and the event itself is recorded
+  // after the replay, once the command count is known.
+  if (trace_.id == 0) {
+    const std::int64_t id = spans().maybe_start_trace();
+    if (id != 0) trace_ = ActiveTrace{id, 0, TraceOwner::resync};
+  }
+  const std::int64_t resync_parent = trace_.root;
+  std::int64_t resync_span = 0;
+  if (trace_.id != 0) {
+    resync_span = spans().next_span_id();
+    trace_.root = resync_span;
+  }
   deferred_removes_.clear();
   for (auto& table : journal_.tables) {
     for (auto& rule : table.rules) rule.remote_id = 0;
@@ -376,6 +480,9 @@ void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
   replay_journal(base, /*snapshot_rules=*/txn_open, push);
   push(core::wire::encode_commit_txn(), [this](const Response& response) {
     if (response.status == Status::ok) ++stats_.txns_committed;
+    // Terminal hop of a resync trace — and of a txn trace whose commit
+    // was folded into this resync across a reconnect.
+    finish_trace_unless_txn_open();
   });
 
   if (txn_open) {
@@ -391,6 +498,17 @@ void EnclaveSession::start_resync(const AgentGreeting& /*greeting*/) {
 
   stats_.last_resync_commands = commands;
   resync_sizes_.record(commands);
+  FlightRecorder::instance().record(FlightEventType::resync, name_,
+                                    static_cast<std::int64_t>(commands),
+                                    txn_open ? 1 : 0);
+  if (trace_.id != 0) {
+    spans().record(trace_.id, Hop::cp_resync, spans().now_ns(), 0,
+                   static_cast<std::int64_t>(commands), resync_span,
+                   resync_parent);
+    // Later client commands on a reopened transaction parent under the
+    // transaction root again, not under this resync.
+    if (trace_.owner == TraceOwner::txn) trace_.root = resync_parent;
+  }
 }
 
 void EnclaveSession::replay_journal(
@@ -606,6 +724,16 @@ void EnclaveSession::clear_flow_rules() {
 void EnclaveSession::begin_txn() {
   if (txn_snapshot_ != nullptr) return;  // one open transaction at a time
   txn_snapshot_ = std::make_unique<Journal>(journal_);
+  FlightRecorder::instance().record(FlightEventType::txn_begin, name_);
+  if (trace_.owner == TraceOwner::none) {
+    const std::int64_t id = spans().maybe_start_trace();
+    if (id != 0) {
+      trace_.id = id;
+      trace_.owner = TraceOwner::txn;
+      trace_.root =
+          spans().record_linked(id, Hop::cp_txn_begin, 0, spans().now_ns());
+    }
+  }
   if (state_ == State::ready) {
     send_request(core::wire::encode_begin_txn(), {});
   }
@@ -614,11 +742,23 @@ void EnclaveSession::begin_txn() {
 void EnclaveSession::commit_txn() {
   if (txn_snapshot_ == nullptr) return;
   txn_snapshot_.reset();
+  FlightRecorder::instance().record(FlightEventType::txn_commit, name_);
+  const bool owned = trace_.owner == TraceOwner::txn;
+  if (owned) {
+    spans().record_linked(trace_.id, Hop::cp_txn_commit, trace_.root,
+                          spans().now_ns());
+  }
   if (state_ == State::ready) {
     send_request(core::wire::encode_commit_txn(),
-                 [this](const Response& response) {
+                 [this, owned](const Response& response) {
                    if (response.status == Status::ok) ++stats_.txns_committed;
+                   if (owned) trace_ = ActiveTrace{};
                  });
+  } else if (owned) {
+    // Disconnected commit: the next resync folds it in, so hand the
+    // trace to the resync — its commit completion is the terminal hop
+    // of the retry -> reconnect -> resync -> commit chain.
+    trace_.owner = TraceOwner::resync;
   }
   // Disconnected commits are folded into the next resync, which itself
   // commits as one transaction.
@@ -630,8 +770,19 @@ void EnclaveSession::abort_txn() {
   txn_snapshot_.reset();
   ++txn_epoch_;  // in-flight staged rule ids are now meaningless
   ++stats_.txns_aborted;
+  FlightRecorder::instance().record(FlightEventType::txn_abort, name_);
+  const bool owned = trace_.owner == TraceOwner::txn;
+  if (owned) {
+    spans().record_linked(trace_.id, Hop::cp_txn_abort, trace_.root,
+                          spans().now_ns());
+  }
   if (state_ == State::ready) {
-    send_request(core::wire::encode_abort_txn(), {});
+    send_request(core::wire::encode_abort_txn(),
+                 [this, owned](const Response&) {
+                   if (owned) trace_ = ActiveTrace{};
+                 });
+  } else if (owned) {
+    trace_ = ActiveTrace{};
   }
 }
 
@@ -691,8 +842,22 @@ std::string EnclaveSession::fetch_spans_json(PipePump& pump) {
 std::string EnclaveSession::fetch_telemetry_delta_json(PipePump& pump,
                                                        std::uint64_t epoch,
                                                        std::uint64_t seq) {
-  return fetch_payload(pump,
-                       core::wire::encode_get_telemetry_delta(epoch, seq));
+  // A delta poll is its own (sampled) trace when no operation already
+  // owns one: cp_poll root -> cp_send -> agent apply -> response.
+  if (state_ == State::ready && trace_.owner == TraceOwner::none) {
+    const std::int64_t id = spans().maybe_start_trace();
+    if (id != 0) {
+      trace_.id = id;
+      trace_.owner = TraceOwner::poll;
+      trace_.root =
+          spans().record_linked(id, Hop::cp_poll, 0, spans().now_ns(), 0,
+                                static_cast<std::int64_t>(epoch));
+    }
+  }
+  std::string out =
+      fetch_payload(pump, core::wire::encode_get_telemetry_delta(epoch, seq));
+  if (trace_.owner == TraceOwner::poll) trace_ = ActiveTrace{};
+  return out;
 }
 
 }  // namespace eden::controlplane

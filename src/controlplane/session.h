@@ -40,6 +40,7 @@
 #include "core/wire.h"
 #include "telemetry/metrics.h"
 #include "telemetry/snapshot.h"
+#include "telemetry/span.h"
 #include "util/rng.h"
 
 namespace eden::controlplane {
@@ -255,6 +256,24 @@ class EnclaveSession {
     std::uint64_t id = 0;
     std::uint64_t sent_at_ns = 0;
     Completion done;  // may be empty
+    // Trace context of the request (0 = untraced): the cp_send span the
+    // response/timeout events parent under, and the collector-clock
+    // send time the round-trip slice is measured against.
+    std::int64_t trace_id = 0;
+    std::int64_t span_id = 0;
+    std::int64_t sent_span_ns = 0;
+  };
+
+  // The active controller-side trace. One logical operation at a time
+  // owns it: a client transaction (begin→commit/abort, surviving
+  // reconnects via the folded resync), a connect-triggered resync, or
+  // a telemetry delta poll. Every frame sent while a trace is active
+  // carries its id, so agent-side spans land in the same causal tree.
+  enum class TraceOwner : std::uint8_t { none, txn, resync, poll };
+  struct ActiveTrace {
+    std::int64_t id = 0;    // 0 = no active trace
+    std::int64_t root = 0;  // span new sends parent under
+    TraceOwner owner = TraceOwner::none;
   };
 
   void on_bytes(std::span<const std::uint8_t> data);
@@ -300,6 +319,11 @@ class EnclaveSession {
   struct Outgoing {
     std::vector<std::uint8_t> command;
     Completion done;
+    // Captured at enqueue time so a command queued while a trace was
+    // active keeps its context even if the trace ends before the
+    // pipelining window lets it out.
+    std::int64_t trace_id = 0;
+    std::int64_t parent_span = 0;
   };
   std::deque<Outgoing> outbox_;
   std::deque<Pending> inflight_;
@@ -322,6 +346,14 @@ class EnclaveSession {
   // instead of corrupting the restored journal.
   std::uint64_t txn_epoch_ = 0;
 
+  // Clears the trace unless a client transaction still owns it — the
+  // terminal hop of resync/poll traces and of txn traces whose commit
+  // was folded across a reconnect.
+  void finish_trace_unless_txn_open() {
+    if (txn_snapshot_ == nullptr) trace_ = ActiveTrace{};
+  }
+
+  ActiveTrace trace_;
   SessionStats stats_;
   telemetry::Histogram rtt_;
   telemetry::Histogram resync_sizes_;

@@ -1,0 +1,40 @@
+// Thread-local wire trace context.
+//
+// The session stamps the active trace into the frame it is encoding,
+// but the layers *under* the session — today FaultyTransport, tomorrow
+// a real socket — see only bytes. This header gives them the same
+// piggyback channel the data plane gets from `PacketMeta::trace_id`:
+// the session publishes {trace_id, parent_span} here for the duration
+// of a `Transport::send`, and any hop the bytes take underneath
+// (fault-injector drop/delay/dup/...) records against it. Thread-local
+// because a send is synchronous on the calling thread; zeroed context
+// means "untraced", keeping the off-path cost at one load per fault
+// decision.
+#pragma once
+
+#include <cstdint>
+
+namespace eden::controlplane {
+
+struct TraceContext {
+  std::int64_t trace_id = 0;
+  std::int64_t parent_span = 0;
+};
+
+inline TraceContext& current_wire_trace() {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+// RAII publish/clear around one send.
+class ScopedWireTrace {
+ public:
+  ScopedWireTrace(std::int64_t trace_id, std::int64_t parent_span) {
+    current_wire_trace() = TraceContext{trace_id, parent_span};
+  }
+  ~ScopedWireTrace() { current_wire_trace() = TraceContext{}; }
+  ScopedWireTrace(const ScopedWireTrace&) = delete;
+  ScopedWireTrace& operator=(const ScopedWireTrace&) = delete;
+};
+
+}  // namespace eden::controlplane

@@ -57,6 +57,22 @@ lang::FieldDef read_field_def(ByteReader& r) {
 
 }  // namespace
 
+std::optional<Command> peek_command(std::span<const std::uint8_t> frame) {
+  if (frame.size() < 5) return std::nullopt;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(frame[static_cast<std::size_t>(i)])
+             << (8 * i);
+  }
+  if (magic != kMagic) return std::nullopt;
+  const std::uint8_t op = frame[4];
+  if (op < static_cast<std::uint8_t>(Command::install_action) ||
+      op > static_cast<std::uint8_t>(Command::get_telemetry_delta)) {
+    return std::nullopt;
+  }
+  return static_cast<Command>(op);
+}
+
 // --- Encoders ---------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_install_action(

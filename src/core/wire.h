@@ -168,6 +168,12 @@ class TelemetryCursor {
   HostSeriesFn host_series_;
 };
 
+// Reads the opcode off an encoded command frame without decoding the
+// rest (the opcode sits right after the magic). nullopt on frames too
+// short, with a bad magic, or with an out-of-range opcode. Tracing uses
+// this to label agent-side spans with the command they applied.
+std::optional<Command> peek_command(std::span<const std::uint8_t> frame);
+
 // Decodes one command frame and applies it to `enclave`. Never throws:
 // malformed frames and failed validations come back as a Response.
 // `cursor` (may be null) answers get_telemetry_delta; without one the

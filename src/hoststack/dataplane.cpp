@@ -3,6 +3,7 @@
 #include <string>
 #include <thread>
 
+#include "telemetry/flight_recorder.h"
 #include "util/prefetch.h"
 
 #if defined(__linux__)
@@ -320,6 +321,16 @@ void DataPlane::sync_pool_metrics(const netsim::PacketPoolStats& ps) const {
     if (now > last) ctr->inc(now - last);
     last = now;
   };
+  // Pool exhaustion is rare enough (and serious enough) to journal:
+  // the flight recorder gets one event per sync that saw new
+  // exhaustions, carrying the delta and the running total.
+  if (ps.exhausted_total > pool_synced_.exhausted_total) {
+    telemetry::FlightRecorder::instance().record(
+        telemetry::FlightEventType::pool_exhausted, "dataplane",
+        static_cast<std::int64_t>(ps.exhausted_total -
+                                  pool_synced_.exhausted_total),
+        static_cast<std::int64_t>(ps.exhausted_total));
+  }
   bump(pool_exhausted_ctr_, ps.exhausted_total, pool_synced_.exhausted_total);
   bump(pool_heap_fallback_ctr_, ps.heap_fallback_total,
        pool_synced_.heap_fallback_total);

@@ -1,0 +1,286 @@
+#include "telemetry/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "telemetry/metrics.h"
+
+namespace eden::telemetry {
+
+const char* flight_event_name(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::session_connect: return "session_connect";
+    case FlightEventType::session_teardown: return "session_teardown";
+    case FlightEventType::session_backoff: return "session_backoff";
+    case FlightEventType::resync: return "resync";
+    case FlightEventType::txn_begin: return "txn_begin";
+    case FlightEventType::txn_commit: return "txn_commit";
+    case FlightEventType::txn_abort: return "txn_abort";
+    case FlightEventType::agent_kill: return "agent_kill";
+    case FlightEventType::agent_revive: return "agent_revive";
+    case FlightEventType::agent_restart: return "agent_restart";
+    case FlightEventType::health_transition: return "health_transition";
+    case FlightEventType::pool_exhausted: return "pool_exhausted";
+    case FlightEventType::crash: return "crash";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_clock(ClockFn fn, void* ctx) {
+  clock_ctx_.store(ctx, std::memory_order_relaxed);
+  clock_fn_.store(fn, std::memory_order_relaxed);
+}
+
+std::int64_t FlightRecorder::now_ns() const {
+  const ClockFn fn = clock_fn_.load(std::memory_order_relaxed);
+  if (fn != nullptr) {
+    return fn(clock_ctx_.load(std::memory_order_relaxed));
+  }
+  return static_cast<std::int64_t>(ticks_to_ns(now_ticks()));
+}
+
+FlightRecorder::Lane* FlightRecorder::lane_for_this_thread() {
+  thread_local Lane* lane = nullptr;
+  thread_local bool exhausted = false;
+  if (lane == nullptr && !exhausted) {
+    const std::size_t idx =
+        lane_count_.fetch_add(1, std::memory_order_relaxed);
+    if (idx >= kMaxLanes) {
+      // More writer threads than lanes: shed this thread's events
+      // rather than sharing a ring (which would break the single-writer
+      // invariant the lock-free publish depends on).
+      exhausted = true;
+      return nullptr;
+    }
+    Lane* fresh = new Lane();
+    lanes_[idx].store(fresh, std::memory_order_release);
+    lane = fresh;
+  }
+  return lane;
+}
+
+void FlightRecorder::record(FlightEventType type, const char* detail,
+                            std::int64_t a, std::int64_t b) {
+  Lane* lane = lane_for_this_thread();
+  if (lane == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t n = lane->count.load(std::memory_order_relaxed);
+  FlightEvent& slot = lane->ring[n % kLaneCapacity];
+  slot.t_ns = now_ns();
+  slot.a = a;
+  slot.b = b;
+  slot.type = type;
+  slot.lane = static_cast<std::uint8_t>(
+      std::min<std::size_t>(internal::thread_slot(), 255));
+  // Copy + sanitize in one pass so the JSON emitters never need to
+  // escape: quotes, backslashes and control bytes become '_'.
+  std::size_t i = 0;
+  if (detail != nullptr) {
+    for (; i + 1 < sizeof slot.detail && detail[i] != '\0'; ++i) {
+      const char c = detail[i];
+      slot.detail[i] =
+          (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20)
+              ? '_'
+              : c;
+    }
+  }
+  slot.detail[i] = '\0';
+  lane->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  for (std::size_t l = 0; l < kMaxLanes; ++l) {
+    const Lane* lane = lanes_[l].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;
+    const std::uint64_t n = lane->count.load(std::memory_order_acquire);
+    const std::uint64_t keep = std::min<std::uint64_t>(n, kLaneCapacity);
+    for (std::uint64_t i = n - keep; i < n; ++i) {
+      out.push_back(lane->ring[i % kLaneCapacity]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.t_ns < y.t_ns;
+                   });
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < kMaxLanes; ++l) {
+    const Lane* lane = lanes_[l].load(std::memory_order_acquire);
+    if (lane != nullptr) {
+      total += lane->count.load(std::memory_order_acquire);
+    }
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::overwritten() const {
+  std::uint64_t total = 0;
+  for (std::size_t l = 0; l < kMaxLanes; ++l) {
+    const Lane* lane = lanes_[l].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;
+    const std::uint64_t n = lane->count.load(std::memory_order_acquire);
+    if (n > kLaneCapacity) total += n - kLaneCapacity;
+  }
+  return total;
+}
+
+void FlightRecorder::reset() {
+  for (std::size_t l = 0; l < kMaxLanes; ++l) {
+    Lane* lane = lanes_[l].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;
+    for (auto& slot : lane->ring) slot = FlightEvent{};
+    lane->count.store(0, std::memory_order_release);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Shared row formatter so the heap path and the signal path emit
+// byte-identical events. Returns bytes written (no trailing comma).
+int format_event(char* buf, std::size_t cap, const FlightEvent& e) {
+  return std::snprintf(
+      buf, cap,
+      "{\"t_ns\":%lld,\"type\":\"%s\",\"detail\":\"%s\","
+      "\"a\":%lld,\"b\":%lld,\"lane\":%u}",
+      static_cast<long long>(e.t_ns), flight_event_name(e.type), e.detail,
+      static_cast<long long>(e.a), static_cast<long long>(e.b),
+      static_cast<unsigned>(e.lane));
+}
+
+int format_header(char* buf, std::size_t cap, std::uint64_t total,
+                  std::uint64_t overwritten, std::uint64_t dropped) {
+  return std::snprintf(
+      buf, cap,
+      "{\"schema_version\":1,\"total\":%llu,\"overwritten\":%llu,"
+      "\"dropped\":%llu,\"events\":[\n",
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(overwritten),
+      static_cast<unsigned long long>(dropped));
+}
+
+void write_all(int fd, const char* buf, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, buf + off, len - off);
+    if (n <= 0) return;  // best effort — nothing sane to do on error
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string FlightRecorder::dump_json() const {
+  const std::vector<FlightEvent> events = snapshot();
+  char buf[256];
+  std::string out;
+  out.reserve(events.size() * 96 + 128);
+  format_header(buf, sizeof buf, total_recorded(), overwritten(), dropped());
+  out += buf;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    format_event(buf, sizeof buf, events[i]);
+    out += buf;
+    out += i + 1 < events.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+void FlightRecorder::dump_to_fd(int fd) const {
+  char buf[256];
+  int n = format_header(buf, sizeof buf, total_recorded(), overwritten(),
+                        dropped());
+  write_all(fd, buf, static_cast<std::size_t>(n));
+  // Walk lanes directly — snapshot() allocates, which the signal path
+  // must not. Lanes dump in table order instead of merged time order;
+  // every event carries t_ns, so readers (and eden-trace) re-sort.
+  bool first = true;
+  for (std::size_t l = 0; l < kMaxLanes; ++l) {
+    const Lane* lane = lanes_[l].load(std::memory_order_acquire);
+    if (lane == nullptr) continue;
+    const std::uint64_t cnt = lane->count.load(std::memory_order_acquire);
+    const std::uint64_t keep = std::min<std::uint64_t>(cnt, kLaneCapacity);
+    for (std::uint64_t i = cnt - keep; i < cnt; ++i) {
+      if (!first) write_all(fd, ",\n", 2);
+      first = false;
+      n = format_event(buf, sizeof buf, lane->ring[i % kLaneCapacity]);
+      write_all(fd, buf, static_cast<std::size_t>(n));
+    }
+  }
+  write_all(fd, "\n]}\n", 4);
+}
+
+bool FlightRecorder::dump_to_file(const char* path) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd);
+  ::close(fd);
+  return true;
+}
+
+namespace {
+
+char g_crash_dump_path[512] = {};
+
+void crash_handler(int sig) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  const int fd =
+      ::open(g_crash_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    // The crash event itself is stamped via record() only if this
+    // thread already owns a lane (lane allocation would call new, which
+    // is off-limits here). A standalone trailer line carries the signal
+    // number either way.
+    rec.dump_to_fd(fd);
+    char buf[96];
+    const int n = std::snprintf(
+        buf, sizeof buf, "{\"crash_signal\":%d,\"t_ns\":%lld}\n", sig,
+        static_cast<long long>(rec.now_ns()));
+    write_all(fd, buf, static_cast<std::size_t>(n));
+    ::close(fd);
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handler(const char* path) {
+  std::snprintf(g_crash_dump_path, sizeof g_crash_dump_path, "%s", path);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGSEGV, &sa, nullptr);
+}
+
+void FlightRecorder::append_prometheus(std::string& out) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "eden_flightrec_events_total %llu\n"
+                "eden_flightrec_overwritten_total %llu\n"
+                "eden_flightrec_dropped_total %llu\n",
+                static_cast<unsigned long long>(total_recorded()),
+                static_cast<unsigned long long>(overwritten()),
+                static_cast<unsigned long long>(dropped()));
+  out += buf;
+}
+
+}  // namespace eden::telemetry

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <string_view>
 
+#include "telemetry/flight_recorder.h"
+
 namespace eden::telemetry {
 
 namespace {
@@ -82,8 +84,12 @@ HealthWatchdog::HealthWatchdog(std::vector<HealthRule> rules)
     : rules_(std::move(rules)) {}
 
 void HealthWatchdog::push_event(HealthEvent e) {
+  ++events_total_;
   events_.push_back(std::move(e));
-  while (events_.size() > kMaxEvents) events_.pop_front();
+  while (events_.size() > kMaxEvents) {
+    events_.pop_front();
+    ++events_dropped_;
+  }
 }
 
 void HealthWatchdog::transition(std::uint64_t now_ns,
@@ -98,6 +104,14 @@ void HealthWatchdog::transition(std::uint64_t now_ns,
   if (worst != nullptr && worst->rule != nullptr) {
     e.rule = worst->rule->name;
     e.value = worst->value;
+  }
+  FlightRecorder::instance().record(
+      FlightEventType::health_transition,
+      (agent.empty() ? std::string("fleet") : agent) +
+          (e.rule.empty() ? "" : ": " + e.rule),
+      static_cast<std::int64_t>(e.from), static_cast<std::int64_t>(to));
+  if (to == HealthState::critical && !critical_dump_path_.empty()) {
+    FlightRecorder::instance().dump_to_file(critical_dump_path_.c_str());
   }
   push_event(std::move(e));
   slot = to;
@@ -228,7 +242,11 @@ void HealthWatchdog::append_prometheus(std::string& out) const {
   }
   out += "# TYPE eden_health_events_total counter\n";
   out += "eden_health_events_total ";
-  out += std::to_string(events_.size());
+  out += std::to_string(events_total_);
+  out += '\n';
+  out += "# TYPE eden_health_events_dropped_total counter\n";
+  out += "eden_health_events_dropped_total ";
+  out += std::to_string(events_dropped_);
   out += '\n';
 }
 

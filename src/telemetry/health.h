@@ -75,6 +75,17 @@ class HealthWatchdog {
   const std::vector<AgentHealth>& agents() const { return agents_; }
   const std::deque<HealthEvent>& events() const { return events_; }
   std::uint64_t evaluations() const { return evaluations_; }
+  // Monotonic transition count and how many of those the bounded log
+  // has already shed (events() holds total - dropped, newest last).
+  std::uint64_t events_total() const { return events_total_; }
+  std::uint64_t events_dropped() const { return events_dropped_; }
+
+  // When set, any transition *into* critical dumps the process flight
+  // recorder to this path — the postmortem is written at the moment
+  // the fleet goes red, not when someone remembers to ask for it.
+  void set_critical_dump_path(std::string path) {
+    critical_dump_path_ = std::move(path);
+  }
 
   // Event log as a JSON array (oldest first).
   std::string events_json() const;
@@ -98,6 +109,9 @@ class HealthWatchdog {
   HealthState fleet_state_ = HealthState::ok;
   std::deque<HealthEvent> events_;
   std::uint64_t evaluations_ = 0;
+  std::uint64_t events_total_ = 0;
+  std::uint64_t events_dropped_ = 0;
+  std::string critical_dump_path_;
   static constexpr std::size_t kMaxEvents = 4096;
 };
 

@@ -18,6 +18,23 @@ const char* hop_name(Hop hop) {
     case Hop::enclave_drop: return "enclave_drop";
     case Hop::nic_tx: return "nic_tx";
     case Hop::nic_drop: return "nic_drop";
+    case Hop::cp_txn_begin: return "cp_txn_begin";
+    case Hop::cp_txn_commit: return "cp_txn_commit";
+    case Hop::cp_txn_abort: return "cp_txn_abort";
+    case Hop::cp_send: return "cp_send";
+    case Hop::cp_response: return "cp_response";
+    case Hop::cp_timeout: return "cp_timeout";
+    case Hop::cp_teardown: return "cp_teardown";
+    case Hop::cp_backoff: return "cp_backoff";
+    case Hop::cp_resync: return "cp_resync";
+    case Hop::cp_poll: return "cp_poll";
+    case Hop::cp_agent_apply: return "cp_agent_apply";
+    case Hop::cp_agent_publish: return "cp_agent_publish";
+    case Hop::cp_fault_drop: return "cp_fault_drop";
+    case Hop::cp_fault_delay: return "cp_fault_delay";
+    case Hop::cp_fault_dup: return "cp_fault_dup";
+    case Hop::cp_fault_truncate: return "cp_fault_truncate";
+    case Hop::cp_fault_disconnect: return "cp_fault_disconnect";
   }
   return "unknown";
 }
@@ -70,7 +87,8 @@ SpanCollector::Lane& SpanCollector::lane_for_this_thread() {
 
 void SpanCollector::record(std::int64_t trace_id, Hop hop,
                            std::int64_t ts_ns, std::int64_t dur_ns,
-                           std::int64_t aux) {
+                           std::int64_t aux, std::int64_t span_id,
+                           std::int64_t parent_id) {
   if (trace_id == 0) return;
   Lane& lane = lane_for_this_thread();
   const std::uint64_t n = lane.count.load(std::memory_order_relaxed);
@@ -79,6 +97,8 @@ void SpanCollector::record(std::int64_t trace_id, Hop hop,
   slot.ts_ns = ts_ns;
   slot.dur_ns = dur_ns;
   slot.aux = aux;
+  slot.span_id = span_id;
+  slot.parent_id = parent_id;
   slot.hop = hop;
   slot.lane = static_cast<std::uint8_t>(
       std::min<std::size_t>(internal::thread_slot(), 255));
@@ -135,9 +155,18 @@ void SpanCollector::reset() {
 
 std::string to_trace_event_json(const std::vector<SpanEvent>& events) {
   std::string out = "{\"traceEvents\":[\n";
-  char buf[256];
+  char buf[384];
+  char links[96];
   for (std::size_t i = 0; i < events.size(); ++i) {
     const SpanEvent& e = events[i];
+    // Causal links only appear when set, so data-plane dumps look
+    // exactly as they did before the control plane learned to trace.
+    links[0] = '\0';
+    if (e.span_id != 0) {
+      std::snprintf(links, sizeof links, ",\"span\":%lld,\"parent\":%lld",
+                    static_cast<long long>(e.span_id),
+                    static_cast<long long>(e.parent_id));
+    }
     // Chrome trace timestamps are microseconds (doubles, so sub-us
     // resolution survives). Duration slices end at ts_ns; rewind.
     const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
@@ -147,25 +176,30 @@ std::string to_trace_event_json(const std::vector<SpanEvent>& events) {
       std::snprintf(buf, sizeof buf,
                     "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
                     "\"dur\":%.3f,\"pid\":1,\"tid\":%lld,"
-                    "\"args\":{\"trace_id\":%lld,\"aux\":%lld}}",
+                    "\"args\":{\"trace_id\":%lld,\"aux\":%lld%s}}",
                     hop_name(e.hop), ts_us, dur_us,
                     static_cast<long long>(e.trace_id),
                     static_cast<long long>(e.trace_id),
-                    static_cast<long long>(e.aux));
+                    static_cast<long long>(e.aux), links);
     } else {
       std::snprintf(buf, sizeof buf,
                     "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
                     "\"pid\":1,\"tid\":%lld,"
-                    "\"args\":{\"trace_id\":%lld,\"aux\":%lld}}",
+                    "\"args\":{\"trace_id\":%lld,\"aux\":%lld%s}}",
                     hop_name(e.hop), ts_us,
                     static_cast<long long>(e.trace_id),
                     static_cast<long long>(e.trace_id),
-                    static_cast<long long>(e.aux));
+                    static_cast<long long>(e.aux), links);
     }
     out += buf;
     out += i + 1 < events.size() ? ",\n" : "\n";
   }
-  out += "],\"displayTimeUnit\":\"ns\"}\n";
+  // schema_version trails the array: Controller::collect_spans_json
+  // splices remote dumps by the first '[' / last ']', so new top-level
+  // fields must not introduce brackets or precede the array.
+  out += "],\"displayTimeUnit\":\"ns\",\"schema_version\":";
+  out += std::to_string(kSpanSchemaVersion);
+  out += "}\n";
   return out;
 }
 

@@ -34,7 +34,12 @@
 
 namespace eden::telemetry {
 
-// One hop of a message's journey down (or off) the host stack.
+// One hop of a message's journey down (or off) the host stack — or,
+// since the control plane learned to trace itself, one hop of a wire
+// command's journey through the session layer. The cp_* values follow
+// a controller-side operation (txn, resync, delta poll) across
+// EnclaveSession, FaultyTransport and EnclaveAgent; they ride the same
+// collector as the data-plane hops so one snapshot holds both worlds.
 enum class Hop : std::uint8_t {
   stage_classify = 0,  // stage assigned classes/metadata to the message
   host_enqueue,        // packet entered the host stack's transmit path
@@ -45,19 +50,46 @@ enum class Hop : std::uint8_t {
   enclave_drop,        // action asked for the packet to be dropped
   nic_tx,              // packet handed to the wire
   nic_drop,            // packet dropped at the NIC layer
+  // --- Control-plane hops (PR 8) -----------------------------------
+  cp_txn_begin,        // controller opened a rule-set transaction
+  cp_txn_commit,       // controller asked for the atomic publish
+  cp_txn_abort,        // controller rolled the transaction back
+  cp_send,             // request frame left the session (aux = req id)
+  cp_response,         // response correlated; dur = request round trip
+  cp_timeout,          // request timeout fired at the pipeline head
+  cp_teardown,         // session tore the connection down
+  cp_backoff,          // reconnect scheduled (aux = delay ns)
+  cp_resync,           // journal replay issued (aux = command count)
+  cp_poll,             // telemetry delta poll issued (aux = epoch)
+  cp_agent_apply,      // agent decoded + applied (aux = wire opcode)
+  cp_agent_publish,    // agent-side commit published an RCU snapshot
+  cp_fault_drop,       // fault injector discarded the send
+  cp_fault_delay,      // fault injector held the send back
+  cp_fault_dup,        // fault injector duplicated the send
+  cp_fault_truncate,   // fault injector cut the send short
+  cp_fault_disconnect, // fault injector hard-closed the link
 };
-inline constexpr std::size_t kNumHops = 9;
+inline constexpr std::size_t kNumHops = 26;
+
+// Version stamp of the span export format. 2 added span_id/parent_id
+// causal links and the top-level field itself; consumers warn (never
+// crash) on anything newer.
+inline constexpr int kSpanSchemaVersion = 2;
 
 const char* hop_name(Hop hop);
 
 // One recorded event. dur_ns == 0 means a point event; dur_ns > 0 means
 // a completed slice that *ended* at ts_ns (the renderer rewinds the
-// start so waits display with their real extent).
+// start so waits display with their real extent). span_id/parent_id
+// carry the causal tree within a trace: 0 means "unlinked" (data-plane
+// hops, which are totally ordered by timestamp, never set them).
 struct SpanEvent {
   std::int64_t trace_id = 0;
   std::int64_t ts_ns = 0;
   std::int64_t dur_ns = 0;
   std::int64_t aux = 0;  // hop-specific: bytes, action id, queue id, ...
+  std::int64_t span_id = 0;    // this event's node in the causal tree
+  std::int64_t parent_id = 0;  // span_id of the causing event (0 = root)
   Hop hop = Hop::stage_classify;
   std::uint8_t lane = 0;  // writer lane (diagnostic)
 };
@@ -95,6 +127,12 @@ class SpanCollector {
   std::int64_t start_trace() {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Span ids share the trace-id allocator: both only need process-wide
+  // uniqueness, and one counter means a controller-side dump and an
+  // agent-side dump merged by eden-trace can never collide on either.
+  std::int64_t next_span_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Paced allocation: every `sample_every()`-th call from each thread
   // returns a fresh id, all others return 0. This is the stage-side
   // sampling decision. Inline — the enclave calls it per packet, so the
@@ -115,9 +153,20 @@ class SpanCollector {
   // `trace_id != 0` themselves — that branch is the entire per-hop cost
   // for untraced packets.
   void record(std::int64_t trace_id, Hop hop, std::int64_t ts_ns,
-              std::int64_t dur_ns = 0, std::int64_t aux = 0);
+              std::int64_t dur_ns = 0, std::int64_t aux = 0,
+              std::int64_t span_id = 0, std::int64_t parent_id = 0);
   void record_now(std::int64_t trace_id, Hop hop, std::int64_t aux = 0) {
     record(trace_id, hop, now_ns(), 0, aux);
+  }
+  // Linked variant: allocates a span id, records the event as a child
+  // of `parent_id` and returns the new span id (0 when untraced).
+  std::int64_t record_linked(std::int64_t trace_id, Hop hop,
+                             std::int64_t parent_id, std::int64_t ts_ns,
+                             std::int64_t dur_ns = 0, std::int64_t aux = 0) {
+    if (trace_id == 0) return 0;
+    const std::int64_t span = next_span_id();
+    record(trace_id, hop, ts_ns, dur_ns, aux, span, parent_id);
+    return span;
   }
 
   // Merged, timestamp-sorted view of every lane (most recent
@@ -160,7 +209,10 @@ class SpanCollector {
 // Renders events as Chrome `trace_event` JSON ({"traceEvents": [...]}).
 // pid is 1 ("eden"), tid is the trace id, so Perfetto shows one track
 // per traced message. Events with dur_ns > 0 become "X" complete slices
-// (ts rewound to the start), others "i" instants.
+// (ts rewound to the start), others "i" instants. Causally-linked
+// events carry "span"/"parent" args; the dump ends with a top-level
+// "schema_version" so older readers of newer dumps warn instead of
+// silently misparsing.
 std::string to_trace_event_json(const std::vector<SpanEvent>& events);
 
 }  // namespace eden::telemetry

@@ -14,18 +14,26 @@
 //   EDEN_FLEET_SEED    fault/jitter seed    (default 1)
 //   EDEN_FLEET_JSON    write the final fleet telemetry JSON here
 //   EDEN_FLEET_HEALTH_JSON  write the health event log here
+//   EDEN_FLEET_FLIGHT_JSON  write the flight-recorder dump here (also
+//                           installs the crash handler on that path)
+//   EDEN_FLEET_TRACE_JSON   write the span dump (Perfetto JSON) here
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "controlplane/farm.h"
 #include "telemetry/collector.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/health.h"
 #include "telemetry/json.h"
+#include "telemetry/span.h"
 
 namespace eden::controlplane {
 namespace {
@@ -40,6 +48,13 @@ TEST(FleetSoak, DeltaPolledFleetMatchesGroundTruthUnderChaos) {
   const std::uint64_t rounds = env_u64("EDEN_FLEET_ROUNDS", 10);
   const std::uint64_t seed = env_u64("EDEN_FLEET_SEED", 1);
   ASSERT_GE(agents, 4u);
+
+  // The always-on postmortem journal: if this soak crashes, the crash
+  // handler dumps the last moments of every slot to the artifact path.
+  telemetry::FlightRecorder::instance().reset();
+  if (const char* flight_path = std::getenv("EDEN_FLEET_FLIGHT_JSON")) {
+    telemetry::FlightRecorder::install_crash_handler(flight_path);
+  }
 
   FarmConfig farm_config;
   farm_config.agents = agents;
@@ -59,6 +74,12 @@ TEST(FleetSoak, DeltaPolledFleetMatchesGroundTruthUnderChaos) {
     collector.add_source(std::move(s));
   }
   telemetry::HealthWatchdog watchdog;
+  if (const char* flight_path = std::getenv("EDEN_FLEET_FLIGHT_JSON")) {
+    // A critical fleet transition is exactly the moment a postmortem
+    // wants the journal; snapshot it at the transition, not just at
+    // exit.
+    watchdog.set_critical_dump_path(flight_path);
+  }
 
   const std::size_t restart_a = agents / 3;
   const std::size_t restart_b = (2 * agents) / 3;
@@ -152,6 +173,110 @@ TEST(FleetSoak, DeltaPolledFleetMatchesGroundTruthUnderChaos) {
     std::ofstream out(health_path);
     out << watchdog.events_json();
   }
+  if (const char* flight_path = std::getenv("EDEN_FLEET_FLIGHT_JSON")) {
+    telemetry::FlightRecorder::instance().dump_to_file(flight_path);
+  }
+}
+
+// Acceptance: killing an agent mid-transaction yields ONE causally
+// linked trace spanning the whole recovery — txn begin, the staged
+// sends, teardown, backoff, the folded resync on reconnect and its
+// commit — plus a flight-recorder journal telling the same story.
+TEST(FleetSoak, KilledAgentMidTxnIsOneTraceWithFlightDump) {
+  telemetry::SpanCollector& spans = telemetry::SpanCollector::instance();
+  telemetry::FlightRecorder& flight = telemetry::FlightRecorder::instance();
+  spans.set_clock(nullptr, nullptr);
+  spans.reset();
+  spans.enable(1, 1 << 15);
+  flight.reset();
+
+  FarmConfig farm_config;
+  farm_config.agents = 8;
+  farm_config.seed = 2;
+  AgentFarm farm(farm_config);
+  farm.install_program();
+  ASSERT_TRUE(farm.converge());
+  spans.reset();   // drop install/connect traces
+  flight.reset();  // keep only the victim's story
+
+  const std::size_t victim = 3;
+  EnclaveSession& session = farm.session(victim);
+  session.begin_txn();
+  session.add_rule("t", "10.*", "mark");
+  for (int k = 0; k < 5; ++k) farm.step_all();
+
+  farm.kill(victim);
+  session.commit_txn();  // rides the outage: folded into the resync
+  for (int k = 0; k < 80; ++k) farm.step_all();
+  farm.revive(victim);
+  ASSERT_TRUE(farm.converge());
+  EXPECT_GE(session.stats().txns_committed, 1u);
+
+  // One trace, containing the full retry -> reconnect -> resync ->
+  // commit chain, every parent link resolving within the trace.
+  std::map<std::int64_t, std::vector<telemetry::SpanEvent>> by_trace;
+  for (const telemetry::SpanEvent& e : spans.snapshot()) {
+    by_trace[e.trace_id].push_back(e);
+  }
+  ASSERT_EQ(by_trace.size(), 1u) << "recovery split across traces";
+  const std::vector<telemetry::SpanEvent>& events = by_trace.begin()->second;
+  std::set<telemetry::Hop> hops;
+  std::set<std::int64_t> span_ids;
+  for (const telemetry::SpanEvent& e : events) {
+    hops.insert(e.hop);
+    if (e.span_id != 0) span_ids.insert(e.span_id);
+  }
+  for (const telemetry::Hop expected :
+       {telemetry::Hop::cp_txn_begin, telemetry::Hop::cp_txn_commit,
+        telemetry::Hop::cp_teardown, telemetry::Hop::cp_backoff,
+        telemetry::Hop::cp_resync, telemetry::Hop::cp_send,
+        telemetry::Hop::cp_agent_apply, telemetry::Hop::cp_agent_publish}) {
+    EXPECT_EQ(hops.count(expected), 1u)
+        << "missing hop " << telemetry::hop_name(expected);
+  }
+  for (const telemetry::SpanEvent& e : events) {
+    if (e.parent_id != 0) {
+      EXPECT_EQ(span_ids.count(e.parent_id), 1u)
+          << "dangling parent link from " << telemetry::hop_name(e.hop);
+    }
+  }
+
+  // The flight recorder journaled the same lifecycle, and its dump is
+  // parseable JSON carrying those events.
+  std::set<telemetry::FlightEventType> kinds;
+  for (const telemetry::FlightEvent& e : flight.snapshot()) {
+    kinds.insert(e.type);
+  }
+  for (const telemetry::FlightEventType expected :
+       {telemetry::FlightEventType::txn_begin,
+        telemetry::FlightEventType::txn_commit,
+        telemetry::FlightEventType::agent_kill,
+        telemetry::FlightEventType::agent_revive,
+        telemetry::FlightEventType::session_teardown,
+        telemetry::FlightEventType::session_backoff,
+        telemetry::FlightEventType::resync}) {
+    EXPECT_EQ(kinds.count(expected), 1u)
+        << "missing flight event "
+        << telemetry::flight_event_name(expected);
+  }
+  const telemetry::Json dump =
+      telemetry::JsonParser(flight.dump_json()).parse();
+  const telemetry::Json* dumped = dump.get("events");
+  ASSERT_NE(dumped, nullptr);
+  bool saw_kill = false;
+  for (const telemetry::Json& e : dumped->items) {
+    if (e.str("type") == "agent_kill") saw_kill = true;
+  }
+  EXPECT_TRUE(saw_kill);
+
+  if (const char* trace_path = std::getenv("EDEN_FLEET_TRACE_JSON")) {
+    std::ofstream out(trace_path);
+    out << telemetry::to_trace_event_json(spans.snapshot());
+  }
+
+  spans.disable();
+  spans.reset();
+  flight.reset();
 }
 
 }  // namespace

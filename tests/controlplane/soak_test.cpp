@@ -20,6 +20,8 @@
 //   EDEN_SOAK_SEED   fault/backoff seed (default 1)
 //   EDEN_SOAK_EPOCHS transaction count (default 60)
 //   EDEN_SOAK_JSON   write the final session+enclave telemetry dump here
+//   EDEN_SOAK_FLIGHT_JSON  write the flight-recorder dump here (also
+//                          installs the crash handler on that path)
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -31,6 +33,7 @@
 #include "controlplane/fault.h"
 #include "controlplane/session.h"
 #include "core/controller.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/snapshot.h"
 
 namespace eden::controlplane {
@@ -62,6 +65,12 @@ std::vector<lang::FieldDef> epoch_fields() {
 TEST(ControlPlaneSoak, CommitsStayAtomicUnderChaos) {
   const std::uint64_t seed = env_u64("EDEN_SOAK_SEED", 1);
   const std::uint64_t epochs = env_u64("EDEN_SOAK_EPOCHS", 60);
+
+  telemetry::FlightRecorder::instance().reset();
+  const char* flight_path = std::getenv("EDEN_SOAK_FLIGHT_JSON");
+  if (flight_path != nullptr) {
+    telemetry::FlightRecorder::install_crash_handler(flight_path);
+  }
 
   core::ClassRegistry registry;
   core::Controller controller{registry};
@@ -196,6 +205,9 @@ TEST(ControlPlaneSoak, CommitsStayAtomicUnderChaos) {
     agg.sessions.push_back(session.telemetry());
     std::ofstream out(json_path);
     out << telemetry::to_json(agg);
+  }
+  if (flight_path != nullptr) {
+    telemetry::FlightRecorder::instance().dump_to_file(flight_path);
   }
 }
 

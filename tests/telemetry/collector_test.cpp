@@ -374,6 +374,50 @@ TEST(HealthWatchdogTest, ThresholdTransitionsAndEventLog) {
             std::string::npos);
 }
 
+// The JSON event log is capped: a flapping rule cannot grow it without
+// bound, the drop counter owns the difference, and the Prometheus
+// events_total row keeps counting transitions monotonically (it is NOT
+// the retained-log size).
+TEST(HealthWatchdogTest, EventLogIsCappedAndCountsDrops) {
+  FakeAgent agent("a0", 100);
+  agent.state = snapshot_for("a0", 2, 10);
+  agent.state.host_series[0].second = 10.0;
+
+  std::uint64_t now = 1'000'000'000;
+  CollectorConfig config;
+  config.threads = 1;
+  TelemetryCollector collector(config, [&]() { return now; });
+  collector.add_source(agent.source());
+
+  std::vector<HealthRule> rules(1);
+  rules[0].name = "ring-depth";
+  rules[0].series = "dataplane_ring_depth";
+  rules[0].op = HealthRule::Op::gt;
+  rules[0].threshold = 100;
+  rules[0].severity = HealthState::degraded;
+  HealthWatchdog watchdog(rules);
+
+  // Flap the rule: every flip is an agent + a fleet transition.
+  for (int i = 0; i < 2500; ++i) {
+    agent.state.host_series[0].second = (i % 2 == 0) ? 600.0 : 5.0;
+    now += 1'000'000'000;
+    collector.poll();
+    watchdog.evaluate(now, collector);
+  }
+
+  EXPECT_EQ(watchdog.events_total(), 5000u);
+  EXPECT_GT(watchdog.events_dropped(), 0u);
+  EXPECT_EQ(watchdog.events().size() + watchdog.events_dropped(),
+            watchdog.events_total());
+
+  std::string prom;
+  watchdog.append_prometheus(prom);
+  EXPECT_NE(prom.find("eden_health_events_total 5000"), std::string::npos);
+  EXPECT_NE(prom.find("eden_health_events_dropped_total " +
+                      std::to_string(watchdog.events_dropped())),
+            std::string::npos);
+}
+
 TEST(HealthWatchdogTest, RateRulesAndFleetScopeUseSummedSeries) {
   FakeAgent a0("a0", 100), a1("a1", 200);
   a0.state.enclave = "a0";

@@ -208,5 +208,99 @@ TEST_F(SpanCollectorTest, TraceEventJsonSlicesAndInstants) {
   EXPECT_NE(json.find("\"ts\":6.000"), std::string::npos);
 }
 
+TEST_F(SpanCollectorTest, LinkedEventsCarrySpanAndParentInJson) {
+  std::vector<SpanEvent> events;
+  SpanEvent linked;
+  linked.trace_id = 9;
+  linked.ts_ns = 1000;
+  linked.span_id = 41;
+  linked.parent_id = 40;
+  linked.hop = Hop::cp_send;
+  events.push_back(linked);
+  SpanEvent unlinked;
+  unlinked.trace_id = 9;
+  unlinked.ts_ns = 2000;
+  unlinked.hop = Hop::nic_tx;
+  events.push_back(unlinked);
+
+  const std::string json = to_trace_event_json(events);
+  EXPECT_NE(json.find("\"span\":41"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  // Unlinked (data-plane) events carry no span/parent args at all.
+  EXPECT_EQ(json.find("\"span\":0"), std::string::npos);
+}
+
+// The fleet-merge invariant: trace ids and span ids share one atomic
+// allocator, so ids handed out to any mix of threads — AgentFarm
+// session threads allocating trace ids, agent threads allocating span
+// ids — are process-wide unique and a merged controller+agent dump can
+// never collide on either. TSan-clean by construction (one fetch_add).
+TEST_F(SpanCollectorTest, ConcurrentTraceAndSpanIdsNeverCollide) {
+  SpanCollector& c = SpanCollector::instance();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::vector<std::int64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &ids, t]() {
+      ids[static_cast<std::size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        // Alternate the two allocation paths like a controller thread
+        // (start_trace) interleaved with send paths (next_span_id).
+        const std::int64_t id =
+            (i & 1) == 0 ? c.start_trace() : c.next_span_id();
+        ids[static_cast<std::size_t>(t)].push_back(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::set<std::int64_t> unique;
+  for (const auto& v : ids) {
+    for (const std::int64_t id : v) {
+      EXPECT_NE(id, 0);
+      EXPECT_TRUE(unique.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// Lane wraparound under concurrent linked recording: each writer wraps
+// its own ring several times; every surviving event still has a unique
+// span id and an in-range trace id — wraparound sheds old events, it
+// never tears or duplicates surviving ones.
+TEST_F(SpanCollectorTest, ConcurrentLinkedRecordsStayUniqueAcrossWraparound) {
+  SpanCollector& c = SpanCollector::instance();
+  c.enable(1, 256);  // small lanes: every thread wraps
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 900;  // > 3x lane capacity
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::int64_t trace = c.start_trace();
+        const std::int64_t root = c.record_linked(
+            trace, Hop::cp_txn_begin, 0, c.now_ns());
+        c.record_linked(trace, Hop::cp_send, root, c.now_ns());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const std::vector<SpanEvent> events = c.snapshot();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 256);
+  std::set<std::int64_t> span_ids;
+  for (const SpanEvent& e : events) {
+    EXPECT_NE(e.trace_id, 0);
+    EXPECT_NE(e.span_id, 0);
+    EXPECT_TRUE(span_ids.insert(e.span_id).second)
+        << "span id " << e.span_id << " recorded twice";
+    if (e.hop == Hop::cp_send) EXPECT_NE(e.parent_id, 0);
+  }
+  c.enable(0, SpanCollector::kDefaultLaneCapacity);
+}
+
 }  // namespace
 }  // namespace eden::telemetry

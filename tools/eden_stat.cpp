@@ -35,6 +35,7 @@
 //   --agents=N  farm size in watch mode (default 8)
 //   --rounds=N  poll cycles in watch mode (default 10)
 //   --chaos     wrap the farm's pipes in seeded FaultyTransports
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +45,8 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench/bench_args.h"
 #include "controlplane/farm.h"
@@ -382,11 +385,35 @@ struct SessionDemo {
 
 // --- Watch mode ---------------------------------------------------------
 
+// Watch hides the cursor on a TTY for the live refresh; an interrupted
+// run must put it back or the shell is left garbled. The handler is
+// async-signal-safe (one write(2), then the default disposition).
+const char kWatchRestore[] = "\x1b[0m\x1b[?25h";
+
+void watch_signal_handler(int sig) {
+  ssize_t ignored =
+      ::write(STDOUT_FILENO, kWatchRestore, sizeof kWatchRestore - 1);
+  (void)ignored;
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
 int run_watch(int argc, char** argv) {
   const long agents = bench::int_arg(argc, argv, "--agents", 8);
   const long rounds = bench::int_arg(argc, argv, "--rounds", 10);
   const bool chaos = bench::has_flag(argc, argv, "--chaos");
   const bool as_prom = bench::has_flag(argc, argv, "--prom");
+
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+  if (tty) {
+    struct sigaction sa = {};
+    sa.sa_handler = watch_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    std::fputs("\x1b[?25l", stdout);  // hide cursor during refresh
+    std::fflush(stdout);
+  }
 
   controlplane::FarmConfig farm_config;
   farm_config.agents = agents > 0 ? static_cast<std::size_t>(agents) : 1;
@@ -463,6 +490,10 @@ int run_watch(int argc, char** argv) {
     collector.append_prometheus(prom);
     watchdog.append_prometheus(prom);
     std::fputs(prom.c_str(), stdout);
+  }
+  if (tty) {
+    std::fputs(kWatchRestore, stdout);
+    std::fflush(stdout);
   }
   return 0;
 }
