@@ -1,10 +1,14 @@
 #include "core/enclave.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "lang/disasm.h"
 #include "lang/optimizer.h"
+#include "util/hash.h"
 #include "util/prefetch.h"
 
 namespace eden::core {
@@ -64,6 +68,10 @@ struct ThreadState {
   // a thread_local on the per-packet path — ThreadState is already hot.
   std::uint32_t trace_countdown = 1;
   std::uint32_t hist_countdown = 1;
+  // Paces the data path's opportunistic timer-wheel advance (idle
+  // expiry + epoch reclaim) to one sweep per ~kExpiryPacePackets
+  // packets per thread.
+  std::uint32_t expiry_countdown = 1;
   std::shared_ptr<const Enclave::RuleState> cached_rules;
   std::uint64_t cached_epoch = ~0ull;
 
@@ -97,6 +105,47 @@ using detail::ThreadState;
 namespace {
 
 std::atomic<std::uint64_t> g_enclave_instance_counter{1};
+
+// One opportunistic expiry/reclaim sweep per this many packets per
+// thread. A sweep with nothing due is a handful of loads per shard, so
+// the amortized data-path cost is negligible.
+constexpr std::uint32_t kExpiryPacePackets = 1024;
+
+// Key-sharded global serialization is sound exactly when the schema
+// proves every global write disjoint by message key: all read_write
+// global fields are key_partitioned arrays (a writable scalar or an
+// unpartitioned array forces full serialization). Requires at least
+// one writable field — otherwise the action would not be serialized on
+// globals' account in the first place.
+bool global_writes_key_disjoint(const lang::StateSchema& schema) {
+  bool any_writable = false;
+  for (const lang::FieldDef& f : schema.fields(lang::Scope::global)) {
+    if (f.access != lang::Access::read_write) continue;
+    if (f.kind == lang::FieldKind::scalar || !f.key_partitioned) return false;
+    any_writable = true;
+  }
+  return any_writable;
+}
+
+// Re-initializes a (possibly recycled) FlowStore block to the schema's
+// message-scope defaults, reusing the vectors' capacity. Must leave the
+// block bit-identical to StateBlock::from_schema(schema, message).
+void reset_message_block(const lang::StateSchema& schema,
+                         lang::StateBlock& block) {
+  block.scalars.assign(schema.scalar_count(lang::Scope::message), 0);
+  block.arrays.resize(schema.array_count(lang::Scope::message));
+  for (const lang::FieldDef& f : schema.fields(lang::Scope::message)) {
+    const auto slot = schema.find(lang::Scope::message, f.name);
+    if (!slot) continue;
+    if (slot->kind == lang::FieldKind::scalar) {
+      block.scalars[slot->slot] = f.default_value;
+    } else {
+      lang::ArrayValue& a = block.arrays[slot->slot];
+      a.stride = slot->stride;
+      a.data.clear();
+    }
+  }
+}
 
 std::uint64_t flow_hash(const netsim::Packet& p) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -136,18 +185,73 @@ std::uint64_t symmetric_flow_hash(const netsim::Packet& p) {
 
 // Keyed by a unique instance id (not `this`) so a recycled address never
 // aliases another enclave's thread state.
+//
+// Lifetime: each thread owns its ThreadState blocks, but a destroyed
+// enclave's blocks must not accumulate (a long-lived worker thread that
+// outlives many short-lived enclaves would otherwise leak one
+// ThreadState per dead enclave forever). Enclave construction and
+// destruction maintain a process-wide live-id set plus a death
+// generation counter; get() compares the generation against the last
+// one this thread saw and sweeps dead ids lazily. The sweep only runs
+// on threads that keep using *some* enclave — an entirely idle thread
+// frees its map at thread exit as before.
 struct EnclaveThreadRegistry {
+  using Map = std::unordered_map<std::uint64_t, std::unique_ptr<ThreadState>>;
+
+  static std::mutex& live_mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::unordered_set<std::uint64_t>& live_ids() {
+    static std::unordered_set<std::uint64_t> ids;
+    return ids;
+  }
+  static std::atomic<std::uint64_t>& death_generation() {
+    static std::atomic<std::uint64_t> gen{0};
+    return gen;
+  }
+
+  static Map& tls_map() {
+    static thread_local Map map;
+    return map;
+  }
+
+  static void note_created(std::uint64_t instance_id) {
+    std::lock_guard lock(live_mutex());
+    live_ids().insert(instance_id);
+  }
+
+  static void note_destroyed(std::uint64_t instance_id) {
+    {
+      std::lock_guard lock(live_mutex());
+      live_ids().erase(instance_id);
+    }
+    death_generation().fetch_add(1, std::memory_order_release);
+  }
+
   static ThreadState& get(std::uint64_t instance_id,
                           const EnclaveConfig& config,
                           const lang::StateSchema& schema) {
-    static thread_local std::unordered_map<std::uint64_t,
-                                           std::unique_ptr<ThreadState>>
-        map;
+    Map& map = tls_map();
+    static thread_local std::uint64_t seen_generation = 0;
+    const std::uint64_t gen =
+        death_generation().load(std::memory_order_acquire);
+    if (gen != seen_generation) [[unlikely]] {
+      seen_generation = gen;
+      std::lock_guard lock(live_mutex());
+      std::erase_if(map, [](const auto& kv) {
+        return live_ids().count(kv.first) == 0;
+      });
+    }
     auto& slot = map[instance_id];
     if (!slot) slot = std::make_unique<ThreadState>(config, schema);
     return *slot;
   }
 };
+
+std::size_t enclave_thread_state_count() {
+  return EnclaveThreadRegistry::tls_map().size();
+}
 
 Enclave::Enclave(std::string name, ClassRegistry& registry,
                  EnclaveConfig config)
@@ -177,9 +281,12 @@ Enclave::Enclave(std::string name, ClassRegistry& registry,
   if (config_.telemetry.span_sample_every > 0) {
     spans_.enable(config_.telemetry.span_sample_every);
   }
+  EnclaveThreadRegistry::note_created(instance_id_);
 }
 
-Enclave::~Enclave() = default;
+Enclave::~Enclave() {
+  EnclaveThreadRegistry::note_destroyed(instance_id_);
+}
 
 // --- Snapshot plumbing ----------------------------------------------------
 
@@ -311,6 +418,27 @@ void Enclave::clear_all() {
 // --- Enclave API (controller side) ----------------------------------------
 
 ActionId Enclave::install_entry(std::shared_ptr<ActionEntry> entry) {
+  // Runtime state machinery, shared by both install paths. The
+  // FlowStore mirrors its created/expired/evicted counts into the
+  // enclave counters, so enclave-lifetime accounting survives the
+  // store being torn down with its action.
+  if (entry->touches_message && entry->messages == nullptr) {
+    state::FlowStoreConfig fc;
+    fc.shards = config_.message_store_shards;
+    fc.max_entries = config_.max_messages_per_action;
+    fc.idle_timeout_ns = config_.message_idle_timeout_ns;
+    fc.wheel_tick_ns = config_.message_wheel_tick_ns;
+    fc.sink.created = &counters_.message_entries_created;
+    fc.sink.expired = &counters_.message_entries_expired;
+    fc.sink.evicted = &counters_.message_entries_evicted;
+    entry->messages = std::make_unique<state::FlowStore>(fc);
+  }
+  if (entry->mode == lang::ConcurrencyMode::serialized &&
+      global_writes_key_disjoint(entry->schema)) {
+    entry->global_sharded = true;
+    entry->global_stripes =
+        std::make_unique<std::array<std::mutex, ActionEntry::kGlobalStripes>>();
+  }
   std::lock_guard lock(control_mutex_);
   auto state = begin_mutation_locked();
   // Reinstalling a live name replaces the entry in its slot: the id —
@@ -601,34 +729,66 @@ std::uint64_t Enclave::steering_key(const netsim::Packet& p) {
   return symmetric_flow_hash(p);
 }
 
-std::shared_ptr<Enclave::MessageEntry> Enclave::message_entry(
-    ActionEntry& entry, const netsim::Packet& p) {
-  const std::int64_t key = message_key(p);
-  {
-    std::shared_lock lock(entry.messages_mutex);
-    const auto it = entry.messages.find(key);
-    if (it != entry.messages.end()) return it->second;
+std::int64_t Enclave::now_ns() const {
+  // The injected clock (simulators) wins; otherwise the monotonic
+  // clock, which is all the idleness machinery needs.
+  if (clock_fn_ != nullptr) return clock_fn_(clock_ctx_);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+// FlowStore init callback: runs under the shard lock for a freshly
+// created (possibly recycled) entry.
+struct MessageInitCtx {
+  const lang::StateSchema* schema;
+  const netsim::Packet* packet;
+};
+
+void init_message_block(void* vctx, lang::StateBlock& block) {
+  auto* ctx = static_cast<MessageInitCtx*>(vctx);
+  reset_message_block(*ctx->schema, block);
+  init_message_state(*ctx->packet, block);
+}
+}  // namespace
+
+state::FlowStore::Entry* Enclave::message_entry(
+    const state::EpochDomain::Guard& guard, ActionEntry& entry,
+    const netsim::Packet& p) {
+  MessageInitCtx ctx{&entry.schema, &p};
+  return entry.messages->acquire(guard, message_key(p), now_ns(),
+                                 &init_message_block, &ctx);
+}
+
+// Opportunistic idle expiry: every thread on the data path advances the
+// timer wheels (and reclaims epoch-retired memory) once per
+// kExpiryPacePackets packets. Workers that want tighter expiry latency
+// or stripe partitioning call advance_message_expiry() themselves.
+void Enclave::maybe_advance_expiry(detail::ThreadState& ts,
+                                   const RuleState& rules) {
+  if (--ts.expiry_countdown != 0) [[likely]] {
+    return;
   }
-  std::unique_lock lock(entry.messages_mutex);
-  auto& slot = entry.messages[key];
-  if (slot == nullptr) {
-    slot = std::make_shared<MessageEntry>();
-    slot->block =
-        lang::StateBlock::from_schema(entry.schema, lang::Scope::message);
-    init_message_state(p, slot->block);
-    entry.creation_order.push_back(key);
-    counters_.message_entries_created.fetch_add(1, std::memory_order_relaxed);
-    // Insertion-order eviction keeps the store bounded; shared_ptr keeps
-    // an evicted entry alive until any in-flight execution finishes.
-    while (entry.messages.size() > config_.max_messages_per_action &&
-           !entry.creation_order.empty()) {
-      entry.messages.erase(entry.creation_order.front());
-      entry.creation_order.pop_front();
-      counters_.message_entries_evicted.fetch_add(1,
-                                                  std::memory_order_relaxed);
+  ts.expiry_countdown = kExpiryPacePackets;
+  const std::int64_t now = now_ns();
+  for (const auto& entry : rules.actions) {
+    if (entry != nullptr && entry->messages != nullptr) {
+      entry->messages->advance(now);
     }
   }
-  return slot;
+}
+
+void Enclave::advance_message_expiry(std::size_t stripe,
+                                     std::size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  const std::shared_ptr<const RuleState> rules = committed();
+  const std::int64_t now = now_ns();
+  for (const auto& entry : rules->actions) {
+    if (entry != nullptr && entry->messages != nullptr) {
+      entry->messages->advance_stripe(stripe, stripes, now);
+    }
+  }
 }
 
 void Enclave::classify_flow(const RuleState& rules,
@@ -678,6 +838,7 @@ bool Enclave::process(netsim::Packet& packet) {
   ThreadState& ts = thread_state();
   const RuleState& rules = data_snapshot(ts);
   counters_.packets.fetch_add(1, std::memory_order_relaxed);
+  if (config_.message_idle_timeout_ns > 0) maybe_advance_expiry(ts, rules);
   return process_one(ts, rules, packet);
 }
 
@@ -741,6 +902,7 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
   ThreadState& ts = thread_state();
   const RuleState& rules = data_snapshot(ts);
   counters_.packets.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (config_.message_idle_timeout_ns > 0) maybe_advance_expiry(ts, rules);
   // Multiple tables compose per packet; run the per-packet path, still
   // against the batch's one snapshot acquisition.
   if (rules.tables.size() > 1) {
@@ -800,8 +962,12 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
     } else {
       counters_.matched.fetch_add(1, std::memory_order_relaxed);
     }
-    const std::int64_t key =
-        entry->touches_message ? message_key(*p) : 0;
+    // global_sharded actions group by key even without message state:
+    // the stripe lock is per message key, so batching same-key packets
+    // amortizes it exactly like the message lock.
+    const std::int64_t key = entry->touches_message || entry->global_sharded
+                                 ? message_key(*p)
+                                 : 0;
     ts.batch_items.push_back({entry, key, order++, p.get()});
   }
   std::sort(ts.batch_items.begin(), ts.batch_items.end(),
@@ -811,6 +977,40 @@ std::size_t Enclave::process_batch(std::span<netsim::PacketPtr> batch) {
               if (a.key != b.key) return a.key < b.key;
               return a.order < b.order;
             });
+  if (!ts.batch_items.empty()) {
+    // Overlap the message-store misses across the whole batch: the
+    // first wave warms each group's table lines, the second chases the
+    // slot pointers and pulls the entry lines write-intent, so the
+    // acquire inside run_action_batch hits cache even at millions of
+    // live messages. Group heads only — the groups share entries.
+    state::EpochDomain::Guard guard(state::EpochDomain::instance());
+    const auto is_head = [&](std::size_t i) {
+      const ThreadState::BatchItem& it = ts.batch_items[i];
+      if (!it.entry->touches_message || it.entry->messages == nullptr) {
+        return false;
+      }
+      return i == 0 || it.entry != ts.batch_items[i - 1].entry ||
+             it.key != ts.batch_items[i - 1].key;
+    };
+    for (std::size_t i = 0; i < ts.batch_items.size(); ++i) {
+      if (is_head(i)) {
+        const ThreadState::BatchItem& it = ts.batch_items[i];
+        it.entry->messages->prefetch(guard, it.key);
+      }
+    }
+    for (std::size_t i = 0; i < ts.batch_items.size(); ++i) {
+      if (is_head(i)) {
+        const ThreadState::BatchItem& it = ts.batch_items[i];
+        it.entry->messages->prefetch_entry(guard, it.key);
+      }
+    }
+    for (std::size_t i = 0; i < ts.batch_items.size(); ++i) {
+      if (is_head(i)) {
+        const ThreadState::BatchItem& it = ts.batch_items[i];
+        it.entry->messages->prefetch_payload(guard, it.key);
+      }
+    }
+  }
   for (std::size_t i = 0; i < ts.batch_items.size();) {
     const ThreadState::BatchItem& head = ts.batch_items[i];
     ts.batch_group.clear();
@@ -862,23 +1062,46 @@ void Enclave::run_action_batch(detail::ThreadState& ts, ActionEntry& entry,
                                std::span<netsim::Packet* const> packets) {
   if (packets.empty()) return;
 
-  std::shared_ptr<MessageEntry> msg_entry;
-  if (entry.touches_message) msg_entry = message_entry(entry, *packets[0]);
+  // Message-state entries are epoch-protected: the guard keeps
+  // msg_entry (and the table it was probed through) alive for the
+  // whole group even if concurrent expiry, capacity eviction or a
+  // shard resize unlinks it mid-run.
+  state::EpochDomain::Guard guard(state::EpochDomain::instance());
+  state::FlowStore::Entry* msg_entry = nullptr;
+  if (entry.touches_message) {
+    msg_entry = message_entry(guard, entry, *packets[0]);
+  }
 
   // Concurrency model of Section 3.4.4: writable global state fully
   // serializes; writable message state serializes per message; otherwise
   // executions proceed in parallel. Readers always take the global lock
   // shared so controller updates stay atomic with respect to a run.
+  //
+  // Refinement: when the schema proves global writes disjoint by
+  // message key (global_sharded), "fully serialized" degrades to
+  // "serialized per key stripe" — the group takes its key's stripe
+  // exclusively plus the global lock SHARED, so different-key groups
+  // run concurrently while whole-state controller writers (which take
+  // the global lock exclusively) still exclude every execution.
   std::shared_lock<std::shared_mutex> global_shared;
   std::unique_lock<std::shared_mutex> global_unique;
+  std::unique_lock<std::mutex> stripe_lock;
   std::unique_lock<std::mutex> msg_lock;
   if (entry.mode == lang::ConcurrencyMode::serialized) {
-    global_unique = std::unique_lock(entry.global_mutex);
+    if (entry.global_sharded) {
+      const auto key = static_cast<std::uint64_t>(message_key(*packets[0]));
+      stripe_lock = std::unique_lock(
+          (*entry.global_stripes)[util::mix64(key) &
+                                  (ActionEntry::kGlobalStripes - 1)]);
+      global_shared = std::shared_lock(entry.global_mutex);
+    } else {
+      global_unique = std::unique_lock(entry.global_mutex);
+    }
   } else {
     global_shared = std::shared_lock(entry.global_mutex);
     if (entry.mode == lang::ConcurrencyMode::per_message &&
         msg_entry != nullptr) {
-      msg_lock = std::unique_lock(msg_entry->mutex);
+      msg_lock = std::unique_lock(msg_entry->lock);
     }
   }
 
@@ -1023,7 +1246,27 @@ EnclaveStats Enclave::stats() const {
       counters_.message_entries_created.load(std::memory_order_relaxed);
   s.message_entries_evicted =
       counters_.message_entries_evicted.load(std::memory_order_relaxed);
+  s.message_entries_expired =
+      counters_.message_entries_expired.load(std::memory_order_relaxed);
+  // Live entries are per-store state, not a monotonic counter: sum the
+  // currently installed actions' stores.
+  const std::shared_ptr<const RuleState> rules = committed();
+  for (const auto& entry : rules->actions) {
+    if (entry != nullptr && entry->messages != nullptr) {
+      s.message_entries_live += entry->messages->live();
+    }
+  }
   return s;
+}
+
+bool Enclave::action_global_sharded(ActionId id) const {
+  return checked_entry(id)->global_sharded;
+}
+
+state::FlowStoreStats Enclave::message_store_stats(ActionId id) const {
+  const std::shared_ptr<ActionEntry> entry = checked_entry(id);
+  if (entry->messages == nullptr) return {};
+  return entry->messages->stats();
 }
 
 ActionStats Enclave::action_stats(ActionId id) const {
@@ -1056,8 +1299,22 @@ telemetry::EnclaveTelemetry Enclave::telemetry_snapshot() const {
   t.dropped_by_action = s.dropped_by_action;
   t.message_entries_created = s.message_entries_created;
   t.message_entries_evicted = s.message_entries_evicted;
+  t.message_entries_expired = s.message_entries_expired;
 
   const std::shared_ptr<const RuleState> rules = committed();
+  // Message-state store section: totals across the installed actions'
+  // FlowStores (eden_state_* series).
+  for (const auto& entry : rules->actions) {
+    if (entry == nullptr || entry->messages == nullptr) continue;
+    const state::FlowStoreStats fs = entry->messages->stats();
+    t.state.present = true;
+    t.state.live += fs.live;
+    t.state.created += fs.created;
+    t.state.expired += fs.expired;
+    t.state.evicted += fs.evicted;
+    t.state.resizes += fs.resizes;
+    t.state.probe_len.merge(fs.probe_len);
+  }
   for (const auto& entry : rules->actions) {
     if (entry == nullptr) continue;
     telemetry::ActionTelemetry a;
@@ -1152,11 +1409,16 @@ telemetry::ProgramProfile Enclave::action_profile(ActionId id) const {
 std::optional<std::int64_t> Enclave::peek_message_state(
     ActionId id, std::int64_t msg_key, std::uint16_t slot) const {
   const std::shared_ptr<ActionEntry> entry = checked_entry(id);
-  std::shared_lock lock(entry->messages_mutex);
-  const auto it = entry->messages.find(msg_key);
-  if (it == entry->messages.end()) return std::nullopt;
-  if (slot >= it->second->block.scalars.size()) return std::nullopt;
-  return it->second->block.scalars[slot];
+  if (entry->messages == nullptr) return std::nullopt;
+  // Peek semantics: find() does not stamp last_touch, so peeking never
+  // keeps an idle entry alive. The guard pins the entry; its lock
+  // orders the read against per-message writers.
+  state::EpochDomain::Guard guard(entry->messages->domain());
+  state::FlowStore::Entry* e = entry->messages->find(guard, msg_key);
+  if (e == nullptr) return std::nullopt;
+  std::lock_guard elock(e->lock);
+  if (slot >= e->block.scalars.size()) return std::nullopt;
+  return e->block.scalars[slot];
 }
 
 }  // namespace eden::core

@@ -22,7 +22,6 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -30,12 +29,12 @@
 #include <shared_mutex>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/class_name.h"
 #include "core/enclave_schema.h"
 #include "lang/interpreter.h"
+#include "state/flow_store.h"
 #include "telemetry/metrics.h"
 #include "telemetry/profile.h"
 #include "telemetry/snapshot.h"
@@ -87,7 +86,12 @@ struct EnclaveStats {
   std::uint64_t matched = 0;
   std::uint64_t dropped_by_action = 0;
   std::uint64_t message_entries_created = 0;
+  // Removed because the store hit capacity (max_messages_per_action).
   std::uint64_t message_entries_evicted = 0;
+  // Removed because the entry sat idle past message_idle_timeout_ns.
+  std::uint64_t message_entries_expired = 0;
+  // Currently resident entries, summed over installed actions.
+  std::uint64_t message_entries_live = 0;
 };
 
 // Hot-path telemetry knobs (src/telemetry). Off by default: the
@@ -132,8 +136,24 @@ struct TelemetryConfig {
 };
 
 struct EnclaveConfig {
-  // Bound on per-action message-state entries (LRU eviction beyond it).
+  // Bound on per-action message-state entries; 0 = unlimited. Beyond
+  // the bound the store evicts the idlest entry (minimum last-touch
+  // within the timer wheel's oldest cohort), so hot long-lived
+  // messages survive churn that pure creation-order eviction would
+  // kill them under.
   std::size_t max_messages_per_action = 65536;
+  // Idle expiry for message-state entries: an entry untouched for this
+  // long is expired by the per-shard timer wheel (0 = disabled).
+  // Advance happens opportunistically on the data path (paced) and on
+  // explicit advance_message_expiry() calls from worker loops.
+  std::int64_t message_idle_timeout_ns = 0;
+  // Shards of each action's FlowStore (rounded up to a power of two).
+  // Shard selection uses the same splitmix64-whitened key the
+  // dataplane steers on, so per-worker traffic stays shard-local.
+  // 1 shard gives deterministic single-queue eviction order.
+  std::size_t message_store_shards = 8;
+  // Timer-wheel granularity for idle expiry.
+  std::int64_t message_wheel_tick_ns = 1'000'000;  // 1 ms
   lang::ExecLimits exec_limits;
   std::uint64_t rng_seed = 42;
   // Installed bytecode is optimized to this level (lang/optimizer.h)
@@ -292,12 +312,31 @@ class Enclave {
   // the number of surviving packets.
   std::size_t process_batch(std::span<netsim::PacketPtr> batch);
 
+  // Expires idle message-state entries (config.message_idle_timeout_ns)
+  // and reclaims epoch-retired memory across every installed action.
+  // Stripe-partitioned so N workers can split the shard space
+  // (worker i of N passes (i, N)); (0, 1) covers everything. Safe to
+  // call concurrently with the data path. The data path also paces
+  // this internally, so calling it is an optimization, not a
+  // correctness requirement.
+  void advance_message_expiry(std::size_t stripe = 0, std::size_t stripes = 1);
+
   // --- Introspection -------------------------------------------------------
 
   // Counter snapshots. Internally counters are relaxed atomics (the
   // data path is concurrent), so reads reconcile to a plain struct.
   EnclaveStats stats() const;
   ActionStats action_stats(ActionId id) const;
+
+  // True when the action runs with key-sharded global serialization
+  // (mode == serialized, and every writable global field is a
+  // key_partitioned array — see lang::FieldDef::key_partitioned).
+  bool action_global_sharded(ActionId id) const;
+
+  // Per-action FlowStore statistics (live/created/expired/evicted/
+  // resizes + probe-length histogram); zeros when the action holds no
+  // message state.
+  state::FlowStoreStats message_store_stats(ActionId id) const;
 
   // Full telemetry snapshot (counters, per-class match/drop, sampled
   // latency/steps histograms, trace ring) with ids resolved to names.
@@ -321,11 +360,6 @@ class Enclave {
   telemetry::ProgramProfile action_profile(ActionId id) const;
 
  private:
-  struct MessageEntry {
-    lang::StateBlock block;
-    std::mutex mutex;
-  };
-
   // Always-on per-action counters; relaxed atomics because `parallel`
   // actions execute concurrently. Snapshotted into ActionStats on read.
   struct ActionCounters {
@@ -349,6 +383,7 @@ class Enclave {
     std::atomic<std::uint64_t> dropped_by_action{0};
     std::atomic<std::uint64_t> message_entries_created{0};
     std::atomic<std::uint64_t> message_entries_evicted{0};
+    std::atomic<std::uint64_t> message_entries_expired{0};
   };
 
   struct ActionEntry {
@@ -362,10 +397,22 @@ class Enclave {
     lang::StateSchema schema;  // base + action-specific global fields
     lang::StateBlock global_state;
     mutable std::shared_mutex global_mutex;
-    // Message store, bounded by insertion-order eviction.
-    mutable std::shared_mutex messages_mutex;
-    std::unordered_map<std::int64_t, std::shared_ptr<MessageEntry>> messages;
-    std::deque<std::int64_t> creation_order;
+    // Per-message state: sharded open-addressing FlowStore with
+    // epoch-reclaimed entries and timer-wheel idle expiry
+    // (src/state/flow_store.h). Created at install time when the
+    // action touches message state, null otherwise.
+    std::unique_ptr<state::FlowStore> messages;
+    // Key-sharded global writes (Section 3.4.4 refinement): when every
+    // writable global field is a key_partitioned array, "fully
+    // serialized" degrades to "serialized per message-key stripe".
+    // Executions then take their stripe exclusively plus global_mutex
+    // SHARED (excluding whole-state controller writers, which keep
+    // taking global_mutex exclusively); different stripes run
+    // concurrently because the schema promises their write sets are
+    // disjoint by message key.
+    bool global_sharded = false;
+    static constexpr std::size_t kGlobalStripes = 16;
+    std::unique_ptr<std::array<std::mutex, kGlobalStripes>> global_stripes;
     ActionCounters counters;
     // Set at install time when config.telemetry histograms are on;
     // instruments live in metrics_, so raw pointers stay valid.
@@ -418,8 +465,15 @@ class Enclave {
   std::string class_display_name(ClassId cls) const;
   void attach_instruments(ActionEntry& entry);
   void classify_flow(const RuleState& rules, netsim::Packet& packet) const;
-  std::shared_ptr<MessageEntry> message_entry(ActionEntry& entry,
-                                              const netsim::Packet& p);
+  // Find-or-create the FlowStore entry for p's message key. The caller
+  // must hold `guard` (and keep it alive while using the entry): the
+  // pointer stays valid under concurrent expiry/eviction/resize until
+  // the guard drops.
+  state::FlowStore::Entry* message_entry(const state::EpochDomain::Guard& guard,
+                                         ActionEntry& entry,
+                                         const netsim::Packet& p);
+  std::int64_t now_ns() const;
+  void maybe_advance_expiry(detail::ThreadState& ts, const RuleState& rules);
   static std::int64_t message_key(const netsim::Packet& p);
   static std::int64_t symmetric_message_key(const netsim::Packet& p);
 
@@ -472,5 +526,10 @@ class Enclave {
   telemetry::MetricsRegistry metrics_;
   std::unique_ptr<telemetry::TraceRing> trace_;
 };
+
+// Number of per-enclave ThreadState blocks the calling thread currently
+// retains (test hook for the registry-leak fix: destroyed enclaves'
+// blocks are swept on this thread's next enclave interaction).
+std::size_t enclave_thread_state_count();
 
 }  // namespace eden::core

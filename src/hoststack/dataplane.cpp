@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "telemetry/flight_recorder.h"
+#include "util/hash.h"
 #include "util/prefetch.h"
 
 #if defined(__linux__)
@@ -43,16 +44,6 @@ inline void cpu_pause() {
 #endif
 }
 
-// splitmix64 finalizer: message keys are often sequential counters, so
-// the raw key must be whitened before the shard reduction or adjacent
-// messages would stripe instead of spread.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
 
 struct DataPlane::Worker {
@@ -66,6 +57,7 @@ struct DataPlane::Worker {
   SpscRing<netsim::PacketPtr> in;
   SpscRing<netsim::PacketPtr> out;
   std::thread thread;
+  std::size_t id = 0;
 
   std::atomic<std::uint64_t> enqueued{0};  // producer writes
   std::atomic<std::uint64_t> processed{0};
@@ -101,6 +93,7 @@ DataPlane::DataPlane(core::Enclave& enclave, DataPlaneConfig config)
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>(config_);
+    w->id = i;
     const telemetry::Labels labels{{"worker", std::to_string(i)}};
     w->enqueued_ctr =
         &metrics_.counter("eden_dataplane_enqueued_total", labels);
@@ -120,7 +113,12 @@ DataPlane::DataPlane(core::Enclave& enclave, DataPlaneConfig config)
 DataPlane::~DataPlane() { stop(nullptr); }
 
 std::size_t DataPlane::shard_of(std::uint64_t key, std::size_t workers) {
-  return workers < 2 ? 0 : static_cast<std::size_t>(mix64(key) % workers);
+  // Message keys are often sequential counters, so the raw key is
+  // whitened (util::mix64, the same finalizer the FlowStore shards on)
+  // before the reduction or adjacent messages would stripe instead of
+  // spread.
+  return workers < 2 ? 0
+                     : static_cast<std::size_t>(util::mix64(key) % workers);
 }
 
 std::size_t DataPlane::shard_for(const netsim::Packet& p) const {
@@ -227,12 +225,22 @@ void DataPlane::stop(const CompletionFn& fn) {
 void DataPlane::worker_main(Worker& w) {
   std::vector<netsim::PacketPtr> batch(config_.max_batch);
   std::uint32_t idle = 0;
+  std::uint32_t batches_since_expiry = 0;
+  // Each worker owns stripe w.id of every message store's timer wheels:
+  // the stripe count equals the worker count, so the whole wheel is
+  // covered with no two workers contending on a shard.
+  const auto advance_expiry = [&] {
+    if (config_.expiry_every_batches == 0) return;
+    enclave_.advance_message_expiry(w.id, workers_.size());
+    batches_since_expiry = 0;
+  };
   for (;;) {
     const std::size_t n = w.in.pop_bulk(batch.data(), config_.max_batch);
     if (n == 0) {
       if (stop_.load(std::memory_order_acquire) && w.in.empty()) break;
       if (++idle >= config_.idle_spins) {
         idle = 0;
+        advance_expiry();  // quiet shards still age their messages out
         std::this_thread::yield();
       } else {
         cpu_pause();
@@ -240,6 +248,10 @@ void DataPlane::worker_main(Worker& w) {
       continue;
     }
     idle = 0;
+    if (++batches_since_expiry >= config_.expiry_every_batches &&
+        config_.expiry_every_batches != 0) {
+      advance_expiry();
+    }
 
     // Warm the front of the batch before process_batch touches it; the
     // enclave's own loop prefetches the rest ahead of itself.

@@ -57,6 +57,14 @@ struct DataPlaneConfig {
   // its metrics registry (stats() syncs them). nullptr = the process-
   // wide default pool behind make_packet().
   netsim::PacketPool* pool = nullptr;
+  // Worker i advances stripe i of every message store's timer wheels
+  // (Enclave::advance_message_expiry(i, workers)) once per this many
+  // batches, and on every idle yield — so idle-message expiry makes
+  // progress even when that worker's shard of the traffic goes quiet.
+  // 0 disables the per-worker advance (the enclave's own per-thread
+  // packet pacing still runs). Only meaningful when the enclave's
+  // message_idle_timeout_ns is set.
+  std::uint32_t expiry_every_batches = 64;
 };
 
 struct DataPlaneWorkerStats {

@@ -1,0 +1,162 @@
+#include "state/epoch.h"
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace eden::state {
+
+namespace {
+constexpr std::size_t kSlotsPerChunk = 64;
+}  // namespace
+
+// Pin record for one thread. `pinned == 0` means inactive; otherwise it
+// holds the epoch the thread observed on guard entry. `depth` is only
+// touched by the owning thread (guards nest). Padded so concurrent
+// pin/unpin by different threads never share a line.
+struct alignas(64) EpochDomain::Slot {
+  std::atomic<std::uint64_t> pinned{0};
+  std::uint32_t depth = 0;
+};
+
+struct EpochDomain::Impl {
+  std::mutex mu;  // serializes epoch advances with retire stamping
+  std::atomic<std::uint64_t> global_epoch{1};
+
+  // Slots are allocated in chunks and never move or shrink, so the
+  // horizon scan can walk `all` without the mutex held by readers.
+  std::vector<std::unique_ptr<Slot[]>> chunks;
+  std::vector<Slot*> all;       // guarded by mu for growth; stable entries
+  std::vector<Slot*> free;      // guarded by mu
+  std::atomic<std::size_t> slot_count{0};
+
+  // Intrusive refcount: one ref for the domain itself plus one per
+  // thread-local registration, so a thread that outlives the domain
+  // can still release its slot safely.
+  std::atomic<std::size_t> refs{1};
+
+  Slot* grab_slot() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free.empty()) {
+      Slot* s = free.back();
+      free.pop_back();
+      return s;
+    }
+    if (all.size() % kSlotsPerChunk == 0) {
+      chunks.push_back(std::make_unique<Slot[]>(kSlotsPerChunk));
+    }
+    Slot* s = &chunks.back()[all.size() % kSlotsPerChunk];
+    all.push_back(s);
+    slot_count.store(all.size(), std::memory_order_release);
+    return s;
+  }
+
+  void release_slot(Slot* s) {
+    s->depth = 0;
+    s->pinned.store(0, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(mu);
+    free.push_back(s);
+  }
+
+  void ref() { refs.fetch_add(1, std::memory_order_relaxed); }
+  void unref() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+};
+
+namespace {
+
+// Per-thread slot registrations. A thread typically touches exactly one
+// domain (the process singleton), so linear scan is fine. Each entry
+// holds a ref on the Impl, which both keeps the slot memory alive past
+// domain destruction and makes the pointer-identity lookup ABA-safe.
+struct ThreadRegs {
+  struct Reg {
+    EpochDomain::Impl* impl;
+    EpochDomain::Slot* slot;
+  };
+  std::vector<Reg> regs;
+
+  ~ThreadRegs() {
+    for (Reg& r : regs) {
+      r.impl->release_slot(r.slot);
+      r.impl->unref();
+    }
+  }
+};
+
+thread_local ThreadRegs t_regs;
+
+}  // namespace
+
+EpochDomain& EpochDomain::instance() {
+  static EpochDomain domain;
+  return domain;
+}
+
+EpochDomain::EpochDomain() : impl_(new Impl) {}
+
+EpochDomain::~EpochDomain() { impl_->unref(); }
+
+EpochDomain::Slot* EpochDomain::slot_for_thread() {
+  for (const auto& r : t_regs.regs) {
+    if (r.impl == impl_) return r.slot;
+  }
+  Slot* s = impl_->grab_slot();
+  impl_->ref();
+  t_regs.regs.push_back({impl_, s});
+  return s;
+}
+
+void EpochDomain::enter() {
+  Slot* s = slot_for_thread();
+  if (s->depth++ != 0) return;
+  const std::uint64_t e = impl_->global_epoch.load(std::memory_order_seq_cst);
+  s->pinned.store(e, std::memory_order_seq_cst);
+  // Pairs with the fence in reclaim_horizon(): either the horizon scan
+  // observes this pin, or this thread's subsequent probe observes every
+  // unlink that preceded the scan.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void EpochDomain::exit() {
+  Slot* s = slot_for_thread();
+  if (--s->depth != 0) return;
+  s->pinned.store(0, std::memory_order_release);
+}
+
+bool EpochDomain::pinned_here() const {
+  for (const auto& r : t_regs.regs) {
+    if (r.impl == impl_) return r.slot->depth != 0;
+  }
+  return false;
+}
+
+std::uint64_t EpochDomain::stamp_retire() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->global_epoch.load(std::memory_order_relaxed);
+}
+
+std::uint64_t EpochDomain::reclaim_horizon() {
+  // The mutex is held across the scan so `all` cannot reallocate under
+  // us; readers never take it, so this only contends with other
+  // writers' stamping, which is the point of the serialization.
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const std::uint64_t g =
+      impl_->global_epoch.load(std::memory_order_relaxed) + 1;
+  impl_->global_epoch.store(g, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::uint64_t horizon = g;
+  for (Slot* s : impl_->all) {
+    const std::uint64_t p = s->pinned.load(std::memory_order_acquire);
+    if (p != 0 && p < horizon) horizon = p;
+  }
+  return horizon;
+}
+
+std::size_t EpochDomain::slot_high_water() const {
+  return impl_->slot_count.load(std::memory_order_acquire);
+}
+
+}  // namespace eden::state

@@ -1,0 +1,118 @@
+#include "state/timer_wheel.h"
+
+namespace eden::state {
+
+TimerWheel::TimerWheel(std::int64_t tick_ns, std::int64_t start_ns)
+    : tick_ns_(tick_ns > 0 ? tick_ns : 1), current_tick_(tick_of(start_ns)) {
+  for (auto& level : slots_) {
+    for (TimerNode& sentinel : level) {
+      sentinel.prev = &sentinel;
+      sentinel.next = &sentinel;
+    }
+  }
+}
+
+void TimerWheel::unlink(TimerNode& node) {
+  node.prev->next = node.next;
+  node.next->prev = node.prev;
+  node.prev = nullptr;
+  node.next = nullptr;
+}
+
+void TimerWheel::push_back(TimerNode& list, TimerNode& node) {
+  node.prev = list.prev;
+  node.next = &list;
+  list.prev->next = &node;
+  list.prev = &node;
+}
+
+void TimerWheel::schedule(TimerNode& node, std::int64_t deadline_ns) {
+  if (node.scheduled()) {
+    unlink(node);
+    --scheduled_;
+  }
+  node.deadline_ns = deadline_ns;
+  place(node, tick_of(deadline_ns));
+  ++scheduled_;
+}
+
+void TimerWheel::cancel(TimerNode& node) {
+  if (!node.scheduled()) return;
+  unlink(node);
+  --scheduled_;
+}
+
+void TimerWheel::place(TimerNode& node, std::int64_t deadline_tick) {
+  // Never into the cursor's tick or the past: the current slot has
+  // already fired (or is mid-fire), so a stale deadline waits one tick
+  // and lets the lazy re-arm check sort it out.
+  std::int64_t delta = deadline_tick - current_tick_;
+  if (delta < 1) {
+    delta = 1;
+    deadline_tick = current_tick_ + 1;
+  }
+  // Past the horizon, clamp into the top level; the node cascades a
+  // few laps early and re-arms from its real deadline each time.
+  const std::int64_t horizon = std::int64_t{1} << (kSlotBits * kLevels);
+  if (delta >= horizon) {
+    deadline_tick = current_tick_ + horizon - 1;
+    delta = horizon - 1;
+  }
+  int level = 0;
+  while (delta >= (std::int64_t{1} << (kSlotBits * (level + 1)))) ++level;
+  push_back(slots_[level][slot_index(level, deadline_tick)], node);
+}
+
+TimerNode* TimerWheel::detach_slot(int level, std::size_t slot) {
+  TimerNode& sentinel = slots_[level][slot];
+  if (sentinel.next == &sentinel) return nullptr;
+  TimerNode* head = sentinel.next;
+  sentinel.prev->next = nullptr;  // null-terminate the chain
+  sentinel.prev = &sentinel;
+  sentinel.next = &sentinel;
+  return head;
+}
+
+void TimerWheel::cascade_due_levels() {
+  for (int level = 1; level < kLevels; ++level) {
+    const std::int64_t mask =
+        (std::int64_t{1} << (kSlotBits * level)) - 1;
+    if ((current_tick_ & mask) != 0) break;
+    cascade(level, slot_index(level, current_tick_));
+  }
+}
+
+void TimerWheel::cascade(int level, std::size_t slot) {
+  TimerNode* head = detach_slot(level, slot);
+  while (head != nullptr) {
+    TimerNode* next = head->next;
+    head->prev = nullptr;
+    head->next = nullptr;
+    place(*head, tick_of(head->deadline_ns));
+    head = next;
+  }
+}
+
+std::size_t TimerWheel::collect_oldest(TimerNode** out, std::size_t max) const {
+  if (scheduled_ == 0 || max == 0) return 0;
+  // Walk slots in (approximate) firing order: level 0 from the cursor
+  // forward, then each higher level from its cursor position. The
+  // first non-empty slot is the coarse oldest cohort.
+  for (int level = 0; level < kLevels; ++level) {
+    const std::size_t base = slot_index(level, current_tick_);
+    for (std::size_t i = 1; i <= kSlots; ++i) {
+      const std::size_t slot = (base + i) & (kSlots - 1);
+      const TimerNode& sentinel = slots_[level][slot];
+      if (sentinel.next == &sentinel) continue;
+      std::size_t n = 0;
+      for (TimerNode* node = sentinel.next; node != &sentinel && n < max;
+           node = node->next) {
+        out[n++] = node;
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace eden::state

@@ -1,0 +1,126 @@
+// Hierarchical timer wheel for idle-entry expiry.
+//
+// Four levels of 64 slots each cover 64 / 4k / 256k / 16M ticks of
+// horizon (about 16M ticks total wrap; with the default 1 ms tick that
+// is ~4.6 hours, far beyond any idle timeout we care about — deadlines
+// past the horizon clamp into the top level and simply fire a few
+// cascades early, which the lazy re-arm check absorbs).
+//
+// Design points, matching the "touch-on-access, lazy cascade" contract
+// in ISSUE 9:
+//   * Scheduling and advancing are O(1) amortized; a node is placed by
+//     the distance of its deadline from the current tick, and higher
+//     levels cascade one slot at a time as the cursor wraps a lower
+//     level — nothing is rehashed on the fast path.
+//   * Touch-on-access never moves a node. The store just stamps the
+//     entry's last_touch; when the node's original slot fires, the
+//     owner decides (from the fresh timestamp) whether the node is
+//     really idle or should be lazily re-armed at its new deadline.
+//   * The wheel is intrusive: TimerNode lives inside the FlowStore
+//     entry, so scheduling allocates nothing.
+//
+// Not thread-safe; the owning FlowStore shard serializes access under
+// its shard lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace eden::state {
+
+struct TimerNode {
+  TimerNode* prev = nullptr;
+  TimerNode* next = nullptr;
+  std::int64_t deadline_ns = 0;  // as of the last (re)schedule
+
+  bool scheduled() const { return prev != nullptr; }
+};
+
+class TimerWheel {
+ public:
+  static constexpr int kSlotBits = 6;
+  static constexpr int kLevels = 4;
+  static constexpr std::size_t kSlots = std::size_t{1} << kSlotBits;  // 64
+
+  // `tick_ns` is the level-0 granularity; `start_ns` anchors tick 0 so
+  // the first schedule lands near the cursor.
+  explicit TimerWheel(std::int64_t tick_ns, std::int64_t start_ns = 0);
+
+  // Inserts or moves `node` so it fires no earlier than `deadline_ns`
+  // (quantized down to a tick, never into the past of the cursor).
+  void schedule(TimerNode& node, std::int64_t deadline_ns);
+
+  void cancel(TimerNode& node);
+
+  // Moves the cursor to `now_ns` while the wheel is empty (cheap way
+  // to skip an idle gap before the first schedule). No-op otherwise.
+  void reanchor(std::int64_t now_ns) {
+    if (scheduled_ == 0) current_tick_ = tick_of(now_ns);
+  }
+
+  // Advances the cursor to `now_ns`, cascading higher levels as slots
+  // wrap, and calls `fn(node)` for every node whose slot fires. The
+  // callback owns the node's fate: re-schedule it (lazy re-arm) or
+  // leave it unlinked (expired). `fn` may schedule/cancel freely.
+  template <typename Fn>
+  void advance(std::int64_t now_ns, Fn&& fn) {
+    const std::int64_t target = tick_of(now_ns);
+    while (current_tick_ < target) {
+      // Empty wheel: nothing can fire, so teleport the cursor instead
+      // of stepping through a potentially hours-long idle gap.
+      if (scheduled_ == 0) {
+        current_tick_ = target;
+        break;
+      }
+      step_one_tick(fn);
+    }
+  }
+
+  // Collects up to `max` nodes from the earliest non-empty slot in
+  // firing order (the coarse "oldest" cohort) for capacity eviction.
+  // Returns the number written to `out`.
+  std::size_t collect_oldest(TimerNode** out, std::size_t max) const;
+
+  std::size_t scheduled_count() const { return scheduled_; }
+  std::int64_t tick_ns() const { return tick_ns_; }
+  std::int64_t current_tick() const { return current_tick_; }
+
+ private:
+  std::int64_t tick_of(std::int64_t ns) const { return ns / tick_ns_; }
+  void place(TimerNode& node, std::int64_t deadline_tick);
+  static void unlink(TimerNode& node);
+  void push_back(TimerNode& list, TimerNode& node);
+
+  template <typename Fn>
+  void step_one_tick(Fn& fn) {
+    ++current_tick_;
+    cascade_due_levels();
+    // Detach the firing list first: the callback may re-schedule the
+    // node into this same slot (deadline in the current tick), which
+    // must wait for the NEXT lap, not loop forever now.
+    TimerNode* head = detach_slot(0, slot_index(0, current_tick_));
+    while (head != nullptr) {
+      TimerNode* next = head->next;
+      head->prev = head->next = nullptr;
+      --scheduled_;
+      fn(head);
+      head = next;
+    }
+  }
+
+  std::size_t slot_index(int level, std::int64_t tick) const {
+    return static_cast<std::size_t>(tick >> (kSlotBits * level)) & (kSlots - 1);
+  }
+
+  void cascade_due_levels();
+  void cascade(int level, std::size_t slot);
+  TimerNode* detach_slot(int level, std::size_t slot);
+
+  std::int64_t tick_ns_;
+  std::int64_t current_tick_;
+  std::size_t scheduled_ = 0;
+  // Sentinel-headed circular lists.
+  TimerNode slots_[kLevels][kSlots];
+};
+
+}  // namespace eden::state

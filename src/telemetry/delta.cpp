@@ -116,6 +116,7 @@ std::optional<EnclaveTelemetry> delta_between(const EnclaveTelemetry& prev,
       now.dropped_by_action < prev.dropped_by_action ||
       now.message_entries_created < prev.message_entries_created ||
       now.message_entries_evicted < prev.message_entries_evicted ||
+      now.message_entries_expired < prev.message_entries_expired ||
       now.trace_sampled < prev.trace_sampled) {
     return std::nullopt;
   }
@@ -129,8 +130,40 @@ std::optional<EnclaveTelemetry> delta_between(const EnclaveTelemetry& prev,
       now.message_entries_created - prev.message_entries_created;
   d.message_entries_evicted =
       now.message_entries_evicted - prev.message_entries_evicted;
+  d.message_entries_expired =
+      now.message_entries_expired - prev.message_entries_expired;
   d.trace_sampled = now.trace_sampled - prev.trace_sampled;
   d.trace_sample_every = now.trace_sample_every;
+
+  // State section: counters diff, `live` is a gauge and ships absolute.
+  // A probe histogram going backwards means the stores were replaced —
+  // void the delta like any other regression.
+  if (now.state.present) {
+    if (prev.state.present &&
+        (now.state.created < prev.state.created ||
+         now.state.expired < prev.state.expired ||
+         now.state.evicted < prev.state.evicted ||
+         now.state.resizes < prev.state.resizes)) {
+      return std::nullopt;
+    }
+    const StateTelemetry base = prev.state.present ? prev.state
+                                                   : StateTelemetry{};
+    auto probe = hist_diff(base.probe_len, now.state.probe_len);
+    if (!probe) return std::nullopt;
+    StateTelemetry sd;
+    sd.live = now.state.live;
+    sd.created = now.state.created - base.created;
+    sd.expired = now.state.expired - base.expired;
+    sd.evicted = now.state.evicted - base.evicted;
+    sd.resizes = now.state.resizes - base.resizes;
+    sd.probe_len = *probe;
+    // An untouched section stays off the wire (and out of
+    // delta_is_empty's way).
+    sd.present = !prev.state.present || sd.created != 0 || sd.expired != 0 ||
+                 sd.evicted != 0 || sd.resizes != 0 ||
+                 now.state.live != base.live || !hist_empty(sd.probe_len);
+    if (sd.present) d.state = std::move(sd);
+  }
 
   for (const ActionTelemetry& a : now.actions) {
     const ActionTelemetry* p = find_by_name(prev.actions, a.name);
@@ -182,6 +215,7 @@ std::optional<EnclaveTelemetry> delta_between(const EnclaveTelemetry& prev,
 bool delta_is_empty(const EnclaveTelemetry& d) {
   return d.packets == 0 && d.matched == 0 && d.dropped_by_action == 0 &&
          d.message_entries_created == 0 && d.message_entries_evicted == 0 &&
+         d.message_entries_expired == 0 && !d.state.present &&
          d.trace_sampled == 0 && d.actions.empty() && d.classes.empty() &&
          d.host_series.empty();
 }
@@ -193,6 +227,16 @@ void apply_delta(EnclaveTelemetry& base, const EnclaveTelemetry& delta) {
   base.dropped_by_action += delta.dropped_by_action;
   base.message_entries_created += delta.message_entries_created;
   base.message_entries_evicted += delta.message_entries_evicted;
+  base.message_entries_expired += delta.message_entries_expired;
+  if (delta.state.present) {
+    base.state.present = true;
+    base.state.live = delta.state.live;  // gauge: absolute
+    base.state.created += delta.state.created;
+    base.state.expired += delta.state.expired;
+    base.state.evicted += delta.state.evicted;
+    base.state.resizes += delta.state.resizes;
+    base.state.probe_len.merge(delta.state.probe_len);
+  }
   base.trace_sampled += delta.trace_sampled;
   if (delta.trace_sample_every != 0) {
     base.trace_sample_every = delta.trace_sample_every;

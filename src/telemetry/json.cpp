@@ -274,6 +274,18 @@ EnclaveTelemetry enclave_from_json(const Json& j) {
   e.dropped_by_action = j.u64("dropped_by_action");
   e.message_entries_created = j.u64("message_entries_created");
   e.message_entries_evicted = j.u64("message_entries_evicted");
+  e.message_entries_expired = j.u64("message_entries_expired");
+  if (const Json* st = j.get("state")) {
+    e.state.present = true;
+    e.state.live = st->u64("live");
+    e.state.created = st->u64("created");
+    e.state.expired = st->u64("expired");
+    e.state.evicted = st->u64("evicted");
+    e.state.resizes = st->u64("resizes");
+    if (const Json* pl = st->get("probe_len")) {
+      e.state.probe_len = histogram_from_json(*pl);
+    }
+  }
   if (const Json* actions = j.get("actions")) {
     for (const Json& aj : actions->items) {
       e.actions.push_back(action_from_json(aj));

@@ -407,6 +407,23 @@ void append_enclave_json(std::string& out, const EnclaveTelemetry& e) {
   out += std::to_string(e.message_entries_created);
   out += ",\"message_entries_evicted\":";
   out += std::to_string(e.message_entries_evicted);
+  out += ",\"message_entries_expired\":";
+  out += std::to_string(e.message_entries_expired);
+  if (e.state.present) {
+    out += ",\"state\":{\"live\":";
+    out += std::to_string(e.state.live);
+    out += ",\"created\":";
+    out += std::to_string(e.state.created);
+    out += ",\"expired\":";
+    out += std::to_string(e.state.expired);
+    out += ",\"evicted\":";
+    out += std::to_string(e.state.evicted);
+    out += ",\"resizes\":";
+    out += std::to_string(e.state.resizes);
+    out += ',';
+    append_histogram_json(out, "probe_len", e.state.probe_len);
+    out += '}';
+  }
   out += ",\"actions\":";
   append_array(out, e.actions, [](std::string& o, const ActionTelemetry& a) {
     append_action_json(o, a);
@@ -502,6 +519,61 @@ std::string to_prometheus(const AggregateTelemetry& agg) {
   for (const EnclaveTelemetry& e : agg.enclaves) {
     series("eden_enclave_message_entries_evicted_total",
            {{"enclave", e.enclave}}, e.message_entries_evicted);
+  }
+  out += "# TYPE eden_enclave_message_entries_expired_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    series("eden_enclave_message_entries_expired_total",
+           {{"enclave", e.enclave}}, e.message_entries_expired);
+  }
+
+  // Message-state store section (FlowStore), one row set per enclave
+  // that holds message state.
+  out += "# TYPE eden_state_live gauge\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    if (e.state.present) {
+      series("eden_state_live", {{"enclave", e.enclave}}, e.state.live);
+    }
+  }
+  out += "# TYPE eden_state_created_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    if (e.state.present) {
+      series("eden_state_created_total", {{"enclave", e.enclave}},
+             e.state.created);
+    }
+  }
+  out += "# TYPE eden_state_expired_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    if (e.state.present) {
+      series("eden_state_expired_total", {{"enclave", e.enclave}},
+             e.state.expired);
+    }
+  }
+  out += "# TYPE eden_state_evicted_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    if (e.state.present) {
+      series("eden_state_evicted_total", {{"enclave", e.enclave}},
+             e.state.evicted);
+    }
+  }
+  out += "# TYPE eden_state_resizes_total counter\n";
+  for (const EnclaveTelemetry& e : agg.enclaves) {
+    if (e.state.present) {
+      series("eden_state_resizes_total", {{"enclave", e.enclave}},
+             e.state.resizes);
+    }
+  }
+  {
+    bool state_hist_header = false;
+    for (const EnclaveTelemetry& e : agg.enclaves) {
+      if (!e.state.present || e.state.probe_len.count == 0) continue;
+      if (!state_hist_header) {
+        out += "# TYPE eden_state_probe_len histogram\n";
+        state_hist_header = true;
+      }
+      append_histogram_exposition(out, "eden_state_probe_len",
+                                  render_labels({{"enclave", e.enclave}}),
+                                  e.state.probe_len);
+    }
   }
 
   out += "# TYPE eden_class_matched_total counter\n";

@@ -24,10 +24,26 @@ namespace eden::telemetry {
 // Version stamp written into every JSON dump ("schema_version"). v1 is
 // the unversioned format of the first telemetry PRs (readers treat a
 // missing stamp as v1); v2 added the stamp itself, per-enclave host
-// series and the delta-payload format (telemetry/delta.h). Bump on any
-// change a reader could misparse; eden-stat warns on versions it does
-// not know instead of guessing silently.
-inline constexpr int kTelemetrySchemaVersion = 2;
+// series and the delta-payload format (telemetry/delta.h); v3 added the
+// per-enclave message-state section (eden_state_* series: live /
+// created / expired / evicted / resizes and the probe-length
+// histogram). Bump on any change a reader could misparse; eden-stat
+// warns on versions it does not know instead of guessing silently.
+inline constexpr int kTelemetrySchemaVersion = 3;
+
+// Per-enclave message-state (FlowStore) section: totals across the
+// enclave's per-action stores. `probe_len` is the sampled
+// open-addressing probe-length histogram — its tail widening is the
+// early signal that a store needs a resize or the hash is clustering.
+struct StateTelemetry {
+  bool present = false;  // any action holds message state
+  std::uint64_t live = 0;
+  std::uint64_t created = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t resizes = 0;
+  HistogramSnapshot probe_len;
+};
 
 struct ActionTelemetry {
   std::string name;
@@ -105,6 +121,10 @@ struct EnclaveTelemetry {
   std::uint64_t dropped_by_action = 0;
   std::uint64_t message_entries_created = 0;
   std::uint64_t message_entries_evicted = 0;
+  std::uint64_t message_entries_expired = 0;
+
+  // Message-state store section (schema v3).
+  StateTelemetry state;
 
   std::vector<ActionTelemetry> actions;
   std::vector<ClassTelemetry> classes;

@@ -1,0 +1,27 @@
+// Shared integer hashing.
+//
+// Message keys are frequently sequential counters (stage metadata ids),
+// so both the dataplane's RSS steering and the flow-state store whiten
+// them with the splitmix64 finalizer before taking modulo / masking.
+// Keeping the two on the SAME mix means a given message key always maps
+// to one dataplane worker AND one FlowStore shard, so a shard's slot
+// memory stays hot in exactly one core's cache.
+#pragma once
+
+#include <cstdint>
+
+namespace eden::util {
+
+// splitmix64 finalizer (Steele, Lea, Flood; public-domain constants).
+// Bijective on 64-bit, avalanches low-entropy inputs.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace eden::util

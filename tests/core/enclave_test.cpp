@@ -232,10 +232,21 @@ TEST_F(EnclaveTest, MessageStateInitializedFromFirstPacket) {
   EXPECT_EQ(enclave_.peek_message_state(action, 9, MessageSlot::priority), 6);
 }
 
+// Virtual clock for deterministic message-store timestamps: every
+// now_ns() call ticks one virtual microsecond.
+std::int64_t test_clock(void* ctx) {
+  return (*static_cast<std::int64_t*>(ctx) += 1'000);
+}
+
 TEST_F(EnclaveTest, MessageStoreEvictsBeyondCap) {
   EnclaveConfig config;
   config.max_messages_per_action = 4;
+  // One shard: a single eviction queue, so the idlest entry globally is
+  // the one evicted and the assertions below are deterministic.
+  config.message_store_shards = 1;
   Enclave small("small", registry_, config);
+  std::int64_t vclock = 0;
+  small.set_clock(&test_clock, &vclock);
   const lang::CompiledProgram program = controller_.compile(
       "accum", "fun(p, m, g) -> m.size <- m.size + p.size", {});
   const ActionId action = small.install_action("accum", program, {});
@@ -247,9 +258,115 @@ TEST_F(EnclaveTest, MessageStoreEvictsBeyondCap) {
   }
   EXPECT_EQ(small.stats().message_entries_created, 10u);
   EXPECT_EQ(small.stats().message_entries_evicted, 6u);
-  // Oldest entries gone, newest retained.
+  EXPECT_EQ(small.stats().message_entries_live, 4u);
+  // Idlest (here: oldest-touched) entries gone, newest retained.
   EXPECT_FALSE(small.peek_message_state(action, 1, 0).has_value());
   EXPECT_TRUE(small.peek_message_state(action, 10, 0).has_value());
+}
+
+TEST_F(EnclaveTest, MessageStoreEvictionSparesHotEntries) {
+  // Unlike the old creation-order deque, capacity eviction picks the
+  // idlest entry: a long-lived message that keeps receiving packets
+  // survives churn that would have evicted it by age.
+  EnclaveConfig config;
+  config.max_messages_per_action = 4;
+  config.message_store_shards = 1;
+  Enclave small("small", registry_, config);
+  std::int64_t vclock = 0;
+  small.set_clock(&test_clock, &vclock);
+  const lang::CompiledProgram program = controller_.compile(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size", {});
+  const ActionId action = small.install_action("accum", program, {});
+  const TableId table = small.create_table("t");
+  small.add_rule(table, ClassPattern("*"), action);
+
+  // Message 1 is created first but stays hot; fresh messages churn by.
+  for (std::int64_t id = 1; id <= 12; ++id) {
+    netsim::Packet packet = tcp_packet(id);
+    small.process(packet);
+    netsim::Packet keepalive = tcp_packet(1);
+    small.process(keepalive);
+  }
+  EXPECT_TRUE(small.peek_message_state(action, 1, 0).has_value())
+      << "hot oldest-created message was evicted";
+  EXPECT_EQ(small.peek_message_state(action, 1, MessageSlot::size),
+            13 * 1514);  // one create + 12 keepalives
+}
+
+TEST_F(EnclaveTest, ZeroMessageCapMeansUnlimited) {
+  EnclaveConfig config;
+  config.max_messages_per_action = 0;  // 0 = unlimited, not "evict all"
+  Enclave big("big", registry_, config);
+  const lang::CompiledProgram program = controller_.compile(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size", {});
+  const ActionId action = big.install_action("accum", program, {});
+  const TableId table = big.create_table("t");
+  big.add_rule(table, ClassPattern("*"), action);
+  for (std::int64_t id = 1; id <= 1000; ++id) {
+    netsim::Packet packet = tcp_packet(id);
+    big.process(packet);
+  }
+  EXPECT_EQ(big.stats().message_entries_created, 1000u);
+  EXPECT_EQ(big.stats().message_entries_evicted, 0u);
+  EXPECT_EQ(big.stats().message_entries_live, 1000u);
+  EXPECT_TRUE(big.peek_message_state(action, 1, 0).has_value());
+}
+
+TEST_F(EnclaveTest, IdleMessagesExpireOnTimerWheel) {
+  EnclaveConfig config;
+  config.message_idle_timeout_ns = 10'000'000;  // 10 virtual ms
+  config.message_wheel_tick_ns = 1'000'000;
+  config.message_store_shards = 1;
+  Enclave timed("timed", registry_, config);
+  std::int64_t vclock = 0;
+  timed.set_clock(&test_clock, &vclock);
+  const lang::CompiledProgram program = controller_.compile(
+      "accum", "fun(p, m, g) -> m.size <- m.size + p.size", {});
+  const ActionId action = timed.install_action("accum", program, {});
+  const TableId table = timed.create_table("t");
+  timed.add_rule(table, ClassPattern("*"), action);
+
+  netsim::Packet a = tcp_packet(1);
+  timed.process(a);
+  netsim::Packet b = tcp_packet(2);
+  timed.process(b);
+
+  // Keep message 1 warm, let message 2 idle past the timeout.
+  vclock = 8'000'000;
+  netsim::Packet keepalive = tcp_packet(1);
+  timed.process(keepalive);
+  vclock = 13'000'000;
+  timed.advance_message_expiry();
+
+  EXPECT_FALSE(timed.peek_message_state(action, 2, 0).has_value())
+      << "idle message survived expiry";
+  EXPECT_TRUE(timed.peek_message_state(action, 1, 0).has_value())
+      << "recently touched message expired";
+  EXPECT_EQ(timed.stats().message_entries_expired, 1u);
+
+  // Far future: everything idles out; expired != evicted accounting.
+  vclock = 1'000'000'000;
+  timed.advance_message_expiry();
+  EXPECT_FALSE(timed.peek_message_state(action, 1, 0).has_value());
+  EXPECT_EQ(timed.stats().message_entries_expired, 2u);
+  EXPECT_EQ(timed.stats().message_entries_evicted, 0u);
+  EXPECT_EQ(timed.stats().message_entries_live, 0u);
+}
+
+TEST_F(EnclaveTest, ThreadStateRegistryReclaimedAfterEnclaveDeath) {
+  // Each enclave instance leaves a per-thread ThreadState in this
+  // thread's registry. Destroying the enclave must not leak it forever:
+  // the next registry access sweeps entries of dead instances, so
+  // serial create/use/destroy cycles hold the registry size flat.
+  std::size_t high_water = 0;
+  for (int i = 0; i < 8; ++i) {
+    Enclave e("leak" + std::to_string(i), registry_);
+    netsim::Packet packet = tcp_packet();
+    e.process(packet);
+    const std::size_t n = enclave_thread_state_count();
+    if (i == 0) high_water = n;
+    EXPECT_LE(n, high_water) << "registry grew on iteration " << i;
+  }
 }
 
 TEST_F(EnclaveTest, GlobalStateReadableAndUpdatable) {
@@ -567,6 +684,106 @@ TEST_F(EnclaveTest, SerializedActionIsThreadSafe) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(enclave_.read_global_scalar(action, "packets"),
             kThreads * kPerThread);
+  // A writable global scalar can never be key-disjoint: this action
+  // must run fully serialized, not key-sharded.
+  EXPECT_FALSE(enclave_.action_global_sharded(action));
+}
+
+// --- Key-sharded global serialization ------------------------------------
+
+TEST_F(EnclaveTest, GlobalShardingRequiresKeyPartitionedWrites) {
+  // Eligible: serialized mode, and the only writable global field is a
+  // key_partitioned array (writes provably disjoint by message key).
+  lang::FieldDef counts;
+  counts.name = "counts";
+  counts.kind = lang::FieldKind::array;
+  counts.access = lang::Access::read_write;
+  counts.key_partitioned = true;
+  const ActionId sharded = install_with_rule(
+      "sharded", "fun(p, m, g) -> g.counts[p.msg_id] <- g.counts[p.msg_id] + 1",
+      {counts});
+  EXPECT_TRUE(enclave_.action_global_sharded(sharded));
+
+  // Not eligible: same shape without the key_partitioned declaration.
+  lang::FieldDef plain = counts;
+  plain.key_partitioned = false;
+  const ActionId serial = install(
+      "serial", "fun(p, m, g) -> g.counts[p.msg_id] <- g.counts[p.msg_id] + 1",
+      {plain});
+  EXPECT_FALSE(enclave_.action_global_sharded(serial));
+
+  // Not eligible: a writable scalar rides along, even though the array
+  // is partitioned (the scalar write would race across stripes).
+  lang::FieldDef total;
+  total.name = "total";
+  total.access = lang::Access::read_write;
+  const ActionId mixed = install(
+      "mixed", "fun(p, m, g) -> g.total <- g.total + 1", {counts, total});
+  EXPECT_FALSE(enclave_.action_global_sharded(mixed));
+
+  // Read-only scalars are fine next to the partitioned array.
+  lang::FieldDef limit;
+  limit.name = "limit";
+  limit.access = lang::Access::read_only;
+  const ActionId with_ro = install(
+      "with_ro", "fun(p, m, g) -> g.counts[p.msg_id] <- g.limit",
+      {counts, limit});
+  EXPECT_TRUE(enclave_.action_global_sharded(with_ro));
+}
+
+TEST_F(EnclaveTest, ShardedGlobalWritesAreExactUnderContention) {
+  // Key-partitioned global increments from racing threads: stripe
+  // locking must serialize same-key writers while different keys run in
+  // parallel, and no update may be lost. The action also reads its own
+  // slot back, so a final packet per key observes the exact total.
+  lang::FieldDef counts;
+  counts.name = "counts";
+  counts.kind = lang::FieldKind::array;
+  counts.access = lang::Access::read_write;
+  counts.key_partitioned = true;
+  const ActionId action = install_with_rule("shard_count", R"(fun(p, m, g) ->
+      g.counts[p.msg_id] <- g.counts[p.msg_id] + 1;
+      p.path <- g.counts[p.msg_id])",
+                                            {counts});
+  enclave_.set_global_array(action, "counts", std::vector<std::int64_t>(8, 0));
+  ASSERT_TRUE(enclave_.action_global_sharded(action));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Two threads share key 1, two share key 2: same-key writes
+        // contend on one stripe, cross-key writes run concurrently.
+        netsim::Packet packet = tcp_packet(1 + (t % 2));
+        enclave_.process(packet);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const std::int64_t key : {1, 2}) {
+    netsim::Packet probe = tcp_packet(key);
+    enclave_.process(probe);
+    EXPECT_EQ(probe.path_label, 2 * kPerThread + 1) << "key " << key;
+  }
+}
+
+TEST_F(EnclaveTest, ShardedGlobalStateVisibleToControllerWrites) {
+  // Controller writes keep the exclusive global lock, so a
+  // set_global_array lands atomically even against sharded executions.
+  lang::FieldDef counts;
+  counts.name = "counts";
+  counts.kind = lang::FieldKind::array;
+  counts.access = lang::Access::read_write;
+  counts.key_partitioned = true;
+  const ActionId action = install_with_rule(
+      "reset_me", "fun(p, m, g) -> p.path <- g.counts[p.msg_id]", {counts});
+  enclave_.set_global_array(action, "counts", {7, 8, 9, 10});
+  netsim::Packet packet = tcp_packet(2);
+  enclave_.process(packet);
+  EXPECT_EQ(packet.path_label, 9);
 }
 
 TEST_F(EnclaveTest, PerMessageActionIsThreadSafePerMessage) {

@@ -164,7 +164,7 @@ TEST(DeltaTest, PayloadJsonRoundTrip) {
   p.enclaves.push_back(*d);
 
   const std::string json = encode_delta_payload(p);
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   const DeltaPayload back = parse_delta_payload(json);
   EXPECT_EQ(back.schema_version, kTelemetrySchemaVersion);
   EXPECT_EQ(back.epoch, 42u);

@@ -230,6 +230,33 @@ void print_tables(const telemetry::AggregateTelemetry& agg, bool with_trace) {
               static_cast<unsigned long long>(agg.dropped_by_action));
   std::fputs(enclaves.render().c_str(), stdout);
 
+  // Message state engine (eden_state_*): only enclaves that actually
+  // ran a FlowStore carry the section, so the table appears exactly
+  // when there is state to show — in live runs and re-rendered dumps
+  // alike.
+  bool any_state = false;
+  for (const telemetry::EnclaveTelemetry& e : agg.enclaves) {
+    any_state = any_state || e.state.present;
+  }
+  if (any_state) {
+    util::TextTable state;
+    state.add_row({"enclave", "live", "created", "expired", "evicted",
+                   "resizes", "probe p50", "probe p99"});
+    for (const telemetry::EnclaveTelemetry& e : agg.enclaves) {
+      if (!e.state.present) continue;
+      const bool probe = e.state.probe_len.count > 0;
+      state.add_row({e.enclave, std::to_string(e.state.live),
+                     std::to_string(e.state.created),
+                     std::to_string(e.state.expired),
+                     std::to_string(e.state.evicted),
+                     std::to_string(e.state.resizes),
+                     probe ? util::fmt(e.state.probe_len.p50(), 0) : "-",
+                     probe ? util::fmt(e.state.probe_len.p99(), 0) : "-"});
+    }
+    std::printf("\nMessage state (sampled probe lengths in slot groups)\n");
+    std::fputs(state.render().c_str(), stdout);
+  }
+
   if (!agg.classes.empty()) {
     util::TextTable classes;
     classes.add_row({"class", "matched", "dropped"});
